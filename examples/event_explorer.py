@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Event explorer — MABED over news and Twitter, with timelines.
+
+Shows the event-detection substrate on its own: detect events on both
+corpora (60-minute news slices, 30-minute tweet slices, §5.3–§5.4),
+print each event in the paper's table layout, and draw an ASCII timeline
+of mention anomalies for the top event.
+
+    python examples/event_explorer.py
+"""
+
+from repro import NewsDiffusionPipeline, build_world
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+from repro.events import TimeSlicer, anomaly_series
+
+
+def ascii_timeline(event, documents, slice_width, width=72) -> str:
+    """Sparkline of the event main word's anomaly across the timeline."""
+    sliced = TimeSlicer(slice_width).slice(documents)
+    anomaly = anomaly_series(
+        sliced.term_series(event.main_word), sliced.slice_totals
+    )
+    # Downsample to `width` buckets.
+    bucket = max(1, len(anomaly) // width)
+    levels = " .:-=+*#%@"
+    chars = []
+    for start in range(0, len(anomaly), bucket):
+        value = max(0.0, float(anomaly[start:start + bucket].sum()))
+        scaled = min(len(levels) - 1, int(value))
+        chars.append(levels[scaled])
+    return "".join(chars)
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(n_articles=1200, n_tweets=4000, n_users=200, seed=21)
+    )
+    config = PipelineConfig(
+        n_news_events=15,
+        n_twitter_events=25,
+        min_term_support=6,
+        seed=21,
+    )
+    pipeline = NewsDiffusionPipeline(config)
+
+    news_ed = pipeline.preprocess_news_ed(world)
+    twitter_ed = pipeline.preprocess_twitter_ed(world)
+
+    print("=== News events (60-minute slices) ===")
+    news_events = pipeline.detect_news_events(news_ed)
+    for event in news_events:
+        print("  " + event.describe())
+
+    print("\n=== Twitter events (30-minute slices) ===")
+    twitter_events = pipeline.detect_twitter_events(twitter_ed)
+    for event in twitter_events[:15]:
+        print("  " + event.describe())
+
+    if twitter_events:
+        top = twitter_events[0]
+        from datetime import timedelta
+
+        print(f"\nMention-anomaly timeline for top Twitter event "
+              f"[{top.main_word}] (whole 5-month window):")
+        print(
+            "  "
+            + ascii_timeline(
+                top, twitter_ed, timedelta(minutes=config.twitter_slice_minutes)
+            )
+        )
+        print(f"  magnitude={top.magnitude:.1f}  support={top.support} tweets")
+        print("  related words: "
+              + ", ".join(f"{w}({s:.2f})" for w, s in top.related_words[:8]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Network immunization — closing the loop of §5.8.
+
+Builds the follower graph of the synthetic population, finds its
+communities and influencers, simulates a misinformation cascade seeded by
+the most influential accounts, and compares immunization strategies —
+including one driven by the audience-interest predictor's virality
+signal, which is exactly how the paper proposes its system be used.
+
+    python examples/network_immunization.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import NewsDiffusionPipeline, build_world
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+from repro.network import (
+    IndependentCascade,
+    SocialGraph,
+    communities_as_lists,
+    community_centers,
+    compare_strategies,
+    degree_strategy,
+    label_propagation,
+    pagerank,
+)
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(n_articles=1200, n_tweets=4500, n_users=250, seed=31)
+    )
+    graph = SocialGraph.from_population(
+        world.population, max_following=25, seed=31
+    )
+    print(f"follower graph: {len(graph)} accounts, {graph.num_edges()} edges")
+
+    labels = label_propagation(graph, seed=31)
+    groups = communities_as_lists(labels)
+    centers = community_centers(graph, labels)
+    print(f"communities: {len(groups)} (largest {len(groups[0])} members)")
+    print("influencers (community centers, §1):")
+    ranks = pagerank(graph)
+    for label, center in sorted(centers.items())[:6]:
+        print(
+            f"  community {label}: {center} "
+            f"(followers={graph.in_degree(center)}, "
+            f"pagerank={ranks[center]:.4f})"
+        )
+
+    print("\nSimulating a high-virality misinformation cascade ...")
+    attacker = degree_strategy(graph, 3)
+    model = IndependentCascade(graph, base_probability=0.08, virality=0.9, seed=31)
+    baseline = model.expected_spread(attacker, n_simulations=30)
+    print(f"attacker seeds: {attacker}")
+    print(f"expected cascade size, no defense: {baseline:.1f} accounts")
+
+    # Per-author virality signal from the pipeline's correlated tweets
+    # (the paper's predictor supplies this in deployment).
+    config = PipelineConfig(
+        n_topics=12, n_news_events=20, n_twitter_events=40,
+        embedding_dim=64, min_term_support=6, min_event_records=6, seed=31,
+    )
+    result = NewsDiffusionPipeline(config).run(world)
+    per_author = defaultdict(list)
+    for record in result.event_tweets:
+        per_author[record.author].append(1.0 if record.likes > 1000 else 0.0)
+    scores = {a: float(np.mean(v)) for a, v in per_author.items()}
+
+    print("\nImmunization strategies at budget 10:")
+    outcomes = compare_strategies(
+        graph,
+        attacker_seeds=attacker,
+        budget=10,
+        virality_by_author=scores,
+        base_probability=0.08,
+        virality=0.9,
+        n_simulations=30,
+        seed=31,
+    )
+    print(f"{'strategy':<12}{'residual spread':<18}reduction")
+    for outcome in outcomes:
+        print(
+            f"{outcome.strategy:<12}{outcome.residual_spread:<18.1f}"
+            f"{outcome.reduction:.1%}"
+        )
+    print(
+        "\nTargeted immunization (degree/pagerank/predicted) suppresses the\n"
+        "cascade far better than random spending — the §5.8 rationale for\n"
+        "predicting audience interest before choosing where to intervene."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Newsroom monitoring — the RoNews use case from the paper's conclusion.
+
+A newsroom wants to know, for the articles it publishes, which topics are
+*developing* (trending in its own coverage) and which of those are
+echoing on social media right now.  This example runs the pipeline and
+renders a monitoring dashboard: every NMF topic, whether it is trending
+(matched to a news event above the 0.7 threshold), and which Twitter
+events echo it.
+
+    python examples/newsroom_monitoring.py
+"""
+
+from repro import NewsDiffusionPipeline, build_world
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(n_articles=1500, n_tweets=5000, n_users=250, seed=33)
+    )
+    config = PipelineConfig(
+        n_topics=14,
+        n_news_events=25,
+        n_twitter_events=50,
+        embedding_dim=96,
+        min_term_support=6,
+        min_event_records=8,
+        seed=33,
+    )
+    result = NewsDiffusionPipeline(config).run(world)
+
+    trending_by_topic = {t.topic.index: t for t in result.trending}
+    pairs_by_topic = {}
+    for pair in result.correlation.pairs:
+        pairs_by_topic.setdefault(pair.trending.topic.index, []).append(pair)
+
+    print("=" * 78)
+    print("NEWSROOM TOPIC MONITOR".center(78))
+    print("=" * 78)
+    for topic in result.topics:
+        keywords = " ".join(topic.keywords[:6])
+        trending = trending_by_topic.get(topic.index)
+        if trending is None:
+            status = "quiet"
+            detail = ""
+        else:
+            echoes = pairs_by_topic.get(topic.index, [])
+            if echoes:
+                status = "TRENDING + SOCIAL ECHO"
+                detail = ", ".join(
+                    f"[{p.twitter_event.main_word}] sim={p.similarity:.2f}"
+                    for p in echoes[:3]
+                )
+            else:
+                status = "trending (no Twitter echo yet)"
+                detail = f"news event [{trending.event.main_word}]"
+        print(f"NT#{topic.index + 1:<3} {keywords:<46} {status}")
+        if detail:
+            print(f"      {detail}")
+
+    print("-" * 78)
+    print(
+        f"{len(result.trending)}/{len(result.topics)} topics trending; "
+        f"{result.correlation.n_pairs} topic-event echoes; "
+        f"{len(result.correlation.unrelated_twitter_events)} Twitter events "
+        "unrelated to coverage"
+    )
+    print("\nUnrelated Twitter chatter the desk may still want to watch:")
+    for event in result.correlation.unrelated_twitter_events[:5]:
+        print(f"  [{event.main_word}] {' '.join(event.keywords[:6])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart — the whole pipeline in one short script.
+
+Generates a small synthetic news+Twitter world, runs the Figure-1
+pipeline end to end (topics -> events -> trending -> correlation ->
+features), trains one audience-interest model, and prints a run summary.
+
+    python examples/quickstart.py
+"""
+
+from repro import NewsDiffusionPipeline, build_world
+from repro.core import AudienceInterestPredictor
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+
+
+def main() -> None:
+    print("1. Generating the synthetic world (news + tweets) ...")
+    world = build_world(
+        WorldConfig(n_articles=800, n_tweets=3000, n_users=200, seed=7)
+    )
+    print(f"   collections: {world.database.stats()}")
+
+    print("2. Running the news-diffusion pipeline ...")
+    config = PipelineConfig(
+        n_topics=12,
+        n_news_events=20,
+        n_twitter_events=40,
+        embedding_dim=64,
+        min_term_support=5,
+        min_event_records=5,
+        seed=7,
+    )
+    result = NewsDiffusionPipeline(config).run(world)
+    print(result.summary())
+
+    print("\n3. A few extracted news topics (Table-3 style):")
+    for topic in result.topics[:5]:
+        print(f"   NT#{topic.index + 1}: {' '.join(topic.keywords[:8])}")
+
+    print("\n4. Correlated <trending news topic, Twitter event> pairs:")
+    for pair in result.correlation.pairs[:5]:
+        print("   " + pair.describe())
+
+    if not result.datasets:
+        print("\nNo correlated tweets at this scale — increase n_tweets.")
+        return
+
+    print("\n5. Training MLP 1 on the metadata-enhanced dataset (A2) ...")
+    predictor = AudienceInterestPredictor(max_epochs=30, batch_size=64, seed=7)
+    baseline = predictor.train(result.datasets["A1"], "MLP 1", target="likes")
+    enhanced = predictor.train(result.datasets["A2"], "MLP 1", target="likes")
+    print(f"   likes accuracy without metadata (A1): {baseline.validation_accuracy:.3f}")
+    print(f"   likes accuracy with metadata    (A2): {enhanced.validation_accuracy:.3f}")
+    print(
+        "   -> metadata lift: "
+        f"{enhanced.validation_accuracy - baseline.validation_accuracy:+.3f} "
+        "(the paper's headline result)"
+    )
+
+
+if __name__ == "__main__":
+    main()

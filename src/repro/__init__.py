@@ -1,0 +1,58 @@
+"""repro — reproduction of "A Deep Learning Architecture for Audience
+Interest Prediction of News Topic on Social Media" (Truică et al.,
+EDBT 2021).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's pipeline: trending-topic extraction, news↔Twitter event
+    correlation, feature creation, and audience-interest prediction.
+``repro.store``
+    Embedded document store (MongoDB substitute).
+``repro.text``
+    Preprocessing substrate (tokenizer, lemmatizer, NER, stopwords).
+``repro.weighting``
+    TF/IDF/TFIDF/TFIDF_N and document-term matrices (Eqs 1–5).
+``repro.topics``
+    NMF (Eqs 6–8) plus LDA/LSA baselines and coherence metrics.
+``repro.events``
+    MABED event detection (Eqs 9–10).
+``repro.embeddings``
+    Word2Vec, pretrained-embedding stand-in, Doc2Vec variants, cosine.
+``repro.nn``
+    Numpy deep-learning framework (layers, Eqs 12–17, Figures 2–3).
+``repro.datagen``
+    Synthetic news+Twitter world generator (the data substitute).
+``repro.datasets``
+    Table-2 encodings, metadata vector, the A1..D2 datasets.
+
+Quickstart
+----------
+>>> from repro import build_world, NewsDiffusionPipeline, small_config
+>>> world = build_world()                          # doctest: +SKIP
+>>> result = NewsDiffusionPipeline(small_config()).run(world)  # doctest: +SKIP
+>>> print(result.summary())                        # doctest: +SKIP
+"""
+
+from .core import (
+    AudienceInterestPredictor,
+    NewsDiffusionPipeline,
+    PipelineConfig,
+    PipelineResult,
+    small_config,
+)
+from .datagen import World, WorldConfig, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NewsDiffusionPipeline",
+    "PipelineResult",
+    "PipelineConfig",
+    "small_config",
+    "AudienceInterestPredictor",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analytics over generated corpora and detector output: burst-recovery
+scoring (MABED vs the world's planted ground truth) and time-series
+helpers."""
+
+from .burst_recovery import (
+    PlantedBurst,
+    RecoveryReport,
+    event_recovers_burst,
+    planted_bursts,
+    score_burst_recovery,
+)
+from .timeseries import (
+    engagement_by_weekday,
+    like_retweet_correlation,
+    topic_share_series,
+    volume_series,
+)
+
+__all__ = [
+    "PlantedBurst",
+    "RecoveryReport",
+    "planted_bursts",
+    "event_recovers_burst",
+    "score_burst_recovery",
+    "volume_series",
+    "engagement_by_weekday",
+    "like_retweet_correlation",
+    "topic_share_series",
+]

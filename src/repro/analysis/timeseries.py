@@ -1,0 +1,84 @@
+"""Time-series analytics over the generated corpora.
+
+Small helpers for the examples and notebooks a downstream user would
+write: per-topic volume curves, engagement-by-weekday profiles, and the
+like/retweet correlation the paper's engagement discussion assumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import datetime, timedelta
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def volume_series(
+    timestamps: Sequence[datetime],
+    bucket: timedelta = timedelta(days=1),
+    start: Optional[datetime] = None,
+    end: Optional[datetime] = None,
+) -> Tuple[List[datetime], np.ndarray]:
+    """Counts per time bucket; returns (bucket_starts, counts)."""
+    if bucket <= timedelta(0):
+        raise ValueError("bucket must be positive")
+    stamps = sorted(timestamps)
+    if not stamps:
+        return [], np.zeros(0)
+    start = start or stamps[0]
+    end = end or stamps[-1]
+    n_buckets = int((end - start) / bucket) + 1
+    counts = np.zeros(n_buckets)
+    for moment in stamps:
+        index = int((moment - start) / bucket)
+        if 0 <= index < n_buckets:
+            counts[index] += 1
+    starts = [start + i * bucket for i in range(n_buckets)]
+    return starts, counts
+
+
+def engagement_by_weekday(
+    tweets: Iterable[dict], field: str = "likes"
+) -> Dict[int, float]:
+    """Mean engagement per weekday (0 = Monday), the Bentley-et-al. curve
+    the metadata feature encodes."""
+    buckets: Dict[int, List[float]] = defaultdict(list)
+    for tweet in tweets:
+        buckets[tweet["created_at"].weekday()].append(float(tweet[field]))
+    return {
+        day: float(np.mean(values)) for day, values in sorted(buckets.items())
+    }
+
+
+def like_retweet_correlation(tweets: Iterable[dict]) -> float:
+    """Pearson correlation between likes and retweets across tweets."""
+    likes, retweets = [], []
+    for tweet in tweets:
+        likes.append(float(tweet["likes"]))
+        retweets.append(float(tweet["retweets"]))
+    if len(likes) < 2:
+        raise ValueError("need at least two tweets")
+    matrix = np.corrcoef(likes, retweets)
+    return float(matrix[0, 1])
+
+
+def topic_share_series(
+    documents: Iterable[dict],
+    bucket: timedelta = timedelta(days=7),
+) -> Dict[str, np.ndarray]:
+    """Per-topic share of volume per bucket (uses ground-truth labels)."""
+    docs = sorted(documents, key=lambda d: d["created_at"])
+    if not docs:
+        return {}
+    start = docs[0]["created_at"]
+    end = docs[-1]["created_at"]
+    n_buckets = int((end - start) / bucket) + 1
+    totals = np.zeros(n_buckets)
+    per_topic: Dict[str, np.ndarray] = defaultdict(lambda: np.zeros(n_buckets))
+    for doc in docs:
+        index = int((doc["created_at"] - start) / bucket)
+        totals[index] += 1
+        per_topic[doc["topic"]][index] += 1
+    safe_totals = np.maximum(totals, 1)
+    return {topic: counts / safe_totals for topic, counts in per_topic.items()}

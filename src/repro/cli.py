@@ -1,0 +1,204 @@
+"""Command-line interface for the reproduction.
+
+Subcommands mirror the pipeline's stages so each piece can be driven
+standalone, the way the paper's deployed modules ran on a 2-hour cycle
+(§4.9):
+
+    python -m repro generate   --articles 800 --tweets 3000 --out data/
+    python -m repro topics     --data data/ --n-topics 12
+    python -m repro events     --data data/ --medium twitter
+    python -m repro run        --data data/            # full pipeline
+    python -m repro predict    --data data/ --variant A2 --network "MLP 1"
+
+``generate`` persists a synthetic world as JSONL snapshots through the
+document store; the other commands restore it and run the requested
+stage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import AudienceInterestPredictor, NewsDiffusionPipeline
+from .core.config import PipelineConfig
+from .datagen import UserPopulation, World, WorldConfig, build_world
+from .store import Database
+
+
+def _world_from_snapshot(directory: str) -> World:
+    from .store import CollectionNotFound
+
+    database = Database("news_diffusion")
+    try:
+        database.restore(directory)
+    except CollectionNotFound:
+        raise SystemExit(
+            f"no snapshot at {directory!r}; run `python -m repro generate` first"
+        )
+    for collection in ("news", "tweets"):
+        if collection not in database:
+            raise SystemExit(
+                f"snapshot at {directory!r} has no {collection!r} collection; "
+                "run `python -m repro generate` first"
+            )
+    # Timestamps were serialized as strings; parse them back.
+    from datetime import datetime
+
+    for name in ("news", "tweets"):
+        for doc in database[name].find():
+            created = doc["created_at"]
+            if isinstance(created, str):
+                database[name].update_one(
+                    {"_id": doc["_id"]},
+                    {"$set": {"created_at": datetime.fromisoformat(created)}},
+                )
+    config = WorldConfig()
+    return World(
+        config=config,
+        database=database,
+        population=UserPopulation(config),
+    )
+
+
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(
+        n_topics=args.n_topics,
+        n_news_events=args.news_events,
+        n_twitter_events=args.twitter_events,
+        embedding_dim=args.embedding_dim,
+        min_term_support=args.min_term_support,
+        min_event_records=args.min_event_records,
+        seed=args.seed,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    world = build_world(
+        WorldConfig(
+            n_articles=args.articles,
+            n_tweets=args.tweets,
+            n_users=args.users,
+            seed=args.seed,
+        )
+    )
+    counts = world.database.snapshot(args.out)
+    print(f"world written to {args.out}: {counts}")
+    return 0
+
+
+def cmd_topics(args: argparse.Namespace) -> int:
+    world = _world_from_snapshot(args.data)
+    pipeline = NewsDiffusionPipeline(_pipeline_config(args))
+    nmf = pipeline.extract_news_topics(pipeline.preprocess_news_tm(world))
+    for topic in nmf.topics:
+        print(f"NT#{topic.index + 1:<3} {' '.join(topic.keywords[:10])}")
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    world = _world_from_snapshot(args.data)
+    pipeline = NewsDiffusionPipeline(_pipeline_config(args))
+    if args.medium == "news":
+        events = pipeline.detect_news_events(pipeline.preprocess_news_ed(world))
+    else:
+        events = pipeline.detect_twitter_events(
+            pipeline.preprocess_twitter_ed(world)
+        )
+    for event in events:
+        print(event.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    world = _world_from_snapshot(args.data)
+    result = NewsDiffusionPipeline(_pipeline_config(args)).run(world)
+    print(result.summary())
+    print("\ncorrelated pairs:")
+    for pair in result.correlation.pairs:
+        print("  " + pair.describe())
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    world = _world_from_snapshot(args.data)
+    result = NewsDiffusionPipeline(_pipeline_config(args)).run(world)
+    if args.variant not in result.datasets:
+        raise SystemExit(
+            f"no dataset {args.variant!r}; pipeline produced "
+            f"{sorted(result.datasets) or 'none'}"
+        )
+    predictor = AudienceInterestPredictor(
+        max_epochs=args.epochs, batch_size=args.batch_size, seed=args.seed
+    )
+    outcome = predictor.train(
+        result.datasets[args.variant], args.network, target=args.target
+    )
+    print(
+        f"{args.network} on {args.variant} ({args.target}): "
+        f"accuracy={outcome.validation_accuracy:.3f} "
+        f"avg_accuracy={outcome.validation_average_accuracy:.3f} "
+        f"epochs={outcome.n_epochs}"
+    )
+    return 0
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--data", required=True, help="snapshot directory")
+    parser.add_argument("--n-topics", type=int, default=12)
+    parser.add_argument("--news-events", type=int, default=20)
+    parser.add_argument("--twitter-events", type=int, default=40)
+    parser.add_argument("--embedding-dim", type=int, default=96)
+    parser.add_argument("--min-term-support", type=int, default=6)
+    parser.add_argument("--min-event-records", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Audience-interest prediction pipeline (EDBT 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic world snapshot")
+    gen.add_argument("--articles", type=int, default=800)
+    gen.add_argument("--tweets", type=int, default=3000)
+    gen.add_argument("--users", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help="snapshot directory")
+    gen.set_defaults(func=cmd_generate)
+
+    topics = sub.add_parser("topics", help="extract news topics (NMF)")
+    _add_pipeline_options(topics)
+    topics.set_defaults(func=cmd_topics)
+
+    events = sub.add_parser("events", help="detect events (MABED)")
+    _add_pipeline_options(events)
+    events.add_argument("--medium", choices=("news", "twitter"), default="twitter")
+    events.set_defaults(func=cmd_events)
+
+    run = sub.add_parser("run", help="run the full pipeline")
+    _add_pipeline_options(run)
+    run.set_defaults(func=cmd_run)
+
+    predict = sub.add_parser("predict", help="train an audience-interest model")
+    _add_pipeline_options(predict)
+    predict.add_argument("--variant", default="A2")
+    predict.add_argument("--network", default="MLP 1")
+    predict.add_argument("--target", choices=("likes", "retweets"), default="likes")
+    predict.add_argument("--epochs", type=int, default=40)
+    predict.add_argument("--batch-size", type=int, default=256)
+    predict.set_defaults(func=cmd_predict)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

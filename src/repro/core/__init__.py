@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the Figure-1 pipeline and its modules."""
+
+from .config import PipelineConfig, small_config
+from .baselines import (
+    BASELINES,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    LogisticRegression,
+    MajorityClass,
+)
+from .correlation import CorrelatedPair, CorrelationModule, CorrelationResult
+from .deployment import CycleReport, DeploymentReport, DeploymentSimulator
+from .features import FeatureCreationModule, TweetRecord
+from .matching import Match, MinCostFlowMatcher, coverage, greedy_matches
+from .pipeline import NewsDiffusionPipeline, PipelineResult
+from .prediction import (
+    AudienceInterestPredictor,
+    N_CLASSES,
+    PAPER_NETWORKS,
+    TrainingOutcome,
+    format_accuracy_table,
+    grid_to_accuracy_table,
+)
+from .trending import TrendingNewsModule, TrendingNewsTopic
+
+__all__ = [
+    "PipelineConfig",
+    "small_config",
+    "NewsDiffusionPipeline",
+    "PipelineResult",
+    "TrendingNewsModule",
+    "TrendingNewsTopic",
+    "CorrelationModule",
+    "CorrelationResult",
+    "CorrelatedPair",
+    "DeploymentSimulator",
+    "DeploymentReport",
+    "CycleReport",
+    "FeatureCreationModule",
+    "TweetRecord",
+    "BASELINES",
+    "MajorityClass",
+    "KNearestNeighbors",
+    "GaussianNaiveBayes",
+    "LogisticRegression",
+    "MinCostFlowMatcher",
+    "Match",
+    "greedy_matches",
+    "coverage",
+    "AudienceInterestPredictor",
+    "TrainingOutcome",
+    "PAPER_NETWORKS",
+    "N_CLASSES",
+    "grid_to_accuracy_table",
+    "format_accuracy_table",
+]

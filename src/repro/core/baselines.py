@@ -1,0 +1,169 @@
+"""Classical baselines for the audience-interest task.
+
+The paper evaluates only its two deep architectures; a credible release
+needs reference points that show the networks earn their keep.  All
+baselines implement ``fit(X, y)`` / ``predict(X)`` over the same A1..D2
+feature matrices and Table-2 labels:
+
+* :class:`MajorityClass` — the floor every model must beat;
+* :class:`KNearestNeighbors` — cosine-distance voting (document
+  embeddings are directional, so cosine is the right metric);
+* :class:`GaussianNaiveBayes` — per-class Gaussian features;
+* :class:`LogisticRegression` — a single softmax layer trained with the
+  same framework, i.e. the networks minus their hidden layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import SGD, Dense, EarlyStopping, Sequential, one_hot
+
+
+class MajorityClass:
+    """Predict the most frequent training label."""
+
+    def __init__(self) -> None:
+        self._label: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MajorityClass":
+        y = np.asarray(y, dtype=int)
+        if y.size == 0:
+            raise ValueError("cannot fit on empty labels")
+        self._label = int(np.bincount(y).argmax())
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._label is None:
+            raise RuntimeError("model not fitted")
+        return np.full(len(X), self._label, dtype=int)
+
+
+class KNearestNeighbors:
+    """k-NN with cosine similarity voting."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighbors":
+        X = np.asarray(X, dtype=np.float64)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._X = X / norms
+        self._y = np.asarray(y, dtype=int)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        sims = (X / norms) @ self._X.T
+        k = min(self.k, self._X.shape[0])
+        neighbour_idx = np.argpartition(-sims, kth=k - 1, axis=1)[:, :k]
+        out = np.empty(len(X), dtype=int)
+        for i, idx in enumerate(neighbour_idx):
+            votes = np.bincount(self._y[idx])
+            out[i] = int(votes.argmax())
+        return out
+
+
+class GaussianNaiveBayes:
+    """Naive Bayes with per-class Gaussian feature likelihoods."""
+
+    def __init__(self, var_smoothing: float = 1e-6) -> None:
+        self.var_smoothing = var_smoothing
+        self._classes: Optional[np.ndarray] = None
+        self._priors: Optional[np.ndarray] = None
+        self._means: Optional[np.ndarray] = None
+        self._vars: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self._classes = np.unique(y)
+        self._priors = np.array([(y == c).mean() for c in self._classes])
+        self._means = np.array([X[y == c].mean(axis=0) for c in self._classes])
+        variances = np.array([X[y == c].var(axis=0) for c in self._classes])
+        self._vars = variances + self.var_smoothing * X.var(axis=0).max()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._classes is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        log_posteriors = []
+        for prior, mean, var in zip(self._priors, self._means, self._vars):
+            log_likelihood = -0.5 * np.sum(
+                np.log(2 * np.pi * var) + (X - mean) ** 2 / var, axis=1
+            )
+            log_posteriors.append(np.log(max(prior, 1e-12)) + log_likelihood)
+        stacked = np.vstack(log_posteriors)
+        return self._classes[np.argmax(stacked, axis=0)]
+
+
+class LogisticRegression:
+    """Multinomial logistic regression = one softmax layer.
+
+    Built on the reproduction's own NN framework, so it is literally the
+    paper's architectures with zero hidden layers — the cleanest ablation
+    of depth.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 3,
+        learning_rate: float = 0.5,
+        max_epochs: int = 100,
+        batch_size: int = 128,
+        seed: int = 0,
+    ) -> None:
+        self.n_classes = n_classes
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self._model: Optional[Sequential] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        model = Sequential(
+            [Dense(self.n_classes, activation="softmax")], seed=self.seed
+        )
+        model.compile(
+            optimizer=SGD(self.learning_rate), loss="categorical_crossentropy"
+        )
+        model.fit(
+            X,
+            one_hot(np.asarray(y, dtype=int), self.n_classes),
+            epochs=self.max_epochs,
+            batch_size=self.batch_size,
+            early_stopping=EarlyStopping(patience=3),
+            track_accuracy=False,
+        )
+        self._model = model
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("model not fitted")
+        return self._model.predict_classes(np.asarray(X, dtype=np.float64))
+
+
+BASELINES = {
+    "majority": MajorityClass,
+    "knn": KNearestNeighbors,
+    "naive_bayes": GaussianNaiveBayes,
+    "logistic": LogisticRegression,
+}

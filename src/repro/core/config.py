@@ -1,0 +1,84 @@
+"""Pipeline configuration (the knobs of Figure 1's modules).
+
+Defaults follow the paper's reported settings scaled to the synthetic
+corpora: 60-minute news slices and 30-minute tweet slices (§5.3–§5.4),
+a 0.7 topic↔news-event similarity threshold and 0.65 trending-topic↔
+Twitter-event threshold with a 5-day start window (§5.5), at least 10
+records per event of interest (§4.7), and 300-d document embeddings
+(§5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PipelineConfig:
+    """All tunables of the end-to-end pipeline."""
+
+    # Topic modeling (§4.3; the paper extracts 100 topics from 261k articles).
+    n_topics: int = 12
+    topic_top_terms: int = 10
+    nmf_max_iter: int = 150
+
+    # Event detection (§4.4, §5.3–§5.4).
+    n_news_events: int = 40
+    n_twitter_events: int = 60
+    news_slice_minutes: int = 60
+    twitter_slice_minutes: int = 30
+    min_term_support: int = 10
+    mabed_theta: float = 0.55
+    n_related_words: int = 10
+
+    # Correlation (§4.5–§4.6, §5.5).
+    trending_similarity_threshold: float = 0.7
+    correlation_similarity_threshold: float = 0.65
+    start_window_days: float = 5.0
+    start_slack_days: float = 1.0
+
+    # Feature creation (§4.7).
+    min_event_records: int = 10
+    related_word_coverage: float = 0.2
+
+    # Embeddings (§4.9: 300-d pretrained vectors).
+    embedding_dim: int = 300
+    embedding_epochs: int = 2
+    embedding_coverage: float = 0.9
+
+    # Prediction (§5.6).
+    validation_fraction: float = 0.2
+    max_epochs: int = 60
+    batch_size: int = 256
+    early_stopping_patience: int = 3
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if not 0.0 <= self.trending_similarity_threshold <= 1.0:
+            raise ValueError("trending_similarity_threshold must lie in [0, 1]")
+        if not 0.0 <= self.correlation_similarity_threshold <= 1.0:
+            raise ValueError("correlation_similarity_threshold must lie in [0, 1]")
+        if self.start_window_days < 0:
+            raise ValueError("start_window_days must be >= 0")
+        if not 0.0 <= self.related_word_coverage <= 1.0:
+            raise ValueError("related_word_coverage must lie in [0, 1]")
+        if self.min_event_records < 1:
+            raise ValueError("min_event_records must be >= 1")
+
+
+def small_config(seed: int = 42) -> PipelineConfig:
+    """A configuration sized for tests and the quickstart example."""
+    return PipelineConfig(
+        n_topics=8,
+        n_news_events=20,
+        n_twitter_events=30,
+        nmf_max_iter=80,
+        embedding_dim=64,
+        embedding_epochs=1,
+        max_epochs=25,
+        min_term_support=5,
+        min_event_records=5,
+        seed=seed,
+    )

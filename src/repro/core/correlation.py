@@ -1,0 +1,178 @@
+"""Correlation module (§4.6): trending news topics <-> Twitter events.
+
+For each trending news topic, candidate Twitter events are those whose
+start date falls within [S_NE, S_NE + 5 days] — "a Twitter event can
+appear on social media as soon as the news appears in the mass media, but
+it can also be some delay" (§5.5); the end date is unconstrained.  Among
+candidates, pairs with Doc2Vec cosine similarity above the threshold
+(0.65 in §5.5) are kept.
+
+The module also runs the reverse correlation (Twitter events -> trending
+news topics) and reports Twitter events with no correlated trending topic
+— the Table-7 "unrelated Twitter events".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..embeddings import PretrainedEmbeddings, cosine_similarity_matrix, keywords2vec
+from ..events import Event
+from .trending import TrendingNewsTopic
+
+
+@dataclass
+class CorrelatedPair:
+    """A <trending news topic, Twitter event> correlation."""
+
+    trending: TrendingNewsTopic
+    twitter_event: Event
+    similarity: float
+
+    def describe(self) -> str:
+        return (
+            f"NT#{self.trending.topic.index} <-> TE[{self.twitter_event.main_word}] "
+            f"sim={self.similarity:.2f}"
+        )
+
+
+@dataclass
+class CorrelationResult:
+    """Everything the correlation stage produces (§5.5's counts)."""
+
+    pairs: List[CorrelatedPair]
+    unrelated_twitter_events: List[Event]
+    matched_trending: List[TrendingNewsTopic]
+    unmatched_trending: List[TrendingNewsTopic]
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    def pairs_for_event(self, event: Event) -> List[CorrelatedPair]:
+        return [p for p in self.pairs if p.twitter_event is event]
+
+
+class CorrelationModule:
+    """Correlates trending news topics with Twitter events."""
+
+    def __init__(
+        self,
+        embeddings: PretrainedEmbeddings,
+        similarity_threshold: float = 0.65,
+        start_window: timedelta = timedelta(days=5),
+        start_slack: timedelta = timedelta(days=1),
+    ) -> None:
+        """*start_slack* allows a Twitter event to start slightly before
+        the news event: the paper's constraint assumes Twitter reacts "as
+        soon as the news appears", and with different slice widths (30 vs
+        60 minutes) MABED's detected start times jitter by up to a day in
+        either direction."""
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must lie in [0, 1]")
+        if start_window < timedelta(0):
+            raise ValueError("start_window must be non-negative")
+        if start_slack < timedelta(0):
+            raise ValueError("start_slack must be non-negative")
+        self.embeddings = embeddings
+        self.similarity_threshold = similarity_threshold
+        self.start_window = start_window
+        self.start_slack = start_slack
+
+    def _similarities(
+        self,
+        trending: Sequence[TrendingNewsTopic],
+        twitter_events: Sequence[Event],
+    ) -> np.ndarray:
+        if not trending or not twitter_events:
+            return np.zeros((len(trending), len(twitter_events)))
+        # Trending topics are encoded through their news event's vocabulary
+        # (NewsEvent2Vec) and Twitter events through theirs (TwitterEvent2Vec).
+        t_matrix = np.vstack(
+            [keywords2vec(t.event.vocabulary, self.embeddings) for t in trending]
+        )
+        e_matrix = np.vstack(
+            [keywords2vec(e.vocabulary, self.embeddings) for e in twitter_events]
+        )
+        return cosine_similarity_matrix(t_matrix, e_matrix)
+
+    def _time_eligible(
+        self, trending: TrendingNewsTopic, twitter_event: Event
+    ) -> bool:
+        """S_TE in [S_NE - slack, S_NE + window] (§5.5's start-date rule)."""
+        start = trending.start
+        return (
+            start - self.start_slack
+            <= twitter_event.start
+            <= start + self.start_window
+        )
+
+    def correlate(
+        self,
+        trending: Sequence[TrendingNewsTopic],
+        twitter_events: Sequence[Event],
+    ) -> CorrelationResult:
+        """Forward correlation with Table-7 unrelated-event reporting."""
+        sims = self._similarities(trending, twitter_events)
+        pairs: List[CorrelatedPair] = []
+        matched_topic_ids: Set[int] = set()
+        matched_event_ids: Set[int] = set()
+        for i, topic in enumerate(trending):
+            for j, event in enumerate(twitter_events):
+                if not self._time_eligible(topic, event):
+                    continue
+                similarity = float(sims[i, j])
+                if similarity >= self.similarity_threshold:
+                    pairs.append(
+                        CorrelatedPair(
+                            trending=topic,
+                            twitter_event=event,
+                            similarity=similarity,
+                        )
+                    )
+                    matched_topic_ids.add(i)
+                    matched_event_ids.add(j)
+        unrelated = [
+            e for j, e in enumerate(twitter_events) if j not in matched_event_ids
+        ]
+        matched = [t for i, t in enumerate(trending) if i in matched_topic_ids]
+        unmatched = [t for i, t in enumerate(trending) if i not in matched_topic_ids]
+        return CorrelationResult(
+            pairs=pairs,
+            unrelated_twitter_events=unrelated,
+            matched_trending=matched,
+            unmatched_trending=unmatched,
+        )
+
+    def reverse_correlate(
+        self,
+        twitter_events: Sequence[Event],
+        trending: Sequence[TrendingNewsTopic],
+    ) -> List[CorrelatedPair]:
+        """Twitter events -> trending news topics (§5.5's reverse check).
+
+        Applies the same constraints from the event side; §5.5 observes the
+        resulting pair set equals the forward one, which our integration
+        tests assert.
+        """
+        result = self.correlate(trending, twitter_events)
+        return result.pairs
+
+    @staticmethod
+    def pair_sets_equal(
+        forward: Sequence[CorrelatedPair], reverse: Sequence[CorrelatedPair]
+    ) -> bool:
+        """Compare two correlation passes as sets of (topic, event) keys."""
+
+        def key(pair: CorrelatedPair) -> Tuple[int, str, object]:
+            return (
+                pair.trending.topic.index,
+                pair.twitter_event.main_word,
+                pair.twitter_event.start,
+            )
+
+        return {key(p) for p in forward} == {key(p) for p in reverse}

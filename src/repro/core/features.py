@@ -1,0 +1,122 @@
+"""Feature Creation module (§4.7): attach tweets to correlated events.
+
+A tweet belongs to an event when
+
+1. it was posted during the event's period of time, and
+2. its text contains at least one main word and 20% of the related words.
+
+Events with fewer than 10 attached records are discarded ("an event is
+considered of interest if there are at least 10 records associated to
+it").  Because a tweet can satisfy the membership rule for several
+events, the resulting dataset can be larger than the tweet corpus — the
+paper notes exactly this size increase in §5.6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..datasets.builders import EventTweet
+from ..events import Event
+from .correlation import CorrelatedPair
+
+
+@dataclass
+class TweetRecord:
+    """A preprocessed tweet as read from the TwitterED corpus."""
+
+    tokens: Sequence[str]
+    created_at: object  # datetime
+    author: str
+    followers: int
+    likes: int
+    retweets: int
+
+
+class FeatureCreationModule:
+    """Builds the event-tweet records the dataset builders consume."""
+
+    def __init__(
+        self,
+        min_event_records: int = 10,
+        related_word_coverage: float = 0.2,
+    ) -> None:
+        if min_event_records < 1:
+            raise ValueError("min_event_records must be >= 1")
+        if not 0.0 <= related_word_coverage <= 1.0:
+            raise ValueError("related_word_coverage must lie in [0, 1]")
+        self.min_event_records = min_event_records
+        self.related_word_coverage = related_word_coverage
+
+    # -- membership ------------------------------------------------------------
+
+    def tweet_belongs(self, tweet: TweetRecord, event: Event) -> bool:
+        """The two-condition membership rule of §4.7."""
+        if not event.start <= tweet.created_at <= event.end:
+            return False
+        tokens = set(tweet.tokens)
+        if event.main_word not in tokens:
+            return False
+        related = event.keywords
+        if not related:
+            return True
+        required = math.ceil(len(related) * self.related_word_coverage)
+        overlap = sum(1 for word in related if word in tokens)
+        return overlap >= required
+
+    # -- extraction --------------------------------------------------------------
+
+    def extract(
+        self,
+        pairs: Sequence[CorrelatedPair],
+        tweets: Iterable[TweetRecord],
+    ) -> List[EventTweet]:
+        """Event-tweet records for every correlated Twitter event.
+
+        Distinct events are processed once even when several trending
+        topics correlate to the same Twitter event.
+        """
+        events = self._distinct_events(pairs)
+        return self.extract_for_events(events, tweets)
+
+    def extract_for_events(
+        self,
+        events: Sequence[Event],
+        tweets: Iterable[TweetRecord],
+    ) -> List[EventTweet]:
+        tweet_list = list(tweets)
+        records: List[EventTweet] = []
+        for event_id, event in enumerate(events):
+            vocabulary = set(event.vocabulary)
+            magnitudes: Dict[str, float] = {event.main_word: 1.0}
+            magnitudes.update(dict(event.related_words))
+            members = [
+                tweet for tweet in tweet_list if self.tweet_belongs(tweet, event)
+            ]
+            if len(members) < self.min_event_records:
+                continue
+            for tweet in members:
+                records.append(
+                    EventTweet(
+                        tokens=list(tweet.tokens),
+                        event_vocabulary=vocabulary,
+                        magnitudes=magnitudes,
+                        author=tweet.author,
+                        followers=tweet.followers,
+                        likes=tweet.likes,
+                        retweets=tweet.retweets,
+                        created_at=tweet.created_at,
+                        event_id=event_id,
+                    )
+                )
+        return records
+
+    @staticmethod
+    def _distinct_events(pairs: Sequence[CorrelatedPair]) -> List[Event]:
+        seen: List[Event] = []
+        for pair in pairs:
+            if not any(pair.twitter_event is e for e in seen):
+                seen.append(pair.twitter_event)
+        return seen

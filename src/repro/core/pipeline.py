@@ -1,0 +1,295 @@
+"""End-to-end pipeline — the architecture of Figure 1.
+
+Orchestrates every module over a generated (or externally supplied)
+world: preprocessing the three corpora, NMF topic extraction, MABED event
+detection on news and Twitter, trending-topic extraction, news↔Twitter
+correlation, feature creation, dataset building, and audience-interest
+prediction.  Timings of each stage are recorded because the paper reports
+them throughout §5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from datetime import timedelta
+from typing import Dict, List, Optional, Sequence
+
+from ..datagen import World
+from ..datasets import Dataset, EventTweet, build_all_datasets
+from ..embeddings import PretrainedEmbeddings
+from ..events import MABED, Event, TimestampedDocument
+from ..text import (
+    is_stopword,
+    preprocess_for_event_detection,
+    preprocess_for_topic_modeling,
+)
+from ..topics import NMFResult, Topic, extract_topics
+from .config import PipelineConfig
+from .correlation import CorrelationModule, CorrelationResult
+from .features import FeatureCreationModule, TweetRecord
+from .prediction import AudienceInterestPredictor, TrainingOutcome
+from .trending import TrendingNewsModule, TrendingNewsTopic
+
+
+@dataclass
+class PipelineResult:
+    """All intermediate and final products of one pipeline run."""
+
+    topics: List[Topic]
+    nmf: NMFResult
+    news_events: List[Event]
+    twitter_events: List[Event]
+    trending: List[TrendingNewsTopic]
+    correlation: CorrelationResult
+    event_tweets: List[EventTweet]
+    datasets: Dict[str, Dataset]
+    embeddings: PretrainedEmbeddings
+    timings_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable run summary (the §5.5-style counts)."""
+        lines = [
+            f"topics: {len(self.topics)}",
+            f"news events: {len(self.news_events)}",
+            f"twitter events: {len(self.twitter_events)}",
+            f"trending news topics: {len(self.trending)}",
+            f"<trending, twitter event> pairs: {self.correlation.n_pairs}",
+            f"unrelated twitter events: "
+            f"{len(self.correlation.unrelated_twitter_events)}",
+            f"event-tweet records: {len(self.event_tweets)}",
+        ]
+        for stage, seconds in self.timings_seconds.items():
+            lines.append(f"time[{stage}]: {seconds:.2f}s")
+        return "\n".join(lines)
+
+
+class NewsDiffusionPipeline:
+    """The deployed system of Figure 1, module by module."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+
+    # -- corpora ---------------------------------------------------------------
+
+    def preprocess_news_tm(self, world: World) -> List[List[str]]:
+        """NewsTM corpus: article texts through the topic-modeling pipeline."""
+        return [
+            preprocess_for_topic_modeling(
+                f"{doc.get('title', '')}. {doc.get('text', '')}"
+            )
+            for doc in world.news.find()
+        ]
+
+    def preprocess_news_ed(self, world: World) -> List[TimestampedDocument]:
+        """NewsED corpus for MABED (minimal preprocessing + timestamps)."""
+        return [
+            TimestampedDocument(
+                tokens=preprocess_for_event_detection(
+                    f"{doc.get('title', '')} {doc.get('text', '')}"
+                ),
+                created_at=doc["created_at"],
+                doc_id=doc["_id"],
+            )
+            for doc in world.news.find()
+        ]
+
+    def preprocess_twitter_ed(self, world: World) -> List[TimestampedDocument]:
+        """TwitterED corpus for MABED."""
+        return [
+            TimestampedDocument(
+                tokens=preprocess_for_event_detection(doc["text"]),
+                created_at=doc["created_at"],
+                doc_id=doc["_id"],
+            )
+            for doc in world.tweets.find()
+        ]
+
+    def tweet_records(self, world: World) -> List[TweetRecord]:
+        """TwitterED tweets with the metadata the feature module needs."""
+        return [
+            TweetRecord(
+                tokens=preprocess_for_event_detection(doc["text"]),
+                created_at=doc["created_at"],
+                author=doc["author"],
+                followers=int(doc["followers"]),
+                likes=int(doc["likes"]),
+                retweets=int(doc["retweets"]),
+            )
+            for doc in world.tweets.find()
+        ]
+
+    # -- stages --------------------------------------------------------------------
+
+    def extract_news_topics(self, news_tm: Sequence[Sequence[str]]) -> NMFResult:
+        """§4.3: TFIDF_N + NMF over the NewsTM corpus."""
+        return extract_topics(
+            news_tm,
+            n_topics=self.config.n_topics,
+            top_terms=self.config.topic_top_terms,
+            max_iter=self.config.nmf_max_iter,
+            seed=self.config.seed,
+            min_df=2,
+            max_df_ratio=0.7,
+        )
+
+    def detect_news_events(
+        self, news_ed: Sequence[TimestampedDocument]
+    ) -> List[Event]:
+        """§4.4 / §5.3: MABED with 60-minute slices over news."""
+        detector = MABED(
+            slice_width=timedelta(minutes=self.config.news_slice_minutes),
+            min_term_support=self.config.min_term_support,
+            n_related_words=self.config.n_related_words,
+            theta=self.config.mabed_theta,
+            stopword_filter=is_stopword,
+        )
+        return detector.detect(news_ed, self.config.n_news_events)
+
+    def detect_twitter_events(
+        self, twitter_ed: Sequence[TimestampedDocument]
+    ) -> List[Event]:
+        """§4.4 / §5.4: MABED with 30-minute slices over tweets."""
+        detector = MABED(
+            slice_width=timedelta(minutes=self.config.twitter_slice_minutes),
+            min_term_support=self.config.min_term_support,
+            n_related_words=self.config.n_related_words,
+            theta=self.config.mabed_theta,
+            stopword_filter=is_stopword,
+        )
+        return detector.detect(twitter_ed, self.config.n_twitter_events)
+
+    def train_embeddings(
+        self,
+        news_ed: Sequence[TimestampedDocument],
+        twitter_ed: Sequence[TimestampedDocument],
+        news_tm: Sequence[Sequence[str]] = (),
+    ) -> PretrainedEmbeddings:
+        """The GoogleNews stand-in, trained on the background corpus (§4.9).
+
+        The lemmatized NewsTM corpus is included so topic keywords (lemmas
+        and merged entity concepts) are in-vocabulary alongside the raw
+        event-detection tokens — GoogleNews covers both surface and base
+        forms, and the stand-in must too or topic↔event similarities
+        collapse.
+        """
+        corpus = (
+            [list(d.tokens) for d in news_ed]
+            + [list(d.tokens) for d in twitter_ed]
+            + [list(tokens) for tokens in news_tm]
+        )
+        embeddings = PretrainedEmbeddings.train_background_lsa(
+            corpus,
+            dim=self.config.embedding_dim,
+            coverage=self.config.embedding_coverage,
+            seed=self.config.seed,
+        )
+        # GoogleNews (2013, news prose) has no entry for platform slang;
+        # drop those words so the SW/RND/SWM variants differ as in §4.7.
+        from ..datagen.world import TWITTER_SLANG
+
+        return embeddings.without(TWITTER_SLANG)
+
+    def build_predictor(self) -> AudienceInterestPredictor:
+        return AudienceInterestPredictor(
+            max_epochs=self.config.max_epochs,
+            batch_size=self.config.batch_size,
+            validation_fraction=self.config.validation_fraction,
+            early_stopping_patience=self.config.early_stopping_patience,
+            seed=self.config.seed,
+        )
+
+    # -- orchestration ----------------------------------------------------------------
+
+    def run(self, world: World) -> PipelineResult:
+        """Execute stages (1)–(5) of the architecture over *world*."""
+        timings: Dict[str, float] = {}
+
+        def timed(stage: str, func, *args):
+            started = time.perf_counter()
+            value = func(*args)
+            timings[stage] = time.perf_counter() - started
+            return value
+
+        news_tm = timed("preprocess_news_tm", self.preprocess_news_tm, world)
+        news_ed = timed("preprocess_news_ed", self.preprocess_news_ed, world)
+        twitter_ed = timed(
+            "preprocess_twitter_ed", self.preprocess_twitter_ed, world
+        )
+
+        nmf = timed("topic_modeling", self.extract_news_topics, news_tm)
+        news_events = timed("news_event_detection", self.detect_news_events, news_ed)
+        twitter_events = timed(
+            "twitter_event_detection", self.detect_twitter_events, twitter_ed
+        )
+        embeddings = timed(
+            "embeddings", self.train_embeddings, news_ed, twitter_ed, news_tm
+        )
+
+        trending_module = TrendingNewsModule(
+            embeddings,
+            similarity_threshold=self.config.trending_similarity_threshold,
+        )
+        trending = timed(
+            "trending_news", trending_module.extract, nmf.topics, news_events
+        )
+
+        correlation_module = CorrelationModule(
+            embeddings,
+            similarity_threshold=self.config.correlation_similarity_threshold,
+            start_window=timedelta(days=self.config.start_window_days),
+            start_slack=timedelta(days=self.config.start_slack_days),
+        )
+        correlation = timed(
+            "correlation", correlation_module.correlate, trending, twitter_events
+        )
+
+        feature_module = FeatureCreationModule(
+            min_event_records=self.config.min_event_records,
+            related_word_coverage=self.config.related_word_coverage,
+        )
+        records = timed(
+            "feature_creation",
+            feature_module.extract,
+            correlation.pairs,
+            self.tweet_records(world),
+        )
+
+        datasets: Dict[str, Dataset] = {}
+        if records:
+            datasets = timed(
+                "dataset_building", build_all_datasets, records, embeddings
+            )
+
+        return PipelineResult(
+            topics=nmf.topics,
+            nmf=nmf,
+            news_events=news_events,
+            twitter_events=twitter_events,
+            trending=trending,
+            correlation=correlation,
+            event_tweets=records,
+            datasets=datasets,
+            embeddings=embeddings,
+            timings_seconds=timings,
+        )
+
+    def run_with_prediction(
+        self,
+        world: World,
+        targets: Sequence[str] = ("likes", "retweets"),
+        variants: Sequence[str] = ("A1", "A2"),
+        networks: Sequence[str] = ("MLP 1", "CNN 1"),
+    ) -> Dict[str, Dict[str, Dict[str, TrainingOutcome]]]:
+        """Pipeline + prediction grids; returns {target: grid}."""
+        result = self.run(world)
+        if not result.datasets:
+            return {}
+        predictor = self.build_predictor()
+        selected = {
+            name: ds for name, ds in result.datasets.items() if name in variants
+        }
+        return {
+            target: predictor.run_grid(selected, target=target, networks=networks)
+            for target in targets
+        }

@@ -1,0 +1,106 @@
+"""Trending News module (§4.5): correlate news topics with news events.
+
+Encodes each NMF topic's keywords (NewsTopic2Vec) and each MABED news
+event's main+related terms (NewsEvent2Vec) with the pretrained
+embeddings, scores every pair by cosine similarity, keeps each topic's
+best-matching event, and declares the pair a *trending news topic* when
+the similarity clears the threshold (0.7 in §5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..embeddings import PretrainedEmbeddings, cosine_similarity_matrix, keywords2vec
+from ..events import Event
+from ..topics import Topic
+
+
+@dataclass
+class TrendingNewsTopic:
+    """A <news topic, news event> pair with similarity above threshold."""
+
+    topic: Topic
+    event: Event
+    similarity: float
+
+    @property
+    def start(self):
+        """The trending topic inherits its event's start date (S_NE)."""
+        return self.event.start
+
+    def describe(self) -> str:
+        return (
+            f"NT#{self.topic.index} <-> [{self.event.main_word}] "
+            f"sim={self.similarity:.2f} start={self.event.start:%Y-%m-%d}"
+        )
+
+
+class TrendingNewsModule:
+    """Matches topics to events and filters for developing topics."""
+
+    def __init__(
+        self,
+        embeddings: PretrainedEmbeddings,
+        similarity_threshold: float = 0.7,
+    ) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must lie in [0, 1]")
+        self.embeddings = embeddings
+        self.similarity_threshold = similarity_threshold
+
+    def encode_topics(self, topics: Sequence[Topic]) -> np.ndarray:
+        """NewsTopic2Vec: one row per topic."""
+        return np.vstack(
+            [keywords2vec(t.keywords, self.embeddings) for t in topics]
+        )
+
+    def encode_events(self, events: Sequence[Event]) -> np.ndarray:
+        """NewsEvent2Vec: one row per event (main + related terms)."""
+        return np.vstack(
+            [keywords2vec(e.vocabulary, self.embeddings) for e in events]
+        )
+
+    def similarity_matrix(
+        self, topics: Sequence[Topic], events: Sequence[Event]
+    ) -> np.ndarray:
+        """Cosine similarities, topics on rows, events on columns."""
+        if not topics or not events:
+            return np.zeros((len(topics), len(events)))
+        return cosine_similarity_matrix(
+            self.encode_topics(topics), self.encode_events(events)
+        )
+
+    def extract(
+        self, topics: Sequence[Topic], events: Sequence[Event]
+    ) -> List[TrendingNewsTopic]:
+        """The trending news topics: best event per topic, thresholded."""
+        sims = self.similarity_matrix(topics, events)
+        trending: List[TrendingNewsTopic] = []
+        for i, topic in enumerate(topics):
+            if sims.shape[1] == 0:
+                break
+            j = int(np.argmax(sims[i]))
+            similarity = float(sims[i, j])
+            if similarity >= self.similarity_threshold:
+                trending.append(
+                    TrendingNewsTopic(
+                        topic=topic, event=events[j], similarity=similarity
+                    )
+                )
+        return trending
+
+    def best_match(
+        self, topic: Topic, events: Sequence[Event]
+    ) -> Optional[TrendingNewsTopic]:
+        """Best-matching event for one topic, regardless of threshold."""
+        if not events:
+            return None
+        sims = self.similarity_matrix([topic], events)[0]
+        j = int(np.argmax(sims))
+        return TrendingNewsTopic(
+            topic=topic, event=events[j], similarity=float(sims[j])
+        )

@@ -1,0 +1,87 @@
+"""Synthetic news+Twitter world — the substitute for the paper's crawl.
+
+``build_world`` produces a populated :class:`~repro.store.Database` with
+``news`` and ``tweets`` collections plus the user population, ready for
+the preprocessing modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..store import Database
+from .engagement import (
+    DAY_ENGAGEMENT,
+    EngagementParams,
+    draw_engagement,
+    expected_likes,
+    follower_factor,
+)
+from .news import NewsGenerator
+from .twitter import TwitterGenerator
+from .users import User, UserPopulation
+from .world import (
+    BACKGROUND_WORDS,
+    TWITTER_SLANG,
+    Burst,
+    TopicSpec,
+    WorldConfig,
+    default_topics,
+)
+
+
+@dataclass
+class World:
+    """A generated world: its config, database, and user population."""
+
+    config: WorldConfig
+    database: Database
+    population: UserPopulation
+
+    @property
+    def news(self):
+        return self.database["news"]
+
+    @property
+    def tweets(self):
+        return self.database["tweets"]
+
+
+def build_world(config: WorldConfig = None) -> World:
+    """Generate a complete world into a fresh database.
+
+    This is the reproduction's stand-in for the paper's Data Collection
+    module (§4.1): afterwards ``world.news`` and ``world.tweets`` hold the
+    raw corpora the preprocessing modules consume.
+    """
+    config = config or WorldConfig()
+    population = UserPopulation(config)
+    database = Database("news_diffusion")
+    database["news"].insert_many(NewsGenerator(config).generate())
+    database["tweets"].insert_many(
+        TwitterGenerator(config, population).generate()
+    )
+    database["tweets"].create_index("author")
+    database["news"].create_index("source")
+    return World(config=config, database=database, population=population)
+
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "TopicSpec",
+    "Burst",
+    "default_topics",
+    "BACKGROUND_WORDS",
+    "TWITTER_SLANG",
+    "build_world",
+    "NewsGenerator",
+    "TwitterGenerator",
+    "User",
+    "UserPopulation",
+    "EngagementParams",
+    "draw_engagement",
+    "expected_likes",
+    "follower_factor",
+    "DAY_ENGAGEMENT",
+]

@@ -1,0 +1,109 @@
+"""Synthetic news article generator.
+
+Articles are what the paper collected via NewsRiver/NewsAPI plus a
+scraper (§4.1): title, full body text, source outlet, and creation time.
+Each article belongs to one latent topic; its prose mixes topic keywords,
+named entities (capitalised, so the NER pass finds them), background
+newsroom vocabulary, and function-word glue.  Publication times are
+uniform over the world's five months, while the *topic* of each article
+is drawn proportionally to topic activity at that instant — so bursts
+show up as a topic claiming a larger share of a roughly constant news
+volume, which is exactly the mention-anomaly signal MABED detects.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .world import BACKGROUND_WORDS, TopicSpec, WorldConfig
+
+NEWS_SOURCES = (
+    "The Daily Chronicle", "Global Wire", "The Metropolitan Times",
+    "Continental Post", "The Morning Ledger", "Capital Report",
+)
+
+# Function words gluing sentences together; they also exercise the
+# stopword-removal stage of the NewsTM pipeline.
+GLUE_WORDS = (
+    "the", "a", "of", "in", "on", "to", "for", "with", "and", "as",
+    "by", "after", "over", "about", "from", "that", "has", "was",
+)
+
+
+def _topic_weights(topics: Sequence[TopicSpec], day_offset: float) -> np.ndarray:
+    weights = np.array([t.activity(day_offset) for t in topics], dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        return np.full(len(topics), 1.0 / len(topics))
+    return weights / total
+
+
+def _compose_sentence(
+    topic: TopicSpec,
+    rng: np.random.Generator,
+    keyword_density: float,
+    length_range=(9, 16),
+) -> str:
+    length = int(rng.integers(*length_range))
+    words: List[str] = []
+    for position in range(length):
+        draw = rng.random()
+        if draw < keyword_density and topic.keywords:
+            words.append(str(rng.choice(topic.keywords)))
+        elif draw < keyword_density + 0.08 and topic.entities:
+            words.append(str(rng.choice(topic.entities)))
+        elif draw < keyword_density + 0.08 + 0.35:
+            words.append(str(rng.choice(BACKGROUND_WORDS)))
+        else:
+            words.append(str(rng.choice(GLUE_WORDS)))
+    sentence = " ".join(words)
+    return sentence[0].upper() + sentence[1:] + "."
+
+
+def _compose_title(topic: TopicSpec, rng: np.random.Generator) -> str:
+    n_keywords = int(rng.integers(2, 4))
+    picks = list(rng.choice(topic.keywords, size=min(n_keywords, len(topic.keywords)), replace=False))
+    picks.append(str(rng.choice(BACKGROUND_WORDS)))
+    title = " ".join(str(p) for p in picks)
+    return title[0].upper() + title[1:]
+
+
+class NewsGenerator:
+    """Generates article documents for the world's news-covered topics."""
+
+    def __init__(self, config: WorldConfig) -> None:
+        self.config = config
+
+    def generate(self) -> List[Dict[str, object]]:
+        """All articles, sorted by creation time."""
+        rng = np.random.default_rng(self.config.seed + 211)
+        topics = self.config.news_topics()
+        if not topics:
+            raise ValueError("world has no news topics")
+        articles: List[Dict[str, object]] = []
+        minutes_total = self.config.duration_days * 24 * 60
+        for i in range(self.config.n_articles):
+            minute = float(rng.uniform(0, minutes_total))
+            day_offset = minute / (24 * 60)
+            weights = _topic_weights(topics, day_offset)
+            topic = topics[int(rng.choice(len(topics), p=weights))]
+            created_at = self.config.start + timedelta(minutes=minute)
+            n_sentences = int(rng.integers(8, 18))
+            body = " ".join(
+                _compose_sentence(topic, rng, keyword_density=0.28)
+                for _ in range(n_sentences)
+            )
+            articles.append(
+                {
+                    "title": _compose_title(topic, rng),
+                    "text": body,
+                    "source": str(rng.choice(NEWS_SOURCES)),
+                    "created_at": created_at,
+                    "topic": topic.name,  # ground truth, never shown to models
+                }
+            )
+        articles.sort(key=lambda a: a["created_at"])
+        return articles

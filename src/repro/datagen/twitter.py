@@ -1,0 +1,98 @@
+"""Synthetic tweet generator.
+
+Tweets carry the fields the paper collects via the Twitter API (§4.1):
+text, author handle, the author's follower count, likes, retweets, and
+creation time.  Tweet text is short and keyword-dense, sprinkled with
+hashtags, mentions, URLs, and slang tokens that stay out of the
+"pretrained" embedding store (feeding the RND_Doc2Vec variant).
+Engagement comes from :mod:`repro.datagen.engagement`, which encodes the
+influencer and day-of-week effects the paper's metadata features exploit.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+from typing import Dict, List
+
+import numpy as np
+
+from .engagement import EngagementParams, draw_engagement
+from .news import _topic_weights
+from .users import UserPopulation
+from .world import BACKGROUND_WORDS, TWITTER_SLANG, TopicSpec, WorldConfig
+
+
+def _compose_tweet(
+    topic: TopicSpec, rng: np.random.Generator, in_burst: bool = False
+) -> str:
+    length = int(rng.integers(8, 18))
+    # Excited reactions during a burst carry more slang — which makes
+    # slang tokens co-move with the burst, surface as MABED related
+    # words, and (being absent from the pretrained store) separate the
+    # SW and RND document-embedding variants.
+    slang_rate = 0.22 if in_burst else 0.08
+    words: List[str] = []
+    for _position in range(length):
+        draw = rng.random()
+        if draw < 0.40 and topic.keywords:
+            words.append(str(rng.choice(topic.keywords)))
+        elif draw < 0.40 + slang_rate:
+            words.append(str(rng.choice(TWITTER_SLANG)))
+        else:
+            words.append(str(rng.choice(BACKGROUND_WORDS)))
+    # Hashtag one of the topic keywords ~60% of the time.
+    if topic.keywords and rng.random() < 0.6:
+        words.append("#" + str(rng.choice(topic.keywords)))
+    if rng.random() < 0.25:
+        words.append("@" + f"user_{int(rng.integers(0, 1000)):04d}")
+    if rng.random() < 0.3:
+        words.append(f"https://news.example/{int(rng.integers(1, 99999))}")
+    return " ".join(words)
+
+
+class TwitterGenerator:
+    """Generates tweet documents for the world's Twitter-covered topics."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        population: UserPopulation,
+        engagement: EngagementParams = EngagementParams(),
+    ) -> None:
+        self.config = config
+        self.population = population
+        self.engagement = engagement
+
+    def generate(self) -> List[Dict[str, object]]:
+        """All tweets, sorted by creation time."""
+        rng = np.random.default_rng(self.config.seed + 307)
+        topics = self.config.twitter_topics()
+        if not topics:
+            raise ValueError("world has no Twitter topics")
+        tweets: List[Dict[str, object]] = []
+        minutes_total = self.config.duration_days * 24 * 60
+        for _i in range(self.config.n_tweets):
+            minute = float(rng.uniform(0, minutes_total))
+            day_offset = minute / (24 * 60)
+            weights = _topic_weights(topics, day_offset)
+            topic = topics[int(rng.choice(len(topics), p=weights))]
+            created_at = self.config.start + timedelta(minutes=minute)
+            weekday = created_at.weekday()
+            author = self.population.sample_author(topic, weekday, rng)
+            in_burst = topic.activity(day_offset) > topic.base_rate
+            likes, retweets = draw_engagement(
+                topic, author, weekday, in_burst, rng, self.engagement
+            )
+            tweets.append(
+                {
+                    "text": _compose_tweet(topic, rng, in_burst),
+                    "author": author.handle,
+                    "followers": author.followers,
+                    "likes": likes,
+                    "retweets": retweets,
+                    "created_at": created_at,
+                    "topic": topic.name,  # ground truth, never shown to models
+                }
+            )
+        tweets.sort(key=lambda t: t["created_at"])
+        return tweets

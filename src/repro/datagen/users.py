@@ -1,0 +1,123 @@
+"""Synthetic Twitter user population with a power-law follower graph.
+
+§1 and §4.7 of the paper hinge on two user roles: *influencers* (nodes at
+a group's center, with huge follower counts) and *spreaders* (ordinary
+users who like/retweet).  We draw follower counts from a Pareto-like
+power law — the empirically observed shape of the Twitter follower
+distribution — so the top few percent of accounts dominate reach, and we
+give each user a topic affinity and a day-of-week posting profile
+(media consumption varies by day, per Bentley et al. [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .world import TopicSpec, WorldConfig
+
+# Relative posting propensity Mon..Sun; weekends skew casual posting.
+DEFAULT_DAY_PROFILE = (1.0, 0.95, 0.95, 1.0, 1.15, 1.3, 1.25)
+
+
+@dataclass
+class User:
+    """One synthetic account."""
+
+    handle: str
+    followers: int
+    is_influencer: bool
+    topic_affinity: Dict[str, float] = field(default_factory=dict)
+    day_profile: tuple = DEFAULT_DAY_PROFILE
+
+    def affinity(self, topic: str) -> float:
+        return self.topic_affinity.get(topic, 0.1)
+
+
+class UserPopulation:
+    """Generates and serves the user base for the tweet generator."""
+
+    def __init__(self, config: WorldConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed + 101)
+        self.users: List[User] = self._generate(rng)
+        self._activity_weights = self._compute_activity_weights()
+
+    def _generate(self, rng: np.random.Generator) -> List[User]:
+        n = self.config.n_users
+        n_influencers = max(1, int(round(n * self.config.influencer_fraction)))
+        # Pareto(alpha=1.2) scaled: most users have tens of followers,
+        # influencers have thousands to hundreds of thousands.
+        raw = (rng.pareto(1.2, size=n) + 1.0) * 20.0
+        followers = np.sort(raw)[::-1]
+        # Force the influencer block above the paper's >1000 encoding bucket.
+        followers[:n_influencers] = np.maximum(
+            followers[:n_influencers], 2000.0 + rng.pareto(1.0, n_influencers) * 5000.0
+        )
+        topics = self.config.twitter_topics()
+        users: List[User] = []
+        for i in range(n):
+            # Dirichlet affinity concentrated on 1-3 topics per user.
+            alpha = np.full(len(topics), 0.15)
+            weights = rng.dirichlet(alpha)
+            affinity = {t.name: float(w) for t, w in zip(topics, weights)}
+            day_shift = rng.normal(0.0, 0.05, size=7)
+            profile = tuple(
+                max(0.1, base + shift)
+                for base, shift in zip(DEFAULT_DAY_PROFILE, day_shift)
+            )
+            users.append(
+                User(
+                    handle=f"user_{i:04d}",
+                    followers=int(followers[i]),
+                    is_influencer=i < n_influencers,
+                    topic_affinity=affinity,
+                    day_profile=profile,
+                )
+            )
+        return users
+
+    def _compute_activity_weights(self) -> np.ndarray:
+        """Posting propensity: mildly follower-correlated.
+
+        Influencers post more but do not monopolize the stream — most
+        volume still comes from ordinary spreaders, as on real Twitter.
+        """
+        counts = np.array([u.followers for u in self.users], dtype=np.float64)
+        weights = np.log1p(counts)
+        return weights / weights.sum()
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_author(
+        self,
+        topic: TopicSpec,
+        weekday: int,
+        rng: np.random.Generator,
+    ) -> User:
+        """Pick a tweet author given the topic and day of the week."""
+        base = self._activity_weights
+        affinity = np.array([u.affinity(topic.name) for u in self.users])
+        day = np.array([u.day_profile[weekday] for u in self.users])
+        weights = base * (0.2 + affinity) * day
+        weights /= weights.sum()
+        index = int(rng.choice(len(self.users), p=weights))
+        return self.users[index]
+
+    def influencers(self) -> List[User]:
+        return [u for u in self.users if u.is_influencer]
+
+    def by_handle(self, handle: str) -> User:
+        for user in self.users:
+            if user.handle == handle:
+                return user
+        raise KeyError(handle)
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def follower_percentiles(self, percentiles: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
+        counts = np.array([u.followers for u in self.users], dtype=np.float64)
+        return {p: float(np.percentile(counts, p)) for p in percentiles}

@@ -1,0 +1,43 @@
+"""Dataset construction for the prediction experiments (§4.7, §5.6)."""
+
+from .builders import (
+    Dataset,
+    EventTweet,
+    VARIANT_NAMES,
+    build_all_datasets,
+    build_dataset,
+)
+from .encoding import (
+    AUTHOR_BUCKET_EDGES,
+    HIGH_EDGE,
+    LOW_EDGE,
+    METADATA_SIZE,
+    author_bucket,
+    author_one_hot,
+    day_of_week_feature,
+    encode_count,
+    encode_labels,
+    metadata_vector,
+)
+from .splits import Split, k_fold, train_validation_split
+
+__all__ = [
+    "Dataset",
+    "EventTweet",
+    "VARIANT_NAMES",
+    "build_dataset",
+    "build_all_datasets",
+    "encode_count",
+    "encode_labels",
+    "author_bucket",
+    "author_one_hot",
+    "day_of_week_feature",
+    "metadata_vector",
+    "METADATA_SIZE",
+    "AUTHOR_BUCKET_EDGES",
+    "LOW_EDGE",
+    "HIGH_EDGE",
+    "Split",
+    "train_validation_split",
+    "k_fold",
+]

@@ -1,0 +1,143 @@
+"""The eight experiment datasets A1..D2 of §5.6.
+
+Each dataset encodes the tweets belonging to correlated Twitter events:
+
+* **A1/A2** — SW_Doc2Vec, without / with the metadata vector;
+* **B1/B2** — RND_Doc2Vec, without / with the metadata vector;
+* **C1/C2** — SWM_Doc2Vec, without / with the metadata vector;
+* **D1/D2** — SW_Doc2Vec, D2 additionally appending the Table-2-encoded
+  author follower count.
+
+Labels are the Table-2 classes of the tweet's likes and retweets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..embeddings import PretrainedEmbeddings, rnd_doc2vec, sw_doc2vec, swm_doc2vec
+from .encoding import encode_count, metadata_vector
+
+VARIANT_NAMES = ("A1", "A2", "B1", "B2", "C1", "C2", "D1", "D2")
+
+
+@dataclass
+class EventTweet:
+    """One tweet attached to a detected event, ready for encoding.
+
+    *event_vocabulary* is the event's main + related terms — §4.7 encodes
+    each tweet "on the tweet's terms present in the vocabulary containing
+    the main and related terms of that event".  *magnitudes* carries the
+    per-term event weights consumed by the SWM variant.
+    """
+
+    tokens: Sequence[str]
+    event_vocabulary: Set[str]
+    magnitudes: Dict[str, float]
+    author: str
+    followers: int
+    likes: int
+    retweets: int
+    created_at: datetime
+    event_id: Optional[int] = None
+
+
+@dataclass
+class Dataset:
+    """A named, fully encoded experiment dataset."""
+
+    name: str
+    X: np.ndarray
+    y_likes: np.ndarray
+    y_retweets: np.ndarray
+    feature_names: List[str] = field(default_factory=list)
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+
+def _document_vector(
+    record: EventTweet,
+    embeddings: PretrainedEmbeddings,
+    family: str,
+) -> np.ndarray:
+    if family == "sw":
+        return sw_doc2vec(record.tokens, embeddings, record.event_vocabulary)
+    if family == "rnd":
+        return rnd_doc2vec(record.tokens, embeddings, record.event_vocabulary)
+    if family == "swm":
+        return swm_doc2vec(
+            record.tokens, embeddings, record.magnitudes, record.event_vocabulary
+        )
+    raise ValueError(f"unknown embedding family: {family!r}")
+
+
+_VARIANT_SPEC = {
+    # name -> (embedding family, include metadata, include encoded followers)
+    "A1": ("sw", False, False),
+    "A2": ("sw", True, False),
+    "B1": ("rnd", False, False),
+    "B2": ("rnd", True, False),
+    "C1": ("swm", False, False),
+    "C2": ("swm", True, False),
+    "D1": ("sw", False, False),
+    "D2": ("sw", True, True),
+}
+
+
+def build_dataset(
+    records: Sequence[EventTweet],
+    embeddings: PretrainedEmbeddings,
+    variant: str,
+) -> Dataset:
+    """Encode *records* as one of the A1..D2 datasets."""
+    if variant not in _VARIANT_SPEC:
+        raise KeyError(
+            f"unknown variant {variant!r}; expected one of {VARIANT_NAMES}"
+        )
+    if not records:
+        raise ValueError("cannot build a dataset from zero records")
+    family, with_metadata, with_followers = _VARIANT_SPEC[variant]
+
+    rows: List[np.ndarray] = []
+    for record in records:
+        parts = [_document_vector(record, embeddings, family)]
+        if with_metadata:
+            parts.append(metadata_vector(record.followers, record.created_at))
+        if with_followers:
+            parts.append(np.array([float(encode_count(record.followers))]))
+        rows.append(np.concatenate(parts))
+
+    feature_names = [f"d2v_{i}" for i in range(embeddings.dim)]
+    if with_metadata:
+        feature_names += [f"author_bucket_{i}" for i in range(7)] + ["day_of_week"]
+    if with_followers:
+        feature_names += ["followers_encoded"]
+
+    return Dataset(
+        name=variant,
+        X=np.vstack(rows),
+        y_likes=np.array([encode_count(r.likes) for r in records], dtype=np.int64),
+        y_retweets=np.array(
+            [encode_count(r.retweets) for r in records], dtype=np.int64
+        ),
+        feature_names=feature_names,
+    )
+
+
+def build_all_datasets(
+    records: Sequence[EventTweet],
+    embeddings: PretrainedEmbeddings,
+    variants: Sequence[str] = VARIANT_NAMES,
+) -> Dict[str, Dataset]:
+    """All requested A1..D2 datasets over the same records."""
+    return {v: build_dataset(records, embeddings, v) for v in variants}

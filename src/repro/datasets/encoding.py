@@ -1,0 +1,80 @@
+"""Feature and label encodings (§4.7, Table 2).
+
+Table 2 buckets follower/like/retweet counts into three ordinal classes:
+
+    count < 100       -> 0
+    100 <= count <= 1000 -> 1
+    count > 1000      -> 2
+
+The metadata vector has size 8: a one-hot vector of length 7 embedding the
+tweet's author — "the influencer and its number of followers" — plus one
+element for the day of the week.  We realise the length-7 author one-hot
+as seven log-spaced follower-magnitude buckets (an author's identity on
+Twitter, for engagement purposes, *is* their audience size), and the day
+element as weekday/6 in [0, 1].
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Sequence
+
+import numpy as np
+
+# Table 2 bucket edges for followers / likes / retweets.
+LOW_EDGE = 100
+HIGH_EDGE = 1000
+
+# Log-spaced follower-magnitude buckets for the length-7 author one-hot.
+AUTHOR_BUCKET_EDGES = (10, 50, 100, 500, 1000, 5000)
+
+METADATA_SIZE = 8  # 7 author one-hot + 1 day-of-week
+
+
+def encode_count(count: int) -> int:
+    """Table 2 encoding for followers, likes, or retweets."""
+    if count < 0:
+        raise ValueError("counts cannot be negative")
+    if count < LOW_EDGE:
+        return 0
+    if count <= HIGH_EDGE:
+        return 1
+    return 2
+
+
+def encode_labels(counts: Sequence[int]) -> np.ndarray:
+    """Vectorized Table 2 encoding."""
+    return np.array([encode_count(int(c)) for c in counts], dtype=np.int64)
+
+
+def author_bucket(followers: int) -> int:
+    """Index in [0, 6] of the author's follower-magnitude bucket."""
+    if followers < 0:
+        raise ValueError("followers cannot be negative")
+    for i, edge in enumerate(AUTHOR_BUCKET_EDGES):
+        if followers < edge:
+            return i
+    return len(AUTHOR_BUCKET_EDGES)
+
+
+def author_one_hot(followers: int) -> np.ndarray:
+    """Length-7 one-hot of the author's follower bucket."""
+    out = np.zeros(len(AUTHOR_BUCKET_EDGES) + 1)
+    out[author_bucket(followers)] = 1.0
+    return out
+
+
+def day_of_week_feature(created_at: datetime) -> float:
+    """Weekday scaled to [0, 1] (Monday = 0, Sunday = 1)."""
+    return created_at.weekday() / 6.0
+
+
+def metadata_vector(followers: int, created_at: datetime) -> np.ndarray:
+    """The size-8 metadata vector of §4.7.
+
+    Concatenating this onto a 300-d document embedding yields the 308-d
+    inputs of Table 10 / Figure 7.
+    """
+    return np.concatenate(
+        [author_one_hot(followers), [day_of_week_feature(created_at)]]
+    )

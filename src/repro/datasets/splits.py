@@ -1,0 +1,77 @@
+"""Train/validation splits and k-fold cross-validation.
+
+§5.6 reports accuracies "over our validation sets" after "hyperparameter
+tuning and cross validation"; these helpers are the splitting machinery
+used by the prediction module and the Table 8–9 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Split:
+    """Index sets of one train/validation split."""
+
+    train: np.ndarray
+    validation: np.ndarray
+
+
+def train_validation_split(
+    n: int,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+    stratify: np.ndarray = None,
+) -> Split:
+    """Random (optionally stratified) train/validation index split."""
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if stratify is None:
+        indices = rng.permutation(n)
+        n_val = max(1, int(round(n * validation_fraction)))
+        return Split(train=indices[n_val:], validation=indices[:n_val])
+
+    stratify = np.asarray(stratify)
+    if len(stratify) != n:
+        raise ValueError("stratify labels must match n")
+    train_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    for cls in np.unique(stratify):
+        members = np.flatnonzero(stratify == cls)
+        rng.shuffle(members)
+        n_val = max(1, int(round(len(members) * validation_fraction)))
+        # Never put an entire class in validation.
+        n_val = min(n_val, len(members) - 1) if len(members) > 1 else 0
+        val_parts.append(members[:n_val])
+        train_parts.append(members[n_val:])
+    train = np.concatenate(train_parts)
+    validation = (
+        np.concatenate(val_parts) if val_parts else np.empty(0, dtype=int)
+    )
+    rng.shuffle(train)
+    rng.shuffle(validation)
+    return Split(train=train, validation=validation)
+
+
+def k_fold(
+    n: int, k: int = 5, seed: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_indices, validation_indices) for each of *k* folds."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError("need at least k samples")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(n)
+    folds = np.array_split(indices, k)
+    for i in range(k):
+        validation = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, validation

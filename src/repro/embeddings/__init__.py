@@ -1,0 +1,32 @@
+"""Text representation via embeddings (§3.4, §4.7)."""
+
+from .doc2vec import (
+    keywords2vec,
+    rnd_doc2vec,
+    sif_doc2vec,
+    sw_doc2vec,
+    swm_doc2vec,
+)
+from .paragraph import ParagraphVectors
+from .pretrained import PretrainedEmbeddings, hash_vector
+from .similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    safe_cosine_similarity,
+)
+from .word2vec import Word2Vec
+
+__all__ = [
+    "Word2Vec",
+    "ParagraphVectors",
+    "PretrainedEmbeddings",
+    "hash_vector",
+    "sw_doc2vec",
+    "rnd_doc2vec",
+    "swm_doc2vec",
+    "sif_doc2vec",
+    "keywords2vec",
+    "cosine_similarity",
+    "safe_cosine_similarity",
+    "cosine_similarity_matrix",
+]

@@ -1,0 +1,164 @@
+"""Document embeddings — the paper's three custom Doc2Vec variants (§4.7).
+
+Each tweet belonging to an event is encoded "using Word2Vec on the tweet's
+terms present in the vocabulary containing the main and related terms of
+that event", then averaged into a document vector three ways:
+
+* **SW_Doc2Vec** — average only the words found in the pretrained model;
+* **RND_Doc2Vec** — add deterministic random vectors in [-1, 1] for terms
+  missing from the pretrained model before averaging;
+* **SWM_Doc2Vec** — multiply each found word vector by the word's
+  *magnitude in the context of the event* (we use the event's Eq-9 related
+  word weight; the main word has magnitude 1) before averaging.
+
+Topic/event keyword encodings for the Trending News and Correlation
+modules (NewsTopic2Vec, NewsEvent2Vec, TwitterEvent2Vec) reuse the SW
+average over the keyword set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from .pretrained import PretrainedEmbeddings
+
+
+def _rnd_vector(word: str, dim: int, salt: int = 1) -> np.ndarray:
+    """Deterministic uniform[-1, 1] vector for an OOV *word* (RND variant)."""
+    digest = hashlib.sha256(f"rnd:{salt}:{word}".encode("utf-8")).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    return rng.uniform(-1.0, 1.0, dim)
+
+
+def _restrict(tokens: Sequence[str], vocabulary: Optional[Set[str]]) -> list:
+    if vocabulary is None:
+        return list(tokens)
+    return [t for t in tokens if t in vocabulary]
+
+
+def sw_doc2vec(
+    tokens: Sequence[str],
+    embeddings: PretrainedEmbeddings,
+    event_vocabulary: Optional[Set[str]] = None,
+) -> np.ndarray:
+    """SW_Doc2Vec: mean of in-vocabulary word vectors.
+
+    Tokens outside *event_vocabulary* (when given) are ignored, per §4.7.
+    Documents with no embeddable token map to the zero vector, which the
+    correlation layer treats as "no match".
+    """
+    vectors = [
+        embeddings[t]
+        for t in _restrict(tokens, event_vocabulary)
+        if t in embeddings
+    ]
+    if not vectors:
+        return np.zeros(embeddings.dim)
+    return np.mean(vectors, axis=0)
+
+
+def rnd_doc2vec(
+    tokens: Sequence[str],
+    embeddings: PretrainedEmbeddings,
+    event_vocabulary: Optional[Set[str]] = None,
+    salt: int = 1,
+) -> np.ndarray:
+    """RND_Doc2Vec: OOV terms contribute random [-1, 1] vectors.
+
+    The random vectors are hash-seeded per word so repeated occurrences of
+    the same OOV term contribute the same vector — without this the
+    embedding would not be a function of the text.
+    """
+    restricted = _restrict(tokens, event_vocabulary)
+    vectors = []
+    for token in restricted:
+        vector = embeddings.get(token)
+        if vector is None:
+            vector = _rnd_vector(token, embeddings.dim, salt)
+        vectors.append(vector)
+    if not vectors:
+        return np.zeros(embeddings.dim)
+    return np.mean(vectors, axis=0)
+
+
+def swm_doc2vec(
+    tokens: Sequence[str],
+    embeddings: PretrainedEmbeddings,
+    magnitudes: Dict[str, float],
+    event_vocabulary: Optional[Set[str]] = None,
+) -> np.ndarray:
+    """SWM_Doc2Vec: in-vocabulary vectors scaled by event-context magnitude.
+
+    *magnitudes* maps each event term to its weight (Eq 9 for related
+    words, 1.0 for the main word); terms without an entry default to 1.0.
+    """
+    vectors = []
+    for token in _restrict(tokens, event_vocabulary):
+        vector = embeddings.get(token)
+        if vector is None:
+            continue
+        vectors.append(vector * magnitudes.get(token, 1.0))
+    if not vectors:
+        return np.zeros(embeddings.dim)
+    return np.mean(vectors, axis=0)
+
+
+def sif_doc2vec(
+    tokens: Sequence[str],
+    embeddings: PretrainedEmbeddings,
+    term_frequencies: Dict[str, int],
+    total_terms: int,
+    a: float = 1e-3,
+    event_vocabulary: Optional[Set[str]] = None,
+) -> np.ndarray:
+    """SIF-weighted document embedding (smooth inverse frequency).
+
+    An extension beyond the paper's three variants: each word vector is
+    weighted by a / (a + p(w)) — Arora et al.'s "simple but tough to
+    beat" baseline — so frequent background words contribute less than
+    rare content words.  *term_frequencies*/*total_terms* describe the
+    background corpus the probabilities come from; unseen words get the
+    maximum weight.
+    """
+    if total_terms <= 0:
+        raise ValueError("total_terms must be positive")
+    if a <= 0:
+        raise ValueError("a must be positive")
+    vectors = []
+    for token in _restrict(tokens, event_vocabulary):
+        vector = embeddings.get(token)
+        if vector is None:
+            continue
+        probability = term_frequencies.get(token, 0) / total_terms
+        vectors.append(vector * (a / (a + probability)))
+    if not vectors:
+        return np.zeros(embeddings.dim)
+    return np.mean(vectors, axis=0)
+
+
+def keywords2vec(
+    keywords: Iterable[str],
+    embeddings: PretrainedEmbeddings,
+) -> np.ndarray:
+    """Encode a keyword set (topic or event vocabulary) as one vector.
+
+    This is NewsTopic2Vec / NewsEvent2Vec / TwitterEvent2Vec from §4.5–§4.6:
+    the mean of the keywords' word vectors.  Multi-word concept tokens
+    (``white_house``) fall back to averaging their parts when the joined
+    form is OOV.
+    """
+    vectors = []
+    for keyword in keywords:
+        vector = embeddings.get(keyword)
+        if vector is None and "_" in keyword:
+            parts = [embeddings[p] for p in keyword.split("_") if p in embeddings]
+            if parts:
+                vector = np.mean(parts, axis=0)
+        if vector is not None:
+            vectors.append(vector)
+    if not vectors:
+        return np.zeros(embeddings.dim)
+    return np.mean(vectors, axis=0)

@@ -1,0 +1,214 @@
+"""Paragraph vectors (Doc2Vec proper): PVDBOW and PVDM (§3.4).
+
+The paper *describes* Le & Mikolov's two paragraph-vector models but
+deliberately does not use them (§4.9): trained only on the collected
+corpora they "do not manage to generalize the document representation",
+which is why the deployed system averages pretrained word vectors
+instead.  This module implements both models so the design choice can be
+tested rather than assumed — see ``benchmarks/test_ablation_doc2vec.py``.
+
+* **PVDBOW** — each document has a vector that predicts the words it
+  contains (skip-gram with the document as the "center"); word order and
+  context are ignored.
+* **PVDM** — the document vector is combined (averaged) with the context
+  word vectors to predict the center word, extending CBOW.
+
+Both train with negative sampling against a unigram^0.75 noise
+distribution.  Unseen documents are embedded by inference: a fresh vector
+is trained against the frozen word matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class ParagraphVectors:
+    """PVDBOW / PVDM document embeddings.
+
+    Parameters mirror :class:`repro.embeddings.Word2Vec`; *dm* selects the
+    model (False = PVDBOW, True = PVDM).
+    """
+
+    def __init__(
+        self,
+        vector_size: int = 100,
+        window: int = 5,
+        min_count: int = 2,
+        dm: bool = False,
+        negative: int = 5,
+        epochs: int = 5,
+        learning_rate: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        if vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+        if negative < 1:
+            raise ValueError("negative must be >= 1")
+        self.vector_size = vector_size
+        self.window = window
+        self.min_count = min_count
+        self.dm = dm
+        self.negative = negative
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+        self.word_to_index: Dict[str, int] = {}
+        self.index_to_word: List[str] = []
+        self.D: Optional[np.ndarray] = None      # document vectors
+        self.W_in: Optional[np.ndarray] = None   # word input vectors (PVDM)
+        self.W_out: Optional[np.ndarray] = None  # output vectors
+        self._noise_table: Optional[np.ndarray] = None
+
+    # -- vocabulary ----------------------------------------------------------
+
+    def _build_vocab(self, corpus: Sequence[Sequence[str]]) -> None:
+        counts: Counter = Counter()
+        for doc in corpus:
+            counts.update(doc)
+        kept = sorted(
+            (w for w, c in counts.items() if c >= self.min_count),
+            key=lambda w: (-counts[w], w),
+        )
+        self.index_to_word = kept
+        self.word_to_index = {w: i for i, w in enumerate(kept)}
+        freqs = np.array([counts[w] for w in kept], dtype=np.float64)
+        if freqs.size:
+            probs = freqs ** 0.75
+            probs /= probs.sum()
+            self._noise_table = np.random.default_rng(self.seed).choice(
+                len(kept), size=100_000, p=probs
+            )
+        else:
+            self._noise_table = np.zeros(0, dtype=np.int64)
+
+    def _negatives(self, exclude: int, rng) -> np.ndarray:
+        picks = self._noise_table[
+            rng.integers(0, len(self._noise_table), size=self.negative)
+        ]
+        for i, p in enumerate(picks):
+            while p == exclude:
+                p = self._noise_table[rng.integers(0, len(self._noise_table))]
+            picks[i] = p
+        return picks
+
+    # -- training ------------------------------------------------------------------
+
+    def train(self, corpus: Sequence[Sequence[str]]) -> float:
+        """Train document (and, for PVDM, word) vectors on *corpus*.
+
+        Returns the mean loss of the final epoch.
+        """
+        self._build_vocab(corpus)
+        if not self.index_to_word:
+            raise ValueError("empty vocabulary — corpus too small for min_count")
+        encoded = [
+            [self.word_to_index[w] for w in doc if w in self.word_to_index]
+            for doc in corpus
+        ]
+        rng = np.random.default_rng(self.seed + 1)
+        bound = 0.5 / self.vector_size
+        self.D = rng.uniform(-bound, bound, (len(corpus), self.vector_size))
+        self.W_in = rng.uniform(
+            -bound, bound, (len(self.index_to_word), self.vector_size)
+        )
+        self.W_out = np.zeros((len(self.index_to_word), self.vector_size))
+
+        final_loss = 0.0
+        for epoch in range(self.epochs):
+            # Linear learning-rate decay, as in the reference Doc2Vec
+            # implementation — a fixed rate makes the small document
+            # vectors oscillate instead of settling.
+            lr = self.learning_rate * max(0.05, 1.0 - epoch / max(self.epochs, 1))
+            losses = 0.0
+            n_steps = 0
+            for doc_id, tokens in enumerate(encoded):
+                for pos, word in enumerate(tokens):
+                    if self.dm:
+                        left = max(0, pos - self.window)
+                        context = tokens[left:pos] + tokens[pos + 1:pos + 1 + self.window]
+                        losses += self._step_pvdm(doc_id, context, word, rng, lr)
+                    else:
+                        losses += self._step_pvdbow(doc_id, word, rng, lr)
+                    n_steps += 1
+            final_loss = losses / max(n_steps, 1)
+        return final_loss
+
+    def _nce_update(self, h: np.ndarray, target: int, rng, lr: float,
+                    update_out: bool = True):
+        """Shared negative-sampling update; returns (loss, grad_h).
+
+        *update_out* is False during inference, where the output matrix
+        must stay frozen and only the new document vector moves.
+        """
+        targets = np.concatenate(([target], self._negatives(target, rng)))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        outs = self.W_out[targets]
+        scores = _sigmoid(outs @ h)
+        grads = scores - labels
+        loss = -math.log(max(scores[0], 1e-10)) - float(
+            np.sum(np.log(np.maximum(1.0 - scores[1:], 1e-10)))
+        )
+        grad_h = grads @ outs
+        if update_out:
+            self.W_out[targets] -= lr * grads[:, np.newaxis] * h[np.newaxis, :]
+        return loss, grad_h
+
+    def _step_pvdbow(self, doc_id: int, word: int, rng, lr: float) -> float:
+        h = self.D[doc_id]
+        loss, grad_h = self._nce_update(h, word, rng, lr)
+        self.D[doc_id] -= lr * grad_h
+        return loss
+
+    def _step_pvdm(
+        self, doc_id: int, context: List[int], word: int, rng, lr: float
+    ) -> float:
+        if context:
+            h = (self.D[doc_id] + self.W_in[context].sum(axis=0)) / (1 + len(context))
+        else:
+            h = self.D[doc_id]
+        loss, grad_h = self._nce_update(h, word, rng, lr)
+        share = lr * grad_h / (1 + len(context))
+        self.D[doc_id] -= share
+        if context:
+            self.W_in[context] -= share
+        return loss
+
+    # -- lookup / inference --------------------------------------------------------
+
+    def document_vector(self, doc_id: int) -> np.ndarray:
+        if self.D is None:
+            raise RuntimeError("model not trained")
+        return self.D[doc_id]
+
+    def document_vectors(self) -> np.ndarray:
+        if self.D is None:
+            raise RuntimeError("model not trained")
+        return self.D.copy()
+
+    def infer_vector(self, tokens: Sequence[str], steps: int = 20) -> np.ndarray:
+        """Embed an unseen document against the frozen word/output matrices."""
+        if self.D is None:
+            raise RuntimeError("model not trained")
+        rng = np.random.default_rng(self.seed + 99)
+        encoded = [self.word_to_index[w] for w in tokens if w in self.word_to_index]
+        vector = rng.uniform(-0.5, 0.5, self.vector_size) / self.vector_size
+        if not encoded:
+            return vector
+        for _step in range(steps):
+            for word in encoded:
+                _loss, grad_h = self._nce_update(
+                    vector, word, rng, self.learning_rate, update_out=False
+                )
+                vector -= self.learning_rate * grad_h
+        return vector

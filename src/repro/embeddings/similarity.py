@@ -1,0 +1,66 @@
+"""Cosine similarity (Eq 11) and batch helpers.
+
+The Trending News and Correlation modules (§4.5–§4.6) score topic/event
+matches with cosine similarity over Doc2Vec encodings; this module is that
+scoring primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def cosine_similarity(x: Sequence[float], y: Sequence[float]) -> float:
+    """cos(theta) between vectors *x* and *y* (Eq 11).
+
+    Raises ValueError when either vector has zero norm — the method
+    "assumes that two embeddings have a non-zero norm" (§3.4), and a
+    silent 0 would corrupt the correlation thresholds.
+    """
+    a = np.asarray(x, dtype=np.float64)
+    b = np.asarray(y, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        raise ValueError("cosine similarity undefined for zero-norm vectors")
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def safe_cosine_similarity(
+    x: Sequence[float], y: Sequence[float], default: float = 0.0
+) -> float:
+    """Cosine similarity returning *default* for zero-norm inputs.
+
+    Used where a missing embedding should simply fail to match rather than
+    abort a batch correlation pass.
+    """
+    a = np.asarray(x, dtype=np.float64)
+    b = np.asarray(y, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return default
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def cosine_similarity_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between rows of X and rows of Y.
+
+    Zero-norm rows produce 0 similarities (matching
+    :func:`safe_cosine_similarity` semantics for batch use).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    if X.ndim != 2 or Y.ndim != 2 or X.shape[1] != Y.shape[1]:
+        raise ValueError("X and Y must be 2-D with matching feature dimension")
+    x_norms = np.linalg.norm(X, axis=1, keepdims=True)
+    y_norms = np.linalg.norm(Y, axis=1, keepdims=True)
+    x_scaled = np.divide(X, x_norms, out=np.zeros_like(X), where=x_norms > 0)
+    y_scaled = np.divide(Y, y_norms, out=np.zeros_like(Y), where=y_norms > 0)
+    return x_scaled @ y_scaled.T

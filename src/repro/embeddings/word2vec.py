@@ -1,0 +1,265 @@
+"""Word2Vec — skip-gram and CBOW with negative sampling, in numpy.
+
+Replaces Gensim's implementation (§4.7 uses Gensim Word2Vec; §3.4
+describes both architectures).  The model learns two matrices: input
+vectors W_in (the embeddings handed to callers) and output vectors W_out
+(context side).  Training uses the standard negative-sampling objective
+with a unigram^0.75 noise distribution and optional frequent-word
+subsampling.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class Word2Vec:
+    """Train word embeddings on a tokenized corpus.
+
+    Parameters
+    ----------
+    vector_size:
+        Embedding dimensionality (the paper's pretrained vectors are 300-d).
+    window:
+        Maximum context distance on each side of the center word.
+    min_count:
+        Discard words rarer than this.
+    sg:
+        True for skip-gram, False for CBOW (§3.4 describes both).
+    negative:
+        Number of negative samples per positive pair.
+    subsample:
+        Frequent-word subsampling threshold (0 disables).
+    epochs / learning_rate / seed:
+        Training-loop knobs; the learning rate decays linearly to 1e-4 of
+        its initial value across all epochs.
+    """
+
+    def __init__(
+        self,
+        vector_size: int = 100,
+        window: int = 5,
+        min_count: int = 2,
+        sg: bool = True,
+        negative: int = 5,
+        subsample: float = 1e-3,
+        epochs: int = 3,
+        learning_rate: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        if vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if negative < 1:
+            raise ValueError("negative must be >= 1")
+        self.vector_size = vector_size
+        self.window = window
+        self.min_count = min_count
+        self.sg = sg
+        self.negative = negative
+        self.subsample = subsample
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+        self.word_to_index: Dict[str, int] = {}
+        self.index_to_word: List[str] = []
+        self.word_counts: Counter = Counter()
+        self.W_in: Optional[np.ndarray] = None
+        self.W_out: Optional[np.ndarray] = None
+        self._noise_table: Optional[np.ndarray] = None
+
+    # -- vocabulary ----------------------------------------------------------
+
+    def build_vocab(self, corpus: Sequence[Sequence[str]]) -> None:
+        counts: Counter = Counter()
+        for sentence in corpus:
+            counts.update(sentence)
+        kept = sorted(
+            (w for w, c in counts.items() if c >= self.min_count),
+            key=lambda w: (-counts[w], w),
+        )
+        self.index_to_word = kept
+        self.word_to_index = {w: i for i, w in enumerate(kept)}
+        self.word_counts = Counter({w: counts[w] for w in kept})
+
+        rng = np.random.default_rng(self.seed)
+        bound = 0.5 / self.vector_size
+        self.W_in = rng.uniform(-bound, bound, (len(kept), self.vector_size))
+        self.W_out = np.zeros((len(kept), self.vector_size))
+        self._build_noise_table()
+
+    def _build_noise_table(self, table_size: int = 100_000) -> None:
+        """Cumulative unigram^0.75 table for O(1) negative sampling."""
+        if not self.index_to_word:
+            self._noise_table = np.zeros(0, dtype=np.int64)
+            return
+        freqs = np.array(
+            [self.word_counts[w] for w in self.index_to_word], dtype=np.float64
+        )
+        probs = freqs ** 0.75
+        probs /= probs.sum()
+        self._noise_table = np.random.default_rng(self.seed).choice(
+            len(freqs), size=table_size, p=probs
+        )
+
+    # -- training -----------------------------------------------------------------
+
+    def train(self, corpus: Sequence[Sequence[str]]) -> float:
+        """Train on *corpus*; builds the vocabulary if not yet built.
+
+        Returns the mean negative-sampling loss of the final epoch (useful
+        for convergence assertions in tests).
+        """
+        if self.W_in is None:
+            self.build_vocab(corpus)
+        if len(self.index_to_word) == 0:
+            raise ValueError("empty vocabulary — corpus too small for min_count")
+
+        encoded = self._encode_corpus(corpus)
+        total_steps = max(1, self.epochs * sum(len(s) for s in encoded))
+        rng = np.random.default_rng(self.seed + 1)
+        step = 0
+        final_loss = 0.0
+        for _epoch in range(self.epochs):
+            epoch_loss = 0.0
+            n_pairs = 0
+            for sentence in encoded:
+                sampled = self._subsample(sentence, rng)
+                for pos, center in enumerate(sampled):
+                    step += 1
+                    lr = self.learning_rate * max(
+                        1e-4, 1.0 - step / (total_steps + 1)
+                    )
+                    reduced = rng.integers(1, self.window + 1)
+                    left = max(0, pos - reduced)
+                    context = [
+                        sampled[i]
+                        for i in range(left, min(len(sampled), pos + reduced + 1))
+                        if i != pos
+                    ]
+                    if not context:
+                        continue
+                    if self.sg:
+                        for ctx in context:
+                            epoch_loss += self._train_pair(center, ctx, lr, rng)
+                            n_pairs += 1
+                    else:
+                        epoch_loss += self._train_cbow(context, center, lr, rng)
+                        n_pairs += 1
+            final_loss = epoch_loss / max(n_pairs, 1)
+        return final_loss
+
+    def _encode_corpus(self, corpus: Sequence[Sequence[str]]) -> List[List[int]]:
+        return [
+            [self.word_to_index[w] for w in sentence if w in self.word_to_index]
+            for sentence in corpus
+        ]
+
+    def _subsample(self, sentence: List[int], rng) -> List[int]:
+        if self.subsample <= 0:
+            return sentence
+        total = sum(self.word_counts.values())
+        out: List[int] = []
+        for idx in sentence:
+            freq = self.word_counts[self.index_to_word[idx]] / total
+            keep = min(1.0, math.sqrt(self.subsample / freq)) if freq > 0 else 1.0
+            if rng.random() < keep:
+                out.append(idx)
+        return out
+
+    def _negative_samples(self, exclude: int, rng) -> np.ndarray:
+        table = self._noise_table
+        picks = table[rng.integers(0, len(table), size=self.negative)]
+        # Re-draw collisions with the positive target (cheap, rare).
+        for i, p in enumerate(picks):
+            while p == exclude:
+                p = table[rng.integers(0, len(table))]
+            picks[i] = p
+        return picks
+
+    def _train_pair(self, center: int, context: int, lr: float, rng) -> float:
+        """One skip-gram negative-sampling step; returns the pair loss."""
+        v = self.W_in[center]
+        targets = np.concatenate(([context], self._negative_samples(context, rng)))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        outs = self.W_out[targets]                      # (1+neg, dim)
+        scores = _sigmoid(outs @ v)                     # (1+neg,)
+        grads = scores - labels                         # dL/dscore
+        loss = -math.log(max(scores[0], 1e-10)) - np.sum(
+            np.log(np.maximum(1.0 - scores[1:], 1e-10))
+        )
+        grad_v = grads @ outs                           # (dim,)
+        self.W_out[targets] -= lr * grads[:, np.newaxis] * v[np.newaxis, :]
+        self.W_in[center] -= lr * grad_v
+        return float(loss)
+
+    def _train_cbow(self, context: List[int], center: int, lr: float, rng) -> float:
+        """One CBOW step: mean of context vectors predicts the center."""
+        ctx = np.asarray(context)
+        h = self.W_in[ctx].mean(axis=0)
+        targets = np.concatenate(([center], self._negative_samples(center, rng)))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        outs = self.W_out[targets]
+        scores = _sigmoid(outs @ h)
+        grads = scores - labels
+        loss = -math.log(max(scores[0], 1e-10)) - np.sum(
+            np.log(np.maximum(1.0 - scores[1:], 1e-10))
+        )
+        grad_h = grads @ outs
+        self.W_out[targets] -= lr * grads[:, np.newaxis] * h[np.newaxis, :]
+        self.W_in[ctx] -= lr * grad_h / len(context)
+        return float(loss)
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.word_to_index
+
+    def __getitem__(self, word: str) -> np.ndarray:
+        if self.W_in is None:
+            raise RuntimeError("model not trained")
+        return self.W_in[self.word_to_index[word]]
+
+    def get(self, word: str) -> Optional[np.ndarray]:
+        if self.W_in is None or word not in self.word_to_index:
+            return None
+        return self.W_in[self.word_to_index[word]]
+
+    def most_similar(self, word: str, top: int = 10) -> List[tuple]:
+        """Nearest neighbours by cosine over the input vectors."""
+        if self.W_in is None:
+            raise RuntimeError("model not trained")
+        if word not in self.word_to_index:
+            raise KeyError(word)
+        v = self[word]
+        norms = np.linalg.norm(self.W_in, axis=1) * np.linalg.norm(v)
+        norms[norms == 0] = 1e-12
+        sims = (self.W_in @ v) / norms
+        order = np.argsort(-sims)
+        out = []
+        for idx in order:
+            candidate = self.index_to_word[int(idx)]
+            if candidate == word:
+                continue
+            out.append((candidate, float(sims[idx])))
+            if len(out) >= top:
+                break
+        return out
+
+    def vectors(self) -> Dict[str, np.ndarray]:
+        """Word -> embedding copy of the full table."""
+        if self.W_in is None:
+            raise RuntimeError("model not trained")
+        return {w: self.W_in[i].copy() for w, i in self.word_to_index.items()}

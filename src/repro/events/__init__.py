@@ -1,0 +1,26 @@
+"""Event detection (§3.3, §4.4) — MABED over time-sliced corpora."""
+
+from .anomaly import (
+    anomaly_series,
+    candidate_weight,
+    erdem_correlation,
+    expected_counts,
+    max_anomaly_interval,
+)
+from .event import Event
+from .mabed import MABED, detect_events
+from .timeslice import SlicedCorpus, TimeSlicer, TimestampedDocument
+
+__all__ = [
+    "Event",
+    "MABED",
+    "detect_events",
+    "TimeSlicer",
+    "TimestampedDocument",
+    "SlicedCorpus",
+    "anomaly_series",
+    "expected_counts",
+    "max_anomaly_interval",
+    "erdem_correlation",
+    "candidate_weight",
+]

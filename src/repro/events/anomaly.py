@@ -1,0 +1,108 @@
+"""Mention-anomaly measure and maximum-anomaly interval detection.
+
+The heart of MABED (§3.3): for each term t and slice i, the anomaly is the
+observed mention count N_t^i minus the expected count under a homogeneous
+spreading of the term's mentions across the corpus timeline,
+
+    anomaly(t, i) = N_t^i - E[N_t^i],   E[N_t^i] = total_t * (V_i / V),
+
+where V_i is the slice's total record volume and V the corpus volume.  The
+event interval I = [a, b] is the contiguous slice range maximizing the
+summed anomaly — a maximum-contiguous-subsequence problem solved with
+Kadane's algorithm.  The maximum value is the event's magnitude of impact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def expected_counts(
+    term_total: int, slice_totals: Sequence[int]
+) -> np.ndarray:
+    """E[N_t^i] for every slice under homogeneous term spreading."""
+    totals = np.asarray(slice_totals, dtype=np.float64)
+    volume = totals.sum()
+    if volume == 0:
+        return np.zeros_like(totals)
+    return term_total * totals / volume
+
+
+def anomaly_series(
+    term_series: Sequence[int], slice_totals: Sequence[int]
+) -> np.ndarray:
+    """anomaly(t, i) = N_t^i - E[N_t^i] for every slice i."""
+    observed = np.asarray(term_series, dtype=np.float64)
+    return observed - expected_counts(int(observed.sum()), slice_totals)
+
+
+def max_anomaly_interval(anomaly: Sequence[float]) -> Tuple[int, int, float]:
+    """Contiguous interval [a, b] maximizing the summed anomaly (Kadane).
+
+    Returns ``(a, b, magnitude)`` with a <= b (slice indexes, inclusive).
+    When every anomaly is non-positive the single largest slice is
+    returned with its (non-positive) value, so callers can filter on
+    magnitude > 0.
+    """
+    values = np.asarray(anomaly, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("anomaly series is empty")
+    # Vectorized Kadane via prefix sums: the best interval ending at b has
+    # sum csum[b+1] - min(csum[0..b]); the global optimum is the max over b.
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    min_prefix = np.minimum.accumulate(csum[:-1])
+    gains = csum[1:] - min_prefix
+    b = int(np.argmax(gains))
+    a = int(np.argmin(csum[: b + 1]))
+    return a, b, float(gains[b])
+
+
+def erdem_correlation(
+    main_series: Sequence[int],
+    candidate_series: Sequence[int],
+    interval: Tuple[int, int],
+) -> float:
+    """First-order auto-correlation coefficient rho (Eq 10).
+
+    Measures how the *changes* of the candidate word's time series follow
+    the changes of the main word's series over I = [a, b]:
+
+        rho = sum_{i=a+1}^{b} A_{t,t'} / ((b - a - 1) * A_t * A_t')
+
+    with A_{t,t'} = (N_t^i - N_t^{i-1})(N_t'^i - N_t'^{i-1}) and A_t, A_t'
+    the RMS slice-to-slice changes of each series.  Degenerate cases (flat
+    series, interval shorter than 3 slices) return 0 — no measurable
+    co-movement.
+
+    Note: Eq 10 in the paper prints the second difference as
+    ``N_{t'}^i - N_t^i``; we follow the cited Erdem et al. (2014)
+    coefficient (and pyMABED), where both differences are first-order
+    changes of their own series — the printed form is a typo, as the
+    normalization by A_t' (RMS of the candidate's own changes) confirms.
+    """
+    a, b = interval
+    if b - a < 2:
+        return 0.0
+    main = np.asarray(main_series, dtype=np.float64)
+    cand = np.asarray(candidate_series, dtype=np.float64)
+    d_main = main[a + 1: b + 1] - main[a: b]
+    d_cand = cand[a + 1: b + 1] - cand[a: b]
+    n = b - a - 1
+    a_main = np.sqrt(np.sum(d_main * d_main) / n)
+    a_cand = np.sqrt(np.sum(d_cand * d_cand) / n)
+    if a_main == 0.0 or a_cand == 0.0:
+        return 0.0
+    rho = np.sum(d_main * d_cand) / (n * a_main * a_cand)
+    # Guard numerical drift outside [-1, 1].
+    return float(np.clip(rho, -1.0, 1.0))
+
+
+def candidate_weight(
+    main_series: Sequence[int],
+    candidate_series: Sequence[int],
+    interval: Tuple[int, int],
+) -> float:
+    """w_{t'} = (rho + 1) / 2 ∈ [0, 1] (Eq 9)."""
+    return (erdem_correlation(main_series, candidate_series, interval) + 1.0) / 2.0

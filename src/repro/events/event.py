@@ -1,0 +1,68 @@
+"""Event data model for MABED output.
+
+§4.4: "MABED detects events defined by three characteristics: (1) a set of
+main words, (2) a set of related words, and (3) the period of time when the
+topic is of interest."  Tables 4 and 5 present each event as a label (main
+word), keywords, and a start/end date; :class:`Event` carries exactly that
+plus the magnitude-of-impact score MABED ranks by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Tuple
+
+
+@dataclass
+class Event:
+    """One detected event.
+
+    Attributes
+    ----------
+    main_word:
+        The bursty term anchoring the event (the "Label" column of
+        Tables 4–5).
+    related_words:
+        (word, weight) pairs; weights come from Eq 9 and lie in [0, 1].
+    start / end:
+        The interval I = [a, b] maximizing the anomaly, as datetimes.
+    magnitude:
+        Sum of the positive anomaly over I — MABED's ranking score.
+    slice_interval:
+        (a, b) as time-slice indexes, kept for debugging/inspection.
+    """
+
+    main_word: str
+    related_words: List[Tuple[str, float]]
+    start: datetime
+    end: datetime
+    magnitude: float
+    slice_interval: Tuple[int, int] = (0, 0)
+    support: int = 0  # number of records mentioning the main word inside I
+
+    @property
+    def keywords(self) -> List[str]:
+        """Related words without weights (Tables 4–5 presentation)."""
+        return [word for word, _weight in self.related_words]
+
+    @property
+    def vocabulary(self) -> List[str]:
+        """Main word plus related words — the event's full term set."""
+        return [self.main_word] + self.keywords
+
+    @property
+    def duration_seconds(self) -> float:
+        return (self.end - self.start).total_seconds()
+
+    def overlaps(self, other: "Event") -> bool:
+        """True when the two events' time intervals intersect."""
+        return self.start <= other.end and other.start <= self.end
+
+    def describe(self) -> str:
+        """One-line description in the style of the paper's tables."""
+        kw = " ".join(self.keywords[:8])
+        return (
+            f"{self.start:%Y-%m-%d %H:%M:%S} — {self.end:%Y-%m-%d %H:%M:%S} "
+            f"[{self.main_word}] {kw}"
+        )

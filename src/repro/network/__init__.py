@@ -1,0 +1,46 @@
+"""Social-network substrate: graph, centrality, communities, diffusion,
+and the immunization strategies the paper motivates (§1, §5.8)."""
+
+from .communities import communities_as_lists, community_centers, label_propagation
+from .diffusion import Cascade, IndependentCascade, greedy_seed_selection
+from .graph import SocialGraph
+from .immunization import (
+    ImmunizationOutcome,
+    compare_strategies,
+    core_strategy,
+    degree_strategy,
+    evaluate_immunization,
+    pagerank_strategy,
+    predicted_virality_strategy,
+    random_strategy,
+)
+from .metrics import (
+    in_degree_centrality,
+    k_core_decomposition,
+    pagerank,
+    reachable_audience,
+    top_nodes,
+)
+
+__all__ = [
+    "SocialGraph",
+    "in_degree_centrality",
+    "pagerank",
+    "k_core_decomposition",
+    "reachable_audience",
+    "top_nodes",
+    "label_propagation",
+    "communities_as_lists",
+    "community_centers",
+    "IndependentCascade",
+    "Cascade",
+    "greedy_seed_selection",
+    "ImmunizationOutcome",
+    "evaluate_immunization",
+    "compare_strategies",
+    "random_strategy",
+    "degree_strategy",
+    "pagerank_strategy",
+    "core_strategy",
+    "predicted_virality_strategy",
+]

@@ -1,0 +1,167 @@
+"""Network immunization strategies — the application the paper motivates.
+
+§1 and §5.8: predicting which trending news topics go viral "can be a
+starting point to develop new strategies for network immunization in the
+fight against misinformation".  Immunizing a node means removing it from
+the diffusion graph (the account is fact-checked, down-ranked, or
+suspended), and a strategy is judged by how much it shrinks the expected
+cascade of a misinformation campaign.
+
+Strategies implemented:
+
+* ``random``      — baseline: immunize uniformly random accounts;
+* ``degree``      — immunize the highest follower-count accounts;
+* ``pagerank``    — immunize by PageRank (recursive influence);
+* ``core``        — immunize the innermost k-core members;
+* ``predicted``   — immunize accounts weighted by the audience-interest
+  model's virality prediction over their recent tweets (the paper's
+  proposed signal: spend budget where predicted virality concentrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .diffusion import IndependentCascade
+from .graph import SocialGraph
+from .metrics import in_degree_centrality, k_core_decomposition, pagerank, top_nodes
+
+StrategyFn = Callable[[SocialGraph, int], List[str]]
+
+
+def random_strategy(graph: SocialGraph, k: int, seed: int = 0) -> List[str]:
+    rng = np.random.default_rng(seed)
+    nodes = graph.nodes()
+    k = min(k, len(nodes))
+    return [nodes[int(i)] for i in rng.choice(len(nodes), size=k, replace=False)]
+
+
+def degree_strategy(graph: SocialGraph, k: int) -> List[str]:
+    return top_nodes(in_degree_centrality(graph), k)
+
+
+def pagerank_strategy(graph: SocialGraph, k: int) -> List[str]:
+    return top_nodes(pagerank(graph), k)
+
+
+def core_strategy(graph: SocialGraph, k: int) -> List[str]:
+    return top_nodes({n: float(c) for n, c in k_core_decomposition(graph).items()}, k)
+
+
+def predicted_virality_strategy(
+    graph: SocialGraph,
+    k: int,
+    virality_by_author: Dict[str, float],
+) -> List[str]:
+    """Immunize the accounts with the highest predicted viral output.
+
+    *virality_by_author* maps handles to a score — e.g. the share of an
+    author's recent tweets the audience-interest model assigns to the
+    top Table-2 engagement class, times their audience size.
+    """
+    scores = {
+        node: virality_by_author.get(node, 0.0) * (1 + graph.in_degree(node))
+        for node in graph.nodes()
+    }
+    return top_nodes(scores, k)
+
+
+@dataclass
+class ImmunizationOutcome:
+    """Effect of one strategy at one budget."""
+
+    strategy: str
+    budget: int
+    immunized: List[str]
+    baseline_spread: float
+    residual_spread: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional cascade-size reduction achieved."""
+        if self.baseline_spread == 0:
+            return 0.0
+        return 1.0 - self.residual_spread / self.baseline_spread
+
+
+def evaluate_immunization(
+    graph: SocialGraph,
+    strategy_name: str,
+    immunized: Sequence[str],
+    attacker_seeds: Sequence[str],
+    base_probability: float = 0.1,
+    virality: float = 0.8,
+    n_simulations: int = 30,
+    seed: int = 0,
+) -> ImmunizationOutcome:
+    """Expected attacker cascade before vs after immunization.
+
+    Immunized accounts are removed from the graph; attacker seeds that
+    were immunized lose their mouthpiece entirely.
+    """
+    baseline_model = IndependentCascade(
+        graph, base_probability, virality, seed=seed
+    )
+    baseline = baseline_model.expected_spread(attacker_seeds, n_simulations)
+
+    pruned = graph.copy()
+    immunized_set = set(immunized)
+    for node in immunized_set:
+        if node in pruned:
+            pruned.remove_node(node)
+    surviving_seeds = [s for s in attacker_seeds if s not in immunized_set]
+    if surviving_seeds:
+        residual_model = IndependentCascade(
+            pruned, base_probability, virality, seed=seed
+        )
+        residual = residual_model.expected_spread(surviving_seeds, n_simulations)
+    else:
+        residual = 0.0
+    return ImmunizationOutcome(
+        strategy=strategy_name,
+        budget=len(immunized_set),
+        immunized=list(immunized_set),
+        baseline_spread=baseline,
+        residual_spread=residual,
+    )
+
+
+def compare_strategies(
+    graph: SocialGraph,
+    attacker_seeds: Sequence[str],
+    budget: int,
+    virality_by_author: Optional[Dict[str, float]] = None,
+    base_probability: float = 0.1,
+    virality: float = 0.8,
+    n_simulations: int = 30,
+    seed: int = 0,
+) -> List[ImmunizationOutcome]:
+    """Run every strategy at the same budget; sorted by reduction desc."""
+    selections: Dict[str, List[str]] = {
+        "random": random_strategy(graph, budget, seed=seed),
+        "degree": degree_strategy(graph, budget),
+        "pagerank": pagerank_strategy(graph, budget),
+        "core": core_strategy(graph, budget),
+    }
+    if virality_by_author is not None:
+        selections["predicted"] = predicted_virality_strategy(
+            graph, budget, virality_by_author
+        )
+    outcomes = [
+        evaluate_immunization(
+            graph,
+            name,
+            chosen,
+            attacker_seeds,
+            base_probability=base_probability,
+            virality=virality,
+            n_simulations=n_simulations,
+            seed=seed,
+        )
+        for name, chosen in selections.items()
+    ]
+    outcomes.sort(key=lambda o: -o.reduction)
+    return outcomes

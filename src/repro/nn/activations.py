@@ -1,0 +1,109 @@
+"""Activation functions of Table 1 (sigmoid, tanh, ReLU, softmax).
+
+Each activation exposes ``forward`` and ``backward`` (the local gradient
+composed with the incoming upstream gradient).  Softmax's backward assumes
+it is paired with categorical cross-entropy, where the combined gradient is
+``probs - targets`` and is produced by the loss itself; using softmax
+mid-network therefore raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Activation:
+    """Base class: stateless elementwise nonlinearity."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+        """Upstream *grad* times the local derivative (given the forward output)."""
+        raise NotImplementedError
+
+
+class Sigmoid(Activation):
+    """delta(z) = 1 / (1 + e^-z)."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return grad * output * (1.0 - output)
+
+
+class Tanh(Activation):
+    """delta(z) = tanh(z)."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - output * output)
+
+
+class ReLU(Activation):
+    """delta(z) = max(0, z)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, x)
+
+    def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return grad * (output > 0.0)
+
+
+class Softmax(Activation):
+    """delta(z)_i = e^{z_i} / sum_j e^{z_j} along the last axis."""
+
+    name = "softmax"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - np.max(x, axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / np.sum(exps, axis=-1, keepdims=True)
+
+    def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+        raise RuntimeError(
+            "softmax backward is fused into CategoricalCrossEntropy; "
+            "use softmax only as the final activation"
+        )
+
+
+class Identity(Activation):
+    """Linear pass-through."""
+
+    name = "linear"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return grad
+
+
+ACTIVATIONS = {
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "relu": ReLU,
+    "softmax": Softmax,
+    "linear": Identity,
+    None: Identity,
+}
+
+
+def get_activation(name) -> Activation:
+    """Resolve an activation by name (or pass an instance through)."""
+    if isinstance(name, Activation):
+        return name
+    if name not in ACTIVATIONS:
+        raise KeyError(f"unknown activation: {name!r}")
+    return ACTIVATIONS[name]()

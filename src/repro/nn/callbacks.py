@@ -1,0 +1,78 @@
+"""Training callbacks: early stopping and history tracking.
+
+§5.6: "Each network is trained until it converges, using an Early Stopping
+mechanism that checks if there are any changes in the loss function from
+one epoch to the next."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class History:
+    """Per-epoch metric traces collected during ``Sequential.fit``."""
+
+    epochs: int = 0
+    metrics: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, **values: float) -> None:
+        self.epochs += 1
+        for name, value in values.items():
+            self.metrics.setdefault(name, []).append(float(value))
+
+    def last(self, name: str) -> Optional[float]:
+        series = self.metrics.get(name)
+        return series[-1] if series else None
+
+
+class EarlyStopping:
+    """Stop when the monitored loss stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        Metric name in the history (default ``"loss"``).
+    min_delta:
+        Minimum decrease that counts as an improvement — the paper's
+        "any changes in the loss function from one epoch to the next".
+    patience:
+        Number of non-improving epochs tolerated before stopping.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "loss",
+        min_delta: float = 1e-4,
+        patience: int = 3,
+    ) -> None:
+        if patience < 0:
+            raise ValueError("patience must be >= 0")
+        self.monitor = monitor
+        self.min_delta = min_delta
+        self.patience = patience
+        self.best: Optional[float] = None
+        self.wait = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def update(self, history: History) -> bool:
+        """Record the newest epoch; returns True when training should stop."""
+        value = history.last(self.monitor)
+        if value is None:
+            return False
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.wait = 0
+            return False
+        self.wait += 1
+        if self.wait > self.patience:
+            self.stopped_epoch = history.epochs
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.best = None
+        self.wait = 0
+        self.stopped_epoch = None

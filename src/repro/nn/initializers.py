@@ -1,0 +1,43 @@
+"""Weight initializers for the numpy NN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — Keras's default for Dense/Conv layers.
+
+    The fan-in/fan-out are taken from the first/last axis, which matches
+    Dense ``(in, out)`` and Conv1D ``(width, in_ch, out_ch)`` kernels.
+    """
+    fan_in = shape[0] if len(shape) < 3 else shape[0] * shape[1]
+    fan_out = shape[-1] if len(shape) < 3 else shape[0] * shape[2]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform — suited to ReLU stacks."""
+    fan_in = shape[0] if len(shape) < 3 else shape[0] * shape[1]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+    """All-zero initializer (biases)."""
+    return np.zeros(shape)
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_uniform": he_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Resolve an initializer by name; raises KeyError for unknown names."""
+    if name not in INITIALIZERS:
+        raise KeyError(f"unknown initializer: {name!r}")
+    return INITIALIZERS[name]

@@ -1,0 +1,320 @@
+"""Layers for the numpy NN framework (Dense, Conv1D, MaxPool1D, ...).
+
+The paper's two architectures (Figures 2–3) need: fully connected layers
+with the Table-1 activations, a 1-D convolution + max-pooling pair, flatten
+and dropout.  Each layer implements ``forward(x, training)`` and
+``backward(grad)`` (returning the gradient w.r.t. its input and stashing
+parameter gradients), and exposes ``parameters()`` as (name, param, grad)
+triples for the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .activations import Activation, Softmax, get_activation
+from .initializers import get_initializer
+
+
+class Layer:
+    """Base layer."""
+
+    def __init__(self) -> None:
+        self.built = False
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate parameters given the per-sample *input_shape*."""
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape given the per-sample input shape."""
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        """(name, parameter, gradient) triples; empty for stateless layers."""
+        return []
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for _n, p, _g in self.parameters())
+
+
+class Dense(Layer):
+    """Fully connected layer: y = activation(x W + b).
+
+    This is the perceptron stack of §3.5: ``units`` processing units, each
+    computing delta(sum_j w_ij x_ij + b).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        activation=None,
+        initializer: str = "glorot_uniform",
+    ) -> None:
+        super().__init__()
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        self.units = units
+        self.activation: Activation = get_activation(activation)
+        self.initializer = initializer
+        self.W: Optional[np.ndarray] = None
+        self.b: Optional[np.ndarray] = None
+        self.dW: Optional[np.ndarray] = None
+        self.db: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
+
+    def build(self, input_shape, rng) -> None:
+        if len(input_shape) != 1:
+            raise ValueError(f"Dense expects flat input, got shape {input_shape}")
+        init = get_initializer(self.initializer)
+        self.W = init((input_shape[0], self.units), rng)
+        self.b = np.zeros(self.units)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self.built = True
+
+    def output_shape(self, input_shape):
+        return (self.units,)
+
+    def forward(self, x, training=False):
+        self._x = x
+        z = x @ self.W + self.b
+        self._out = self.activation.forward(z)
+        return self._out
+
+    def backward(self, grad):
+        if not isinstance(self.activation, Softmax):
+            grad = self.activation.backward(grad, self._out)
+        # else: grad already includes the fused softmax+CE derivative.
+        self.dW[...] = self._x.T @ grad
+        self.db[...] = grad.sum(axis=0)
+        return grad @ self.W.T
+
+    def parameters(self):
+        return [("W", self.W, self.dW), ("b", self.b, self.db)]
+
+
+class Conv1D(Layer):
+    """1-D convolution over (length, channels) inputs, 'valid' padding.
+
+    Implemented with an im2col unroll so the heavy lifting is one matmul —
+    important for the Table-10 scalability bench where CNN epoch time must
+    scale smoothly with input size.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        activation=None,
+        stride: int = 1,
+        initializer: str = "glorot_uniform",
+    ) -> None:
+        super().__init__()
+        if filters < 1 or kernel_size < 1 or stride < 1:
+            raise ValueError("filters, kernel_size and stride must be >= 1")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.activation: Activation = get_activation(activation)
+        self.initializer = initializer
+        self.W: Optional[np.ndarray] = None  # (kernel, in_ch, filters)
+        self.b: Optional[np.ndarray] = None
+        self.dW: Optional[np.ndarray] = None
+        self.db: Optional[np.ndarray] = None
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._out: Optional[np.ndarray] = None
+
+    def build(self, input_shape, rng) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"Conv1D expects (length, channels) input, got {input_shape}"
+            )
+        length, channels = input_shape
+        if length < self.kernel_size:
+            raise ValueError("input shorter than kernel")
+        init = get_initializer(self.initializer)
+        self.W = init((self.kernel_size, channels, self.filters), rng)
+        self.b = np.zeros(self.filters)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self.built = True
+
+    def _out_length(self, length: int) -> int:
+        return (length - self.kernel_size) // self.stride + 1
+
+    def output_shape(self, input_shape):
+        return (self._out_length(input_shape[0]), self.filters)
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(batch, length, ch) -> (batch, out_len, kernel*ch) window unroll."""
+        batch, length, channels = x.shape
+        out_len = self._out_length(length)
+        strides = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(batch, out_len, self.kernel_size, channels),
+            strides=(strides[0], strides[1] * self.stride, strides[1], strides[2]),
+            writeable=False,
+        )
+        return windows.reshape(batch, out_len, self.kernel_size * channels)
+
+    def forward(self, x, training=False):
+        self._x_shape = x.shape
+        cols = self._im2col(np.ascontiguousarray(x))
+        self._cols = cols
+        kernel = self.W.reshape(self.kernel_size * x.shape[2], self.filters)
+        z = cols @ kernel + self.b
+        self._out = self.activation.forward(z)
+        return self._out
+
+    def backward(self, grad):
+        grad = self.activation.backward(grad, self._out)
+        batch, length, channels = self._x_shape
+        out_len = grad.shape[1]
+        kernel = self.W.reshape(self.kernel_size * channels, self.filters)
+
+        # Parameter gradients from the unrolled windows.
+        cols_flat = self._cols.reshape(-1, self.kernel_size * channels)
+        grad_flat = grad.reshape(-1, self.filters)
+        self.dW[...] = (cols_flat.T @ grad_flat).reshape(self.W.shape)
+        self.db[...] = grad_flat.sum(axis=0)
+
+        # Input gradient: scatter each window's contribution back.  For a
+        # fixed kernel offset k the target positions are unique, so plain
+        # fancy-index addition applies (np.add.at would be ~50x slower).
+        dcols = grad @ kernel.T  # (batch, out_len, kernel*ch)
+        dcols = dcols.reshape(batch, out_len, self.kernel_size, channels)
+        dx = np.zeros((batch, length, channels))
+        positions = np.arange(out_len) * self.stride
+        for k in range(self.kernel_size):
+            dx[:, positions + k] += dcols[:, :, k]
+        return dx
+
+    def parameters(self):
+        return [("W", self.W, self.dW), ("b", self.b, self.db)]
+
+
+class MaxPool1D(Layer):
+    """Max pooling over the length axis (pool_size == stride)."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape):
+        length, channels = input_shape
+        return (length // self.pool_size, channels)
+
+    def forward(self, x, training=False):
+        self._x_shape = x.shape
+        batch, length, channels = x.shape
+        out_len = length // self.pool_size
+        trimmed = x[:, : out_len * self.pool_size]
+        windows = trimmed.reshape(batch, out_len, self.pool_size, channels)
+        self._argmax = windows.argmax(axis=2)
+        return windows.max(axis=2)
+
+    def backward(self, grad):
+        batch, length, channels = self._x_shape
+        out_len = length // self.pool_size
+        dx = np.zeros((batch, out_len, self.pool_size, channels))
+        np.put_along_axis(
+            dx, self._argmax[:, :, np.newaxis, :], grad[:, :, np.newaxis, :], axis=2
+        )
+        dx = dx.reshape(batch, out_len * self.pool_size, channels)
+        if out_len * self.pool_size < length:
+            pad = np.zeros((batch, length - out_len * self.pool_size, channels))
+            dx = np.concatenate([dx, pad], axis=1)
+        return dx
+
+
+class Flatten(Layer):
+    """Collapse all per-sample axes into one."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape):
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+    def forward(self, x, training=False):
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        return grad.reshape(self._x_shape)
+
+
+class Reshape(Layer):
+    """Reshape per-sample data, e.g. (308,) -> (308, 1) for Conv1D input."""
+
+    def __init__(self, target_shape: Tuple[int, ...]) -> None:
+        super().__init__()
+        self.target_shape = tuple(target_shape)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape):
+        in_size = 1
+        for dim in input_shape:
+            in_size *= dim
+        out_size = 1
+        for dim in self.target_shape:
+            out_size *= dim
+        if in_size != out_size:
+            raise ValueError(
+                f"cannot reshape {input_shape} (size {in_size}) "
+                f"to {self.target_shape} (size {out_size})"
+            )
+        return self.target_shape
+
+    def forward(self, x, training=False):
+        self._x_shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad):
+        return grad.reshape(self._x_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must lie in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,86 @@
+"""Loss functions — cross-entropy (Eq 12) and friends.
+
+``CategoricalCrossEntropy`` fuses with a final softmax layer: its gradient
+is ``probs - targets``, which the Dense layer passes through unchanged when
+its activation is softmax (see :mod:`repro.nn.activations`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base loss: value + gradient w.r.t. predictions."""
+
+    name = "loss"
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BinaryCrossEntropy(Loss):
+    """L(ŷ, y) = -(y log ŷ + (1 - y) log(1 - ŷ)) — Eq 12, mean-reduced."""
+
+    name = "binary_crossentropy"
+
+    def value(self, predicted, target):
+        p = np.clip(predicted, _EPS, 1.0 - _EPS)
+        losses = -(target * np.log(p) + (1.0 - target) * np.log(1.0 - p))
+        return float(np.mean(losses))
+
+    def gradient(self, predicted, target):
+        p = np.clip(predicted, _EPS, 1.0 - _EPS)
+        return (p - target) / (p * (1.0 - p)) / target.shape[0]
+
+
+class CategoricalCrossEntropy(Loss):
+    """Multi-class cross-entropy over softmax outputs (one-hot targets).
+
+    ``gradient`` returns the *fused* softmax+CE derivative
+    (probs - targets) / batch, so the final softmax Dense layer must pass
+    it through unchanged — which it does (see ``Dense.backward``).
+    """
+
+    name = "categorical_crossentropy"
+
+    def value(self, predicted, target):
+        p = np.clip(predicted, _EPS, 1.0)
+        return float(-np.sum(target * np.log(p)) / target.shape[0])
+
+    def gradient(self, predicted, target):
+        return (predicted - target) / target.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, for regression-style smoke tests."""
+
+    name = "mse"
+
+    def value(self, predicted, target):
+        diff = predicted - target
+        return float(np.mean(diff * diff))
+
+    def gradient(self, predicted, target):
+        return 2.0 * (predicted - target) / predicted.size
+
+
+LOSSES = {
+    "binary_crossentropy": BinaryCrossEntropy,
+    "categorical_crossentropy": CategoricalCrossEntropy,
+    "mse": MeanSquaredError,
+}
+
+
+def get_loss(name) -> Loss:
+    """Resolve a loss by name (instances pass through)."""
+    if isinstance(name, Loss):
+        return name
+    if name not in LOSSES:
+        raise KeyError(f"unknown loss: {name!r}")
+    return LOSSES[name]()

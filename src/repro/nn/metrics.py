@@ -1,0 +1,144 @@
+"""Evaluation metrics (§3.6): average accuracy (Eq 17) and companions.
+
+The paper evaluates its 3-class likes/retweets predictors with the average
+accuracy of Eq 17 — the mean over classes of (TP_i + TN_i) / total — and
+notes ErrorRate = 1 - Accuracy.  We also provide the plain "fraction
+correct" accuracy (which the headline Tables 8–9 numbers correspond to),
+the confusion matrix, and macro precision/recall/F1 for the per-class
+breakdowns in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _as_labels(y: np.ndarray) -> np.ndarray:
+    """Accept one-hot or integer labels; return integer labels."""
+    y = np.asarray(y)
+    if y.ndim == 2:
+        return np.argmax(y, axis=1)
+    return y.astype(int)
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Plain classification accuracy: fraction of exact matches."""
+    t = _as_labels(y_true)
+    p = _as_labels(y_pred)
+    if t.shape != p.shape:
+        raise ValueError("label shapes differ")
+    if t.size == 0:
+        raise ValueError("cannot compute accuracy of empty labels")
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int = None) -> np.ndarray:
+    """Counts[i, j] = samples of true class i predicted as class j."""
+    t = _as_labels(y_true)
+    p = _as_labels(y_pred)
+    if n_classes is None:
+        n_classes = int(max(t.max(initial=0), p.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for ti, pi in zip(t, p):
+        matrix[ti, pi] += 1
+    return matrix
+
+
+def average_accuracy(y_true, y_pred, n_classes: int = None) -> float:
+    """Eq 17: A = (1/k) * sum_i (TP_i + TN_i) / (TP_i + FN_i + FP_i + TN_i).
+
+    For each class i treated one-vs-rest, the per-class binary accuracy is
+    averaged over the k classes.
+    """
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    k = matrix.shape[0]
+    total = matrix.sum()
+    if total == 0:
+        raise ValueError("cannot compute average accuracy of empty labels")
+    score = 0.0
+    for i in range(k):
+        tp = matrix[i, i]
+        fn = matrix[i].sum() - tp
+        fp = matrix[:, i].sum() - tp
+        tn = total - tp - fn - fp
+        score += (tp + tn) / total
+    return float(score / k)
+
+
+def error_rate(y_true, y_pred) -> float:
+    """1 - accuracy, as the paper notes below Tables 8–9."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+@dataclass
+class ClassReport:
+    """Per-class precision/recall/F1 plus support."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def classification_report(y_true, y_pred, n_classes: int = None) -> Dict[int, ClassReport]:
+    """Per-class precision/recall/F1 (zero-division maps to 0.0)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    report: Dict[int, ClassReport] = {}
+    for i in range(matrix.shape[0]):
+        tp = matrix[i, i]
+        fn = matrix[i].sum() - tp
+        fp = matrix[:, i].sum() - tp
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        report[i] = ClassReport(
+            precision=float(precision),
+            recall=float(recall),
+            f1=float(f1),
+            support=int(matrix[i].sum()),
+        )
+    return report
+
+
+def macro_f1(y_true, y_pred, n_classes: int = None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    report = classification_report(y_true, y_pred, n_classes)
+    if not report:
+        return 0.0
+    return sum(r.f1 for r in report.values()) / len(report)
+
+
+def msle(y_true, y_pred) -> float:
+    """Mean squared log-transformed error.
+
+    The metric the related-work diffusion models (FOREST, CasCN — §2)
+    report for cascade-size prediction; included so the reproduction's
+    predictions can be compared on their scale as well.
+    """
+    t = np.asarray(y_true, dtype=np.float64)
+    p = np.asarray(y_pred, dtype=np.float64)
+    if t.shape != p.shape:
+        raise ValueError("shapes differ")
+    if t.size == 0:
+        raise ValueError("cannot compute MSLE of empty arrays")
+    if (t < 0).any() or (p < 0).any():
+        raise ValueError("MSLE requires non-negative values")
+    diff = np.log1p(t) - np.log1p(p)
+    return float(np.mean(diff * diff))
+
+
+def one_hot(labels: Sequence[int], n_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot matrix (validates label range)."""
+    arr = np.asarray(labels, dtype=int)
+    if arr.size and (arr.min() < 0 or arr.max() >= n_classes):
+        raise ValueError("label outside [0, n_classes)")
+    out = np.zeros((arr.size, n_classes))
+    out[np.arange(arr.size), arr] = 1.0
+    return out

@@ -1,0 +1,212 @@
+"""Sequential model: the Keras-like training loop of the reproduction.
+
+Ties layers, loss, and optimizer together with mini-batch training, early
+stopping, validation tracking, and epoch timing (the Table-10 scalability
+study reports milliseconds per epoch).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .callbacks import EarlyStopping, History
+from .layers import Layer
+from .losses import Loss, get_loss
+from .metrics import accuracy
+from .optimizers import Optimizer, get_optimizer
+
+
+class Sequential:
+    """A stack of layers trained end-to-end.
+
+    >>> model = Sequential([Dense(16, activation="relu"),
+    ...                     Dense(3, activation="softmax")])
+    >>> model.compile(optimizer=SGD(0.5), loss="categorical_crossentropy")
+    >>> model.fit(X, Y, epochs=100, batch_size=32)      # doctest: +SKIP
+    """
+
+    def __init__(self, layers: Optional[Sequence[Layer]] = None, seed: int = 0) -> None:
+        self.layers: List[Layer] = list(layers) if layers else []
+        self.seed = seed
+        self.loss: Optional[Loss] = None
+        self.optimizer: Optional[Optimizer] = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def add(self, layer: Layer) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def compile(self, optimizer="sgd", loss="categorical_crossentropy") -> "Sequential":
+        """Attach the optimizer and loss (names or instances)."""
+        self.optimizer = get_optimizer(optimizer)
+        self.loss = get_loss(loss)
+        return self
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Allocate every layer's parameters for per-sample *input_shape*."""
+        rng = np.random.default_rng(self.seed)
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        self._input_shape = tuple(input_shape)
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(layer.num_parameters for layer in self.layers)
+
+    # -- forward / backward ------------------------------------------------------
+
+    def predict(self, X: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Forward pass in inference mode (dropout disabled)."""
+        X = np.asarray(X, dtype=np.float64)
+        outputs = []
+        for start in range(0, len(X), batch_size):
+            batch = X[start:start + batch_size]
+            for layer in self.layers:
+                batch = layer.forward(batch, training=False)
+            outputs.append(batch)
+        return np.concatenate(outputs, axis=0)
+
+    def predict_classes(self, X: np.ndarray) -> np.ndarray:
+        """Argmax class labels."""
+        return np.argmax(self.predict(X), axis=1)
+
+    def _forward(self, X: np.ndarray) -> np.ndarray:
+        out = X
+        for layer in self.layers:
+            out = layer.forward(out, training=True)
+        return out
+
+    def _backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def train_on_batch(self, X: np.ndarray, Y: np.ndarray) -> float:
+        """One optimization step on a batch; returns the batch loss."""
+        if self.loss is None or self.optimizer is None:
+            raise RuntimeError("model not compiled")
+        predicted = self._forward(X)
+        loss_value = self.loss.value(predicted, Y)
+        self._backward(self.loss.gradient(predicted, Y))
+        for layer in self.layers:
+            params = layer.parameters()
+            if params:
+                self.optimizer.step(params)
+        return loss_value
+
+    # -- fit ----------------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 32,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        early_stopping: Optional[EarlyStopping] = None,
+        shuffle: bool = True,
+        verbose: bool = False,
+        track_accuracy: bool = True,
+    ) -> History:
+        """Mini-batch training with optional validation and early stopping.
+
+        The returned :class:`History` records per-epoch ``loss``,
+        ``accuracy``, ``epoch_ms``, and (when validation data is given)
+        ``val_loss`` / ``val_accuracy``.  Pass ``track_accuracy=False``
+        to skip the per-epoch full-train accuracy pass — the scalability
+        benchmarks do this so ``epoch_ms`` measures training alone.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if len(X) != len(Y):
+            raise ValueError("X and Y lengths differ")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self._input_shape is None:
+            self.build(X.shape[1:])
+
+        rng = np.random.default_rng(self.seed + 7)
+        history = History()
+        indices = np.arange(len(X))
+        for epoch in range(epochs):
+            started = time.perf_counter()
+            if shuffle:
+                rng.shuffle(indices)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(X), batch_size):
+                batch_idx = indices[start:start + batch_size]
+                epoch_loss += self.train_on_batch(X[batch_idx], Y[batch_idx])
+                n_batches += 1
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+
+            record = {
+                "loss": epoch_loss / max(n_batches, 1),
+                "epoch_ms": elapsed_ms,
+            }
+            if track_accuracy:
+                record["accuracy"] = accuracy(Y, self.predict(X))
+            if validation_data is not None:
+                vx, vy = validation_data
+                vp = self.predict(np.asarray(vx, dtype=np.float64))
+                record["val_loss"] = self.loss.value(vp, np.asarray(vy, dtype=np.float64))
+                record["val_accuracy"] = accuracy(vy, vp)
+            history.record(**record)
+            if verbose:
+                msg = ", ".join(f"{k}={v:.4f}" for k, v in record.items())
+                print(f"epoch {epoch + 1}/{epochs}: {msg}")
+            if early_stopping is not None and early_stopping.update(history):
+                break
+        return history
+
+    def evaluate(self, X: np.ndarray, Y: np.ndarray) -> Tuple[float, float]:
+        """(loss, accuracy) on a dataset."""
+        if self.loss is None:
+            raise RuntimeError("model not compiled")
+        predicted = self.predict(np.asarray(X, dtype=np.float64))
+        Y = np.asarray(Y, dtype=np.float64)
+        return self.loss.value(predicted, Y), accuracy(Y, predicted)
+
+    # -- checkpointing (§4.9: training continues from checkpoints) -----------------
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Copies of every parameter array, in layer order."""
+        weights: List[np.ndarray] = []
+        for layer in self.layers:
+            for _name, param, _grad in layer.parameters():
+                weights.append(param.copy())
+        return weights
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+        flat = [param for layer in self.layers for _n, param, _g in layer.parameters()]
+        if len(flat) != len(weights):
+            raise ValueError(
+                f"weight count mismatch: model has {len(flat)}, got {len(weights)}"
+            )
+        for param, value in zip(flat, weights):
+            if param.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch: {param.shape} vs {value.shape}"
+                )
+            param[...] = value
+
+    def save_checkpoint(self, path: str) -> None:
+        """Persist weights to an ``.npz`` checkpoint."""
+        arrays = {f"w{i}": w for i, w in enumerate(self.get_weights())}
+        np.savez(path, **arrays)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Restore weights saved by :meth:`save_checkpoint`.
+
+        The model must already be built with matching layer shapes.
+        """
+        data = np.load(path)
+        weights = [data[f"w{i}"] for i in range(len(data.files))]
+        self.set_weights(weights)

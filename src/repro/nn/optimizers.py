@@ -1,0 +1,161 @@
+"""Optimizers: SGD with momentum (Eqs 13–14), ADAGRAD (Eq 15),
+ADADELTA (Eq 16) and Adam.
+
+The paper's best configurations are SGD(lr=0.5) and ADADELTA(lr=2) —
+Keras's ADADELTA applies the learning rate as a multiplier on the Eq-16
+update, which we replicate so those hyperparameters transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+_EPS = 1e-7
+
+
+class Optimizer:
+    """Base optimizer: per-parameter state keyed by object identity."""
+
+    def __init__(self) -> None:
+        self._state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def _slot(self, param: np.ndarray) -> Dict[str, np.ndarray]:
+        key = id(param)
+        if key not in self._state:
+            self._state[key] = {}
+        return self._state[key]
+
+    def step(self, parameters: Iterable[Tuple[str, np.ndarray, np.ndarray]]) -> None:
+        """Update every (name, param, grad) triple in place."""
+        for _name, param, grad in parameters:
+            self._update(param, grad)
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with exponential-decay momentum.
+
+    Eq 14: Δw(t) = α Δw(t-1) - η γ_t, with α the decay factor and η the
+    global learning rate.
+    """
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__()
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+
+    def _update(self, param, grad):
+        slot = self._slot(param)
+        if self.momentum > 0.0:
+            velocity = slot.setdefault("velocity", np.zeros_like(param))
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adagrad(Optimizer):
+    """ADAGRAD (Eq 15): per-dimension step scaled by accumulated grad norm."""
+
+    def __init__(self, learning_rate: float = 0.01) -> None:
+        super().__init__()
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def _update(self, param, grad):
+        slot = self._slot(param)
+        accum = slot.setdefault("accumulator", np.zeros_like(param))
+        accum += grad * grad
+        param -= self.learning_rate * grad / (np.sqrt(accum) + _EPS)
+
+
+class Adadelta(Optimizer):
+    """ADADELTA (Eq 16): RMS-ratio update, no hand-tuned base rate needed.
+
+    Δw(t) = -(RMS[Δw]_{t-1} / RMS[γ]_t) γ_t.  The *learning_rate* is a
+    final multiplier (Keras semantics), enabling the paper's lr=2 setting.
+    """
+
+    def __init__(self, learning_rate: float = 1.0, rho: float = 0.95) -> None:
+        super().__init__()
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must lie in (0, 1)")
+        self.learning_rate = learning_rate
+        self.rho = rho
+
+    def _update(self, param, grad):
+        slot = self._slot(param)
+        accum_grad = slot.setdefault("accum_grad", np.zeros_like(param))
+        accum_update = slot.setdefault("accum_update", np.zeros_like(param))
+        accum_grad *= self.rho
+        accum_grad += (1.0 - self.rho) * grad * grad
+        update = (
+            np.sqrt(accum_update + _EPS) / np.sqrt(accum_grad + _EPS)
+        ) * grad
+        accum_update *= self.rho
+        accum_update += (1.0 - self.rho) * update * update
+        param -= self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam — not in the paper, included as the modern reference point
+    for the optimizer ablation bench."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+    ) -> None:
+        super().__init__()
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self._t = 0
+
+    def step(self, parameters):
+        self._t += 1
+        super().step(list(parameters))
+
+    def _update(self, param, grad):
+        slot = self._slot(param)
+        m = slot.setdefault("m", np.zeros_like(param))
+        v = slot.setdefault("v", np.zeros_like(param))
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1 ** self._t)
+        v_hat = v / (1.0 - self.beta2 ** self._t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + _EPS)
+
+
+OPTIMIZERS = {
+    "sgd": SGD,
+    "adagrad": Adagrad,
+    "adadelta": Adadelta,
+    "adam": Adam,
+}
+
+
+def get_optimizer(name, **kwargs) -> Optimizer:
+    """Resolve an optimizer by name (instances pass through)."""
+    if isinstance(name, Optimizer):
+        return name
+    if name not in OPTIMIZERS:
+        raise KeyError(f"unknown optimizer: {name!r}")
+    return OPTIMIZERS[name](**kwargs)

@@ -1,0 +1,36 @@
+"""Embedded document store — the reproduction's MongoDB substitute.
+
+The paper (§4.1) stores collected news articles and tweets, the three
+preprocessed corpora, and detected events in MongoDB.  This package gives
+the pipeline the same surface in-process: collections of dict documents,
+Mongo-style queries/updates, secondary hash indexes, a small aggregation
+pipeline, and JSONL persistence.
+"""
+
+from .collection import Collection, Cursor
+from .database import Database
+from .errors import (
+    CollectionNotFound,
+    DuplicateKeyError,
+    QueryError,
+    StoreError,
+    ValidationError,
+)
+from .index import HashIndex
+from .query import apply_update, matches, project, sort_documents
+
+__all__ = [
+    "Collection",
+    "Cursor",
+    "Database",
+    "HashIndex",
+    "StoreError",
+    "DuplicateKeyError",
+    "QueryError",
+    "CollectionNotFound",
+    "ValidationError",
+    "matches",
+    "apply_update",
+    "project",
+    "sort_documents",
+]

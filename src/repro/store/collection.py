@@ -1,0 +1,384 @@
+"""A MongoDB-like collection: documents, CRUD, cursors, and aggregation.
+
+This is the storage surface the reproduction's pipeline modules talk to
+(§4.1–§4.2 of the paper store raw and preprocessed corpora in MongoDB).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .errors import DuplicateKeyError, QueryError, ValidationError
+from .index import HashIndex, plan_index_lookup
+from .query import apply_update, get_path, matches, project, sort_documents, _MISSING
+
+
+class Cursor:
+    """Lazy view over a query result supporting sort/skip/limit chaining."""
+
+    def __init__(self, producer: Callable[[], Iterable[Dict[str, Any]]]) -> None:
+        self._producer = producer
+        self._sort_spec: Optional[Sequence[Tuple[str, int]]] = None
+        self._skip = 0
+        self._limit: Optional[int] = None
+        self._consumed = False
+
+    def sort(self, field_or_spec, direction: int = 1) -> "Cursor":
+        if isinstance(field_or_spec, str):
+            self._sort_spec = [(field_or_spec, direction)]
+        else:
+            self._sort_spec = list(field_or_spec)
+        return self
+
+    def skip(self, n: int) -> "Cursor":
+        if n < 0:
+            raise QueryError("skip must be non-negative")
+        self._skip = n
+        return self
+
+    def limit(self, n: int) -> "Cursor":
+        if n < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    def _materialize(self) -> List[Dict[str, Any]]:
+        docs = list(self._producer())
+        if self._sort_spec:
+            docs = sort_documents(docs, self._sort_spec)
+        if self._skip:
+            docs = docs[self._skip:]
+        if self._limit is not None:
+            docs = docs[: self._limit]
+        return docs
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        if self._consumed:
+            raise QueryError("cursor already consumed")
+        self._consumed = True
+        return iter(self._materialize())
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return list(self)
+
+    def count(self) -> int:
+        return len(self._materialize())
+
+
+class Collection:
+    """An in-memory document collection with Mongo-flavoured operations.
+
+    Documents are plain dicts.  Every document receives an ``_id`` (an
+    auto-incrementing integer unless the caller supplies one).  Reads return
+    deep copies so callers cannot corrupt stored state by mutating results.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        validator: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> None:
+        self.name = name
+        self._docs: Dict[Any, Dict[str, Any]] = {}
+        self._indexes: Dict[str, HashIndex] = {}
+        self._id_counter = itertools.count(1)
+        self._validator = validator
+
+    # -- basic properties -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __repr__(self) -> str:
+        return f"Collection({self.name!r}, {len(self)} docs)"
+
+    def count_documents(self, query: Optional[Dict[str, Any]] = None) -> int:
+        if not query:
+            return len(self._docs)
+        return sum(1 for _ in self._iter_matching(query))
+
+    # -- writes ------------------------------------------------------------
+
+    def _validate(self, document: Dict[str, Any]) -> None:
+        if self._validator is not None and not self._validator(document):
+            raise ValidationError(
+                f"document failed validation for collection {self.name!r}"
+            )
+
+    def insert_one(self, document: Dict[str, Any]) -> Any:
+        """Insert one document; returns its ``_id``."""
+        if not isinstance(document, dict):
+            raise QueryError("documents must be dicts")
+        doc = copy.deepcopy(document)
+        if "_id" not in doc:
+            doc["_id"] = next(self._id_counter)
+        if doc["_id"] in self._docs:
+            raise DuplicateKeyError(doc["_id"])
+        self._validate(doc)
+        self._docs[doc["_id"]] = doc
+        for index in self._indexes.values():
+            index.add(doc["_id"], doc)
+        return doc["_id"]
+
+    def insert_many(self, documents: Iterable[Dict[str, Any]]) -> List[Any]:
+        """Insert many documents; returns their ``_id``s."""
+        return [self.insert_one(doc) for doc in documents]
+
+    def replace_one(self, query: Dict[str, Any], replacement: Dict[str, Any]) -> int:
+        for doc in self._iter_matching(query):
+            doc_id = doc["_id"]
+            new_doc = copy.deepcopy(replacement)
+            new_doc["_id"] = doc_id
+            self._validate(new_doc)
+            self._docs[doc_id] = new_doc
+            for index in self._indexes.values():
+                index.update(doc_id, new_doc)
+            return 1
+        return 0
+
+    def update_one(self, query: Dict[str, Any], update: Dict[str, Any]) -> int:
+        """Apply *update* to the first matching document; returns count."""
+        for doc in self._iter_matching(query):
+            apply_update(doc, update)
+            self._validate(doc)
+            for index in self._indexes.values():
+                index.update(doc["_id"], doc)
+            return 1
+        return 0
+
+    def update_many(self, query: Dict[str, Any], update: Dict[str, Any]) -> int:
+        """Apply *update* to every matching document; returns count."""
+        count = 0
+        for doc in list(self._iter_matching(query)):
+            apply_update(doc, update)
+            self._validate(doc)
+            for index in self._indexes.values():
+                index.update(doc["_id"], doc)
+            count += 1
+        return count
+
+    def delete_one(self, query: Dict[str, Any]) -> int:
+        for doc in self._iter_matching(query):
+            self._remove(doc["_id"])
+            return 1
+        return 0
+
+    def delete_many(self, query: Dict[str, Any]) -> int:
+        ids = [doc["_id"] for doc in self._iter_matching(query)]
+        for doc_id in ids:
+            self._remove(doc_id)
+        return len(ids)
+
+    def _remove(self, doc_id: Any) -> None:
+        self._docs.pop(doc_id, None)
+        for index in self._indexes.values():
+            index.remove(doc_id)
+
+    # -- reads -------------------------------------------------------------
+
+    def _iter_matching(self, query: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Yield *live* matching documents (internal use only)."""
+        candidate_ids = plan_index_lookup(query, self._indexes) if query else None
+        if candidate_ids is not None:
+            pool: Iterable[Dict[str, Any]] = (
+                self._docs[i] for i in candidate_ids if i in self._docs
+            )
+        else:
+            pool = self._docs.values()
+        for doc in pool:
+            if matches(doc, query):
+                yield doc
+
+    def find(
+        self,
+        query: Optional[Dict[str, Any]] = None,
+        projection: Optional[Dict[str, int]] = None,
+    ) -> Cursor:
+        """Query the collection; returns a chainable :class:`Cursor`."""
+        query = query or {}
+
+        def producer() -> Iterable[Dict[str, Any]]:
+            for doc in self._iter_matching(query):
+                yield project(copy.deepcopy(doc), projection)
+
+        return Cursor(producer)
+
+    def find_one(
+        self,
+        query: Optional[Dict[str, Any]] = None,
+        projection: Optional[Dict[str, int]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        for doc in self.find(query, projection).limit(1):
+            return doc
+        return None
+
+    def distinct(self, field: str, query: Optional[Dict[str, Any]] = None) -> List[Any]:
+        """Distinct values of *field* across matching documents."""
+        seen: List[Any] = []
+        for doc in self._iter_matching(query or {}):
+            value = get_path(doc, field)
+            if value is _MISSING:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, field: str) -> str:
+        """Create (or refresh) a hash index on a dotted *field* path."""
+        index = HashIndex(field)
+        index.rebuild(self._docs)
+        self._indexes[field] = index
+        return field
+
+    def drop_index(self, field: str) -> None:
+        self._indexes.pop(field, None)
+
+    def list_indexes(self) -> List[str]:
+        return list(self._indexes.keys())
+
+    # -- aggregation -------------------------------------------------------
+
+    def aggregate(self, pipeline: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run a small aggregation pipeline.
+
+        Supported stages: ``$match``, ``$project``, ``$sort``, ``$skip``,
+        ``$limit``, ``$group`` (accumulators ``$sum``, ``$avg``, ``$min``,
+        ``$max``, ``$count``, ``$push``, ``$addToSet``, ``$first``,
+        ``$last``), ``$unwind``, ``$count``.
+        """
+        docs: List[Dict[str, Any]] = [copy.deepcopy(d) for d in self._docs.values()]
+        for stage in pipeline:
+            if len(stage) != 1:
+                raise QueryError("each pipeline stage must have exactly one key")
+            op, spec = next(iter(stage.items()))
+            if op == "$match":
+                docs = [d for d in docs if matches(d, spec)]
+            elif op == "$project":
+                docs = [project(d, spec) for d in docs]
+            elif op == "$sort":
+                docs = sort_documents(docs, list(spec.items()))
+            elif op == "$skip":
+                docs = docs[int(spec):]
+            elif op == "$limit":
+                docs = docs[: int(spec)]
+            elif op == "$unwind":
+                field = spec.lstrip("$") if isinstance(spec, str) else spec["path"].lstrip("$")
+                unwound: List[Dict[str, Any]] = []
+                for d in docs:
+                    value = get_path(d, field)
+                    if isinstance(value, list):
+                        for item in value:
+                            clone = copy.deepcopy(d)
+                            parts = field.split(".")
+                            target = clone
+                            for part in parts[:-1]:
+                                target = target[part]
+                            target[parts[-1]] = item
+                            unwound.append(clone)
+                docs = unwound
+            elif op == "$count":
+                docs = [{str(spec): len(docs)}]
+            elif op == "$group":
+                docs = self._group(docs, spec)
+            else:
+                raise QueryError(f"unsupported aggregation stage: {op}")
+        return docs
+
+    @staticmethod
+    def _resolve(doc: Dict[str, Any], expr: Any) -> Any:
+        if isinstance(expr, str) and expr.startswith("$"):
+            value = get_path(doc, expr[1:])
+            return None if value is _MISSING else value
+        return expr
+
+    def _group(
+        self, docs: List[Dict[str, Any]], spec: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        if "_id" not in spec:
+            raise QueryError("$group requires an _id expression")
+        id_expr = spec["_id"]
+        groups: Dict[Any, List[Dict[str, Any]]] = {}
+        order: List[Any] = []
+        for doc in docs:
+            key = self._resolve(doc, id_expr)
+            hashable = repr(key) if isinstance(key, (list, dict)) else key
+            if hashable not in groups:
+                groups[hashable] = []
+                order.append((hashable, key))
+            groups[hashable].append(doc)
+        out: List[Dict[str, Any]] = []
+        for hashable, key in order:
+            members = groups[hashable]
+            row: Dict[str, Any] = {"_id": key}
+            for field, acc in spec.items():
+                if field == "_id":
+                    continue
+                if not isinstance(acc, dict) or len(acc) != 1:
+                    raise QueryError(f"bad accumulator for {field!r}")
+                acc_op, acc_expr = next(iter(acc.items()))
+                values = [self._resolve(m, acc_expr) for m in members]
+                numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+                if acc_op == "$sum":
+                    row[field] = sum(numeric)
+                elif acc_op == "$avg":
+                    row[field] = sum(numeric) / len(numeric) if numeric else None
+                elif acc_op == "$min":
+                    row[field] = min(numeric) if numeric else None
+                elif acc_op == "$max":
+                    row[field] = max(numeric) if numeric else None
+                elif acc_op == "$count":
+                    row[field] = len(members)
+                elif acc_op == "$push":
+                    row[field] = values
+                elif acc_op == "$addToSet":
+                    unique: List[Any] = []
+                    for v in values:
+                        if v not in unique:
+                            unique.append(v)
+                    row[field] = unique
+                elif acc_op == "$first":
+                    row[field] = values[0] if values else None
+                elif acc_op == "$last":
+                    row[field] = values[-1] if values else None
+                else:
+                    raise QueryError(f"unknown accumulator: {acc_op}")
+            out.append(row)
+        return out
+
+    # -- persistence --------------------------------------------------------
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write every document as one JSON line; returns the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for doc in self._docs.values():
+                handle.write(json.dumps(doc, default=str) + "\n")
+        return len(self._docs)
+
+    def load_jsonl(self, path: str) -> int:
+        """Load documents from a JSONL file; returns the count inserted."""
+        count = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                self.insert_one(json.loads(line))
+                count += 1
+        return count

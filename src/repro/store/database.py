@@ -1,0 +1,87 @@
+"""Database object grouping named collections, with disk snapshots.
+
+Stands in for the MongoDB instance in the paper's architecture (§4.1).
+A :class:`Database` is a namespace of :class:`~repro.store.Collection`
+objects plus whole-database JSONL snapshot/restore, which the examples use
+to persist generated corpora between runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from .collection import Collection
+from .errors import CollectionNotFound
+
+
+class Database:
+    """A named set of collections.
+
+    Collections are created lazily on first access, mirroring MongoDB:
+
+    >>> db = Database("news_diffusion")
+    >>> db["tweets"].insert_one({"text": "hello"})
+    1
+    >>> db.list_collections()
+    ['tweets']
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self._collections: Dict[str, Collection] = {}
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def collection(
+        self,
+        name: str,
+        validator: Optional[Callable[[dict], bool]] = None,
+    ) -> Collection:
+        """Get or create the collection called *name*."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name, validator=validator)
+        return self._collections[name]
+
+    def list_collections(self) -> List[str]:
+        return sorted(self._collections.keys())
+
+    def drop_collection(self, name: str) -> None:
+        if name not in self._collections:
+            raise CollectionNotFound(name)
+        del self._collections[name]
+
+    def drop_all(self) -> None:
+        self._collections.clear()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, directory: str) -> Dict[str, int]:
+        """Dump every collection to ``<directory>/<collection>.jsonl``."""
+        os.makedirs(directory, exist_ok=True)
+        counts: Dict[str, int] = {}
+        for name, coll in self._collections.items():
+            counts[name] = coll.dump_jsonl(os.path.join(directory, f"{name}.jsonl"))
+        return counts
+
+    def restore(self, directory: str) -> Dict[str, int]:
+        """Load every ``*.jsonl`` file in *directory* as a collection."""
+        if not os.path.isdir(directory):
+            raise CollectionNotFound(directory)
+        counts: Dict[str, int] = {}
+        for filename in sorted(os.listdir(directory)):
+            if not filename.endswith(".jsonl"):
+                continue
+            name = filename[: -len(".jsonl")]
+            counts[name] = self.collection(name).load_jsonl(
+                os.path.join(directory, filename)
+            )
+        return counts
+
+    def stats(self) -> Dict[str, int]:
+        """Document counts by collection."""
+        return {name: len(coll) for name, coll in self._collections.items()}

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the embedded document store.
+
+The paper stores collected news articles and tweets in MongoDB (§4.1).
+``repro.store`` is the in-process substitute; these exceptions mirror the
+failure modes client code must handle (bad queries, duplicate ids, missing
+collections).
+"""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class for all document-store errors."""
+
+
+class DuplicateKeyError(StoreError):
+    """Raised when inserting a document whose ``_id`` already exists."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"duplicate _id: {key!r}")
+        self.key = key
+
+
+class QueryError(StoreError):
+    """Raised when a query filter or update specification is malformed."""
+
+
+class CollectionNotFound(StoreError):
+    """Raised when dropping or loading a collection that does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"collection not found: {name!r}")
+        self.name = name
+
+
+class ValidationError(StoreError):
+    """Raised when a document violates a collection's validator."""

@@ -1,0 +1,112 @@
+"""Secondary hash indexes for the embedded document store.
+
+The paper's pipeline repeatedly looks tweets and articles up by exact field
+values (author handle, time-slice id, event id).  A hash index turns those
+equality scans into O(1) bucket lookups, which matters once the synthetic
+corpora reach tens of thousands of documents.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from .query import get_path, _MISSING
+
+
+def _hashable(value: Any) -> Any:
+    """Reduce *value* to a hashable index key (lists/dicts via repr)."""
+    if isinstance(value, (list, dict)):
+        return repr(value)
+    return value
+
+
+class HashIndex:
+    """Equality index over one dotted field path.
+
+    Maps each observed field value to the set of document ``_id``s holding
+    it.  Multi-key behaviour mirrors MongoDB: indexing a list field indexes
+    every element.
+    """
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+        self._buckets: Dict[Any, Set[Any]] = defaultdict(set)
+        self._keys_by_doc: Dict[Any, List[Any]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def _keys_for(self, document: Dict[str, Any]) -> List[Any]:
+        value = get_path(document, self.field)
+        if value is _MISSING:
+            return []
+        if isinstance(value, list):
+            return [_hashable(v) for v in value] or [_hashable(value)]
+        return [_hashable(value)]
+
+    def add(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        keys = self._keys_for(document)
+        self._keys_by_doc[doc_id] = keys
+        for key in keys:
+            self._buckets[key].add(doc_id)
+
+    def remove(self, doc_id: Any) -> None:
+        for key in self._keys_by_doc.pop(doc_id, []):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._buckets[key]
+
+    def update(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        self.remove(doc_id)
+        self.add(doc_id, document)
+
+    def lookup(self, value: Any) -> Set[Any]:
+        """Document ids whose indexed field equals *value*."""
+        return set(self._buckets.get(_hashable(value), ()))
+
+    def lookup_in(self, values: Iterable[Any]) -> Set[Any]:
+        """Document ids whose indexed field equals any of *values*."""
+        out: Set[Any] = set()
+        for value in values:
+            out |= self.lookup(value)
+        return out
+
+    def distinct_keys(self) -> List[Any]:
+        return list(self._buckets.keys())
+
+    def rebuild(self, documents: Dict[Any, Dict[str, Any]]) -> None:
+        self._buckets.clear()
+        self._keys_by_doc.clear()
+        for doc_id, document in documents.items():
+            self.add(doc_id, document)
+
+
+def plan_index_lookup(
+    query: Dict[str, Any], indexes: Dict[str, HashIndex]
+) -> Optional[Set[Any]]:
+    """Return a candidate ``_id`` set when an index can serve part of *query*.
+
+    Only top-level equality and ``$in`` conditions are index-eligible; the
+    remaining predicates are verified by the full matcher afterwards, so a
+    partial plan is always safe.
+    """
+    candidate: Optional[Set[Any]] = None
+    for field, condition in query.items():
+        if field.startswith("$") or field not in indexes:
+            continue
+        index = indexes[field]
+        ids: Optional[Set[Any]] = None
+        if isinstance(condition, dict):
+            if set(condition) == {"$eq"}:
+                ids = index.lookup(condition["$eq"])
+            elif set(condition) == {"$in"} and isinstance(condition["$in"], (list, tuple, set)):
+                ids = index.lookup_in(condition["$in"])
+        elif not isinstance(condition, dict):
+            ids = index.lookup(condition)
+        if ids is None:
+            continue
+        candidate = ids if candidate is None else candidate & ids
+    return candidate

@@ -1,0 +1,408 @@
+"""Mongo-style query matching and update application.
+
+The paper's deployment stores every corpus (raw news, raw tweets, the three
+preprocessed corpora, detected events) in MongoDB and retrieves them with
+filter documents.  This module implements the query dialect that the rest of
+the reproduction relies on:
+
+Comparison operators
+    ``$eq``, ``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$in``, ``$nin``
+
+Element / evaluation operators
+    ``$exists``, ``$type``, ``$regex``, ``$mod``, ``$size``, ``$where``
+
+Logical operators
+    ``$and``, ``$or``, ``$nor``, ``$not``
+
+Update operators
+    ``$set``, ``$unset``, ``$inc``, ``$mul``, ``$min``, ``$max``,
+    ``$rename``, ``$push``, ``$pull``, ``$addToSet``, ``$pop``
+
+Dotted paths (``"user.followers"``) address nested documents and list
+elements, as in MongoDB.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from .errors import QueryError
+
+_MISSING = object()
+
+_TYPE_NAMES = {
+    "double": float,
+    "string": str,
+    "object": dict,
+    "array": list,
+    "bool": bool,
+    "int": int,
+    "null": type(None),
+}
+
+
+def get_path(document: Any, path: str) -> Any:
+    """Resolve a dotted *path* inside *document*.
+
+    Returns the sentinel ``_MISSING`` (checked via :func:`path_exists`)
+    when any step of the path is absent.  Integer path segments index into
+    lists, mirroring MongoDB semantics.
+    """
+    current = document
+    for part in path.split("."):
+        if isinstance(current, dict):
+            if part not in current:
+                return _MISSING
+            current = current[part]
+        elif isinstance(current, (list, tuple)):
+            if not part.isdigit() or int(part) >= len(current):
+                return _MISSING
+            current = current[int(part)]
+        else:
+            return _MISSING
+    return current
+
+
+def path_exists(document: Any, path: str) -> bool:
+    """Return True when the dotted *path* resolves inside *document*."""
+    return get_path(document, path) is not _MISSING
+
+
+def _values_at(document: Any, path: str) -> List[Any]:
+    """All values addressed by *path*, fanning out across list elements.
+
+    MongoDB matches ``{"tags": "x"}`` when ``tags`` is a list containing
+    ``"x"``; this helper produces the candidate values for such matching.
+    """
+    value = get_path(document, path)
+    if value is _MISSING:
+        return []
+    if isinstance(value, list):
+        return [value] + list(value)
+    return [value]
+
+
+def _compare(op: Callable[[Any, Any], bool], left: Any, right: Any) -> bool:
+    """Apply a comparison, treating cross-type comparisons as non-matching."""
+    try:
+        return bool(op(left, right))
+    except TypeError:
+        return False
+
+
+def _match_operator(op: str, expected: Any, actual: Any) -> bool:
+    if op == "$eq":
+        return actual == expected
+    if op == "$ne":
+        return actual != expected
+    if op == "$gt":
+        return _compare(lambda a, b: a > b, actual, expected)
+    if op == "$gte":
+        return _compare(lambda a, b: a >= b, actual, expected)
+    if op == "$lt":
+        return _compare(lambda a, b: a < b, actual, expected)
+    if op == "$lte":
+        return _compare(lambda a, b: a <= b, actual, expected)
+    if op == "$in":
+        if not isinstance(expected, (list, tuple, set)):
+            raise QueryError("$in requires a list")
+        return actual in expected
+    if op == "$nin":
+        if not isinstance(expected, (list, tuple, set)):
+            raise QueryError("$nin requires a list")
+        return actual not in expected
+    if op == "$regex":
+        if not isinstance(actual, str):
+            return False
+        pattern = expected.pattern if isinstance(expected, re.Pattern) else str(expected)
+        return re.search(pattern, actual) is not None
+    if op == "$mod":
+        if (
+            not isinstance(expected, (list, tuple))
+            or len(expected) != 2
+            or not all(isinstance(x, (int, float)) for x in expected)
+        ):
+            raise QueryError("$mod requires [divisor, remainder]")
+        divisor, remainder = expected
+        if divisor == 0:
+            raise QueryError("$mod divisor must be non-zero")
+        if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+            return False
+        return actual % divisor == remainder
+    if op == "$size":
+        return isinstance(actual, list) and len(actual) == expected
+    if op == "$type":
+        if expected not in _TYPE_NAMES:
+            raise QueryError(f"unknown $type: {expected!r}")
+        python_type = _TYPE_NAMES[expected]
+        if python_type is int and isinstance(actual, bool):
+            return False
+        return isinstance(actual, python_type)
+    raise QueryError(f"unknown query operator: {op}")
+
+
+def _is_operator_doc(value: Any) -> bool:
+    return isinstance(value, dict) and value and all(
+        isinstance(k, str) and k.startswith("$") for k in value
+    )
+
+
+def _match_condition(document: Any, path: str, condition: Any) -> bool:
+    """Match one ``field: condition`` pair against *document*."""
+    if _is_operator_doc(condition):
+        for op, expected in condition.items():
+            if op == "$exists":
+                if path_exists(document, path) != bool(expected):
+                    return False
+                continue
+            if op == "$not":
+                if _match_condition(document, path, expected):
+                    return False
+                continue
+            if op == "$elemMatch":
+                value = get_path(document, path)
+                if not isinstance(value, list):
+                    return False
+                if not any(matches(elem, expected) for elem in value if isinstance(elem, dict)):
+                    return False
+                continue
+            if op == "$all":
+                if not isinstance(expected, (list, tuple)):
+                    raise QueryError("$all requires a list")
+                value = get_path(document, path)
+                if not isinstance(value, list):
+                    return False
+                if not all(item in value for item in expected):
+                    return False
+                continue
+            candidates = _values_at(document, path)
+            if op in ("$ne", "$nin"):
+                # Negated operators must hold for every addressed value and
+                # also match when the field is missing (MongoDB semantics).
+                if not candidates:
+                    continue
+                if not all(_match_operator(op, expected, c) for c in candidates):
+                    return False
+            else:
+                if not any(_match_operator(op, expected, c) for c in candidates):
+                    return False
+        return True
+    # Plain equality (possibly against list elements).
+    candidates = _values_at(document, path)
+    if isinstance(condition, re.Pattern):
+        return any(isinstance(c, str) and condition.search(c) for c in candidates)
+    return any(c == condition for c in candidates)
+
+
+def matches(document: Dict[str, Any], query: Dict[str, Any]) -> bool:
+    """Return True when *document* satisfies the Mongo-style *query*."""
+    if not isinstance(query, dict):
+        raise QueryError("query must be a dict")
+    for key, condition in query.items():
+        if key == "$and":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QueryError("$and requires a non-empty list")
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QueryError("$or requires a non-empty list")
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QueryError("$nor requires a non-empty list")
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$where":
+            if not callable(condition):
+                raise QueryError("$where requires a callable")
+            if not condition(document):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator: {key}")
+        else:
+            if not _match_condition(document, key, condition):
+                return False
+    return True
+
+
+def _set_path(document: Dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        nxt = current.get(part) if isinstance(current, dict) else None
+        if not isinstance(nxt, dict):
+            nxt = {}
+            current[part] = nxt
+        current = nxt
+    current[parts[-1]] = value
+
+
+def _unset_path(document: Dict[str, Any], path: str) -> None:
+    parts = path.split(".")
+    current: Any = document
+    for part in parts[:-1]:
+        if not isinstance(current, dict) or part not in current:
+            return
+        current = current[part]
+    if isinstance(current, dict):
+        current.pop(parts[-1], None)
+
+
+def _numeric(value: Any, op: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"{op} requires a numeric field, got {type(value).__name__}")
+    return value
+
+
+def apply_update(document: Dict[str, Any], update: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply a Mongo-style *update* document to *document* in place.
+
+    An update with no ``$`` operators is a full-document replacement that
+    preserves ``_id``, as in MongoDB.
+    """
+    if not isinstance(update, dict):
+        raise QueryError("update must be a dict")
+    has_ops = any(k.startswith("$") for k in update)
+    if not has_ops:
+        doc_id = document.get("_id")
+        document.clear()
+        document.update(update)
+        if doc_id is not None and "_id" not in document:
+            document["_id"] = doc_id
+        return document
+
+    for op, spec in update.items():
+        if not op.startswith("$"):
+            raise QueryError("cannot mix operator and replacement updates")
+        if not isinstance(spec, dict):
+            raise QueryError(f"{op} requires a dict specification")
+        for path, value in spec.items():
+            if op == "$set":
+                _set_path(document, path, value)
+            elif op == "$unset":
+                _unset_path(document, path)
+            elif op == "$inc":
+                current = get_path(document, path)
+                base = 0 if current is _MISSING else _numeric(current, "$inc")
+                _set_path(document, path, base + _numeric(value, "$inc"))
+            elif op == "$mul":
+                current = get_path(document, path)
+                base = 0 if current is _MISSING else _numeric(current, "$mul")
+                _set_path(document, path, base * _numeric(value, "$mul"))
+            elif op == "$min":
+                current = get_path(document, path)
+                if current is _MISSING or _compare(lambda a, b: a < b, value, current):
+                    _set_path(document, path, value)
+            elif op == "$max":
+                current = get_path(document, path)
+                if current is _MISSING or _compare(lambda a, b: a > b, value, current):
+                    _set_path(document, path, value)
+            elif op == "$rename":
+                current = get_path(document, path)
+                if current is not _MISSING:
+                    _unset_path(document, path)
+                    _set_path(document, str(value), current)
+            elif op == "$push":
+                current = get_path(document, path)
+                if current is _MISSING:
+                    _set_path(document, path, [value])
+                elif isinstance(current, list):
+                    current.append(value)
+                else:
+                    raise QueryError("$push target is not a list")
+            elif op == "$addToSet":
+                current = get_path(document, path)
+                if current is _MISSING:
+                    _set_path(document, path, [value])
+                elif isinstance(current, list):
+                    if value not in current:
+                        current.append(value)
+                else:
+                    raise QueryError("$addToSet target is not a list")
+            elif op == "$pull":
+                current = get_path(document, path)
+                if isinstance(current, list):
+                    if _is_operator_doc(value):
+                        current[:] = [
+                            item
+                            for item in current
+                            if not _match_condition({"v": item}, "v", value)
+                        ]
+                    else:
+                        current[:] = [item for item in current if item != value]
+            elif op == "$pop":
+                current = get_path(document, path)
+                if isinstance(current, list) and current:
+                    if value == 1:
+                        current.pop()
+                    elif value == -1:
+                        current.pop(0)
+                    else:
+                        raise QueryError("$pop requires 1 or -1")
+            else:
+                raise QueryError(f"unknown update operator: {op}")
+    return document
+
+
+def project(document: Dict[str, Any], projection: Optional[Dict[str, int]]) -> Dict[str, Any]:
+    """Apply a Mongo-style projection (inclusion or exclusion, not mixed)."""
+    if not projection:
+        return document
+    include_id = projection.get("_id", 1)
+    fields = {k: v for k, v in projection.items() if k != "_id"}
+    modes = set(fields.values())
+    if modes - {0, 1}:
+        raise QueryError("projection values must be 0 or 1")
+    if len(modes) > 1:
+        raise QueryError("cannot mix inclusion and exclusion in a projection")
+    if not fields:
+        if include_id:
+            return document
+        return {k: v for k, v in document.items() if k != "_id"}
+    if modes == {1}:
+        out: Dict[str, Any] = {}
+        for path in fields:
+            value = get_path(document, path)
+            if value is not _MISSING:
+                _set_path(out, path, value)
+        if include_id and "_id" in document:
+            out["_id"] = document["_id"]
+        return out
+    out = {k: v for k, v in document.items()}
+    for path in fields:
+        _unset_path(out, path)
+    if not include_id:
+        out.pop("_id", None)
+    return out
+
+
+def sort_documents(
+    documents: Iterable[Dict[str, Any]],
+    spec: Sequence,
+) -> List[Dict[str, Any]]:
+    """Sort documents by a ``[(field, direction), ...]`` specification.
+
+    Missing values sort before present ones on ascending order, after them
+    on descending order (approximating BSON's "missing sorts lowest").
+    """
+    docs = list(documents)
+    for field, direction in reversed(list(spec)):
+        if direction not in (1, -1):
+            raise QueryError("sort direction must be 1 or -1")
+
+        def key(doc: Dict[str, Any]) -> tuple:
+            value = get_path(doc, field)
+            if value is _MISSING or value is None:
+                return (0, "", 0)
+            # Group by type name so heterogeneous fields never raise; within
+            # a type group the natural ordering applies.
+            type_name = "int" if isinstance(value, bool) else type(value).__name__
+            if isinstance(value, (list, dict)):
+                return (1, type_name, len(value))
+            return (1, type_name, value)
+
+        docs.sort(key=key, reverse=(direction == -1))
+    return docs

@@ -1,0 +1,45 @@
+"""NLP substrate — tokenization, lemmatization, NER, stopwords, vocabulary.
+
+Replaces the SpaCy components the paper uses in its preprocessing modules
+(§4.2).  The three corpus pipelines (NewsTM, NewsED, TwitterED) live in
+:mod:`repro.text.preprocess`.
+"""
+
+from .lemmatizer import Lemmatizer
+from .ner import EntityRecognizer, DEFAULT_GAZETTEER
+from .preprocess import (
+    build_corpus,
+    preprocess_for_event_detection,
+    preprocess_for_topic_modeling,
+)
+from .stopwords import ENGLISH_STOPWORDS, is_stopword, remove_stopwords
+from .tokenizer import (
+    is_hashtag,
+    is_mention,
+    is_punctuation,
+    is_url,
+    sentences,
+    tokenize,
+    words,
+)
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "Lemmatizer",
+    "EntityRecognizer",
+    "DEFAULT_GAZETTEER",
+    "Vocabulary",
+    "ENGLISH_STOPWORDS",
+    "is_stopword",
+    "remove_stopwords",
+    "tokenize",
+    "words",
+    "sentences",
+    "is_punctuation",
+    "is_url",
+    "is_mention",
+    "is_hashtag",
+    "preprocess_for_topic_modeling",
+    "preprocess_for_event_detection",
+    "build_corpus",
+]

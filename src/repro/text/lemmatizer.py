@@ -1,0 +1,174 @@
+"""Suffix-rule lemmatizer with an exception table.
+
+Replaces SpaCy's lemmatizer in the NewsTM preprocessing pipeline (§4.2:
+"extract lemmas to minimize the vocabulary and store only the base root").
+The approach is the classic rule cascade (irregulars first, then ordered
+suffix transformations with a minimum-stem-length guard), which is the same
+family of algorithm SpaCy's lookup lemmatizer uses for English.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# Irregular forms that suffix rules would mangle.
+IRREGULAR_LEMMAS: Dict[str, str] = {
+    # verbs
+    "was": "be", "were": "be", "is": "be", "are": "be", "am": "be", "been": "be",
+    "being": "be", "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do", "doing": "do",
+    "said": "say", "says": "say", "went": "go", "gone": "go", "goes": "go",
+    "made": "make", "making": "make", "took": "take", "taken": "take",
+    "came": "come", "got": "get", "gotten": "get", "saw": "see", "seen": "see",
+    "knew": "know", "known": "know", "thought": "think", "told": "tell",
+    "became": "become", "began": "begin", "begun": "begin", "brought": "bring",
+    "bought": "buy", "caught": "catch", "chose": "choose", "chosen": "choose",
+    "fell": "fall", "fallen": "fall", "felt": "feel", "found": "find",
+    "gave": "give", "given": "give", "grew": "grow", "grown": "grow",
+    "held": "hold", "kept": "keep", "led": "lead", "left": "leave",
+    "lost": "lose", "met": "meet", "paid": "pay", "ran": "run", "rose": "rise",
+    "risen": "rise", "sent": "send", "sold": "sell", "spent": "spend",
+    "spoke": "speak", "spoken": "speak", "stood": "stand", "struck": "strike",
+    "threw": "throw", "thrown": "throw", "understood": "understand",
+    "voted": "vote", "won": "win", "wrote": "write", "written": "write",
+    "broke": "break", "broken": "break", "drew": "draw", "drawn": "draw",
+    "fought": "fight", "heard": "hear", "hit": "hit", "meant": "mean",
+    "put": "put", "read": "read", "set": "set", "shot": "shoot",
+    "added": "add", "adding": "add", "odds": "odds", "news": "news",
+    # nouns
+    "men": "man", "women": "woman", "children": "child", "people": "people",
+    "feet": "foot", "teeth": "tooth", "mice": "mouse", "geese": "goose",
+    "lives": "life", "wives": "wife", "knives": "knife", "leaves": "leaf",
+    "wolves": "wolf", "halves": "half", "shelves": "shelf", "selves": "self",
+    "media": "medium", "data": "data", "crises": "crisis", "analyses": "analysis",
+    "countries": "country", "parties": "party", "companies": "company",
+    "policies": "policy", "economies": "economy", "studies": "study",
+    "bodies": "body", "stories": "story", "authorities": "authority",
+    # adjectives / adverbs
+    "better": "good", "best": "good", "worse": "bad", "worst": "bad",
+    "more": "many", "most": "many", "less": "little", "least": "little",
+    "further": "far", "farther": "far",
+}
+
+# (suffix, replacement, min_stem_length) tried in order; the stem length
+# guard stops "as" -> "a" style destruction.
+SUFFIX_RULES: List[Tuple[str, str, int]] = [
+    ("ization", "ize", 3),
+    ("isation", "ise", 3),
+    ("fulness", "ful", 3),
+    ("ousness", "ous", 3),
+    ("iveness", "ive", 3),
+    ("ations", "ate", 3),
+    ("ation", "ate", 3),
+    ("ingly", "", 4),
+    ("edly", "", 4),
+    ("iest", "y", 3),
+    ("ies", "y", 3),
+    ("ied", "y", 3),
+    ("ier", "y", 3),
+    ("ily", "y", 3),
+    ("sses", "ss", 2),
+    ("shes", "sh", 3),
+    ("ches", "ch", 3),
+    ("xes", "x", 2),
+    ("zes", "z", 2),
+    ("ves", "f", 3),
+    ("ing", "", 3),
+    ("ed", "", 3),
+    ("ly", "", 4),
+    ("s", "", 3),
+]
+
+# Words where stripping a final "s" would destroy the root.
+_S_ENDINGS_KEPT = ("ss", "us", "is", "ous")
+
+_DOUBLED_FINAL = set("bdfgklmnprt")
+_VOWELS = set("aeiou")
+
+
+def _restore_e(stem: str) -> str:
+    """After stripping -ing/-ed, restore a dropped final 'e' when likely.
+
+    ``making -> mak -> make``; ``voting -> vot -> vote``.  Heuristic: a
+    short stem (<= 4 chars) ending consonant-vowel-consonant dropped an
+    'e' before the suffix; longer stems only when they end in a pattern
+    that almost always carries one (-at, -iz, -is, -ut, or c/g/s/u/v/z).
+    """
+    if len(stem) < 3 or stem[-1] in _VOWELS or stem[-1] in "wxy":
+        return stem
+    cvc = stem[-2] in _VOWELS and (len(stem) < 3 or stem[-3] not in _VOWELS)
+    if not cvc:
+        return stem
+    if len(stem) <= 4:
+        return stem + "e"
+    if stem[-1] in "cgsuvz" or stem.endswith(("at", "iz", "is", "ut")):
+        return stem + "e"
+    return stem
+
+
+def _undouble(stem: str):
+    """Collapse doubled final consonants produced by -ing/-ed stripping.
+
+    ``running -> runn -> run``; ``stopped -> stopp -> stop``.  Returns
+    ``(stem, undoubled)`` — an undoubled stem never needs 'e' restoration
+    (the doubling itself signalled the short vowel).
+    """
+    if (
+        len(stem) >= 3
+        and stem[-1] == stem[-2]
+        and stem[-1] in _DOUBLED_FINAL
+        and not stem.endswith(("ll", "ss", "ff"))
+    ):
+        return stem[:-1], True
+    return stem, False
+
+
+class Lemmatizer:
+    """English lemmatizer: exception lookup, then ordered suffix rules.
+
+    >>> Lemmatizer().lemma("elections")
+    'election'
+    >>> Lemmatizer().lemma("running")
+    'run'
+    >>> Lemmatizer().lemma("went")
+    'go'
+    """
+
+    def __init__(self, extra_exceptions: Dict[str, str] = None) -> None:
+        self._exceptions = dict(IRREGULAR_LEMMAS)
+        if extra_exceptions:
+            self._exceptions.update(extra_exceptions)
+        self._cache: Dict[str, str] = {}
+
+    def lemma(self, token: str) -> str:
+        """Return the lemma of *token* (lower-cased)."""
+        word = token.lower()
+        if word in self._cache:
+            return self._cache[word]
+        result = self._lemma_uncached(word)
+        self._cache[word] = result
+        return result
+
+    def _lemma_uncached(self, word: str) -> str:
+        if word in self._exceptions:
+            return self._exceptions[word]
+        if len(word) <= 3 or not word.isalpha():
+            return word
+        for suffix, replacement, min_stem in SUFFIX_RULES:
+            if word.endswith(suffix):
+                if suffix == "s" and word.endswith(_S_ENDINGS_KEPT):
+                    continue
+                stem = word[: len(word) - len(suffix)]
+                if len(stem) < min_stem:
+                    continue
+                stem += replacement
+                if suffix in ("ing", "ed"):
+                    stem, undoubled = _undouble(stem)
+                    if not undoubled:
+                        stem = _restore_e(stem)
+                return stem
+        return word
+
+    def lemmatize(self, tokens) -> List[str]:
+        """Lemmatize a token sequence."""
+        return [self.lemma(tok) for tok in tokens]

@@ -1,0 +1,151 @@
+"""Shape- and gazetteer-based named entity recognizer.
+
+The NewsTM pipeline (§4.2) "extracts named entities to treat them as
+concepts and not as simple terms" — e.g. *New York Times* must survive as
+one vocabulary item rather than three stopword-riddled tokens.  SpaCy is
+unavailable offline, so this recognizer combines:
+
+1. a gazetteer of known multi-word entities (extensible by the caller), and
+2. a shape heuristic: maximal runs of capitalised tokens not at sentence
+   start, allowing internal connectors (*of*, *the*, *de*).
+
+Matched spans are merged into single underscore-joined concept tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .stopwords import is_stopword
+from .tokenizer import sentences, tokenize
+
+DEFAULT_GAZETTEER: Tuple[str, ...] = (
+    "new york times", "washington post", "wall street journal", "white house",
+    "european union", "united states", "united kingdom", "united nations",
+    "theresa may", "donald trump", "boris johnson", "joe biden",
+    "nancy pelosi", "shinzo abe", "kentucky derby", "maximum security",
+    "supreme court", "middle east", "north korea", "south korea",
+    "saudi arabia", "hong kong", "federal reserve", "world cup",
+    "premier league", "manchester united", "manchester city",
+    "silicon valley", "wall street", "game of thrones",
+)
+
+_CONNECTORS: Set[str] = {"of", "the", "de", "for", "and", "al"}
+
+
+def _is_capitalized(token: str) -> bool:
+    return token[:1].isupper() and token[1:].islower() and token.isalpha()
+
+
+def _is_all_caps(token: str) -> bool:
+    return len(token) > 1 and token.isalpha() and token.isupper()
+
+
+class EntityRecognizer:
+    """Finds named-entity spans and rewrites them as concept tokens.
+
+    >>> ner = EntityRecognizer()
+    >>> ner.merge_entities("The White House denied the report.")
+    ['The', 'white_house', 'denied', 'the', 'report', '.']
+    """
+
+    def __init__(self, gazetteer: Iterable[str] = DEFAULT_GAZETTEER) -> None:
+        self._gazetteer: Set[Tuple[str, ...]] = {
+            tuple(entry.lower().split()) for entry in gazetteer
+        }
+        self._max_gaz_len = max((len(g) for g in self._gazetteer), default=1)
+
+    def add_entities(self, entries: Iterable[str]) -> None:
+        """Extend the gazetteer with additional known entities."""
+        for entry in entries:
+            parts = tuple(entry.lower().split())
+            if parts:
+                self._gazetteer.add(parts)
+                self._max_gaz_len = max(self._max_gaz_len, len(parts))
+
+    def _gazetteer_match(self, lowered: Sequence[str], start: int) -> int:
+        """Longest gazetteer match starting at *start*; returns end index."""
+        best = 0
+        limit = min(self._max_gaz_len, len(lowered) - start)
+        for length in range(limit, 1, -1):
+            if tuple(lowered[start:start + length]) in self._gazetteer:
+                best = length
+                break
+        return start + best if best else 0
+
+    def _shape_span(self, tokens: Sequence[str], start: int, sentence_start: bool) -> int:
+        """Length of a capitalised-run entity starting at *start* (0 if none)."""
+        if not (_is_capitalized(tokens[start]) or _is_all_caps(tokens[start])):
+            return 0
+        # A sentence-initial determiner/adverb ("The", "Yesterday") is
+        # capitalised by grammar, not because it names something; letting
+        # it open a span swallows the real entity behind it.
+        if sentence_start and is_stopword(tokens[start]) and not _is_all_caps(tokens[start]):
+            return 0
+        end = start + 1
+        while end < len(tokens):
+            tok = tokens[end]
+            if _is_capitalized(tok) or _is_all_caps(tok):
+                end += 1
+            elif tok.lower() in _CONNECTORS and end + 1 < len(tokens) and (
+                _is_capitalized(tokens[end + 1]) or _is_all_caps(tokens[end + 1])
+            ):
+                # A connector may not be the second element of a span that
+                # opens the sentence: "Read the New York Times" must not
+                # fuse the verb with the entity behind it.
+                if sentence_start and end == start + 1:
+                    break
+                end += 2
+            else:
+                break
+        length = end - start
+        # A lone capitalised sentence-initial word is usually not an entity.
+        if length == 1 and sentence_start and not _is_all_caps(tokens[start]):
+            return 0
+        return length
+
+    def entities(self, text: str) -> List[str]:
+        """Named entities found in *text*, as lower-cased surface strings."""
+        found: List[str] = []
+        for tokens, _flags in self._sentence_tokens(text):
+            lowered = [t.lower() for t in tokens]
+            i = 0
+            while i < len(tokens):
+                gaz_end = self._gazetteer_match(lowered, i)
+                if gaz_end:
+                    found.append(" ".join(lowered[i:gaz_end]))
+                    i = gaz_end
+                    continue
+                span = self._shape_span(tokens, i, sentence_start=(i == 0))
+                if span >= 2:
+                    found.append(" ".join(lowered[i:i + span]))
+                    i += span
+                else:
+                    i += 1
+        return found
+
+    def _sentence_tokens(self, text: str):
+        for sentence in sentences(text):
+            tokens = tokenize(sentence)
+            yield tokens, None
+
+    def merge_entities(self, text: str) -> List[str]:
+        """Tokenize *text*, rewriting entity spans as ``foo_bar`` concepts."""
+        out: List[str] = []
+        for tokens, _flags in self._sentence_tokens(text):
+            lowered = [t.lower() for t in tokens]
+            i = 0
+            while i < len(tokens):
+                gaz_end = self._gazetteer_match(lowered, i)
+                if gaz_end:
+                    out.append("_".join(lowered[i:gaz_end]))
+                    i = gaz_end
+                    continue
+                span = self._shape_span(tokens, i, sentence_start=(i == 0))
+                if span >= 2:
+                    out.append("_".join(lowered[i:i + span]))
+                    i += span
+                else:
+                    out.append(tokens[i])
+                    i += 1
+        return out

@@ -1,0 +1,100 @@
+"""The three preprocessing pipelines of §4.2.
+
+The paper builds three corpora from the raw collections:
+
+* ``NewsTM``   — news articles for topic modeling: named-entity merging,
+  lemmatization, punctuation and stopword removal;
+* ``NewsED``   — news articles for event detection: punctuation removal +
+  tokenization only (replicating pyMABED's original preprocessing);
+* ``TwitterED`` — tweets for event detection: same minimal pipeline.
+
+Each function maps raw text to a token list; the corpus-level helpers read
+from / write to the document store the way the deployed system used
+MongoDB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..store import Collection
+from .lemmatizer import Lemmatizer
+from .ner import EntityRecognizer
+from .stopwords import remove_stopwords
+from .tokenizer import is_punctuation, is_url, words
+
+_SHARED_LEMMATIZER = Lemmatizer()
+_SHARED_NER = EntityRecognizer()
+
+
+def preprocess_for_topic_modeling(
+    text: str,
+    lemmatizer: Optional[Lemmatizer] = None,
+    ner: Optional[EntityRecognizer] = None,
+) -> List[str]:
+    """NewsTM pipeline: NER concepts + lemmas, minus punctuation/stopwords.
+
+    Entity spans become single underscore-joined concept tokens and are
+    *not* lemmatized ("treat them as concepts and not as simple terms");
+    remaining tokens are lemmatized, then punctuation and stopwords drop.
+    """
+    lemmatizer = lemmatizer or _SHARED_LEMMATIZER
+    ner = ner or _SHARED_NER
+    merged = ner.merge_entities(text)
+    out: List[str] = []
+    for token in merged:
+        if is_punctuation(token) or is_url(token):
+            continue
+        if "_" in token:
+            out.append(token)  # concept token, kept verbatim
+            continue
+        lowered = token.lower()
+        if not lowered.isalpha():
+            continue
+        out.append(lemmatizer.lemma(lowered))
+    return remove_stopwords(out)
+
+
+def preprocess_for_event_detection(text: str) -> List[str]:
+    """NewsED / TwitterED pipeline: remove punctuation, tokenize, lowercase.
+
+    Deliberately minimal, matching the original MABED preprocessing the
+    paper replicates.
+    """
+    return words(text, lowercase=True)
+
+
+def build_corpus(
+    source: Collection,
+    target: Collection,
+    pipeline: str,
+    text_field: str = "text",
+    copy_fields: Iterable[str] = ("created_at", "author", "followers", "likes", "retweets"),
+) -> int:
+    """Materialize a preprocessed corpus collection from a raw one.
+
+    *pipeline* is ``"topic_modeling"`` or ``"event_detection"``.  Each
+    output document carries ``tokens`` plus the requested metadata fields,
+    mirroring how the deployed system stores preprocessed corpora back into
+    MongoDB.  Returns the number of documents written.
+    """
+    if pipeline == "topic_modeling":
+        func = preprocess_for_topic_modeling
+    elif pipeline == "event_detection":
+        func = preprocess_for_event_detection
+    else:
+        raise ValueError(f"unknown pipeline: {pipeline!r}")
+
+    count = 0
+    for doc in source.find():
+        text = doc.get(text_field, "")
+        record: Dict[str, object] = {
+            "source_id": doc["_id"],
+            "tokens": func(text),
+        }
+        for field in copy_fields:
+            if field in doc:
+                record[field] = doc[field]
+        target.insert_one(record)
+        count += 1
+    return count

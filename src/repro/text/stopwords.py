@@ -1,0 +1,44 @@
+"""English stopword list used by the NewsTM preprocessing pipeline.
+
+The paper removes stopwords before topic modeling (§4.2) because they "do
+not add any information gain".  The list below merges the classic Snowball
+English list with web/Twitter-era function words; it is deliberately static
+so preprocessing is deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can can't cannot
+    could couldn't did didn't do does doesn't doing don't down during each
+    few for from further had hadn't has hasn't have haven't having he he'd
+    he'll he's her here here's hers herself him himself his how how's i i'd
+    i'll i'm i've if in into is isn't it it's its itself let's me more most
+    mustn't my myself no nor not of off on once only or other ought our ours
+    ourselves out over own same shan't she she'd she'll she's should
+    shouldn't so some such than that that's the their theirs them themselves
+    then there there's these they they'd they'll they're they've this those
+    through to too under until up very was wasn't we we'd we'll we're we've
+    were weren't what what's when when's where where's which while who who's
+    whom why why's with won't would wouldn't you you'd you'll you're you've
+    your yours yourself yourselves
+    also just like get got one two via says said say new will may amp rt im
+    dont u ur us even still really much many back go going went make made
+    see want know take need come time today day says yet ago per according
+    among amid told people year years week weeks yesterday tomorrow
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """True when *token* (case-insensitive) is an English stopword."""
+    return token.lower() in ENGLISH_STOPWORDS
+
+
+def remove_stopwords(tokens: Iterable[str]) -> list:
+    """Filter stopwords out of a token sequence, preserving order."""
+    return [tok for tok in tokens if tok.lower() not in ENGLISH_STOPWORDS]

@@ -1,0 +1,90 @@
+"""Rule-based tokenizer for news articles and tweets.
+
+Replaces the SpaCy tokenizer used in the paper's preprocessing modules
+(§4.2).  Handles the entities that matter for the two corpora:
+
+* URLs, @mentions, #hashtags (tweets),
+* contractions and hyphenated words (news prose),
+* numbers (incl. decimals, thousands separators, percentages),
+* punctuation stripping for the MABED-style "remove punctuation and
+  tokenize" pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# Ordered alternation: specific web tokens first, then words, then numbers.
+_TOKEN_RE = re.compile(
+    r"""
+    (?:https?://\S+|www\.\S+)          # URLs
+    |[@\#][A-Za-z_][A-Za-z0-9_]*       # @mentions and #hashtags
+    |[A-Za-z]+(?:'[A-Za-z]+)?          # words with optional contraction
+    |\d+(?:[.,]\d+)*%?                 # numbers, decimals, percentages
+    |[^\sA-Za-z0-9]                    # any single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+_PUNCT_RE = re.compile(r"^[^\sA-Za-z0-9@#]$")
+_URL_RE = re.compile(r"^(?:https?://|www\.)", re.IGNORECASE)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into tokens, keeping punctuation as single tokens."""
+    if not text:
+        return []
+    return _TOKEN_RE.findall(text)
+
+
+def is_punctuation(token: str) -> bool:
+    """True for single punctuation-mark tokens."""
+    return bool(_PUNCT_RE.match(token))
+
+
+def is_url(token: str) -> bool:
+    """True for URL tokens."""
+    return bool(_URL_RE.match(token))
+
+
+def is_mention(token: str) -> bool:
+    """True for @mention tokens."""
+    return token.startswith("@") and len(token) > 1
+
+
+def is_hashtag(token: str) -> bool:
+    """True for #hashtag tokens."""
+    return token.startswith("#") and len(token) > 1
+
+
+def words(text: str, lowercase: bool = True) -> List[str]:
+    """Tokenize and keep only word-like tokens (drops punctuation/URLs).
+
+    This is the "removal of punctuation + tokenization" pipeline the paper
+    applies to the NewsED and TwitterED corpora before MABED.  Hashtags and
+    mentions are kept with their sigil stripped, since MABED treats them as
+    ordinary terms.
+    """
+    out: List[str] = []
+    for token in tokenize(text):
+        if is_url(token) or is_punctuation(token):
+            continue
+        if token in ("@", "#"):  # bare sigils carry no content
+            continue
+        if is_mention(token) or is_hashtag(token):
+            token = token[1:]
+        if lowercase:
+            token = token.lower()
+        out.append(token)
+    return out
+
+
+def sentences(text: str) -> List[str]:
+    """Naive sentence splitter on terminal punctuation.
+
+    Good enough for the shape-based NER pass, which only needs to know
+    whether a capitalised word starts a sentence.
+    """
+    parts = re.split(r"(?<=[.!?])\s+", text.strip())
+    return [p for p in parts if p]

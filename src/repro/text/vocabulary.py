@@ -1,0 +1,135 @@
+"""Vocabulary: bidirectional term <-> index mapping with frequency pruning.
+
+Shared by the document-term matrix builder (topic modeling), MABED's
+candidate-word selection, and Word2Vec's negative-sampling table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+
+class Vocabulary:
+    """Orders distinct terms and tracks corpus statistics.
+
+    Terms receive indexes in decreasing frequency order (ties broken
+    alphabetically) so that index 0 is always the most frequent term —
+    handy for frequency-bucketed sampling tables.
+    """
+
+    def __init__(self) -> None:
+        self._term_to_index: Dict[str, int] = {}
+        self._index_to_term: List[str] = []
+        self._term_counts: Counter = Counter()
+        self._doc_counts: Counter = Counter()
+        self._num_docs = 0
+        self._finalized = False
+
+    # -- construction ---------------------------------------------------------
+
+    def add_document(self, tokens: Sequence[str]) -> None:
+        """Record one document's tokens (term and document frequencies)."""
+        if self._finalized:
+            raise RuntimeError("vocabulary already finalized")
+        self._num_docs += 1
+        self._term_counts.update(tokens)
+        self._doc_counts.update(set(tokens))
+
+    def finalize(
+        self,
+        min_count: int = 1,
+        min_df: int = 1,
+        max_df_ratio: float = 1.0,
+        max_size: Optional[int] = None,
+    ) -> "Vocabulary":
+        """Freeze the vocabulary, applying frequency pruning.
+
+        Parameters mirror scikit-learn's vectorizers: *min_count* filters by
+        total term frequency, *min_df*/*max_df_ratio* by document frequency,
+        *max_size* keeps only the most frequent terms.
+        """
+        if self._finalized:
+            raise RuntimeError("vocabulary already finalized")
+        max_df = max_df_ratio * max(self._num_docs, 1)
+        eligible = [
+            term
+            for term, count in self._term_counts.items()
+            if count >= min_count
+            and self._doc_counts[term] >= min_df
+            and self._doc_counts[term] <= max_df
+        ]
+        eligible.sort(key=lambda t: (-self._term_counts[t], t))
+        if max_size is not None:
+            eligible = eligible[:max_size]
+        self._index_to_term = eligible
+        self._term_to_index = {term: i for i, term in enumerate(eligible)}
+        self._finalized = True
+        return self
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[Sequence[str]],
+        min_count: int = 1,
+        min_df: int = 1,
+        max_df_ratio: float = 1.0,
+        max_size: Optional[int] = None,
+    ) -> "Vocabulary":
+        """Build and finalize a vocabulary in one pass."""
+        vocab = cls()
+        for doc in documents:
+            vocab.add_document(doc)
+        return vocab.finalize(
+            min_count=min_count,
+            min_df=min_df,
+            max_df_ratio=max_df_ratio,
+            max_size=max_size,
+        )
+
+    # -- lookups ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index_to_term)
+
+    def index(self, term: str) -> int:
+        """Index of *term*; raises KeyError when absent."""
+        return self._term_to_index[term]
+
+    def get_index(self, term: str, default: int = -1) -> int:
+        return self._term_to_index.get(term, default)
+
+    def term(self, index: int) -> str:
+        """Term at *index*; raises IndexError when out of range."""
+        return self._index_to_term[index]
+
+    def terms(self) -> List[str]:
+        return list(self._index_to_term)
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Indexes of the in-vocabulary tokens, preserving order."""
+        return [
+            self._term_to_index[tok]
+            for tok in tokens
+            if tok in self._term_to_index
+        ]
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_docs
+
+    def term_frequency(self, term: str) -> int:
+        """Total corpus frequency of *term* (0 when unseen)."""
+        return self._term_counts.get(term, 0)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing *term* (0 when unseen)."""
+        return self._doc_counts.get(term, 0)

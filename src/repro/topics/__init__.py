@@ -1,0 +1,23 @@
+"""Topic modeling (§3.2, §4.3): NMF core plus LDA/LSA baselines."""
+
+from .coherence import mean_coherence, topic_diversity, umass_coherence
+from .lda import LatentDirichletAllocation, LDAResult
+from .lsa import LSA, LSAResult
+from .nmf import NMF, NMFResult, Topic, extract_topics
+from .plsi import PLSI, PLSIResult
+
+__all__ = [
+    "NMF",
+    "NMFResult",
+    "Topic",
+    "extract_topics",
+    "LatentDirichletAllocation",
+    "LDAResult",
+    "LSA",
+    "LSAResult",
+    "PLSI",
+    "PLSIResult",
+    "umass_coherence",
+    "mean_coherence",
+    "topic_diversity",
+]

@@ -1,0 +1,81 @@
+"""Topic quality metrics: UMass coherence and topic diversity.
+
+Used by the NMF-vs-LDA design-choice ablation (§4.9): the paper cites [7]
+(Chen et al. 2019) for NMF producing comparable topics in less time; these
+metrics quantify "comparable" on our synthetic corpora.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+
+def _cooccurrence_counts(
+    documents: Sequence[Sequence[str]], terms: FrozenSet[str]
+) -> Tuple[Dict[str, int], Dict[Tuple[str, str], int]]:
+    """Document frequencies and pair co-document frequencies over *terms*."""
+    doc_freq: Counter = Counter()
+    pair_freq: Counter = Counter()
+    for tokens in documents:
+        present = sorted(terms.intersection(tokens))
+        doc_freq.update(present)
+        for a, b in combinations(present, 2):
+            pair_freq[(a, b)] += 1
+    return dict(doc_freq), dict(pair_freq)
+
+
+def umass_coherence(
+    topic_terms: Sequence[str],
+    documents: Sequence[Sequence[str]],
+    epsilon: float = 1.0,
+) -> float:
+    """UMass coherence of one topic's top terms.
+
+    C = sum over ordered pairs (w_i, w_j), i > j, of
+    log((D(w_i, w_j) + eps) / D(w_j)).  Higher (closer to 0) is better.
+    Terms never appearing in the corpus are skipped.
+    """
+    terms = [t for t in topic_terms]
+    doc_freq, pair_freq = _cooccurrence_counts(documents, frozenset(terms))
+    score = 0.0
+    count = 0
+    for j in range(len(terms)):
+        for i in range(j + 1, len(terms)):
+            w_j, w_i = terms[j], terms[i]
+            d_j = doc_freq.get(w_j, 0)
+            if d_j == 0:
+                continue
+            key = (w_i, w_j) if w_i < w_j else (w_j, w_i)
+            co = pair_freq.get(key, 0)
+            score += math.log((co + epsilon) / d_j)
+            count += 1
+    return score / count if count else 0.0
+
+
+def mean_coherence(
+    topics: Sequence[Sequence[str]],
+    documents: Sequence[Sequence[str]],
+    top_n: int = 10,
+) -> float:
+    """Mean UMass coherence across topics (each truncated to *top_n* terms)."""
+    if not topics:
+        return 0.0
+    scores = [umass_coherence(list(t)[:top_n], documents) for t in topics]
+    return sum(scores) / len(scores)
+
+
+def topic_diversity(topics: Sequence[Sequence[str]], top_n: int = 10) -> float:
+    """Fraction of unique terms among all topics' top-*top_n* terms.
+
+    1.0 means no topic shares a keyword with another; low values indicate
+    redundant topics.
+    """
+    all_terms: List[str] = []
+    for topic in topics:
+        all_terms.extend(list(topic)[:top_n])
+    if not all_terms:
+        return 0.0
+    return len(set(all_terms)) / len(all_terms)

@@ -1,0 +1,224 @@
+"""Non-Negative Matrix Factorization with multiplicative updates.
+
+Implements §3.2 of the paper: factorize the document-term matrix
+A ∈ R^{n×m} into W ∈ R^{n×k} (document-topic) and H ∈ R^{k×m} (topic-term)
+by minimizing the Frobenius objective (Eq 6) with the Lee–Seung
+multiplicative update rules (Eq 8), which keep both factors non-negative
+and monotonically decrease the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from ..text.vocabulary import Vocabulary
+from ..weighting.matrix import DocumentTermMatrix
+
+_EPS = 1e-12
+
+
+@dataclass
+class Topic:
+    """One extracted topic: its index and ranked (term, weight) pairs."""
+
+    index: int
+    terms: List[Tuple[str, float]]
+
+    @property
+    def keywords(self) -> List[str]:
+        """Top terms without weights (the paper's Table 3 presentation)."""
+        return [term for term, _weight in self.terms]
+
+    def __repr__(self) -> str:
+        head = " ".join(self.keywords[:8])
+        return f"Topic({self.index}: {head})"
+
+
+@dataclass
+class NMFResult:
+    """Factorization output: W, H, the objective trace, and topics."""
+
+    W: np.ndarray
+    H: np.ndarray
+    objective_history: List[float]
+    topics: List[Topic] = field(default_factory=list)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.objective_history)
+
+    def document_topics(self, doc_index: int, top: Optional[int] = None) -> List[Tuple[int, float]]:
+        """(topic, membership) pairs for one document, strongest first."""
+        row = self.W[doc_index]
+        order = np.argsort(-row)
+        pairs = [(int(i), float(row[i])) for i in order if row[i] > 0]
+        return pairs[:top] if top is not None else pairs
+
+    def dominant_topic(self, doc_index: int) -> int:
+        """Index of the single strongest topic for one document."""
+        return int(np.argmax(self.W[doc_index]))
+
+
+class NMF:
+    """Topic extraction via NMF (Eqs 6–8).
+
+    Parameters
+    ----------
+    n_topics:
+        k — number of latent topics (the paper uses 100).
+    max_iter:
+        Maximum multiplicative-update iterations.
+    tol:
+        Relative objective improvement below which updates stop
+        ("until they stabilize", Eq 8's convergence condition).
+    seed:
+        Seed for the random non-negative initialization.
+    """
+
+    def __init__(
+        self,
+        n_topics: int,
+        max_iter: int = 200,
+        tol: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.n_topics = n_topics
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+
+    def fit(
+        self,
+        matrix: Union[np.ndarray, sparse.spmatrix, DocumentTermMatrix],
+        top_terms: int = 10,
+    ) -> NMFResult:
+        """Factorize *matrix*; returns W, H, objective trace, and topics.
+
+        Accepts a raw array/sparse matrix or a :class:`DocumentTermMatrix`
+        (in which case topics carry real term strings).
+        """
+        vocabulary: Optional[Vocabulary] = None
+        if isinstance(matrix, DocumentTermMatrix):
+            vocabulary = matrix.vocabulary
+            A = matrix.matrix
+        else:
+            A = matrix
+        if sparse.issparse(A):
+            A = sparse.csr_matrix(A).astype(np.float64)
+            if (A.data < 0).any():
+                raise ValueError("NMF requires a non-negative matrix")
+        else:
+            A = np.asarray(A, dtype=np.float64)
+            if (A < 0).any():
+                raise ValueError("NMF requires a non-negative matrix")
+
+        n, m = A.shape
+        k = min(self.n_topics, n, m)
+        rng = np.random.default_rng(self.seed)
+        # Scaled random init keeps the initial WH on the order of A.
+        scale = np.sqrt(self._mean(A) / max(k, 1)) or 1.0
+        W = rng.random((n, k)) * scale + _EPS
+        H = rng.random((k, m)) * scale + _EPS
+
+        history: List[float] = []
+        previous = np.inf
+        for _iteration in range(self.max_iter):
+            # H update: H <- H * (W^T A) / (W^T W H)    (Eq 8, first rule)
+            numerator = self._wta(W, A)
+            denominator = (W.T @ W) @ H + _EPS
+            H *= numerator / denominator
+            # W update: W <- W * (A H^T) / (W H H^T)    (Eq 8, second rule)
+            numerator = self._aht(A, H)
+            denominator = W @ (H @ H.T) + _EPS
+            W *= numerator / denominator
+
+            objective = self._objective(A, W, H)
+            history.append(objective)
+            if np.isfinite(previous) and (
+                previous - objective <= self.tol * max(previous, _EPS)
+            ):
+                break
+            previous = objective
+
+        topics = self._extract_topics(H, vocabulary, top_terms)
+        return NMFResult(W=W, H=H, objective_history=history, topics=topics)
+
+    @staticmethod
+    def _mean(A) -> float:
+        if sparse.issparse(A):
+            return float(A.sum()) / (A.shape[0] * A.shape[1])
+        return float(np.mean(A))
+
+    @staticmethod
+    def _wta(W: np.ndarray, A) -> np.ndarray:
+        if sparse.issparse(A):
+            return np.asarray((A.T @ W).T)
+        return W.T @ A
+
+    @staticmethod
+    def _aht(A, H: np.ndarray) -> np.ndarray:
+        if sparse.issparse(A):
+            return np.asarray(A @ H.T)
+        return A @ H.T
+
+    @staticmethod
+    def _objective(A, W: np.ndarray, H: np.ndarray) -> float:
+        """F(W, H) = ||A - WH||_F^2 (Eq 6), computed without densifying A.
+
+        Uses ||A - WH||² = ||A||² - 2<A, WH> + ||WH||² so sparse A stays
+        sparse; ||WH||² = trace((WᵀW)(HHᵀ)) needs only k×k products.
+        """
+        if sparse.issparse(A):
+            a_sq = float((A.multiply(A)).sum())
+            cross = float(np.sum(np.asarray(A @ H.T) * W))
+            wh_sq = float(np.sum((W.T @ W) * (H @ H.T)))
+            return a_sq - 2.0 * cross + wh_sq
+        diff = A - W @ H
+        return float(np.sum(diff * diff))
+
+    @staticmethod
+    def _extract_topics(
+        H: np.ndarray, vocabulary: Optional[Vocabulary], top_terms: int
+    ) -> List[Topic]:
+        topics: List[Topic] = []
+        for t in range(H.shape[0]):
+            row = H[t]
+            order = np.argsort(-row)[:top_terms]
+            terms: List[Tuple[str, float]] = []
+            for col in order:
+                if row[col] <= 0:
+                    continue
+                name = vocabulary.term(int(col)) if vocabulary else str(int(col))
+                terms.append((name, float(row[col])))
+            topics.append(Topic(index=t, terms=terms))
+        return topics
+
+
+def extract_topics(
+    documents: Sequence[Sequence[str]],
+    n_topics: int,
+    top_terms: int = 10,
+    weighting: str = "tfidf_n",
+    max_iter: int = 200,
+    seed: int = 0,
+    min_df: int = 1,
+    max_df_ratio: float = 1.0,
+) -> NMFResult:
+    """Convenience wrapper: tokenized documents -> topics via TFIDF_N + NMF.
+
+    This is exactly the paper's Topic Modeling module (§4.3): vectorize the
+    NewsTM corpus with TFIDF_N, then run NMF.
+    """
+    dtm = DocumentTermMatrix.from_documents(
+        documents, weighting=weighting, min_df=min_df, max_df_ratio=max_df_ratio
+    )
+    model = NMF(n_topics=n_topics, max_iter=max_iter, seed=seed)
+    return model.fit(dtm, top_terms=top_terms)

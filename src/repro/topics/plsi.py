@@ -1,0 +1,137 @@
+"""Probabilistic Latent Semantic Indexing via EM (§3.2).
+
+PLSI (Hofmann 2000) is the statistical topic model the paper lists
+alongside LDA and the matrix-factorization family.  Included for
+completeness of the ablation surface: the aspect model
+
+    P(d, w) = sum_z P(z) P(d|z) P(w|z)
+
+fitted by expectation-maximization on the document-term count matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..text.vocabulary import Vocabulary
+from .nmf import Topic
+
+_EPS = 1e-12
+
+
+@dataclass
+class PLSIResult:
+    """EM output: the three factor distributions and the topic list."""
+
+    topic_prior: np.ndarray    # P(z), shape (k,)
+    doc_given_topic: np.ndarray  # P(d|z), shape (k, n_docs)
+    term_given_topic: np.ndarray  # P(w|z), shape (k, vocab)
+    topics: List[Topic]
+    log_likelihood_history: List[float]
+
+    def dominant_topic(self, doc_index: int) -> int:
+        """argmax_z P(z|d) ∝ P(z) P(d|z)."""
+        posterior = self.topic_prior * self.doc_given_topic[:, doc_index]
+        return int(np.argmax(posterior))
+
+
+class PLSI:
+    """Aspect-model topic extraction with EM."""
+
+    def __init__(
+        self,
+        n_topics: int,
+        n_iterations: int = 50,
+        tol: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.n_topics = n_topics
+        self.n_iterations = n_iterations
+        self.tol = tol
+        self.seed = seed
+
+    def fit(
+        self,
+        documents: Sequence[Sequence[str]],
+        vocabulary: Optional[Vocabulary] = None,
+        top_terms: int = 10,
+    ) -> PLSIResult:
+        """Fit the aspect model on tokenized *documents*."""
+        vocabulary = vocabulary or Vocabulary.from_documents(documents)
+        n_docs, n_terms = len(documents), len(vocabulary)
+        if n_terms == 0:
+            raise ValueError("empty vocabulary")
+        counts = np.zeros((n_docs, n_terms))
+        for d, tokens in enumerate(documents):
+            for idx in vocabulary.encode(tokens):
+                counts[d, idx] += 1
+
+        rng = np.random.default_rng(self.seed)
+        k = min(self.n_topics, n_docs, n_terms)
+        p_z = np.full(k, 1.0 / k)
+        p_d_z = rng.random((k, n_docs)) + _EPS
+        p_d_z /= p_d_z.sum(axis=1, keepdims=True)
+        p_w_z = rng.random((k, n_terms)) + _EPS
+        p_w_z /= p_w_z.sum(axis=1, keepdims=True)
+
+        history: List[float] = []
+        previous = -np.inf
+        for _iteration in range(self.n_iterations):
+            # E-step folded into the M-step accumulators: for each (d, w),
+            # P(z|d,w) ∝ P(z) P(d|z) P(w|z).
+            # joint[z, d, w] computed lazily per document to bound memory.
+            new_p_z = np.zeros(k)
+            new_p_d_z = np.zeros((k, n_docs))
+            new_p_w_z = np.zeros((k, n_terms))
+            log_likelihood = 0.0
+            for d in range(n_docs):
+                weights = counts[d]
+                nz = np.flatnonzero(weights)
+                if nz.size == 0:
+                    continue
+                # (k, |nz|) responsibility matrix for this document.
+                joint = (p_z[:, None] * p_d_z[:, d][:, None]) * p_w_z[:, nz]
+                denom = joint.sum(axis=0) + _EPS
+                log_likelihood += float(weights[nz] @ np.log(denom))
+                resp = joint / denom
+                weighted = resp * weights[nz]
+                new_p_w_z[:, nz] += weighted
+                mass = weighted.sum(axis=1)
+                new_p_d_z[:, d] += mass
+                new_p_z += mass
+
+            p_z = new_p_z / max(new_p_z.sum(), _EPS)
+            p_d_z = new_p_d_z / np.maximum(
+                new_p_d_z.sum(axis=1, keepdims=True), _EPS
+            )
+            p_w_z = new_p_w_z / np.maximum(
+                new_p_w_z.sum(axis=1, keepdims=True), _EPS
+            )
+            history.append(log_likelihood)
+            if log_likelihood - previous <= self.tol * abs(previous) and np.isfinite(previous):
+                break
+            previous = log_likelihood
+
+        topics: List[Topic] = []
+        for z in range(k):
+            order = np.argsort(-p_w_z[z])[:top_terms]
+            topics.append(
+                Topic(
+                    index=z,
+                    terms=[(vocabulary.term(int(c)), float(p_w_z[z, c])) for c in order],
+                )
+            )
+        return PLSIResult(
+            topic_prior=p_z,
+            doc_given_topic=p_d_z,
+            term_given_topic=p_w_z,
+            topics=topics,
+            log_likelihood_history=history,
+        )

@@ -1,0 +1,23 @@
+"""Term weighting schemes and document-term matrices (§3.1, Eqs 1–5)."""
+
+from .matrix import DocumentTermMatrix
+from .schemes import (
+    corpus_tfidf,
+    document_frequencies,
+    inverse_document_frequency,
+    l2_norm,
+    normalized_tfidf_vector,
+    term_frequencies,
+    tfidf_vector,
+)
+
+__all__ = [
+    "DocumentTermMatrix",
+    "term_frequencies",
+    "document_frequencies",
+    "inverse_document_frequency",
+    "tfidf_vector",
+    "normalized_tfidf_vector",
+    "l2_norm",
+    "corpus_tfidf",
+]

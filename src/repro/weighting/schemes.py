@@ -1,0 +1,95 @@
+"""Term weighting schemes — Equations (1)–(5) of the paper.
+
+* TF — raw term frequency within a document (Eq 1);
+* IDF — log2(n / n_t) inverse document frequency (Eq 2);
+* TFIDF — product of the two (Eq 3);
+* TFIDF_N — ℓ²-normalized TFIDF so each document vector has unit norm
+  (Eqs 4–5).
+
+Functions operate on token lists and plain dicts so they are directly
+testable; the matrix builder in :mod:`repro.weighting.matrix` uses the same
+formulas vectorized over scipy CSR matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+
+def term_frequencies(tokens: Sequence[str]) -> Dict[str, int]:
+    """TF(t, d) for every term of one document (Eq 1)."""
+    return dict(Counter(tokens))
+
+
+def document_frequencies(documents: Iterable[Sequence[str]]) -> Dict[str, int]:
+    """n_t — number of documents containing each term."""
+    df: Counter = Counter()
+    for tokens in documents:
+        df.update(set(tokens))
+    return dict(df)
+
+
+def inverse_document_frequency(num_documents: int, document_frequency: int) -> float:
+    """IDF(t, D) = log2(n / n_t) (Eq 2).
+
+    Raises ValueError for a zero document frequency — an unseen term has no
+    defined IDF, and silently returning 0 would corrupt downstream weights.
+    """
+    if num_documents <= 0:
+        raise ValueError("num_documents must be positive")
+    if document_frequency <= 0:
+        raise ValueError("document_frequency must be positive")
+    return math.log2(num_documents / document_frequency)
+
+
+def tfidf_vector(
+    tokens: Sequence[str],
+    df: Dict[str, int],
+    num_documents: int,
+) -> Dict[str, float]:
+    """TFIDF(t, d, D) for one document (Eq 3).
+
+    Terms missing from *df* are treated as appearing only in this document
+    (document frequency 1), which is the defensible choice for queries
+    against a fixed corpus.
+    """
+    weights: Dict[str, float] = {}
+    for term, tf in term_frequencies(tokens).items():
+        n_t = df.get(term, 1)
+        weights[term] = tf * inverse_document_frequency(num_documents, n_t)
+    return weights
+
+
+def l2_norm(weights: Dict[str, float]) -> float:
+    """ℓ²(d) over a sparse weight vector (Eq 5)."""
+    return math.sqrt(sum(w * w for w in weights.values()))
+
+
+def normalized_tfidf_vector(
+    tokens: Sequence[str],
+    df: Dict[str, int],
+    num_documents: int,
+) -> Dict[str, float]:
+    """TFIDF_N(t, d, D) — ℓ²-normalized TFIDF (Eq 4).
+
+    An all-zero vector (every term appearing in every document, or an empty
+    document) normalizes to itself.
+    """
+    weights = tfidf_vector(tokens, df, num_documents)
+    norm = l2_norm(weights)
+    if norm == 0.0:
+        return weights
+    return {term: w / norm for term, w in weights.items()}
+
+
+def corpus_tfidf(
+    documents: Sequence[Sequence[str]],
+    normalize: bool = True,
+) -> List[Dict[str, float]]:
+    """TFIDF (optionally normalized) vectors for a whole corpus."""
+    df = document_frequencies(documents)
+    n = len(documents)
+    builder = normalized_tfidf_vector if normalize else tfidf_vector
+    return [builder(tokens, df, n) for tokens in documents]

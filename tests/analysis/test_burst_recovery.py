@@ -1,0 +1,128 @@
+"""Unit tests for burst-recovery scoring."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.analysis import (
+    PlantedBurst,
+    event_recovers_burst,
+    planted_bursts,
+    score_burst_recovery,
+)
+from repro.datagen import Burst, TopicSpec, WorldConfig
+from repro.events import Event
+
+START = datetime(2019, 4, 1)
+
+
+def world_config():
+    topics = [
+        TopicSpec(
+            name="storms",
+            keywords=("storm", "rain", "wind"),
+            bursts=(Burst(10, 5, 5.0),),
+        ),
+        TopicSpec(
+            name="match",
+            keywords=("goal", "match", "league"),
+            bursts=(Burst(30, 4, 4.0),),
+            in_news=False,
+        ),
+        TopicSpec(name="quiet", keywords=("calm",), bursts=()),
+    ]
+    return WorldConfig(topics=topics, n_users=10, duration_days=60)
+
+
+def event(main, related, start_day, duration_days):
+    return Event(
+        main_word=main,
+        related_words=[(r, 0.8) for r in related],
+        start=START + timedelta(days=start_day),
+        end=START + timedelta(days=start_day + duration_days),
+        magnitude=1.0,
+    )
+
+
+class TestPlantedBursts:
+    def test_extraction(self):
+        bursts = planted_bursts(world_config(), medium="twitter")
+        assert len(bursts) == 2
+        assert {b.topic for b in bursts} == {"storms", "match"}
+
+    def test_medium_filters(self):
+        news = planted_bursts(world_config(), medium="news")
+        assert {b.topic for b in news} == {"storms"}  # match is Twitter-only
+
+    def test_invalid_medium(self):
+        with pytest.raises(ValueError):
+            planted_bursts(world_config(), medium="radio")
+
+    def test_interval_dates(self):
+        burst = planted_bursts(world_config(), medium="news")[0]
+        assert burst.start == START + timedelta(days=10)
+        assert burst.end == START + timedelta(days=15)
+
+
+class TestEventRecovery:
+    def test_overlapping_event_with_keywords_recovers(self):
+        burst = planted_bursts(world_config())[0]
+        assert event_recovers_burst(event("storm", ["rain"], 11, 3), burst)
+
+    def test_wrong_time_does_not_recover(self):
+        burst = planted_bursts(world_config())[0]
+        assert not event_recovers_burst(event("storm", ["rain"], 40, 3), burst)
+
+    def test_wrong_vocabulary_does_not_recover(self):
+        burst = planted_bursts(world_config())[0]
+        assert not event_recovers_burst(event("goal", ["match"], 11, 3), burst)
+
+    def test_min_keyword_hits(self):
+        burst = planted_bursts(world_config())[0]
+        single_hit = event("storm", ["unrelated"], 11, 3)
+        assert not event_recovers_burst(single_hit, burst, min_keyword_hits=2)
+        assert event_recovers_burst(single_hit, burst, min_keyword_hits=1)
+
+
+class TestScoring:
+    def test_perfect_detection(self):
+        config = world_config()
+        events = [
+            event("storm", ["rain"], 10, 5),
+            event("match", ["goal"], 30, 4),
+        ]
+        report = score_burst_recovery(events, config)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert report.f1 == 1.0
+
+    def test_missed_burst_hurts_recall(self):
+        report = score_burst_recovery(
+            [event("storm", ["rain"], 10, 5)], world_config()
+        )
+        assert report.recall == 0.5
+        assert report.precision == 1.0
+        assert len(report.missed) == 1
+
+    def test_spurious_event_hurts_precision(self):
+        events = [
+            event("storm", ["rain"], 10, 5),
+            event("match", ["goal"], 30, 4),
+            event("noise", ["stuff"], 50, 2),
+        ]
+        report = score_burst_recovery(events, world_config())
+        assert report.recall == 1.0
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.spurious_events == 1
+
+    def test_no_events(self):
+        report = score_burst_recovery([], world_config())
+        assert report.recall == 0.0
+        assert report.precision == 0.0
+        assert report.f1 == 0.0
+
+    def test_summary_renders(self):
+        report = score_burst_recovery(
+            [event("storm", ["rain"], 10, 5)], world_config()
+        )
+        assert "recall" in report.summary()

@@ -1,0 +1,38 @@
+"""Integration: MABED recovers the synthetic world's planted bursts.
+
+Uses the shared session pipeline fixture; this is the ground-truth
+validation the paper's live crawl could never provide.
+"""
+
+from repro.analysis import score_burst_recovery
+
+
+class TestPipelineBurstRecovery:
+    def test_twitter_events_recover_planted_bursts(
+        self, pipeline_result, small_world
+    ):
+        report = score_burst_recovery(
+            pipeline_result.twitter_events,
+            small_world.config,
+            medium="twitter",
+        )
+        # The detector must find a clear majority of the planted bursts...
+        assert report.recall >= 0.5, report.summary()
+
+    def test_news_events_recover_planted_bursts(
+        self, pipeline_result, small_world
+    ):
+        report = score_burst_recovery(
+            pipeline_result.news_events,
+            small_world.config,
+            medium="news",
+        )
+        assert report.recall >= 0.5, report.summary()
+
+    def test_recovery_report_is_consistent(self, pipeline_result, small_world):
+        report = score_burst_recovery(
+            pipeline_result.twitter_events, small_world.config
+        )
+        total_events = report.matched_events + report.spurious_events
+        assert total_events == len(pipeline_result.twitter_events)
+        assert 0.0 <= report.f1 <= 1.0

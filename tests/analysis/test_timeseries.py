@@ -1,0 +1,91 @@
+"""Unit tests for the time-series analytics helpers."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    engagement_by_weekday,
+    like_retweet_correlation,
+    topic_share_series,
+    volume_series,
+)
+
+START = datetime(2019, 4, 1)  # a Monday
+
+
+class TestVolumeSeries:
+    def test_bucketing(self):
+        stamps = [START, START + timedelta(hours=2), START + timedelta(days=1)]
+        starts, counts = volume_series(stamps, bucket=timedelta(days=1))
+        assert list(counts) == [2, 1]
+        assert starts[0] == START
+
+    def test_empty(self):
+        starts, counts = volume_series([])
+        assert starts == [] and counts.size == 0
+
+    def test_explicit_range(self):
+        stamps = [START + timedelta(days=1)]
+        starts, counts = volume_series(
+            stamps, bucket=timedelta(days=1),
+            start=START, end=START + timedelta(days=3),
+        )
+        assert len(counts) == 4
+        assert counts[1] == 1
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            volume_series([START], bucket=timedelta(0))
+
+
+class TestEngagementByWeekday:
+    def test_means_per_day(self):
+        tweets = [
+            {"created_at": START, "likes": 10},                      # Monday
+            {"created_at": START, "likes": 30},                      # Monday
+            {"created_at": START + timedelta(days=5), "likes": 100}, # Saturday
+        ]
+        profile = engagement_by_weekday(tweets)
+        assert profile[0] == 20.0
+        assert profile[5] == 100.0
+
+    def test_world_tweets_show_weekend_boost(self):
+        from repro.datagen import WorldConfig, build_world
+
+        world = build_world(WorldConfig(n_articles=5, n_tweets=3000, n_users=100, seed=2))
+        profile = engagement_by_weekday(world.tweets.find())
+        weekend = (profile[5] + profile[6]) / 2
+        midweek = (profile[1] + profile[2]) / 2
+        assert weekend > midweek  # the planted day-of-week effect
+
+
+class TestCorrelation:
+    def test_likes_retweets_positively_correlated_in_world(self):
+        from repro.datagen import WorldConfig, build_world
+
+        world = build_world(WorldConfig(n_articles=5, n_tweets=1000, n_users=80, seed=3))
+        assert like_retweet_correlation(world.tweets.find()) > 0.5
+
+    def test_needs_two_tweets(self):
+        with pytest.raises(ValueError):
+            like_retweet_correlation([{"likes": 1, "retweets": 1}])
+
+
+class TestTopicShare:
+    def test_shares_sum_to_one_where_data_exists(self):
+        docs = [
+            {"created_at": START, "topic": "a"},
+            {"created_at": START, "topic": "b"},
+            {"created_at": START + timedelta(days=8), "topic": "a"},
+        ]
+        shares = topic_share_series(docs, bucket=timedelta(days=7))
+        total = np.zeros_like(shares["a"])
+        for series in shares.values():
+            total += series
+        assert total[0] == pytest.approx(1.0)
+        assert total[1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert topic_share_series([]) == {}

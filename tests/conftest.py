@@ -1,0 +1,39 @@
+"""Shared fixtures: a small seeded world and one full pipeline run.
+
+The pipeline run is session-scoped because it takes a few seconds; the
+integration tests all inspect the same result object.
+"""
+
+import pytest
+
+from repro import NewsDiffusionPipeline, build_world
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_world(
+        WorldConfig(n_articles=600, n_tweets=2000, n_users=150, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_config():
+    return PipelineConfig(
+        n_topics=12,
+        nmf_max_iter=300,
+        n_news_events=20,
+        n_twitter_events=40,
+        embedding_dim=64,
+        min_term_support=5,
+        min_event_records=5,
+        max_epochs=25,
+        batch_size=64,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_world, pipeline_config):
+    return NewsDiffusionPipeline(pipeline_config).run(small_world)

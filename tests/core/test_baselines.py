@@ -1,0 +1,104 @@
+"""Unit tests for the classical baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASELINES,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    LogisticRegression,
+    MajorityClass,
+)
+
+
+def blobs(n=150, dim=10, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4, size=(3, dim))
+    X, labels = [], []
+    for i in range(3):
+        X.append(rng.normal(size=(n // 3, dim)) + centers[i])
+        labels += [i] * (n // 3)
+    X = np.vstack(X)
+    X /= np.linalg.norm(X, axis=1, keepdims=True)
+    return X, np.array(labels)
+
+
+class TestMajority:
+    def test_predicts_mode(self):
+        model = MajorityClass().fit(np.zeros((5, 2)), [0, 1, 1, 1, 2])
+        assert list(model.predict(np.zeros((3, 2)))) == [1, 1, 1]
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            MajorityClass().fit(np.zeros((0, 2)), [])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MajorityClass().predict(np.zeros((1, 2)))
+
+
+class TestKNN:
+    def test_learns_blobs(self):
+        X, y = blobs()
+        model = KNearestNeighbors(k=5).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_k_one_memorizes_training_set(self):
+        X, y = blobs(n=30)
+        model = KNearestNeighbors(k=1).fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_k_larger_than_train_clamped(self):
+        X, y = blobs(n=9)
+        model = KNearestNeighbors(k=50).fit(X, y)
+        model.predict(X)  # must not raise
+
+    def test_zero_norm_rows_handled(self):
+        X = np.vstack([np.zeros(4), np.ones(4)])
+        model = KNearestNeighbors(k=1).fit(X, [0, 1])
+        model.predict(np.zeros((1, 4)))  # must not raise
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+
+
+class TestNaiveBayes:
+    def test_learns_blobs(self):
+        X, y = blobs()
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_priors_affect_prediction(self):
+        rng = np.random.default_rng(0)
+        # Identical likelihoods, skewed priors: majority class wins.
+        X = rng.normal(size=(100, 3))
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        predictions = model.predict(rng.normal(size=(50, 3)))
+        assert np.mean(predictions == 0) > 0.6
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.zeros((1, 2)))
+
+
+class TestLogisticRegression:
+    def test_learns_blobs(self):
+        X, y = blobs()
+        model = LogisticRegression(max_epochs=120, seed=0).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestRegistry:
+    def test_all_baselines_construct_and_fit(self):
+        X, y = blobs(n=30)
+        for name, cls in BASELINES.items():
+            model = cls().fit(X, y)
+            predictions = model.predict(X)
+            assert predictions.shape == (30,), name

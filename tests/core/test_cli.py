@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("world"))
+    code = main(
+        [
+            "generate",
+            "--articles", "200",
+            "--tweets", "600",
+            "--users", "60",
+            "--seed", "5",
+            "--out", directory,
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+FAST = [
+    "--n-topics", "8",
+    "--news-events", "10",
+    "--twitter-events", "15",
+    "--embedding-dim", "32",
+    "--min-term-support", "4",
+    "--min-event-records", "3",
+    "--seed", "5",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x"])
+        assert args.articles == 800
+        assert args.func.__name__ == "cmd_generate"
+
+
+class TestCommands:
+    def test_generate_writes_snapshot(self, snapshot, capsys):
+        import os
+
+        assert os.path.exists(os.path.join(snapshot, "news.jsonl"))
+        assert os.path.exists(os.path.join(snapshot, "tweets.jsonl"))
+
+    def test_topics(self, snapshot, capsys):
+        assert main(["topics", "--data", snapshot] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "NT#1" in out
+
+    def test_events_twitter(self, snapshot, capsys):
+        assert main(["events", "--data", snapshot, "--medium", "twitter"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "[" in out  # event labels rendered
+
+    def test_run(self, snapshot, capsys):
+        assert main(["run", "--data", snapshot] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "trending news topics" in out
+
+    def test_missing_snapshot_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["topics", "--data", str(tmp_path / "nope")] + FAST)
+
+    def test_predict_unknown_variant_errors(self, snapshot):
+        with pytest.raises(SystemExit):
+            main(
+                ["predict", "--data", snapshot, "--variant", "Z9",
+                 "--epochs", "2"] + FAST
+            )
+
+    def test_events_news_medium(self, snapshot, capsys):
+        assert main(["events", "--data", snapshot, "--medium", "news"] + FAST) == 0

@@ -1,0 +1,40 @@
+"""Unit tests for PipelineConfig validation."""
+
+import pytest
+
+from repro.core import PipelineConfig, small_config
+
+
+class TestPipelineConfig:
+    def test_defaults_follow_paper(self):
+        config = PipelineConfig()
+        assert config.news_slice_minutes == 60      # §5.3
+        assert config.twitter_slice_minutes == 30   # §5.4
+        assert config.trending_similarity_threshold == 0.7   # §5.5
+        assert config.correlation_similarity_threshold == 0.65
+        assert config.start_window_days == 5.0
+        assert config.min_event_records == 10       # §4.7
+        assert config.related_word_coverage == 0.2
+        assert config.embedding_dim == 300          # §4.9
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(trending_similarity_threshold=1.5)
+        with pytest.raises(ValueError):
+            PipelineConfig(correlation_similarity_threshold=-0.1)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(n_topics=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(min_event_records=0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(start_window_days=-1)
+
+    def test_small_config_is_valid_and_lighter(self):
+        small = small_config()
+        full = PipelineConfig()
+        assert small.n_topics < full.n_topics
+        assert small.embedding_dim < full.embedding_dim

@@ -1,0 +1,154 @@
+"""Unit tests for the Correlation module (§4.6, §5.5)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import CorrelationModule, TrendingNewsTopic
+from repro.embeddings import PretrainedEmbeddings
+from repro.events import Event
+from repro.topics import Topic
+
+START = datetime(2019, 5, 1)
+
+
+@pytest.fixture(scope="module")
+def emb():
+    # See tests/core/test_trending.py: background words keep the cluster
+    # structure intact under the all-but-the-top postprocessing.
+    return PretrainedEmbeddings.train_background_lsa(
+        [["vote", "election", "party", "report", "news"]] * 10
+        + [["tariff", "trade", "china", "report", "news"]] * 10
+        + [["derby", "horse", "race", "report", "news"]] * 10
+        + [["vote", "party", "press"], ["tariff", "china", "press"],
+           ["derby", "race", "press"]] * 4,
+        dim=16,
+        min_count=1,
+    )
+
+
+def news_event(main, related, day=0):
+    return Event(
+        main_word=main,
+        related_words=[(r, 0.8) for r in related],
+        start=START + timedelta(days=day),
+        end=START + timedelta(days=day + 3),
+        magnitude=10.0,
+    )
+
+
+def twitter_event(main, related, day=0):
+    return Event(
+        main_word=main,
+        related_words=[(r, 0.7) for r in related],
+        start=START + timedelta(days=day),
+        end=START + timedelta(days=day + 10),
+        magnitude=5.0,
+    )
+
+
+def trending(keywords, day=0, index=0):
+    return TrendingNewsTopic(
+        topic=Topic(index=index, terms=[(k, 1.0) for k in keywords]),
+        event=news_event(keywords[0], keywords[1:], day=day),
+        similarity=0.9,
+    )
+
+
+class TestForwardCorrelation:
+    def test_similar_events_in_window_match(self, emb):
+        module = CorrelationModule(emb, 0.6, timedelta(days=5))
+        result = module.correlate(
+            [trending(["vote", "election", "party"])],
+            [twitter_event("election", ["vote", "party"], day=2)],
+        )
+        assert result.n_pairs == 1
+        assert result.unrelated_twitter_events == []
+
+    def test_window_excludes_late_events(self, emb):
+        module = CorrelationModule(emb, 0.6, timedelta(days=5))
+        result = module.correlate(
+            [trending(["vote", "election", "party"])],
+            [twitter_event("election", ["vote", "party"], day=9)],
+        )
+        assert result.n_pairs == 0
+        assert len(result.unrelated_twitter_events) == 1
+
+    def test_slack_allows_slightly_early_events(self, emb):
+        module = CorrelationModule(
+            emb, 0.6, timedelta(days=5), start_slack=timedelta(days=1)
+        )
+        result = module.correlate(
+            [trending(["vote", "election", "party"], day=2)],
+            [twitter_event("election", ["vote", "party"], day=1.5)],
+        )
+        assert result.n_pairs == 1
+
+    def test_dissimilar_events_do_not_match(self, emb):
+        module = CorrelationModule(emb, 0.6, timedelta(days=5))
+        result = module.correlate(
+            [trending(["vote", "election", "party"])],
+            [twitter_event("derby", ["horse", "race"], day=1)],
+        )
+        assert result.n_pairs == 0
+
+    def test_one_topic_can_match_multiple_events(self, emb):
+        module = CorrelationModule(emb, 0.6, timedelta(days=5))
+        result = module.correlate(
+            [trending(["vote", "election", "party"])],
+            [
+                twitter_event("election", ["vote"], day=1),
+                twitter_event("vote", ["party"], day=2),
+            ],
+        )
+        assert result.n_pairs == 2
+
+    def test_matched_and_unmatched_trending_partition(self, emb):
+        module = CorrelationModule(emb, 0.6, timedelta(days=5))
+        topics = [
+            trending(["vote", "election", "party"], index=0),
+            trending(["derby", "horse", "race"], index=1),
+        ]
+        result = module.correlate(
+            topics, [twitter_event("election", ["vote", "party"], day=1)]
+        )
+        assert len(result.matched_trending) == 1
+        assert len(result.unmatched_trending) == 1
+        assert result.matched_trending[0].topic.index == 0
+
+
+class TestReverseCorrelation:
+    def test_reverse_equals_forward(self, emb):
+        """§5.5: TE -> TT yields the same pair set as TT -> TE."""
+        module = CorrelationModule(emb, 0.6, timedelta(days=5))
+        topics = [
+            trending(["vote", "election", "party"], index=0),
+            trending(["tariff", "trade", "china"], index=1),
+        ]
+        events = [
+            twitter_event("election", ["vote", "party"], day=1),
+            twitter_event("trade", ["tariff", "china"], day=2),
+            twitter_event("derby", ["horse", "race"], day=1),
+        ]
+        forward = module.correlate(topics, events).pairs
+        reverse = module.reverse_correlate(events, topics)
+        assert CorrelationModule.pair_sets_equal(forward, reverse)
+
+
+class TestValidation:
+    def test_invalid_threshold(self, emb):
+        with pytest.raises(ValueError):
+            CorrelationModule(emb, 1.1)
+
+    def test_negative_window(self, emb):
+        with pytest.raises(ValueError):
+            CorrelationModule(emb, 0.5, timedelta(days=-1))
+
+    def test_negative_slack(self, emb):
+        with pytest.raises(ValueError):
+            CorrelationModule(emb, 0.5, start_slack=timedelta(days=-1))
+
+    def test_empty_inputs(self, emb):
+        module = CorrelationModule(emb, 0.5)
+        result = module.correlate([], [])
+        assert result.n_pairs == 0

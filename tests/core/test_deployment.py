@@ -1,0 +1,86 @@
+"""Integration tests for the §4.9 continuous-deployment simulator."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core import DeploymentSimulator
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(
+        WorldConfig(n_articles=700, n_tweets=2200, n_users=150, seed=17)
+    )
+
+
+@pytest.fixture(scope="module")
+def report(world):
+    config = PipelineConfig(
+        n_topics=10,
+        n_news_events=15,
+        n_twitter_events=30,
+        embedding_dim=48,
+        min_term_support=5,
+        min_event_records=4,
+        max_epochs=25,
+        batch_size=128,
+        nmf_max_iter=120,
+        seed=17,
+    )
+    simulator = DeploymentSimulator(
+        config, refresh=timedelta(days=10), variant="A2"
+    )
+    return simulator.run(world, n_cycles=3, start_fraction=0.55)
+
+
+class TestDeployment:
+    def test_three_cycles_recorded(self, report):
+        assert len(report.cycles) == 3
+
+    def test_visible_corpus_grows(self, report):
+        articles = [c.n_articles for c in report.cycles]
+        tweets = [c.n_tweets for c in report.cycles]
+        assert articles == sorted(articles)
+        assert tweets == sorted(tweets)
+        assert articles[-1] > articles[0]
+
+    def test_first_training_is_cold_then_warm(self, report):
+        trained = [c for c in report.cycles if c.trained]
+        assert trained, "no cycle produced a trainable dataset"
+        assert not trained[0].warm_start
+        assert all(c.warm_start for c in trained[1:])
+
+    def test_warm_start_converges_in_fewer_epochs(self, report):
+        """§4.9: checkpoints alleviate retraining from scratch."""
+        cold = report.cold_epochs()
+        warm = report.warm_epochs()
+        if cold and warm:
+            assert min(warm) <= cold[0]
+
+    def test_accuracy_stays_reasonable(self, report):
+        trained = [c for c in report.cycles if c.trained]
+        for cycle in trained:
+            assert cycle.validation_accuracy > 0.4
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "cycle" in text
+        assert str(report.cycles[-1].cycle) in text
+
+
+class TestValidation:
+    def test_invalid_refresh(self):
+        with pytest.raises(ValueError):
+            DeploymentSimulator(refresh=timedelta(0))
+
+    def test_invalid_cycles(self, world):
+        simulator = DeploymentSimulator(
+            PipelineConfig(embedding_dim=16), refresh=timedelta(days=1)
+        )
+        with pytest.raises(ValueError):
+            simulator.run(world, n_cycles=0)
+        with pytest.raises(ValueError):
+            simulator.run(world, start_fraction=0.0)

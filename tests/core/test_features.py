@@ -1,0 +1,119 @@
+"""Unit tests for the Feature Creation module (§4.7)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import FeatureCreationModule, TweetRecord
+from repro.core.correlation import CorrelatedPair
+from repro.core.trending import TrendingNewsTopic
+from repro.events import Event
+from repro.topics import Topic
+
+START = datetime(2019, 5, 1)
+
+EVENT = Event(
+    main_word="election",
+    related_words=[("vote", 0.9), ("party", 0.8), ("poll", 0.7), ("seat", 0.7),
+                   ("voter", 0.6)],
+    start=START,
+    end=START + timedelta(days=5),
+    magnitude=10.0,
+)
+
+
+def tweet(tokens, day=1, likes=10, retweets=2, followers=100, author="u"):
+    return TweetRecord(
+        tokens=tokens,
+        created_at=START + timedelta(days=day),
+        author=author,
+        followers=followers,
+        likes=likes,
+        retweets=retweets,
+    )
+
+
+def pair(event=EVENT):
+    trending = TrendingNewsTopic(
+        topic=Topic(index=0, terms=[("election", 1.0)]),
+        event=event,
+        similarity=0.9,
+    )
+    return CorrelatedPair(trending=trending, twitter_event=event, similarity=0.8)
+
+
+class TestMembership:
+    def setup_method(self):
+        self.module = FeatureCreationModule(min_event_records=1)
+
+    def test_requires_main_word(self):
+        t = tweet(["vote", "party"])  # 2/5 related but no main word
+        assert not self.module.tweet_belongs(t, EVENT)
+
+    def test_requires_related_coverage(self):
+        t = tweet(["election"])  # main word but 0/5 related (need 1)
+        assert not self.module.tweet_belongs(t, EVENT)
+
+    def test_main_plus_20pct_related_matches(self):
+        t = tweet(["election", "vote"])  # main + 1/5 = 20% related
+        assert self.module.tweet_belongs(t, EVENT)
+
+    def test_time_window_enforced(self):
+        t = tweet(["election", "vote"], day=10)
+        assert not self.module.tweet_belongs(t, EVENT)
+
+    def test_event_without_related_words_needs_only_main(self):
+        bare = Event("election", [], START, START + timedelta(days=5), 1.0)
+        assert self.module.tweet_belongs(tweet(["election"]), bare)
+
+    def test_coverage_rounds_up(self):
+        # 5 related words at 0.3 coverage -> ceil(1.5) = 2 required.
+        module = FeatureCreationModule(min_event_records=1, related_word_coverage=0.3)
+        assert not module.tweet_belongs(tweet(["election", "vote"]), EVENT)
+        assert module.tweet_belongs(tweet(["election", "vote", "party"]), EVENT)
+
+
+class TestExtraction:
+    def test_min_event_records_filters_sparse_events(self):
+        module = FeatureCreationModule(min_event_records=3)
+        tweets = [tweet(["election", "vote"]) for _i in range(2)]
+        assert module.extract([pair()], tweets) == []
+
+    def test_records_carry_event_context(self):
+        module = FeatureCreationModule(min_event_records=1)
+        records = module.extract([pair()], [tweet(["election", "vote"], likes=500)])
+        assert len(records) == 1
+        record = records[0]
+        assert record.event_vocabulary == set(EVENT.vocabulary)
+        assert record.magnitudes["election"] == 1.0
+        assert record.magnitudes["vote"] == 0.9
+        assert record.likes == 500
+
+    def test_duplicate_events_processed_once(self):
+        module = FeatureCreationModule(min_event_records=1)
+        records = module.extract(
+            [pair(), pair()], [tweet(["election", "vote"])]
+        )
+        assert len(records) == 1
+
+    def test_tweet_in_two_events_duplicated(self):
+        """§5.6: tweets in multiple events enlarge the dataset."""
+        other = Event(
+            main_word="vote",
+            related_words=[("election", 0.9)],
+            start=START,
+            end=START + timedelta(days=5),
+            magnitude=8.0,
+        )
+        module = FeatureCreationModule(min_event_records=1)
+        records = module.extract(
+            [pair(), pair(other)], [tweet(["election", "vote"])]
+        )
+        assert len(records) == 2
+        assert {r.event_id for r in records} == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureCreationModule(min_event_records=0)
+        with pytest.raises(ValueError):
+            FeatureCreationModule(related_word_coverage=2.0)

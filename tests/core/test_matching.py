@@ -1,0 +1,96 @@
+"""Unit tests for min-cost-flow matching (the paper's §6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Match, MinCostFlowMatcher, coverage, greedy_matches
+
+
+class TestMinCostFlow:
+    def test_simple_assignment(self):
+        sims = np.array([[0.9, 0.1], [0.2, 0.8]])
+        matches = MinCostFlowMatcher().match(sims)
+        assert {(m.left, m.right) for m in matches} == {(0, 0), (1, 1)}
+
+    def test_resolves_contention_globally(self):
+        # Both topics prefer event 0; greedy doubles up, flow covers both
+        # events because 0.9 + 0.7 > 0.8 + 0.6 is not the point — coverage
+        # under unit capacities is.
+        sims = np.array([[0.9, 0.7], [0.8, 0.1]])
+        flow = MinCostFlowMatcher().match(sims)
+        assert {(m.left, m.right) for m in flow} == {(0, 1), (1, 0)}
+        greedy = greedy_matches(sims)
+        assert {(m.left, m.right) for m in greedy} == {(0, 0), (1, 0)}
+
+    def test_flow_objective_at_least_greedy_under_same_capacity(self):
+        rng = np.random.default_rng(0)
+        matcher = MinCostFlowMatcher(right_capacity=100)
+        for _trial in range(10):
+            sims = rng.random((5, 7))
+            flow = matcher.match(sims)
+            greedy = greedy_matches(sims)
+            # With effectively unbounded right capacity, flow must find at
+            # least the greedy objective.
+            assert matcher.total_similarity(flow) >= matcher.total_similarity(
+                greedy
+            ) - 1e-6
+
+    def test_threshold_prunes_edges(self):
+        sims = np.array([[0.9, 0.2], [0.3, 0.1]])
+        matches = MinCostFlowMatcher(similarity_threshold=0.5).match(sims)
+        assert {(m.left, m.right) for m in matches} == {(0, 0)}
+
+    def test_eligibility_mask(self):
+        sims = np.array([[0.9, 0.8]])
+        eligible = np.array([[False, True]])
+        matches = MinCostFlowMatcher().match(sims, eligible)
+        assert {(m.left, m.right) for m in matches} == {(0, 1)}
+
+    def test_empty_inputs(self):
+        assert MinCostFlowMatcher().match(np.zeros((0, 3))) == []
+        assert MinCostFlowMatcher().match(np.zeros((3, 0))) == []
+
+    def test_no_eligible_edges(self):
+        sims = np.array([[0.1]])
+        assert MinCostFlowMatcher(similarity_threshold=0.5).match(sims) == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MinCostFlowMatcher(left_capacity=0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MinCostFlowMatcher().match(np.zeros(3))
+        with pytest.raises(ValueError):
+            MinCostFlowMatcher().match(np.zeros((2, 2)), np.ones((3, 3), bool))
+
+    def test_right_capacity_allows_sharing(self):
+        sims = np.array([[0.9], [0.8]])
+        single = MinCostFlowMatcher(right_capacity=1).match(sims)
+        shared = MinCostFlowMatcher(right_capacity=2).match(sims)
+        assert len(single) == 1
+        assert len(shared) == 2
+
+    def test_matches_sorted_by_similarity(self):
+        sims = np.array([[0.3, 0.0], [0.0, 0.9]])
+        matches = MinCostFlowMatcher().match(sims)
+        values = [m.similarity for m in matches]
+        assert values == sorted(values, reverse=True)
+
+
+class TestGreedy:
+    def test_each_left_takes_argmax(self):
+        sims = np.array([[0.2, 0.7], [0.6, 0.3]])
+        matches = greedy_matches(sims)
+        assert {(m.left, m.right) for m in matches} == {(0, 1), (1, 0)}
+
+    def test_threshold(self):
+        sims = np.array([[0.4]])
+        assert greedy_matches(sims, similarity_threshold=0.5) == []
+
+    def test_coverage_helper(self):
+        matches = [Match(0, 0, 0.9), Match(1, 0, 0.8)]
+        assert coverage(matches, "left") == 2
+        assert coverage(matches, "right") == 1
+        with pytest.raises(ValueError):
+            coverage(matches, "middle")

@@ -1,0 +1,155 @@
+"""Integration tests: the full Figure-1 pipeline on a seeded world.
+
+These assert the *shape* claims of §5 hold end-to-end on the synthetic
+world: topics are coherent, events detected on both media, trending
+topics extracted, forward/reverse correlations agree, some Twitter
+events stay unrelated (Table 7), and the prediction datasets are
+well-formed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelationModule
+from repro.datasets import VARIANT_NAMES
+
+
+class TestTopicStage:
+    def test_topic_count(self, pipeline_result, pipeline_config):
+        assert len(pipeline_result.topics) == pipeline_config.n_topics
+
+    def test_topics_have_keywords(self, pipeline_result):
+        for topic in pipeline_result.topics:
+            assert len(topic.keywords) >= 5
+
+    def test_topics_align_with_ground_truth(self, pipeline_result, small_world):
+        # Most ground-truth news topics should dominate exactly one NMF topic.
+        topic_keyword_sets = [set(t.keywords) for t in pipeline_result.topics]
+        recovered = 0
+        for spec in small_world.config.news_topics():
+            keywords = set(spec.keywords)
+            best_overlap = max(len(keywords & s) for s in topic_keyword_sets)
+            if best_overlap >= 3:
+                recovered += 1
+        assert recovered >= len(small_world.config.news_topics()) - 3
+
+
+class TestEventStage:
+    def test_events_detected_on_both_media(self, pipeline_result):
+        assert len(pipeline_result.news_events) >= 5
+        assert len(pipeline_result.twitter_events) >= 10
+
+    def test_event_intervals_inside_world_timeline(
+        self, pipeline_result, small_world, pipeline_config
+    ):
+        from datetime import timedelta
+
+        # The last slice may overhang the final document by one slice
+        # width, so allow exactly that much slack at the end.
+        slack = timedelta(minutes=pipeline_config.news_slice_minutes)
+        for event in pipeline_result.news_events + pipeline_result.twitter_events:
+            assert event.start >= small_world.config.start
+            assert event.end <= small_world.config.end + slack
+
+    def test_twitter_only_topics_surface_as_events(self, pipeline_result):
+        # tv_show bursts hard on Twitter; its vocabulary must anchor or
+        # appear in at least one Twitter event.
+        tv_terms = {"thrones", "season", "episode", "spoilers", "dragon", "hbo"}
+        assert any(
+            tv_terms & set(e.vocabulary) for e in pipeline_result.twitter_events
+        )
+
+
+class TestCorrelationStage:
+    def test_trending_topics_extracted(self, pipeline_result):
+        assert len(pipeline_result.trending) >= 5
+
+    def test_trending_similarities_above_threshold(
+        self, pipeline_result, pipeline_config
+    ):
+        for trending in pipeline_result.trending:
+            assert trending.similarity >= pipeline_config.trending_similarity_threshold
+
+    def test_pairs_exist_and_meet_threshold(self, pipeline_result, pipeline_config):
+        assert pipeline_result.correlation.n_pairs >= 3
+        for pair in pipeline_result.correlation.pairs:
+            assert (
+                pair.similarity
+                >= pipeline_config.correlation_similarity_threshold
+            )
+
+    def test_some_twitter_events_unrelated(self, pipeline_result):
+        """Table 7: Twitter chatter without a news counterpart exists."""
+        assert len(pipeline_result.correlation.unrelated_twitter_events) >= 1
+
+    def test_reverse_correlation_gives_same_pairs(
+        self, pipeline_result, pipeline_config
+    ):
+        """§5.5: TE -> TT equals TT -> TE."""
+        from datetime import timedelta
+
+        module = CorrelationModule(
+            pipeline_result.embeddings,
+            similarity_threshold=pipeline_config.correlation_similarity_threshold,
+            start_window=timedelta(days=pipeline_config.start_window_days),
+            start_slack=timedelta(days=pipeline_config.start_slack_days),
+        )
+        reverse = module.reverse_correlate(
+            pipeline_result.twitter_events, pipeline_result.trending
+        )
+        assert CorrelationModule.pair_sets_equal(
+            pipeline_result.correlation.pairs, reverse
+        )
+
+    def test_news_only_topic_never_correlates(self, pipeline_result):
+        # municipal_budget never appears on Twitter, so no pair may be
+        # dominated by its vocabulary.
+        budget_terms = {"municipal", "budget", "ordinance", "fiscal"}
+        for pair in pipeline_result.correlation.pairs:
+            overlap = budget_terms & set(pair.twitter_event.vocabulary)
+            assert len(overlap) <= 1
+
+
+class TestFeatureStage:
+    def test_event_tweets_extracted(self, pipeline_result, pipeline_config):
+        assert len(pipeline_result.event_tweets) >= pipeline_config.min_event_records
+
+    def test_records_respect_membership_rule(self, pipeline_result):
+        for record in pipeline_result.event_tweets[:50]:
+            assert record.event_vocabulary & set(record.tokens)
+
+    def test_datasets_built_for_all_variants(self, pipeline_result):
+        assert set(pipeline_result.datasets) == set(VARIANT_NAMES)
+
+    def test_dataset_shapes_consistent(self, pipeline_result, pipeline_config):
+        n = len(pipeline_result.event_tweets)
+        dim = pipeline_config.embedding_dim
+        datasets = pipeline_result.datasets
+        assert datasets["A1"].X.shape == (n, dim)
+        assert datasets["A2"].X.shape == (n, dim + 8)
+        assert datasets["D2"].X.shape == (n, dim + 9)
+
+    def test_labels_are_table2_classes(self, pipeline_result):
+        for ds in pipeline_result.datasets.values():
+            assert set(np.unique(ds.y_likes)) <= {0, 1, 2}
+            assert set(np.unique(ds.y_retweets)) <= {0, 1, 2}
+
+    def test_multiple_label_classes_present(self, pipeline_result):
+        ds = pipeline_result.datasets["A1"]
+        assert len(np.unique(ds.y_likes)) >= 2
+
+
+class TestSummary:
+    def test_summary_mentions_counts(self, pipeline_result):
+        text = pipeline_result.summary()
+        assert "trending news topics" in text
+        assert "twitter event" in text.lower()
+
+    def test_timings_recorded_for_all_stages(self, pipeline_result):
+        stages = set(pipeline_result.timings_seconds)
+        assert {
+            "topic_modeling",
+            "news_event_detection",
+            "twitter_event_detection",
+            "correlation",
+        } <= stages

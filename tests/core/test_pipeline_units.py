@@ -1,0 +1,89 @@
+"""Unit tests for NewsDiffusionPipeline's per-stage methods."""
+
+import pytest
+
+from repro import NewsDiffusionPipeline
+from repro.core.config import PipelineConfig, small_config
+from repro.datagen import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    return build_world(WorldConfig(n_articles=120, n_tweets=300, n_users=40, seed=13))
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return NewsDiffusionPipeline(
+        PipelineConfig(
+            n_topics=6,
+            n_news_events=8,
+            n_twitter_events=10,
+            embedding_dim=24,
+            min_term_support=3,
+            min_event_records=2,
+            nmf_max_iter=60,
+            seed=13,
+        )
+    )
+
+
+class TestPreprocessing:
+    def test_news_tm_matches_corpus_size(self, tiny_world, pipeline):
+        corpus = pipeline.preprocess_news_tm(tiny_world)
+        assert len(corpus) == len(tiny_world.news)
+        # Topic-modeling pipeline removes stopwords.
+        assert all("the" not in doc for doc in corpus)
+
+    def test_news_ed_carries_timestamps(self, tiny_world, pipeline):
+        corpus = pipeline.preprocess_news_ed(tiny_world)
+        assert len(corpus) == len(tiny_world.news)
+        assert all(doc.created_at is not None for doc in corpus)
+        assert all(doc.doc_id is not None for doc in corpus)
+
+    def test_twitter_ed_lowercases(self, tiny_world, pipeline):
+        corpus = pipeline.preprocess_twitter_ed(tiny_world)
+        assert len(corpus) == len(tiny_world.tweets)
+        for doc in corpus[:20]:
+            assert all(tok == tok.lower() for tok in doc.tokens)
+
+    def test_tweet_records_carry_metadata(self, tiny_world, pipeline):
+        records = pipeline.tweet_records(tiny_world)
+        assert len(records) == len(tiny_world.tweets)
+        for record in records[:10]:
+            assert record.author.startswith("user_")
+            assert record.followers >= 0
+            assert record.likes >= 0
+
+
+class TestStages:
+    def test_topic_stage(self, tiny_world, pipeline):
+        nmf = pipeline.extract_news_topics(pipeline.preprocess_news_tm(tiny_world))
+        assert len(nmf.topics) == 6
+
+    def test_embedding_stage_covers_all_corpora(self, tiny_world, pipeline):
+        news_tm = pipeline.preprocess_news_tm(tiny_world)
+        news_ed = pipeline.preprocess_news_ed(tiny_world)
+        twitter_ed = pipeline.preprocess_twitter_ed(tiny_world)
+        emb = pipeline.train_embeddings(news_ed, twitter_ed, news_tm)
+        assert emb.dim == 24
+        # Lemmatized topic terms and raw event terms both resolve.
+        assert emb.coverage_of(["election", "vote"]) > 0
+        # Slang is deliberately OOV (GoogleNews gap simulation).
+        assert "lmao" not in emb
+
+    def test_small_config_runs_end_to_end(self, tiny_world):
+        result = NewsDiffusionPipeline(small_config(seed=13)).run(tiny_world)
+        assert result.topics
+        assert "topic_modeling" in result.timings_seconds
+
+    def test_run_with_prediction_returns_grids(self, tiny_world, pipeline):
+        grids = pipeline.run_with_prediction(
+            tiny_world,
+            targets=("likes",),
+            variants=("A1",),
+            networks=("MLP 1",),
+        )
+        if grids:  # tiny worlds may produce no correlated tweets
+            outcome = grids["likes"]["A1"]["MLP 1"]
+            assert 0.0 <= outcome.validation_accuracy <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for the Audience Interest Prediction module (§4.8, §5.6)."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core import AudienceInterestPredictor
+from repro.core.prediction import format_accuracy_table, grid_to_accuracy_table
+from repro.datasets import Dataset
+
+
+def synthetic_dataset(n=240, dim=24, seed=0, signal=2.0):
+    """Three separable classes whose labels double as likes/retweets."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=signal, size=(3, dim))
+    X, labels = [], []
+    for i in range(3):
+        X.append(rng.normal(size=(n // 3, dim)) * 0.5 + centers[i])
+        labels += [i] * (n // 3)
+    X = np.vstack(X)
+    X /= np.maximum(np.linalg.norm(X, axis=1, keepdims=True), 1e-9)
+    labels = np.array(labels)
+    return Dataset(
+        name="synthetic",
+        X=X,
+        y_likes=labels,
+        y_retweets=labels[::-1].copy(),
+    )
+
+
+class TestTraining:
+    def test_mlp_learns_separable_data(self):
+        predictor = AudienceInterestPredictor(max_epochs=30, batch_size=32, seed=0)
+        outcome = predictor.train(synthetic_dataset(), "MLP 1", "likes")
+        assert outcome.validation_accuracy > 0.8
+        assert outcome.n_epochs <= 30
+        assert outcome.confusion.shape == (3, 3)
+
+    def test_cnn_learns_separable_data(self):
+        predictor = AudienceInterestPredictor(max_epochs=30, batch_size=32, seed=0)
+        outcome = predictor.train(synthetic_dataset(), "CNN 1", "likes")
+        assert outcome.validation_accuracy > 0.8
+
+    def test_retweet_target_uses_other_labels(self):
+        predictor = AudienceInterestPredictor(max_epochs=5, batch_size=32, seed=0)
+        likes = predictor.train(synthetic_dataset(), "MLP 1", "likes")
+        retweets = predictor.train(synthetic_dataset(), "MLP 1", "retweets")
+        assert likes.target == "likes"
+        assert retweets.target == "retweets"
+
+    def test_unknown_target_raises(self):
+        predictor = AudienceInterestPredictor(max_epochs=2)
+        with pytest.raises(ValueError):
+            predictor.train(synthetic_dataset(), "MLP 1", "shares")
+
+    def test_unknown_network_raises(self):
+        predictor = AudienceInterestPredictor(max_epochs=2)
+        with pytest.raises(KeyError):
+            predictor.train(synthetic_dataset(), "GRU 1", "likes")
+
+    def test_keep_model_flag(self):
+        predictor = AudienceInterestPredictor(max_epochs=2, seed=0)
+        with_model = predictor.train(
+            synthetic_dataset(), "MLP 1", "likes", keep_model=True
+        )
+        without = predictor.train(synthetic_dataset(), "MLP 1", "likes")
+        assert with_model.model is not None
+        assert without.model is None
+
+    def test_outcome_metadata(self):
+        predictor = AudienceInterestPredictor(max_epochs=3, seed=0)
+        outcome = predictor.train(synthetic_dataset(), "MLP 2", "likes")
+        assert outcome.dataset_name == "synthetic"
+        assert outcome.network_name == "MLP 2"
+        assert outcome.epoch_ms_mean > 0
+        assert outcome.runtime_seconds > 0
+        assert 0.0 <= outcome.validation_average_accuracy <= 1.0
+
+
+class TestGrid:
+    def test_grid_covers_all_cells(self):
+        predictor = AudienceInterestPredictor(max_epochs=2, seed=0)
+        datasets = {"A1": synthetic_dataset(), "A2": synthetic_dataset(seed=1)}
+        grid = predictor.run_grid(datasets, networks=("MLP 1", "CNN 1"))
+        assert set(grid) == {"A1", "A2"}
+        for row in grid.values():
+            assert set(row) == {"MLP 1", "CNN 1"}
+
+    def test_accuracy_table_formatting(self):
+        predictor = AudienceInterestPredictor(max_epochs=2, seed=0)
+        grid = predictor.run_grid(
+            {"A1": synthetic_dataset()}, networks=("MLP 1",)
+        )
+        table = grid_to_accuracy_table(grid)
+        assert 0.0 <= table["A1"]["MLP 1"] <= 1.0
+        rendered = format_accuracy_table(table, networks=("MLP 1",))
+        assert "A1" in rendered and "MLP 1" in rendered

@@ -1,0 +1,92 @@
+"""Unit tests for the Trending News module (§4.5)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import TrendingNewsModule
+from repro.embeddings import PretrainedEmbeddings
+from repro.events import Event
+from repro.topics import Topic
+
+START = datetime(2019, 5, 1)
+
+
+@pytest.fixture(scope="module")
+def emb():
+    # Topic clusters plus shared background words, so the dropped top
+    # singular component (all-but-the-top) absorbs the shared mass and
+    # the cluster structure survives in the remaining components.
+    return PretrainedEmbeddings.train_background_lsa(
+        [["vote", "election", "party", "report", "news"]] * 10
+        + [["tariff", "trade", "china", "report", "news"]] * 10
+        + [["derby", "horse", "race", "report", "news"]] * 10
+        + [["vote", "party", "press"], ["tariff", "china", "press"],
+           ["derby", "race", "press"]] * 4,
+        dim=16,
+        min_count=1,
+    )
+
+
+def topic(index, keywords):
+    return Topic(index=index, terms=[(k, 1.0) for k in keywords])
+
+
+def event(main, related, day=0):
+    return Event(
+        main_word=main,
+        related_words=[(r, 0.8) for r in related],
+        start=START + timedelta(days=day),
+        end=START + timedelta(days=day + 2),
+        magnitude=10.0,
+    )
+
+
+class TestTrendingExtraction:
+    def test_matches_by_similarity(self, emb):
+        topics = [topic(0, ["vote", "election"]), topic(1, ["tariff", "trade"])]
+        events = [
+            event("election", ["vote", "party"]),
+            event("trade", ["tariff", "china"]),
+        ]
+        trending = TrendingNewsModule(emb, 0.7).extract(topics, events)
+        assert len(trending) == 2
+        assert trending[0].event.main_word == "election"
+        assert trending[1].event.main_word == "trade"
+
+    def test_threshold_filters_weak_matches(self, emb):
+        topics = [topic(0, ["vote", "election"])]
+        events = [event("derby", ["horse", "race"])]
+        assert TrendingNewsModule(emb, 0.7).extract(topics, events) == []
+
+    def test_zero_threshold_admits_non_negative_matches(self, emb):
+        topics = [topic(0, ["vote", "election"])]
+        events = [event("election", ["vote", "party"])]
+        trending = TrendingNewsModule(emb, 0.0).extract(topics, events)
+        assert len(trending) == 1
+
+    def test_empty_inputs(self, emb):
+        module = TrendingNewsModule(emb, 0.7)
+        assert module.extract([], []) == []
+        assert module.extract([topic(0, ["vote"])], []) == []
+
+    def test_similarity_matrix_shape(self, emb):
+        topics = [topic(0, ["vote"]), topic(1, ["trade"])]
+        events = [event("election", ["vote"])]
+        sims = TrendingNewsModule(emb, 0.7).similarity_matrix(topics, events)
+        assert sims.shape == (2, 1)
+
+    def test_best_match_ignores_threshold(self, emb):
+        module = TrendingNewsModule(emb, 0.99)
+        best = module.best_match(topic(0, ["vote"]), [event("derby", ["horse"])])
+        assert best is not None
+
+    def test_trending_start_is_event_start(self, emb):
+        topics = [topic(0, ["vote", "election"])]
+        events = [event("election", ["vote", "party"], day=3)]
+        trending = TrendingNewsModule(emb, 0.5).extract(topics, events)
+        assert trending[0].start == START + timedelta(days=3)
+
+    def test_invalid_threshold(self, emb):
+        with pytest.raises(ValueError):
+            TrendingNewsModule(emb, 1.5)

@@ -1,0 +1,91 @@
+"""Unit tests for the engagement model — the paper's two assumptions."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DAY_ENGAGEMENT,
+    EngagementParams,
+    User,
+    TopicSpec,
+    draw_engagement,
+    expected_likes,
+    follower_factor,
+)
+
+
+def make_user(followers):
+    return User(handle="u", followers=followers, is_influencer=followers > 1000)
+
+
+TOPIC = TopicSpec(name="t", keywords=("a",), virality=0.7)
+
+
+class TestFollowerFactor:
+    def test_sublinear_growth(self):
+        assert follower_factor(500) == pytest.approx(1.0)
+        assert follower_factor(5000) > follower_factor(500)
+        # Sub-linear: 10x followers gives < 10x factor.
+        assert follower_factor(5000) < 10 * follower_factor(500)
+
+    def test_zero_followers_safe(self):
+        assert follower_factor(0) > 0
+
+
+class TestExpectedLikes:
+    def test_influencer_assumption(self):
+        """Influencers (more followers) earn more engagement (§4.7 i)."""
+        params = EngagementParams()
+        small = expected_likes(TOPIC, make_user(50), 2, False, params)
+        big = expected_likes(TOPIC, make_user(50_000), 2, False, params)
+        assert big > 5 * small
+
+    def test_day_of_week_assumption(self):
+        """Weekend engagement beats midweek (§4.7 ii, Bentley et al.)."""
+        params = EngagementParams()
+        tuesday = expected_likes(TOPIC, make_user(500), 1, False, params)
+        saturday = expected_likes(TOPIC, make_user(500), 5, False, params)
+        assert saturday > tuesday
+        assert DAY_ENGAGEMENT[5] > DAY_ENGAGEMENT[1]
+
+    def test_virality_scales_engagement(self):
+        params = EngagementParams()
+        dull = TopicSpec(name="d", keywords=("a",), virality=0.1)
+        hot = TopicSpec(name="h", keywords=("a",), virality=0.9)
+        assert expected_likes(hot, make_user(500), 2, False, params) > \
+            expected_likes(dull, make_user(500), 2, False, params)
+
+    def test_burst_boost(self):
+        params = EngagementParams()
+        quiet = expected_likes(TOPIC, make_user(500), 2, False, params)
+        bursting = expected_likes(TOPIC, make_user(500), 2, True, params)
+        assert bursting == pytest.approx(quiet * params.burst_boost)
+
+
+class TestDraw:
+    def test_non_negative_integers(self):
+        rng = np.random.default_rng(0)
+        for _i in range(50):
+            likes, retweets = draw_engagement(TOPIC, make_user(100), 3, False, rng)
+            assert likes >= 0 and retweets >= 0
+            assert isinstance(likes, int) and isinstance(retweets, int)
+
+    def test_mean_tracks_expectation(self):
+        rng = np.random.default_rng(1)
+        params = EngagementParams()
+        expected = expected_likes(TOPIC, make_user(500), 2, False, params)
+        draws = [
+            draw_engagement(TOPIC, make_user(500), 2, False, rng, params)[0]
+            for _i in range(3000)
+        ]
+        assert np.mean(draws) == pytest.approx(expected, rel=0.1)
+
+    def test_retweets_fraction_of_likes(self):
+        rng = np.random.default_rng(2)
+        params = EngagementParams()
+        pairs = [
+            draw_engagement(TOPIC, make_user(2000), 5, True, rng, params)
+            for _i in range(2000)
+        ]
+        ratio = np.mean([r for _l, r in pairs]) / max(np.mean([l for l, _r in pairs]), 1)
+        assert ratio == pytest.approx(params.retweet_ratio, rel=0.15)

@@ -1,0 +1,121 @@
+"""Unit tests for the news/tweet generators and build_world."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    NewsGenerator,
+    TwitterGenerator,
+    UserPopulation,
+    WorldConfig,
+    build_world,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return WorldConfig(n_articles=150, n_tweets=300, n_users=60, seed=11)
+
+
+@pytest.fixture(scope="module")
+def articles(config):
+    return NewsGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def tweets(config):
+    return TwitterGenerator(config, UserPopulation(config)).generate()
+
+
+class TestNewsGenerator:
+    def test_count(self, config, articles):
+        assert len(articles) == config.n_articles
+
+    def test_required_fields(self, articles):
+        for article in articles[:10]:
+            assert article["title"]
+            assert len(article["text"].split()) > 30
+            assert article["source"]
+            assert article["topic"]
+
+    def test_sorted_by_time(self, config, articles):
+        times = [a["created_at"] for a in articles]
+        assert times == sorted(times)
+        assert times[0] >= config.start
+        assert times[-1] <= config.end
+
+    def test_only_news_topics_used(self, config, articles):
+        allowed = {t.name for t in config.news_topics()}
+        assert {a["topic"] for a in articles} <= allowed
+
+    def test_bursty_topic_overrepresented_during_burst(self, config, articles):
+        # huawei_ban bursts at days 40-49 with 8x intensity.
+        from datetime import timedelta
+
+        start = config.start + timedelta(days=40)
+        end = config.start + timedelta(days=49)
+        inside = [a for a in articles if start <= a["created_at"] < end]
+        share_inside = np.mean([a["topic"] == "huawei_ban" for a in inside])
+        share_global = np.mean([a["topic"] == "huawei_ban" for a in articles])
+        assert share_inside > share_global
+
+    def test_articles_contain_topic_keywords(self, config, articles):
+        by_name = {t.name: t for t in config.topics}
+        hits = 0
+        for article in articles[:30]:
+            keywords = set(by_name[article["topic"]].keywords)
+            words = set(article["text"].lower().split())
+            if keywords & words:
+                hits += 1
+        assert hits >= 28  # nearly every article carries its topic's terms
+
+    def test_deterministic(self, config):
+        again = NewsGenerator(config).generate()
+        assert [a["title"] for a in again[:5]] == [
+            a["title"] for a in NewsGenerator(config).generate()[:5]
+        ]
+
+
+class TestTwitterGenerator:
+    def test_count_and_fields(self, config, tweets):
+        assert len(tweets) == config.n_tweets
+        for tweet in tweets[:10]:
+            assert tweet["text"]
+            assert tweet["author"].startswith("user_")
+            assert tweet["followers"] >= 0
+            assert tweet["likes"] >= 0
+            assert tweet["retweets"] >= 0
+
+    def test_only_twitter_topics_used(self, config, tweets):
+        allowed = {t.name for t in config.twitter_topics()}
+        assert {t["topic"] for t in tweets} <= allowed
+
+    def test_followers_match_population(self, config, tweets):
+        population = UserPopulation(config)
+        for tweet in tweets[:20]:
+            assert tweet["followers"] == population.by_handle(tweet["author"]).followers
+
+    def test_influencer_tweets_earn_more(self, tweets):
+        big = [t["likes"] for t in tweets if t["followers"] > 1000]
+        small = [t["likes"] for t in tweets if t["followers"] < 100]
+        assert np.mean(big) > np.mean(small)
+
+
+class TestBuildWorld:
+    def test_collections_populated(self, config):
+        world = build_world(config)
+        assert len(world.news) == config.n_articles
+        assert len(world.tweets) == config.n_tweets
+        assert world.database.stats() == {
+            "news": config.n_articles,
+            "tweets": config.n_tweets,
+        }
+
+    def test_indexes_created(self, config):
+        world = build_world(config)
+        assert "author" in world.tweets.list_indexes()
+        assert "source" in world.news.list_indexes()
+
+    def test_default_config_used_when_omitted(self):
+        world = build_world(WorldConfig(n_articles=10, n_tweets=10, n_users=10))
+        assert len(world.news) == 10

@@ -1,0 +1,63 @@
+"""Property-based tests (hypothesis) for the synthetic-world models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import EngagementParams, TopicSpec, User, expected_likes, follower_factor
+from repro.datagen.engagement import DAY_ENGAGEMENT, draw_engagement
+
+
+def make_user(followers):
+    return User(handle="u", followers=followers, is_influencer=followers > 1000)
+
+
+@given(st.integers(0, 10**7))
+def test_follower_factor_positive_and_monotone(followers):
+    factor = follower_factor(followers)
+    assert factor > 0
+    assert follower_factor(followers + 1) >= factor
+
+
+@given(
+    st.floats(0.0, 1.0),
+    st.integers(1, 10**6),
+    st.integers(0, 6),
+    st.booleans(),
+)
+@settings(max_examples=80)
+def test_expected_likes_positive_and_burst_monotone(virality, followers, weekday, in_burst):
+    topic = TopicSpec(name="t", keywords=("a",), virality=virality)
+    params = EngagementParams()
+    value = expected_likes(topic, make_user(followers), weekday, in_burst, params)
+    assert value > 0
+    if not in_burst:
+        boosted = expected_likes(topic, make_user(followers), weekday, True, params)
+        assert boosted > value
+
+
+@given(st.floats(0.0, 0.99))
+@settings(max_examples=40)
+def test_expected_likes_monotone_in_virality(virality):
+    params = EngagementParams()
+    low = TopicSpec(name="l", keywords=("a",), virality=virality)
+    high = TopicSpec(name="h", keywords=("a",), virality=min(1.0, virality + 0.01))
+    user = make_user(500)
+    assert expected_likes(high, user, 2, False, params) > expected_likes(
+        low, user, 2, False, params
+    )
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=40)
+def test_draw_engagement_always_non_negative_ints(seed):
+    rng = np.random.default_rng(seed)
+    topic = TopicSpec(name="t", keywords=("a",), virality=0.6)
+    likes, retweets = draw_engagement(topic, make_user(200), 4, True, rng)
+    assert isinstance(likes, int) and likes >= 0
+    assert isinstance(retweets, int) and retweets >= 0
+
+
+def test_day_engagement_profile_shape():
+    # Weekend > midweek — the §4.7 assumption the generator implements.
+    assert len(DAY_ENGAGEMENT) == 7
+    assert min(DAY_ENGAGEMENT[5], DAY_ENGAGEMENT[6]) > max(DAY_ENGAGEMENT[1], DAY_ENGAGEMENT[2])

@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic user population."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import UserPopulation, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def population():
+    return UserPopulation(WorldConfig(n_users=200, seed=1))
+
+
+class TestGeneration:
+    def test_population_size(self, population):
+        assert len(population) == 200
+
+    def test_influencer_fraction(self, population):
+        influencers = population.influencers()
+        assert len(influencers) == 10  # 5% of 200
+
+    def test_influencers_exceed_high_bucket(self, population):
+        # Influencers must land in the Table-2 ">1000" bucket for the
+        # metadata features to carry signal.
+        for user in population.influencers():
+            assert user.followers > 1000
+
+    def test_follower_distribution_is_heavy_tailed(self, population):
+        pcts = population.follower_percentiles((50, 99))
+        assert pcts[99] > 10 * pcts[50]
+
+    def test_handles_unique(self, population):
+        handles = [u.handle for u in population.users]
+        assert len(handles) == len(set(handles))
+
+    def test_affinities_normalized(self, population):
+        for user in population.users[:20]:
+            total = sum(user.topic_affinity.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_by_handle(self, population):
+        user = population.users[3]
+        assert population.by_handle(user.handle) is user
+        with pytest.raises(KeyError):
+            population.by_handle("nobody")
+
+
+class TestSampling:
+    def test_sample_author_prefers_affine_users(self, population):
+        rng = np.random.default_rng(0)
+        topics = population.config.twitter_topics()
+        topic = topics[0]
+        draws = [
+            population.sample_author(topic, weekday=2, rng=rng)
+            for _i in range(300)
+        ]
+        sampled_affinity = np.mean([u.affinity(topic.name) for u in draws])
+        base_affinity = np.mean([u.affinity(topic.name) for u in population.users])
+        assert sampled_affinity > base_affinity
+
+    def test_deterministic_given_rng_seed(self, population):
+        topics = population.config.twitter_topics()
+        a = population.sample_author(topics[0], 0, np.random.default_rng(9))
+        b = population.sample_author(topics[0], 0, np.random.default_rng(9))
+        assert a is b
+
+    def test_reproducible_population(self):
+        p1 = UserPopulation(WorldConfig(n_users=50, seed=3))
+        p2 = UserPopulation(WorldConfig(n_users=50, seed=3))
+        assert [u.followers for u in p1.users] == [u.followers for u in p2.users]

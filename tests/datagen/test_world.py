@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic world configuration."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.datagen import Burst, TopicSpec, WorldConfig, default_topics
+
+
+class TestBurst:
+    def test_active_window(self):
+        burst = Burst(start_day=10, duration_days=5, intensity=3.0)
+        assert not burst.active(9.9)
+        assert burst.active(10.0)
+        assert burst.active(14.9)
+        assert not burst.active(15.0)
+
+
+class TestTopicSpec:
+    def test_activity_base_rate(self):
+        topic = TopicSpec(name="t", keywords=("a",), base_rate=2.0)
+        assert topic.activity(0) == 2.0
+
+    def test_activity_during_burst(self):
+        topic = TopicSpec(
+            name="t",
+            keywords=("a",),
+            base_rate=1.0,
+            bursts=(Burst(5, 2, 4.0),),
+        )
+        assert topic.activity(4) == 1.0
+        assert topic.activity(5.5) == 5.0
+
+    def test_overlapping_bursts_add(self):
+        topic = TopicSpec(
+            name="t",
+            keywords=("a",),
+            base_rate=1.0,
+            bursts=(Burst(0, 10, 2.0), Burst(5, 10, 3.0)),
+        )
+        assert topic.activity(7) == 6.0
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        config = WorldConfig()
+        assert config.end == config.start + timedelta(days=config.duration_days)
+        assert len(config.topics) >= 10
+
+    def test_medium_split(self):
+        config = WorldConfig()
+        news = {t.name for t in config.news_topics()}
+        twitter = {t.name for t in config.twitter_topics()}
+        assert "municipal_budget" in news - twitter
+        assert "tv_show" in twitter - news
+        assert "brexit_election" in news & twitter
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            WorldConfig(duration_days=0)
+
+    def test_invalid_users(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_users=1)
+
+    def test_invalid_influencer_fraction(self):
+        with pytest.raises(ValueError):
+            WorldConfig(influencer_fraction=0.0)
+
+    def test_empty_topics_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(topics=[])
+
+    def test_default_topics_have_unique_names(self):
+        names = [t.name for t in default_topics()]
+        assert len(names) == len(set(names))
+
+    def test_default_timeline_is_five_months(self):
+        config = WorldConfig()
+        assert config.start == datetime(2019, 4, 1)
+        assert config.duration_days == 150

@@ -1,0 +1,114 @@
+"""Unit tests for the A1..D2 dataset builders (§5.6)."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    EventTweet,
+    VARIANT_NAMES,
+    build_all_datasets,
+    build_dataset,
+)
+from repro.embeddings import PretrainedEmbeddings
+
+DIM = 16
+
+
+@pytest.fixture(scope="module")
+def emb():
+    return PretrainedEmbeddings.deterministic(
+        ["vote", "election", "party", "poll"], dim=DIM
+    )
+
+
+def record(tokens=("vote", "election"), followers=500, likes=150, retweets=20,
+           magnitudes=None, oov=False):
+    tokens = list(tokens) + (["zzzslang"] if oov else [])
+    vocab = {"vote", "election", "party", "zzzslang"}
+    return EventTweet(
+        tokens=tokens,
+        event_vocabulary=vocab,
+        magnitudes=magnitudes or {"vote": 1.0, "election": 0.8},
+        author="u1",
+        followers=followers,
+        likes=likes,
+        retweets=retweets,
+        created_at=datetime(2019, 5, 11),  # a Saturday
+    )
+
+
+class TestVariants:
+    def test_all_variants_build(self, emb):
+        datasets = build_all_datasets([record(), record(likes=5)], emb)
+        assert set(datasets) == set(VARIANT_NAMES)
+
+    def test_feature_dimensions(self, emb):
+        records = [record()]
+        assert build_dataset(records, emb, "A1").n_features == DIM
+        assert build_dataset(records, emb, "A2").n_features == DIM + 8
+        assert build_dataset(records, emb, "D2").n_features == DIM + 9
+
+    def test_labels_follow_table2(self, emb):
+        ds = build_dataset(
+            [record(likes=50, retweets=5), record(likes=5000, retweets=1500)],
+            emb,
+            "A1",
+        )
+        assert list(ds.y_likes) == [0, 2]
+        assert list(ds.y_retweets) == [0, 2]
+
+    def test_a1_equals_d1(self, emb):
+        records = [record(), record(likes=10)]
+        a1 = build_dataset(records, emb, "A1")
+        d1 = build_dataset(records, emb, "D1")
+        assert np.allclose(a1.X, d1.X)
+
+    def test_b_differs_from_a_only_with_oov(self, emb):
+        in_vocab = [record()]
+        assert np.allclose(
+            build_dataset(in_vocab, emb, "A1").X,
+            build_dataset(in_vocab, emb, "B1").X,
+        )
+        with_oov = [record(oov=True)]
+        assert not np.allclose(
+            build_dataset(with_oov, emb, "A1").X,
+            build_dataset(with_oov, emb, "B1").X,
+        )
+
+    def test_c_scales_by_magnitude(self, emb):
+        records = [record(magnitudes={"vote": 0.0, "election": 0.0})]
+        c1 = build_dataset(records, emb, "C1")
+        assert np.allclose(c1.X, 0.0)
+
+    def test_metadata_block_content(self, emb):
+        ds = build_dataset([record(followers=5000)], emb, "A2")
+        metadata = ds.X[0, DIM:]
+        assert metadata[:7].sum() == 1.0
+        assert metadata[6] == 1.0       # >5000 follower bucket
+        assert metadata[7] == pytest.approx(5 / 6)  # Saturday
+
+    def test_d2_appends_encoded_followers(self, emb):
+        ds = build_dataset([record(followers=5000)], emb, "D2")
+        assert ds.X[0, -1] == 2.0  # Table-2 class of 5000 followers
+
+    def test_event_vocabulary_restricts_tokens(self, emb):
+        # 'poll' is in the embedding store but NOT in the event vocabulary,
+        # so it must not contribute.
+        rec = record(tokens=("vote", "poll"))
+        ds = build_dataset([rec], emb, "A1")
+        assert np.allclose(ds.X[0], emb["vote"])
+
+    def test_feature_names_align(self, emb):
+        ds = build_dataset([record()], emb, "D2")
+        assert len(ds.feature_names) == ds.n_features
+        assert ds.feature_names[-1] == "followers_encoded"
+
+    def test_unknown_variant_raises(self, emb):
+        with pytest.raises(KeyError):
+            build_dataset([record()], emb, "Z9")
+
+    def test_empty_records_raise(self, emb):
+        with pytest.raises(ValueError):
+            build_dataset([], emb, "A1")

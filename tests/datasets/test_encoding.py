@@ -1,0 +1,92 @@
+"""Unit and property tests for the Table-2 encodings and metadata vector."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datasets import (
+    AUTHOR_BUCKET_EDGES,
+    METADATA_SIZE,
+    author_bucket,
+    author_one_hot,
+    day_of_week_feature,
+    encode_count,
+    encode_labels,
+    metadata_vector,
+)
+
+
+class TestEncodeCount:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [(0, 0), (99, 0), (100, 1), (500, 1), (1000, 1), (1001, 2), (10**6, 2)],
+    )
+    def test_table2_boundaries(self, count, expected):
+        assert encode_count(count) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            encode_count(-1)
+
+    def test_vectorized(self):
+        labels = encode_labels([5, 100, 2000])
+        assert list(labels) == [0, 1, 2]
+        assert labels.dtype == np.int64
+
+
+class TestAuthorBuckets:
+    def test_bucket_edges(self):
+        assert author_bucket(0) == 0
+        assert author_bucket(9) == 0
+        assert author_bucket(10) == 1
+        assert author_bucket(4999) == 5
+        assert author_bucket(5000) == 6
+
+    def test_one_hot_shape_and_mass(self):
+        vec = author_one_hot(700)
+        assert vec.shape == (len(AUTHOR_BUCKET_EDGES) + 1,)
+        assert vec.sum() == 1.0
+        assert vec[author_bucket(700)] == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            author_bucket(-5)
+
+
+class TestDayFeature:
+    def test_monday_zero_sunday_one(self):
+        assert day_of_week_feature(datetime(2019, 5, 6)) == 0.0  # Monday
+        assert day_of_week_feature(datetime(2019, 5, 12)) == 1.0  # Sunday
+
+    def test_midweek(self):
+        assert day_of_week_feature(datetime(2019, 5, 9)) == pytest.approx(3 / 6)
+
+
+class TestMetadataVector:
+    def test_size_is_eight(self):
+        vec = metadata_vector(500, datetime(2019, 5, 6))
+        assert vec.shape == (METADATA_SIZE,)
+        assert METADATA_SIZE == 8
+
+    def test_composition(self):
+        vec = metadata_vector(5000, datetime(2019, 5, 12))
+        assert vec[:7].sum() == 1.0
+        assert vec[6] == 1.0  # top follower bucket
+        assert vec[7] == 1.0  # Sunday
+
+
+@given(st.integers(0, 10**7))
+def test_encode_count_total_and_ordered(count):
+    cls = encode_count(count)
+    assert cls in (0, 1, 2)
+    # Monotonicity: a strictly larger count never gets a smaller class.
+    assert encode_count(count + 1) >= cls
+
+
+@given(st.integers(0, 10**7))
+def test_author_bucket_total(followers):
+    bucket = author_bucket(followers)
+    assert 0 <= bucket <= 6
+    assert author_bucket(followers + 1) >= bucket

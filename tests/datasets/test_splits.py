@@ -1,0 +1,66 @@
+"""Unit tests for train/validation splitting and k-fold CV."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import k_fold, train_validation_split
+
+
+class TestTrainValidationSplit:
+    def test_partition(self):
+        split = train_validation_split(100, validation_fraction=0.2, seed=0)
+        combined = np.concatenate([split.train, split.validation])
+        assert sorted(combined) == list(range(100))
+        assert len(split.validation) == 20
+
+    def test_deterministic(self):
+        a = train_validation_split(50, seed=3)
+        b = train_validation_split(50, seed=3)
+        assert np.array_equal(a.train, b.train)
+
+    def test_different_seeds_differ(self):
+        a = train_validation_split(50, seed=1)
+        b = train_validation_split(50, seed=2)
+        assert not np.array_equal(a.train, b.train)
+
+    def test_stratified_keeps_class_ratios(self):
+        labels = np.array([0] * 80 + [1] * 20)
+        split = train_validation_split(
+            100, validation_fraction=0.25, seed=0, stratify=labels
+        )
+        val_labels = labels[split.validation]
+        assert np.mean(val_labels == 1) == pytest.approx(0.2, abs=0.05)
+
+    def test_stratified_never_empties_a_class_from_train(self):
+        labels = np.array([0] * 98 + [1] * 2)
+        split = train_validation_split(
+            100, validation_fraction=0.5, seed=0, stratify=labels
+        )
+        assert 1 in labels[split.train]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            train_validation_split(1)
+        with pytest.raises(ValueError):
+            train_validation_split(10, validation_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_validation_split(10, stratify=np.zeros(5))
+
+
+class TestKFold:
+    def test_folds_partition_data(self):
+        folds = list(k_fold(20, k=4, seed=0))
+        assert len(folds) == 4
+        all_validation = np.concatenate([v for _t, v in folds])
+        assert sorted(all_validation) == list(range(20))
+
+    def test_train_and_validation_disjoint(self):
+        for train, validation in k_fold(20, k=4, seed=0):
+            assert not set(train) & set(validation)
+            assert len(train) + len(validation) == 20
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(k_fold(10, k=1))
+        with pytest.raises(ValueError):
+            list(k_fold(3, k=5))

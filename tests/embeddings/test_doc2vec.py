@@ -1,0 +1,91 @@
+"""Unit tests for the SW/RND/SWM document embeddings (§4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    PretrainedEmbeddings,
+    keywords2vec,
+    rnd_doc2vec,
+    sw_doc2vec,
+    swm_doc2vec,
+)
+
+
+@pytest.fixture(scope="module")
+def emb():
+    return PretrainedEmbeddings.deterministic(
+        ["vote", "election", "party", "tariff"], dim=16
+    )
+
+
+class TestSW:
+    def test_average_of_known_vectors(self, emb):
+        vec = sw_doc2vec(["vote", "election"], emb)
+        expected = (emb["vote"] + emb["election"]) / 2
+        assert np.allclose(vec, expected)
+
+    def test_oov_ignored(self, emb):
+        with_oov = sw_doc2vec(["vote", "zzz"], emb)
+        assert np.allclose(with_oov, emb["vote"])
+
+    def test_all_oov_gives_zero(self, emb):
+        assert np.allclose(sw_doc2vec(["zzz"], emb), np.zeros(16))
+
+    def test_event_vocabulary_restriction(self, emb):
+        vec = sw_doc2vec(["vote", "tariff"], emb, event_vocabulary={"vote"})
+        assert np.allclose(vec, emb["vote"])
+
+    def test_repeated_tokens_weighted(self, emb):
+        vec = sw_doc2vec(["vote", "vote", "election"], emb)
+        expected = (2 * emb["vote"] + emb["election"]) / 3
+        assert np.allclose(vec, expected)
+
+
+class TestRND:
+    def test_oov_contributes_random_vector(self, emb):
+        sw = sw_doc2vec(["vote", "zzz"], emb)
+        rnd = rnd_doc2vec(["vote", "zzz"], emb)
+        assert not np.allclose(sw, rnd)
+
+    def test_deterministic_per_word(self, emb):
+        assert np.allclose(
+            rnd_doc2vec(["zzz"], emb), rnd_doc2vec(["zzz"], emb)
+        )
+
+    def test_random_values_bounded(self, emb):
+        vec = rnd_doc2vec(["zzz"], emb)
+        assert np.all(vec >= -1.0) and np.all(vec <= 1.0)
+
+    def test_matches_sw_when_all_in_vocabulary(self, emb):
+        tokens = ["vote", "election"]
+        assert np.allclose(sw_doc2vec(tokens, emb), rnd_doc2vec(tokens, emb))
+
+
+class TestSWM:
+    def test_magnitudes_scale_contributions(self, emb):
+        mags = {"vote": 2.0, "election": 0.0}
+        vec = swm_doc2vec(["vote", "election"], emb, mags)
+        expected = (2.0 * emb["vote"] + 0.0 * emb["election"]) / 2
+        assert np.allclose(vec, expected)
+
+    def test_default_magnitude_is_one(self, emb):
+        vec = swm_doc2vec(["vote"], emb, {})
+        assert np.allclose(vec, emb["vote"])
+
+    def test_oov_skipped(self, emb):
+        vec = swm_doc2vec(["zzz", "vote"], emb, {"zzz": 5.0})
+        assert np.allclose(vec, emb["vote"])
+
+
+class TestKeywords2Vec:
+    def test_mean_of_keywords(self, emb):
+        vec = keywords2vec(["vote", "party"], emb)
+        assert np.allclose(vec, (emb["vote"] + emb["party"]) / 2)
+
+    def test_concept_token_falls_back_to_parts(self, emb):
+        vec = keywords2vec(["vote_party"], emb)
+        assert np.allclose(vec, (emb["vote"] + emb["party"]) / 2)
+
+    def test_unknown_keywords_give_zero(self, emb):
+        assert np.allclose(keywords2vec(["zzz_yyy"], emb), np.zeros(16))

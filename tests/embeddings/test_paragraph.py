@@ -1,0 +1,108 @@
+"""Unit tests for the PVDBOW/PVDM paragraph-vector models (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import ParagraphVectors, cosine_similarity
+
+
+def two_cluster_corpus(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    group_a = ["vote", "party", "election", "poll"]
+    group_b = ["tariff", "trade", "china", "import"]
+    corpus, labels = [], []
+    for i in range(n):
+        group = group_a if i % 2 == 0 else group_b
+        corpus.append(list(rng.choice(group, size=8)))
+        labels.append(i % 2)
+    return corpus, labels
+
+
+def cluster_separation(vectors, labels):
+    """Mean within-cluster cosine minus mean across-cluster cosine."""
+    a = [v for v, l in zip(vectors, labels) if l == 0]
+    b = [v for v, l in zip(vectors, labels) if l == 1]
+    within = np.mean(
+        [cosine_similarity(a[i], a[j]) for i in range(len(a)) for j in range(i + 1, len(a))]
+        + [cosine_similarity(b[i], b[j]) for i in range(len(b)) for j in range(i + 1, len(b))]
+    )
+    across = np.mean([cosine_similarity(x, y) for x in a for y in b])
+    return within - across
+
+
+class TestPVDBOW:
+    def test_documents_cluster_by_topic(self):
+        corpus, labels = two_cluster_corpus()
+        model = ParagraphVectors(vector_size=16, dm=False, min_count=1,
+                                 epochs=20, seed=0)
+        model.train(corpus)
+        assert cluster_separation(model.document_vectors(), labels) > 0.1
+
+    def test_loss_decreases_with_epochs(self):
+        corpus, _labels = two_cluster_corpus()
+        short = ParagraphVectors(vector_size=16, min_count=1, epochs=1, seed=0)
+        long = ParagraphVectors(vector_size=16, min_count=1, epochs=8, seed=0)
+        assert long.train(corpus) < short.train(corpus)
+
+
+class TestPVDM:
+    def test_documents_cluster_by_topic(self):
+        corpus, labels = two_cluster_corpus()
+        model = ParagraphVectors(vector_size=16, dm=True, min_count=1,
+                                 epochs=20, seed=1)
+        model.train(corpus)
+        assert cluster_separation(model.document_vectors(), labels) > 0.1
+
+
+class TestInference:
+    def test_inferred_vector_lands_near_its_cluster(self):
+        corpus, labels = two_cluster_corpus()
+        model = ParagraphVectors(vector_size=16, dm=False, min_count=1,
+                                 epochs=20, seed=0)
+        model.train(corpus)
+        inferred = model.infer_vector(["vote", "election", "party", "vote"])
+        centroid_a = np.mean(
+            [v for v, l in zip(model.document_vectors(), labels) if l == 0], axis=0
+        )
+        centroid_b = np.mean(
+            [v for v, l in zip(model.document_vectors(), labels) if l == 1], axis=0
+        )
+        assert cosine_similarity(inferred, centroid_a) > cosine_similarity(
+            inferred, centroid_b
+        )
+
+    def test_inference_does_not_mutate_model(self):
+        corpus, _labels = two_cluster_corpus()
+        model = ParagraphVectors(vector_size=16, min_count=1, epochs=2, seed=0)
+        model.train(corpus)
+        before = model.W_out.copy()
+        model.infer_vector(["vote", "party"])
+        assert np.array_equal(before, model.W_out)
+
+    def test_all_oov_inference_returns_finite_vector(self):
+        corpus, _labels = two_cluster_corpus()
+        model = ParagraphVectors(vector_size=16, min_count=1, epochs=1, seed=0)
+        model.train(corpus)
+        vector = model.infer_vector(["zzz", "yyy"])
+        assert vector.shape == (16,)
+        assert np.isfinite(vector).all()
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ParagraphVectors(vector_size=0)
+        with pytest.raises(ValueError):
+            ParagraphVectors(negative=0)
+
+    def test_empty_vocab_raises(self):
+        model = ParagraphVectors(min_count=10)
+        with pytest.raises(ValueError):
+            model.train([["a", "b"]])
+
+    def test_untrained_access_raises(self):
+        model = ParagraphVectors()
+        with pytest.raises(RuntimeError):
+            model.document_vector(0)
+        with pytest.raises(RuntimeError):
+            model.infer_vector(["a"])

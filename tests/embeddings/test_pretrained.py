@@ -1,0 +1,98 @@
+"""Unit tests for the pretrained-embedding stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import PretrainedEmbeddings, Word2Vec, hash_vector
+
+
+class TestHashVectors:
+    def test_deterministic(self):
+        assert np.allclose(hash_vector("vote", 16), hash_vector("vote", 16))
+
+    def test_distinct_words_distinct_vectors(self):
+        assert not np.allclose(hash_vector("vote", 16), hash_vector("trade", 16))
+
+    def test_salt_changes_vector(self):
+        assert not np.allclose(hash_vector("vote", 16, 0), hash_vector("vote", 16, 1))
+
+    def test_unit_norm(self):
+        assert np.linalg.norm(hash_vector("vote", 32)) == pytest.approx(1.0)
+
+
+class TestConstruction:
+    def test_deterministic_store(self):
+        emb = PretrainedEmbeddings.deterministic(["a", "b"], dim=8)
+        assert len(emb) == 2
+        assert emb.dim == 8
+        assert "a" in emb
+        assert emb.get("c") is None
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            PretrainedEmbeddings({"a": np.zeros(3)}, dim=4)
+
+    def test_from_word2vec(self):
+        model = Word2Vec(vector_size=8, min_count=1, epochs=1)
+        model.train([["a", "b", "a", "b"]] * 10)
+        emb = PretrainedEmbeddings.from_word2vec(model)
+        assert "a" in emb
+        assert emb.dim == 8
+
+
+class TestBackgroundLSA:
+    # Two topical clusters plus shared background words: the background
+    # mass is what the dropped top singular component absorbs, leaving
+    # the cluster-separating components intact (all-but-the-top).
+    CORPUS = (
+        [["vote", "election", "party", "report", "news"]] * 20
+        + [["tariff", "trade", "china", "report", "news"]] * 20
+        + [["vote", "party", "press", "update"]] * 10
+        + [["tariff", "china", "press", "update"]] * 10
+    )
+
+    def test_topic_structure(self):
+        emb = PretrainedEmbeddings.train_background_lsa(self.CORPUS, dim=8)
+        from repro.embeddings import cosine_similarity
+
+        within = cosine_similarity(emb["vote"], emb["election"])
+        across = cosine_similarity(emb["vote"], emb["tariff"])
+        assert within > across
+
+    def test_vectors_unit_norm(self):
+        emb = PretrainedEmbeddings.train_background_lsa(self.CORPUS, dim=8)
+        for word in emb.words():
+            assert np.linalg.norm(emb[word]) == pytest.approx(1.0)
+
+    def test_zero_padding_to_requested_dim(self):
+        emb = PretrainedEmbeddings.train_background_lsa(self.CORPUS, dim=300)
+        assert emb.dim == 300
+        assert emb["vote"].shape == (300,)
+
+    def test_coverage_drops_rare_words(self):
+        corpus = self.CORPUS + [["rareword", "vote"]]
+        full = PretrainedEmbeddings.train_background_lsa(corpus, dim=8, min_count=1)
+        partial = PretrainedEmbeddings.train_background_lsa(
+            corpus, dim=8, min_count=1, coverage=0.5
+        )
+        assert "rareword" in full
+        assert "rareword" not in partial
+        assert "vote" in partial  # frequent words survive
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            PretrainedEmbeddings.train_background_lsa(self.CORPUS, coverage=0)
+
+    def test_empty_corpus(self):
+        emb = PretrainedEmbeddings.train_background_lsa([], dim=8)
+        assert len(emb) == 0
+
+
+class TestCoverageOf:
+    def test_fraction(self):
+        emb = PretrainedEmbeddings.deterministic(["a", "b"], dim=4)
+        assert emb.coverage_of(["a", "b", "c", "d"]) == 0.5
+
+    def test_empty_tokens(self):
+        emb = PretrainedEmbeddings.deterministic(["a"], dim=4)
+        assert emb.coverage_of([]) == 1.0

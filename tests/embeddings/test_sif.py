@@ -1,0 +1,55 @@
+"""Unit tests for the SIF-weighted document embedding extension."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import PretrainedEmbeddings, sif_doc2vec, sw_doc2vec
+
+
+@pytest.fixture(scope="module")
+def emb():
+    return PretrainedEmbeddings.deterministic(
+        ["the", "election", "vote"], dim=8
+    )
+
+
+FREQS = {"the": 900, "election": 50, "vote": 50}
+TOTAL = 1000
+
+
+class TestSIF:
+    def test_frequent_words_downweighted(self, emb):
+        # A doc of only "the" should have a much smaller norm than a doc
+        # of only "election" under SIF (same unit word vectors).
+        common = sif_doc2vec(["the"], emb, FREQS, TOTAL)
+        rare = sif_doc2vec(["election"], emb, FREQS, TOTAL)
+        assert np.linalg.norm(common) < 0.1 * np.linalg.norm(rare)
+
+    def test_unseen_words_get_max_weight(self, emb):
+        vector = sif_doc2vec(["vote"], emb, {}, TOTAL)
+        assert np.allclose(vector, emb["vote"])  # weight a/(a+0) = 1
+
+    def test_matches_sw_when_all_probabilities_zero(self, emb):
+        tokens = ["election", "vote"]
+        assert np.allclose(
+            sif_doc2vec(tokens, emb, {}, TOTAL),
+            sw_doc2vec(tokens, emb),
+        )
+
+    def test_event_vocabulary_restriction(self, emb):
+        vector = sif_doc2vec(
+            ["the", "election"], emb, FREQS, TOTAL,
+            event_vocabulary={"election"},
+        )
+        expected = sif_doc2vec(["election"], emb, FREQS, TOTAL)
+        assert np.allclose(vector, expected)
+
+    def test_oov_tokens_skipped(self, emb):
+        vector = sif_doc2vec(["zzz"], emb, FREQS, TOTAL)
+        assert np.allclose(vector, np.zeros(8))
+
+    def test_invalid_parameters(self, emb):
+        with pytest.raises(ValueError):
+            sif_doc2vec(["vote"], emb, FREQS, 0)
+        with pytest.raises(ValueError):
+            sif_doc2vec(["vote"], emb, FREQS, TOTAL, a=0)

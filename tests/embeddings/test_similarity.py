@@ -1,0 +1,81 @@
+"""Unit and property tests for cosine similarity (Eq 11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embeddings import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    safe_cosine_similarity,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        assert cosine_similarity([1, 2], [10, 20]) == pytest.approx(1.0)
+
+    def test_zero_norm_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([0, 0], [1, 2])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+    def test_safe_variant_returns_default(self):
+        assert safe_cosine_similarity([0, 0], [1, 2]) == 0.0
+        assert safe_cosine_similarity([0, 0], [1, 2], default=-1) == -1
+
+
+class TestMatrix:
+    def test_pairwise_values(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        Y = np.array([[1.0, 0.0], [1.0, 1.0]])
+        sims = cosine_similarity_matrix(X, Y)
+        assert sims.shape == (2, 2)
+        assert sims[0, 0] == pytest.approx(1.0)
+        assert sims[0, 1] == pytest.approx(1 / np.sqrt(2))
+
+    def test_zero_rows_give_zero(self):
+        X = np.array([[0.0, 0.0]])
+        Y = np.array([[1.0, 1.0]])
+        assert cosine_similarity_matrix(X, Y)[0, 0] == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity_matrix(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_agrees_with_scalar(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(4, 6))
+        Y = rng.normal(size=(3, 6))
+        sims = cosine_similarity_matrix(X, Y)
+        for i in range(4):
+            for j in range(3):
+                assert sims[i, j] == pytest.approx(cosine_similarity(X[i], Y[j]))
+
+
+finite_vectors = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=2, max_size=8
+)
+
+
+@given(finite_vectors, finite_vectors)
+def test_cosine_bounded_and_symmetric(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    if np.linalg.norm(x) == 0 or np.linalg.norm(y) == 0:
+        return
+    s = cosine_similarity(x, y)
+    assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9
+    assert s == pytest.approx(cosine_similarity(y, x))

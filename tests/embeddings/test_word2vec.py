@@ -1,0 +1,106 @@
+"""Unit tests for the from-scratch Word2Vec (skip-gram and CBOW)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import Word2Vec, cosine_similarity
+
+
+def synthetic_corpus(n=300, seed=0):
+    """Two word 'communities' that never co-occur across groups."""
+    rng = np.random.default_rng(seed)
+    group_a = ["vote", "party", "election", "poll"]
+    group_b = ["tariff", "trade", "china", "import"]
+    corpus = []
+    for _i in range(n):
+        group = group_a if rng.random() < 0.5 else group_b
+        corpus.append(list(rng.choice(group, size=6)))
+    return corpus
+
+
+class TestVocabulary:
+    def test_min_count_prunes(self):
+        model = Word2Vec(vector_size=8, min_count=2)
+        model.build_vocab([["a", "a", "b"]])
+        assert "a" in model
+        assert "b" not in model
+
+    def test_untrained_lookup_raises(self):
+        with pytest.raises(RuntimeError):
+            Word2Vec()["x"]
+
+    def test_empty_vocab_training_raises(self):
+        model = Word2Vec(min_count=5)
+        with pytest.raises(ValueError):
+            model.train([["a"]])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Word2Vec(vector_size=0)
+        with pytest.raises(ValueError):
+            Word2Vec(window=0)
+        with pytest.raises(ValueError):
+            Word2Vec(negative=0)
+
+
+class TestTrainingSkipGram:
+    def test_loss_decreases(self):
+        corpus = synthetic_corpus()
+        model = Word2Vec(vector_size=16, min_count=1, epochs=1, seed=0, subsample=0)
+        model.build_vocab(corpus)
+        first = model.train(corpus)
+        again = Word2Vec(vector_size=16, min_count=1, epochs=4, seed=0, subsample=0)
+        final = again.train(corpus)
+        assert final < first
+
+    def test_within_group_similarity_exceeds_cross_group(self):
+        corpus = synthetic_corpus()
+        model = Word2Vec(vector_size=24, min_count=1, epochs=5, seed=1, subsample=0)
+        model.train(corpus)
+        within = cosine_similarity(model["vote"], model["election"])
+        across = cosine_similarity(model["vote"], model["tariff"])
+        assert within > across
+
+    def test_most_similar_prefers_same_group(self):
+        corpus = synthetic_corpus()
+        model = Word2Vec(vector_size=24, min_count=1, epochs=5, seed=1, subsample=0)
+        model.train(corpus)
+        neighbours = [w for w, _s in model.most_similar("vote", top=3)]
+        group_a = {"party", "election", "poll"}
+        assert len(group_a.intersection(neighbours)) >= 2
+
+
+class TestTrainingCBOW:
+    def test_cbow_learns_structure(self):
+        corpus = synthetic_corpus()
+        model = Word2Vec(
+            vector_size=24, min_count=1, epochs=5, sg=False, seed=2, subsample=0
+        )
+        model.train(corpus)
+        within = cosine_similarity(model["trade"], model["tariff"])
+        across = cosine_similarity(model["trade"], model["vote"])
+        assert within > across
+
+
+class TestAPI:
+    def test_get_returns_none_for_oov(self):
+        corpus = synthetic_corpus(50)
+        model = Word2Vec(vector_size=8, min_count=1, epochs=1)
+        model.train(corpus)
+        assert model.get("zzz") is None
+        assert model.get("vote") is not None
+
+    def test_vectors_export(self):
+        corpus = synthetic_corpus(50)
+        model = Word2Vec(vector_size=8, min_count=1, epochs=1)
+        model.train(corpus)
+        vectors = model.vectors()
+        assert set(vectors) == set(model.index_to_word)
+        assert all(v.shape == (8,) for v in vectors.values())
+
+    def test_most_similar_unknown_word_raises(self):
+        corpus = synthetic_corpus(50)
+        model = Word2Vec(vector_size=8, min_count=1, epochs=1)
+        model.train(corpus)
+        with pytest.raises(KeyError):
+            model.most_similar("zzz")

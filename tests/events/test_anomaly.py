@@ -1,0 +1,131 @@
+"""Unit and property tests for the mention-anomaly machinery (Eqs 9–10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import (
+    anomaly_series,
+    candidate_weight,
+    erdem_correlation,
+    expected_counts,
+    max_anomaly_interval,
+)
+
+
+class TestExpectedCounts:
+    def test_proportional_to_slice_volume(self):
+        expected = expected_counts(10, [1, 3, 6])
+        assert np.allclose(expected, [1.0, 3.0, 6.0])
+
+    def test_zero_volume(self):
+        assert np.allclose(expected_counts(10, [0, 0]), [0.0, 0.0])
+
+
+class TestAnomalySeries:
+    def test_sums_to_zero(self):
+        # Observed total equals expected total, so anomaly sums to 0.
+        series = [0, 0, 8, 2]
+        totals = [10, 10, 10, 10]
+        anomaly = anomaly_series(series, totals)
+        assert anomaly.sum() == pytest.approx(0.0)
+
+    def test_burst_is_positive(self):
+        series = [1, 1, 20, 1]
+        totals = [100, 100, 100, 100]
+        anomaly = anomaly_series(series, totals)
+        assert anomaly[2] > 0
+        assert anomaly[0] < 0
+
+
+class TestMaxAnomalyInterval:
+    def test_single_peak(self):
+        a, b, mag = max_anomaly_interval([-1, -1, 5, -1])
+        assert (a, b) == (2, 2)
+        assert mag == 5
+
+    def test_contiguous_run(self):
+        a, b, mag = max_anomaly_interval([-1, 2, 3, -1, 1])
+        assert (a, b) == (1, 2)
+        assert mag == 5
+
+    def test_run_with_internal_dip(self):
+        a, b, mag = max_anomaly_interval([-5, 4, -1, 4, -5])
+        assert (a, b) == (1, 3)
+        assert mag == 7
+
+    def test_all_negative_returns_largest_single(self):
+        a, b, mag = max_anomaly_interval([-3, -1, -2])
+        assert (a, b) == (1, 1)
+        assert mag == -1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_anomaly_interval([])
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        for _trial in range(30):
+            values = rng.normal(0, 1, size=rng.integers(1, 15))
+            a, b, mag = max_anomaly_interval(values)
+            brute = max(
+                values[i:j + 1].sum()
+                for i in range(len(values))
+                for j in range(i, len(values))
+            )
+            assert mag == pytest.approx(brute)
+            assert values[a:b + 1].sum() == pytest.approx(mag)
+
+
+@given(st.lists(st.floats(-10, 10), min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_kadane_property(values):
+    a, b, mag = max_anomaly_interval(values)
+    assert 0 <= a <= b < len(values)
+    arr = np.asarray(values)
+    assert arr[a:b + 1].sum() == pytest.approx(mag, abs=1e-9)
+    # No other interval may beat it (brute force on small inputs).
+    brute = max(
+        arr[i:j + 1].sum() for i in range(len(arr)) for j in range(i, len(arr))
+    )
+    assert mag == pytest.approx(brute, abs=1e-9)
+
+
+class TestErdemCorrelation:
+    def test_perfectly_correlated_series(self):
+        main = [0, 5, 10, 5, 0, 0]
+        rho = erdem_correlation(main, main, (0, 5))
+        assert rho == pytest.approx(1.0)
+
+    def test_anti_correlated_series(self):
+        main = [0, 5, 10, 5, 0]
+        anti = [10, 5, 0, 5, 10]
+        rho = erdem_correlation(main, anti, (0, 4))
+        assert rho == pytest.approx(-1.0)
+
+    def test_flat_series_gives_zero(self):
+        assert erdem_correlation([1, 1, 1, 1], [0, 5, 0, 5], (0, 3)) == 0.0
+
+    def test_short_interval_gives_zero(self):
+        assert erdem_correlation([1, 2], [1, 2], (0, 1)) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        for _trial in range(20):
+            x = rng.integers(0, 20, 10)
+            y = rng.integers(0, 20, 10)
+            rho = erdem_correlation(x, y, (0, 9))
+            assert -1.0 <= rho <= 1.0
+
+
+class TestCandidateWeight:
+    def test_maps_to_unit_interval(self):
+        main = [0, 5, 10, 5, 0, 0]
+        assert candidate_weight(main, main, (0, 5)) == pytest.approx(1.0)
+        anti = [10, 5, 0, 5, 10, 10]
+        assert candidate_weight(main, anti, (0, 5)) == pytest.approx(0.0, abs=0.1)
+
+    def test_uncorrelated_near_half(self):
+        main = [0, 1, 0, 1, 0, 1, 0, 1]
+        flat = [3, 3, 3, 3, 3, 3, 3, 3]
+        assert candidate_weight(main, flat, (0, 7)) == pytest.approx(0.5)

@@ -1,0 +1,144 @@
+"""Unit tests for the MABED detector on controlled bursty corpora."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.events import MABED, TimestampedDocument, detect_events
+
+START = datetime(2019, 5, 1)
+
+
+def make_corpus(seed=0):
+    """Background chatter plus two noisy bursts ('storm' then 'match').
+
+    Burst terms appear with probability 0.9 (with 0-3 records per hour)
+    so their time series carry the slice-to-slice variation the Eq-9/10
+    correlation measure needs.
+    """
+    rng = np.random.default_rng(seed)
+    docs = []
+    background = ["talk", "stuff", "things", "chat", "words"]
+    hour = 0
+    for hour in range(24 * 14):  # two weeks, hourly records
+        when = START + timedelta(hours=hour)
+        for _repeat in range(int(rng.integers(1, 4))):
+            tokens = list(rng.choice(background, size=3))
+            # Burst 1: 'storm'+'rain' in days 3-4.
+            if 24 * 3 <= hour < 24 * 5 and rng.random() < 0.9:
+                tokens += ["storm", "rain"]
+            # Burst 2: 'match'+'goal' in days 9-10.
+            if 24 * 9 <= hour < 24 * 11 and rng.random() < 0.9:
+                tokens += ["match", "goal"]
+            docs.append(
+                TimestampedDocument(tokens=tokens, created_at=when, doc_id=hour)
+            )
+    return docs
+
+
+class TestDetection:
+    def test_finds_both_bursts(self):
+        events = detect_events(
+            make_corpus(), n_events=4, slice_minutes=60, min_term_support=5
+        )
+        mains = {e.main_word for e in events}
+        assert "storm" in mains or "rain" in mains
+        assert "match" in mains or "goal" in mains
+
+    def test_event_interval_covers_burst(self):
+        events = detect_events(
+            make_corpus(), n_events=4, slice_minutes=60, min_term_support=5
+        )
+        storm = next(e for e in events if e.main_word in ("storm", "rain"))
+        assert storm.start <= START + timedelta(days=3, hours=6)
+        assert storm.end >= START + timedelta(days=4, hours=18)
+
+    def test_related_words_capture_cooccurring_burst_term(self):
+        events = detect_events(
+            make_corpus(), n_events=4, slice_minutes=60, min_term_support=5
+        )
+        storm = next(e for e in events if e.main_word in ("storm", "rain"))
+        other = "rain" if storm.main_word == "storm" else "storm"
+        assert other in storm.keywords
+
+    def test_related_word_weights_in_unit_interval(self):
+        events = detect_events(make_corpus(), n_events=4, min_term_support=5)
+        for event in events:
+            for _word, weight in event.related_words:
+                assert 0.0 <= weight <= 1.0
+
+    def test_duplicate_burst_terms_are_merged(self):
+        # 'storm' and 'rain' co-occur perfectly; only one should anchor an
+        # event, the other must appear as its related word.
+        events = detect_events(
+            make_corpus(), n_events=10, slice_minutes=60, min_term_support=5
+        )
+        mains = [e.main_word for e in events]
+        assert not ({"storm", "rain"} <= set(mains))
+
+    def test_ranking_by_magnitude(self):
+        events = detect_events(make_corpus(), n_events=4, min_term_support=5)
+        magnitudes = [e.magnitude for e in events]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_n_events_respected(self):
+        events = detect_events(make_corpus(), n_events=1, min_term_support=5)
+        assert len(events) == 1
+
+    def test_empty_corpus(self):
+        assert detect_events([], n_events=5) == []
+
+    def test_stopword_filter_blocks_main_words(self):
+        events = detect_events(
+            make_corpus(),
+            n_events=10,
+            min_term_support=5,
+            stopword_filter=lambda t: t in ("storm", "rain"),
+        )
+        mains = {e.main_word for e in events}
+        assert "storm" not in mains and "rain" not in mains
+
+    def test_support_counts_records_in_interval(self):
+        events = detect_events(make_corpus(), n_events=4, min_term_support=5)
+        storm = next(e for e in events if e.main_word in ("storm", "rain"))
+        assert storm.support >= 40  # 48 hourly records carry the burst terms
+
+    def test_background_terms_do_not_anchor_events(self):
+        events = detect_events(make_corpus(), n_events=6, min_term_support=5)
+        background = {"talk", "stuff", "things", "chat", "words"}
+        assert not background & {e.main_word for e in events}
+
+
+class TestParameters:
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            MABED(timedelta(minutes=30), theta=1.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            MABED(timedelta(minutes=30), sigma=-0.1)
+
+    def test_invalid_max_support_ratio(self):
+        with pytest.raises(ValueError):
+            MABED(timedelta(minutes=30), max_support_ratio=0)
+
+
+class TestEventModel:
+    def test_overlaps(self):
+        from repro.events import Event
+
+        e1 = Event("a", [], START, START + timedelta(days=2), 1.0)
+        e2 = Event("b", [], START + timedelta(days=1), START + timedelta(days=3), 1.0)
+        e3 = Event("c", [], START + timedelta(days=5), START + timedelta(days=6), 1.0)
+        assert e1.overlaps(e2)
+        assert e2.overlaps(e1)
+        assert not e1.overlaps(e3)
+
+    def test_vocabulary_and_describe(self):
+        from repro.events import Event
+
+        event = Event("storm", [("rain", 0.9)], START, START + timedelta(days=1), 2.0)
+        assert event.vocabulary == ["storm", "rain"]
+        assert "storm" in event.describe()
+        assert event.duration_seconds == 86400.0

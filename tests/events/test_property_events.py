@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for the event-detection substrate."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import (
+    TimeSlicer,
+    TimestampedDocument,
+    anomaly_series,
+    candidate_weight,
+    expected_counts,
+)
+
+START = datetime(2019, 4, 1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(0, 10_000),  # minutes offset
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_slicing_conserves_documents(records):
+    docs = [
+        TimestampedDocument(tokens=[token], created_at=START + timedelta(minutes=m))
+        for token, m in records
+    ]
+    sliced = TimeSlicer(timedelta(minutes=30)).slice(docs)
+    assert sliced.total_documents == len(docs)
+    assert sum(sliced.slice_totals) == len(docs)
+    # Per-term totals match the raw counts.
+    for token in ("a", "b", "c"):
+        raw = sum(1 for t, _m in records if t == token)
+        assert sliced.term_total(token) == raw
+
+
+@given(
+    st.integers(0, 500),
+    st.lists(st.integers(0, 50), min_size=2, max_size=30),
+)
+def test_expected_counts_conserve_mass(term_total, slice_totals):
+    expected = expected_counts(term_total, slice_totals)
+    if sum(slice_totals) > 0:
+        assert expected.sum() == np.float64(term_total) or np.isclose(
+            expected.sum(), term_total
+        )
+    assert (expected >= 0).all()
+
+
+@given(st.lists(st.integers(0, 30), min_size=4, max_size=30))
+def test_anomaly_sums_to_zero_when_volume_matches(series):
+    # When the slice totals equal the term series itself, every record
+    # contains the term, so observed == expected everywhere.
+    totals = [max(1, s) for s in series]
+    anomaly = anomaly_series(series, totals)
+    assert np.isfinite(anomaly).all()
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=5, max_size=25),
+    st.lists(st.integers(0, 20), min_size=5, max_size=25),
+)
+@settings(max_examples=60)
+def test_candidate_weight_always_in_unit_interval(a, b):
+    n = min(len(a), len(b))
+    weight = candidate_weight(a[:n], b[:n], (0, n - 1))
+    assert 0.0 <= weight <= 1.0
+
+
+@given(st.lists(st.integers(0, 20), min_size=5, max_size=25))
+def test_candidate_weight_of_series_with_itself_is_max_or_neutral(series):
+    weight = candidate_weight(series, series, (0, len(series) - 1))
+    # Identical series: rho is 1 when there is any variation, else 0.
+    if len(set(series)) > 1:
+        assert weight == pytest.approx(1.0, abs=1e-9)
+    else:
+        assert weight == 0.5

@@ -1,0 +1,78 @@
+"""Unit tests for the time-slicing machinery."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.events import TimeSlicer, TimestampedDocument
+
+
+def doc(tokens, minute, doc_id=None):
+    return TimestampedDocument(
+        tokens=tokens,
+        created_at=datetime(2019, 5, 1) + timedelta(minutes=minute),
+        doc_id=doc_id,
+    )
+
+
+class TestTimeSlicer:
+    def test_slice_count(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(
+            [doc(["a"], 0), doc(["b"], 65)]
+        )
+        assert sliced.n_slices == 3
+        assert sliced.slice_totals == [1, 0, 1]
+
+    def test_term_series(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(
+            [doc(["a", "b"], 0), doc(["a"], 31), doc(["a"], 40)]
+        )
+        assert list(sliced.term_series("a")) == [1, 2]
+        assert list(sliced.term_series("b")) == [1, 0]
+        assert list(sliced.term_series("zzz")) == [0, 0]
+
+    def test_duplicate_tokens_count_once_per_document(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(
+            [doc(["a", "a", "a"], 0)]
+        )
+        assert sliced.term_total("a") == 1
+
+    def test_slice_boundaries(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(
+            [doc(["a"], 0), doc(["b"], 90)]
+        )
+        assert sliced.slice_start(0) == datetime(2019, 5, 1)
+        assert sliced.slice_end(0) == datetime(2019, 5, 1, 0, 30)
+        assert sliced.slice_of(datetime(2019, 5, 1, 0, 45)) == 1
+
+    def test_slice_of_clamps(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice([doc(["a"], 0)])
+        assert sliced.slice_of(datetime(2018, 1, 1)) == 0
+        assert sliced.slice_of(datetime(2030, 1, 1)) == sliced.n_slices - 1
+
+    def test_doc_ids_recorded(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(
+            [doc(["a"], 0, doc_id="x"), doc(["b"], 40, doc_id="y")]
+        )
+        assert sliced.doc_ids_by_slice[0] == ["x"]
+        assert sliced.doc_ids_by_slice[1] == ["y"]
+
+    def test_min_support_filter(self):
+        docs = [doc(["a"], i) for i in range(5)] + [doc(["b"], 0)]
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(docs)
+        assert "a" in sliced.terms_with_min_support(5)
+        assert "b" not in sliced.terms_with_min_support(5)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TimeSlicer(timedelta(minutes=30)).slice([])
+
+    def test_nonpositive_width_raises(self):
+        with pytest.raises(ValueError):
+            TimeSlicer(timedelta(0))
+
+    def test_total_documents(self):
+        sliced = TimeSlicer(timedelta(minutes=30)).slice(
+            [doc(["a"], i * 10) for i in range(7)]
+        )
+        assert sliced.total_documents == 7

@@ -1,0 +1,66 @@
+"""Unit tests for label-propagation community detection."""
+
+from repro.network import (
+    SocialGraph,
+    communities_as_lists,
+    community_centers,
+    label_propagation,
+)
+
+
+def two_cliques(bridge=True):
+    """Two 4-cliques optionally connected by a single bridge edge."""
+    g = SocialGraph()
+    left = [f"l{i}" for i in range(4)]
+    right = [f"r{i}" for i in range(4)]
+    for group in (left, right):
+        for u in group:
+            for v in group:
+                if u != v:
+                    g.add_edge(u, v)
+    if bridge:
+        g.add_edge("l0", "r0")
+    return g, left, right
+
+
+class TestLabelPropagation:
+    def test_separates_two_cliques(self):
+        g, left, right = two_cliques()
+        labels = label_propagation(g, seed=1)
+        left_labels = {labels[n] for n in left}
+        right_labels = {labels[n] for n in right}
+        assert len(left_labels) == 1
+        assert len(right_labels) == 1
+        assert left_labels != right_labels
+
+    def test_isolated_nodes_keep_own_community(self):
+        g = SocialGraph()
+        g.add_node("alone")
+        g.add_edge("a", "b")
+        labels = label_propagation(g, seed=0)
+        assert labels["alone"] not in (labels["a"], labels["b"])
+
+    def test_labels_are_dense(self):
+        g, _left, _right = two_cliques()
+        labels = label_propagation(g, seed=0)
+        distinct = set(labels.values())
+        assert distinct == set(range(len(distinct)))
+
+    def test_deterministic_given_seed(self):
+        g, _l, _r = two_cliques()
+        assert label_propagation(g, seed=3) == label_propagation(g, seed=3)
+
+
+class TestHelpers:
+    def test_communities_as_lists_sorted(self):
+        labels = {"a": 0, "b": 0, "c": 1}
+        groups = communities_as_lists(labels)
+        assert groups == [["a", "b"], ["c"]]
+
+    def test_community_centers_pick_highest_in_degree(self):
+        g, left, _right = two_cliques(bridge=False)
+        g.add_edge("extra", "l0")  # l0 now has the most followers
+        labels = label_propagation(g, seed=0)
+        centers = community_centers(g, labels)
+        left_label = labels["l0"]
+        assert centers[left_label] == "l0"

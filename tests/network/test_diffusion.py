@@ -1,0 +1,88 @@
+"""Unit tests for the independent cascade model and seed selection."""
+
+import pytest
+
+from repro.network import (
+    Cascade,
+    IndependentCascade,
+    SocialGraph,
+    greedy_seed_selection,
+)
+
+
+def star_graph(n_leaves=20):
+    g = SocialGraph()
+    for i in range(n_leaves):
+        g.add_edge(f"leaf{i}", "hub")  # leaves follow the hub
+    return g
+
+
+def chain_graph(length=5):
+    g = SocialGraph()
+    for i in range(length - 1):
+        g.add_edge(f"n{i}", f"n{i + 1}")  # n_i follows n_{i+1}
+    return g
+
+
+class TestCascade:
+    def test_deterministic_full_spread(self):
+        model = IndependentCascade(star_graph(), base_probability=1.0, virality=1.0)
+        cascade = model.spread(["hub"])
+        assert cascade.size == 21
+        assert cascade.depth == 1
+
+    def test_zero_probability_stays_at_seeds(self):
+        model = IndependentCascade(star_graph(), base_probability=0.0)
+        cascade = model.spread(["hub"])
+        assert cascade.size == 1
+        assert cascade.activated == ["hub"]
+
+    def test_spread_follows_follower_edges(self):
+        # In the chain, only n_{i-1} (follower of n_i) can be activated.
+        model = IndependentCascade(chain_graph(), base_probability=1.0, virality=1.0)
+        cascade = model.spread(["n4"])
+        assert set(cascade.activated) == {"n0", "n1", "n2", "n3", "n4"}
+        assert cascade.hops["n0"] == 4
+
+    def test_unknown_seeds_dropped(self):
+        model = IndependentCascade(star_graph(), base_probability=1.0)
+        cascade = model.spread(["ghost"])
+        assert cascade.size == 0
+
+    def test_virality_scales_spread(self):
+        g = star_graph(50)
+        dull = IndependentCascade(g, base_probability=0.2, virality=0.0, seed=1)
+        hot = IndependentCascade(g, base_probability=0.2, virality=1.0, seed=1)
+        assert hot.expected_spread(["hub"], 40) > dull.expected_spread(["hub"], 40)
+
+    def test_expected_spread_at_least_seed_count(self):
+        model = IndependentCascade(star_graph(), base_probability=0.1, seed=2)
+        assert model.expected_spread(["hub"], 10) >= 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IndependentCascade(star_graph(), base_probability=1.5)
+        with pytest.raises(ValueError):
+            IndependentCascade(star_graph(), virality=2.0)
+        model = IndependentCascade(star_graph())
+        with pytest.raises(ValueError):
+            model.expected_spread(["hub"], 0)
+
+
+class TestGreedySeedSelection:
+    def test_picks_the_hub_first(self):
+        seeds = greedy_seed_selection(
+            star_graph(), k=1, base_probability=0.5, n_simulations=10
+        )
+        assert seeds == ["hub"]
+
+    def test_respects_budget(self):
+        seeds = greedy_seed_selection(star_graph(5), k=3, n_simulations=5)
+        assert len(seeds) == 3
+        assert len(set(seeds)) == 3
+
+    def test_candidate_restriction(self):
+        seeds = greedy_seed_selection(
+            star_graph(), k=1, candidates=["leaf0", "leaf1"], n_simulations=5
+        )
+        assert seeds[0] in ("leaf0", "leaf1")

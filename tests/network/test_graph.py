@@ -1,0 +1,75 @@
+"""Unit tests for SocialGraph."""
+
+import pytest
+
+from repro.datagen import UserPopulation, WorldConfig
+from repro.network import SocialGraph
+
+
+@pytest.fixture
+def triangle():
+    g = SocialGraph()
+    g.add_edge("a", "b")  # a follows b
+    g.add_edge("c", "b")
+    g.add_edge("b", "a")
+    return g
+
+
+class TestConstruction:
+    def test_edges_and_degrees(self, triangle):
+        assert triangle.num_edges() == 3
+        assert triangle.in_degree("b") == 2
+        assert triangle.out_degree("b") == 1
+        assert triangle.followers_of("b") == {"a", "c"}
+        assert triangle.following_of("a") == {"b"}
+
+    def test_self_loops_ignored(self):
+        g = SocialGraph()
+        g.add_edge("a", "a")
+        assert g.num_edges() == 0
+        assert "a" in g
+
+    def test_duplicate_edges_collapse(self):
+        g = SocialGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.num_edges() == 1
+
+    def test_remove_node_cleans_both_directions(self, triangle):
+        triangle.remove_node("b")
+        assert "b" not in triangle
+        assert triangle.following_of("a") == set()
+        assert triangle.num_edges() == 0
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_node("b")
+        assert "b" in triangle
+        assert triangle.num_edges() == 3
+
+    def test_edges_iterator(self, triangle):
+        assert set(triangle.edges()) == {("a", "b"), ("c", "b"), ("b", "a")}
+
+
+class TestFromPopulation:
+    def test_influencers_attract_followers(self):
+        population = UserPopulation(WorldConfig(n_users=120, seed=5))
+        graph = SocialGraph.from_population(population, max_following=20, seed=5)
+        assert len(graph) == 120
+        influencer_in = [
+            graph.in_degree(u.handle) for u in population.influencers()
+        ]
+        ordinary_in = [
+            graph.in_degree(u.handle)
+            for u in population.users
+            if not u.is_influencer
+        ]
+        assert sum(influencer_in) / len(influencer_in) > (
+            sum(ordinary_in) / len(ordinary_in)
+        )
+
+    def test_deterministic(self):
+        population = UserPopulation(WorldConfig(n_users=40, seed=5))
+        g1 = SocialGraph.from_population(population, seed=9)
+        g2 = SocialGraph.from_population(population, seed=9)
+        assert set(g1.edges()) == set(g2.edges())

@@ -1,0 +1,112 @@
+"""Unit tests for the §5.8 immunization strategies."""
+
+import pytest
+
+from repro.datagen import UserPopulation, WorldConfig
+from repro.network import (
+    SocialGraph,
+    compare_strategies,
+    degree_strategy,
+    evaluate_immunization,
+    pagerank_strategy,
+    predicted_virality_strategy,
+    random_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    population = UserPopulation(WorldConfig(n_users=80, seed=9))
+    return SocialGraph.from_population(population, max_following=15, seed=9)
+
+
+def hub_and_spokes():
+    g = SocialGraph()
+    for i in range(30):
+        g.add_edge(f"leaf{i}", "hub")
+    return g
+
+
+class TestStrategies:
+    def test_degree_strategy_picks_hub(self):
+        assert degree_strategy(hub_and_spokes(), 1) == ["hub"]
+
+    def test_pagerank_strategy_picks_hub(self):
+        assert pagerank_strategy(hub_and_spokes(), 1) == ["hub"]
+
+    def test_random_strategy_budget_and_determinism(self, graph):
+        chosen = random_strategy(graph, 10, seed=4)
+        assert len(chosen) == 10
+        assert chosen == random_strategy(graph, 10, seed=4)
+
+    def test_predicted_strategy_prefers_predicted_viral_authors(self):
+        g = hub_and_spokes()
+        scores = {"leaf3": 5.0}
+        # leaf3 has no followers but a huge predicted-virality score; the
+        # hub has followers but score 0 -> weighted score ties broken by
+        # audience, leaf3 wins: 5*(1+0)=5 vs 0*(1+30)=0.
+        assert predicted_virality_strategy(g, 1, scores) == ["leaf3"]
+
+
+class TestEvaluation:
+    def test_immunizing_hub_kills_star_cascade(self):
+        g = hub_and_spokes()
+        outcome = evaluate_immunization(
+            g,
+            "degree",
+            ["hub"],
+            attacker_seeds=["hub"],
+            base_probability=1.0,
+            n_simulations=5,
+        )
+        assert outcome.baseline_spread > 20
+        assert outcome.residual_spread == 0.0
+        assert outcome.reduction == 1.0
+
+    def test_immunizing_leaves_barely_helps(self):
+        g = hub_and_spokes()
+        outcome = evaluate_immunization(
+            g,
+            "random",
+            ["leaf0", "leaf1"],
+            attacker_seeds=["hub"],
+            base_probability=1.0,
+            n_simulations=5,
+        )
+        assert 0.0 < outcome.reduction < 0.2
+
+    def test_compare_strategies_sorted_by_reduction(self, graph):
+        seeds = degree_strategy(graph, 2)  # a strong attacker
+        outcomes = compare_strategies(
+            graph,
+            attacker_seeds=seeds,
+            budget=8,
+            n_simulations=10,
+            seed=2,
+        )
+        names = [o.strategy for o in outcomes]
+        assert set(names) == {"random", "degree", "pagerank", "core"}
+        reductions = [o.reduction for o in outcomes]
+        assert reductions == sorted(reductions, reverse=True)
+
+    def test_targeted_beats_random_on_heavy_tailed_graph(self, graph):
+        seeds = degree_strategy(graph, 2)
+        outcomes = {
+            o.strategy: o
+            for o in compare_strategies(
+                graph, attacker_seeds=seeds, budget=8,
+                n_simulations=20, seed=3,
+            )
+        }
+        # §5.8's premise: targeting influential accounts beats spending
+        # the same budget uniformly at random.
+        assert outcomes["degree"].reduction >= outcomes["random"].reduction
+
+    def test_predicted_strategy_included_when_scores_given(self, graph):
+        seeds = degree_strategy(graph, 1)
+        scores = {node: 1.0 for node in seeds}
+        outcomes = compare_strategies(
+            graph, attacker_seeds=seeds, budget=4,
+            virality_by_author=scores, n_simulations=5, seed=0,
+        )
+        assert any(o.strategy == "predicted" for o in outcomes)

@@ -1,0 +1,116 @@
+"""Unit tests for centrality metrics."""
+
+import pytest
+
+from repro.network import (
+    SocialGraph,
+    in_degree_centrality,
+    k_core_decomposition,
+    pagerank,
+    reachable_audience,
+    top_nodes,
+)
+
+
+def star_graph(n_leaves=5):
+    """Everyone follows 'hub'."""
+    g = SocialGraph()
+    for i in range(n_leaves):
+        g.add_edge(f"leaf{i}", "hub")
+    return g
+
+
+def chain_graph():
+    """a -> b -> c (a follows b, b follows c)."""
+    g = SocialGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestDegree:
+    def test_star_center_dominates(self):
+        scores = in_degree_centrality(star_graph())
+        assert scores["hub"] == 1.0
+        assert all(scores[f"leaf{i}"] == 0.0 for i in range(5))
+
+    def test_single_node(self):
+        g = SocialGraph()
+        g.add_node("solo")
+        assert in_degree_centrality(g) == {"solo": 0.0}
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        ranks = pagerank(star_graph())
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_star_center_has_highest_rank(self):
+        ranks = pagerank(star_graph())
+        assert max(ranks, key=ranks.get) == "hub"
+
+    def test_chain_rank_accumulates_downstream(self):
+        ranks = pagerank(chain_graph())
+        assert ranks["c"] > ranks["b"] > ranks["a"]
+
+    def test_empty_graph(self):
+        assert pagerank(SocialGraph()) == {}
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(star_graph(), damping=1.0)
+
+    def test_symmetric_cycle_is_uniform(self):
+        g = SocialGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        ranks = pagerank(g)
+        values = list(ranks.values())
+        assert max(values) - min(values) < 1e-6
+
+
+class TestKCore:
+    def test_clique_has_full_core(self):
+        g = SocialGraph()
+        members = ["a", "b", "c", "d"]
+        for u in members:
+            for v in members:
+                if u != v:
+                    g.add_edge(u, v)
+        core = k_core_decomposition(g)
+        assert all(core[m] == 3 for m in members)
+
+    def test_pendant_has_lower_core(self):
+        g = SocialGraph()
+        for u in ("a", "b", "c"):
+            for v in ("a", "b", "c"):
+                if u != v:
+                    g.add_edge(u, v)
+        g.add_edge("pendant", "a")
+        core = k_core_decomposition(g)
+        assert core["pendant"] == 1
+        assert core["a"] == 2
+
+
+class TestReach:
+    def test_transitive_audience(self):
+        # c is followed by b, b is followed by a: c's reach is {b, a}.
+        g = chain_graph()
+        assert reachable_audience(g, "c") == 2
+        assert reachable_audience(g, "a") == 0
+
+    def test_max_hops_limits(self):
+        g = chain_graph()
+        assert reachable_audience(g, "c", max_hops=1) == 1
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            reachable_audience(SocialGraph(), "ghost")
+
+
+class TestTopNodes:
+    def test_ordering_and_ties(self):
+        scores = {"a": 1.0, "b": 2.0, "c": 2.0}
+        assert top_nodes(scores, 2) == ["b", "c"]
+        assert top_nodes(scores, 5) == ["b", "c", "a"]

@@ -1,0 +1,95 @@
+"""Unit tests for the Table-1 activation functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ReLU, Sigmoid, Softmax, Tanh, get_activation
+
+
+class TestSigmoid:
+    def test_values(self):
+        s = Sigmoid()
+        assert s.forward(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert s.forward(np.array([100.0]))[0] == pytest.approx(1.0, abs=1e-6)
+        assert s.forward(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient(self):
+        s = Sigmoid()
+        x = np.array([0.3])
+        out = s.forward(x)
+        grad = s.backward(np.ones(1), out)
+        assert grad[0] == pytest.approx(out[0] * (1 - out[0]))
+
+    def test_no_overflow_on_extreme_inputs(self):
+        s = Sigmoid()
+        out = s.forward(np.array([-1e10, 1e10]))
+        assert np.isfinite(out).all()
+
+
+class TestTanh:
+    def test_values(self):
+        t = Tanh()
+        assert t.forward(np.array([0.0]))[0] == 0.0
+        assert t.forward(np.array([100.0]))[0] == pytest.approx(1.0)
+
+    def test_gradient(self):
+        t = Tanh()
+        out = t.forward(np.array([0.5]))
+        grad = t.backward(np.ones(1), out)
+        assert grad[0] == pytest.approx(1 - out[0] ** 2)
+
+
+class TestReLU:
+    def test_values(self):
+        r = ReLU()
+        assert np.array_equal(
+            r.forward(np.array([-2.0, 0.0, 3.0])), np.array([0.0, 0.0, 3.0])
+        )
+
+    def test_gradient_masks_negatives(self):
+        r = ReLU()
+        x = np.array([-1.0, 2.0])
+        out = r.forward(x)
+        grad = r.backward(np.array([5.0, 5.0]), out)
+        assert np.array_equal(grad, np.array([0.0, 5.0]))
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        s = Softmax()
+        out = s.forward(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        s = Softmax()
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(s.forward(x), s.forward(x + 100.0))
+
+    def test_standalone_backward_raises(self):
+        s = Softmax()
+        with pytest.raises(RuntimeError):
+            s.backward(np.ones(3), np.ones(3))
+
+    def test_no_overflow(self):
+        s = Softmax()
+        out = s.forward(np.array([[1e4, -1e4]]))
+        assert np.isfinite(out).all()
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("softmax"), Softmax)
+
+    def test_none_is_identity(self):
+        ident = get_activation(None)
+        x = np.array([1.0, -2.0])
+        assert np.array_equal(ident.forward(x), x)
+
+    def test_instance_passthrough(self):
+        r = ReLU()
+        assert get_activation(r) is r
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_activation("swish")

@@ -1,0 +1,120 @@
+"""Unit and gradient tests for the self-attention layer (§6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MeanPool1D,
+    MeanSquaredError,
+    SelfAttention,
+    Sequential,
+    build_attention_network,
+    one_hot,
+)
+from repro.nn.layers import Dense, Reshape
+
+from .test_gradcheck import check_model_gradients, numerical_gradient, relative_error
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        layer = SelfAttention(key_dim=6)
+        layer.build((10, 4), rng)
+        out = layer.forward(rng.normal(size=(3, 10, 4)))
+        assert out.shape == (3, 10, 6)
+
+    def test_attention_rows_are_convex_combinations(self, rng):
+        layer = SelfAttention(key_dim=4)
+        layer.build((5, 3), rng)
+        layer.forward(rng.normal(size=(2, 5, 3)))
+        _x, _q, _k, _v, attn, _s = layer._cache
+        assert np.all(attn >= 0)
+        assert np.allclose(attn.sum(axis=-1), 1.0)
+
+    def test_permutation_equivariance(self, rng):
+        """Self-attention without positions is permutation-equivariant."""
+        layer = SelfAttention(key_dim=4)
+        layer.build((6, 3), rng)
+        x = rng.normal(size=(1, 6, 3))
+        out = layer.forward(x)
+        perm = rng.permutation(6)
+        out_perm = layer.forward(x[:, perm])
+        assert np.allclose(out_perm, out[:, perm], atol=1e-10)
+
+    def test_requires_2d_per_sample_input(self, rng):
+        with pytest.raises(ValueError):
+            SelfAttention(4).build((10,), rng)
+
+    def test_invalid_key_dim(self):
+        with pytest.raises(ValueError):
+            SelfAttention(0)
+
+
+class TestGradients:
+    def test_attention_param_gradients(self, rng):
+        model = Sequential(
+            [Reshape((6, 2)), SelfAttention(3), MeanPool1D(), Dense(2)],
+            seed=0,
+        )
+        model.compile(loss="mse")
+        model.build((12,))
+        X = rng.normal(size=(3, 12))
+        Y = rng.normal(size=(3, 2))
+        check_model_gradients(model, X, Y, MeanSquaredError())
+
+    def test_attention_input_gradient(self, rng):
+        layer = SelfAttention(3)
+        layer.build((5, 2), rng)
+        X = rng.normal(size=(2, 5, 2))
+        Y = rng.normal(size=(2, 5, 3))
+        loss = MeanSquaredError()
+
+        def loss_value():
+            return loss.value(layer.forward(X), Y)
+
+        out = layer.forward(X)
+        analytic = layer.backward(loss.gradient(out, Y))
+        numeric = numerical_gradient(loss_value, X)
+        assert relative_error(analytic, numeric) < 1e-4
+
+    def test_meanpool_gradient(self, rng):
+        pool = MeanPool1D()
+        X = rng.normal(size=(2, 4, 3))
+        Y = rng.normal(size=(2, 3))
+        loss = MeanSquaredError()
+
+        def loss_value():
+            return loss.value(pool.forward(X), Y)
+
+        out = pool.forward(X)
+        analytic = pool.backward(loss.gradient(out, Y))
+        numeric = numerical_gradient(loss_value, X)
+        assert relative_error(analytic, numeric) < 1e-5
+
+
+class TestAttentionNetwork:
+    def test_builder_validates_divisibility(self):
+        with pytest.raises(ValueError):
+            build_attention_network(input_dim=301, tokens=20)
+
+    def test_learns_separable_data(self, rng):
+        n, dim = 120, 40
+        centers = rng.normal(scale=3, size=(3, dim))
+        X, labels = [], []
+        for i in range(3):
+            X.append(rng.normal(size=(n // 3, dim)) + centers[i])
+            labels += [i] * (n // 3)
+        X = np.vstack(X)
+        X /= np.linalg.norm(X, axis=1, keepdims=True)
+        labels = np.array(labels)
+
+        model = build_attention_network(dim, tokens=8, key_dim=16, seed=0)
+        model.compile(optimizer="adam", loss="categorical_crossentropy")
+        model.fit(X, one_hot(labels, 3), epochs=60, batch_size=32)
+        accuracy = np.mean(model.predict_classes(X) == labels)
+        assert accuracy > 0.85

@@ -1,0 +1,161 @@
+"""Finite-difference gradient checks for every layer type.
+
+The strongest correctness evidence a from-scratch NN framework can have:
+analytic parameter and input gradients must agree with numerical
+derivatives of the loss to ~1e-5 relative error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CategoricalCrossEntropy,
+    Conv1D,
+    Dense,
+    Flatten,
+    MaxPool1D,
+    MeanSquaredError,
+    Reshape,
+    Sequential,
+)
+
+EPS = 1e-6
+TOL = 1e-4
+
+
+def numerical_gradient(func, param):
+    """Central-difference gradient of scalar func() w.r.t. array param."""
+    grad = np.zeros_like(param)
+    flat = param.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + EPS
+        plus = func()
+        flat[i] = old - EPS
+        minus = func()
+        flat[i] = old
+        grad_flat[i] = (plus - minus) / (2 * EPS)
+    return grad
+
+
+def relative_error(a, b):
+    denom = np.maximum(np.abs(a) + np.abs(b), 1e-8)
+    return np.max(np.abs(a - b) / denom)
+
+
+def check_model_gradients(model, X, Y, loss):
+    """Assert analytic grads of every parameter match finite differences."""
+    def loss_value():
+        return loss.value(model.predict(X), Y)
+
+    predicted = model._forward(X)
+    model._backward(loss.gradient(predicted, Y))
+
+    for layer in model.layers:
+        for name, param, grad in layer.parameters():
+            numeric = numerical_gradient(loss_value, param)
+            err = relative_error(grad, numeric)
+            assert err < TOL, f"{type(layer).__name__}.{name}: rel err {err:.2e}"
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDenseGradients:
+    @pytest.mark.parametrize("activation", ["linear", "relu", "tanh", "sigmoid"])
+    def test_dense_param_gradients(self, rng, activation):
+        model = Sequential([Dense(5, activation=activation), Dense(3)], seed=0)
+        model.compile(loss="mse")
+        model.build((4,))
+        X = rng.normal(size=(6, 4))
+        Y = rng.normal(size=(6, 3))
+        check_model_gradients(model, X, Y, MeanSquaredError())
+
+    def test_softmax_crossentropy_fused_gradient(self, rng):
+        model = Sequential([Dense(4, activation="tanh"), Dense(3, activation="softmax")], seed=0)
+        model.compile(loss="categorical_crossentropy")
+        model.build((5,))
+        X = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 3, 6)
+        Y = np.eye(3)[labels]
+        check_model_gradients(model, X, Y, CategoricalCrossEntropy())
+
+
+class TestConvGradients:
+    def test_conv1d_param_gradients(self, rng):
+        model = Sequential(
+            [
+                Reshape((10, 1)),
+                Conv1D(3, kernel_size=3, activation="tanh"),
+                Flatten(),
+                Dense(2),
+            ],
+            seed=0,
+        )
+        model.compile(loss="mse")
+        model.build((10,))
+        X = rng.normal(size=(4, 10))
+        Y = rng.normal(size=(4, 2))
+        check_model_gradients(model, X, Y, MeanSquaredError())
+
+    def test_conv_maxpool_stack_gradients(self, rng):
+        model = Sequential(
+            [
+                Reshape((12, 1)),
+                Conv1D(2, kernel_size=3, activation="relu"),
+                MaxPool1D(2),
+                Flatten(),
+                Dense(2),
+            ],
+            seed=1,
+        )
+        model.compile(loss="mse")
+        model.build((12,))
+        X = rng.normal(size=(3, 12))
+        Y = rng.normal(size=(3, 2))
+        check_model_gradients(model, X, Y, MeanSquaredError())
+
+    def test_conv1d_stride_gradients(self, rng):
+        model = Sequential(
+            [Reshape((11, 1)), Conv1D(2, kernel_size=3, stride=2), Flatten(), Dense(2)],
+            seed=2,
+        )
+        model.compile(loss="mse")
+        model.build((11,))
+        X = rng.normal(size=(3, 11))
+        Y = rng.normal(size=(3, 2))
+        check_model_gradients(model, X, Y, MeanSquaredError())
+
+
+class TestInputGradients:
+    def test_dense_input_gradient(self, rng):
+        layer = Dense(3, activation="tanh")
+        layer.build((4,), rng)
+        X = rng.normal(size=(2, 4))
+        loss = MeanSquaredError()
+        Y = rng.normal(size=(2, 3))
+
+        def loss_value():
+            return loss.value(layer.forward(X), Y)
+
+        out = layer.forward(X)
+        analytic = layer.backward(loss.gradient(out, Y))
+        numeric = numerical_gradient(loss_value, X)
+        assert relative_error(analytic, numeric) < TOL
+
+    def test_maxpool_input_gradient(self, rng):
+        pool = MaxPool1D(2)
+        X = rng.normal(size=(2, 6, 2))
+        Y = rng.normal(size=(2, 3, 2))
+        loss = MeanSquaredError()
+
+        def loss_value():
+            return loss.value(pool.forward(X), Y)
+
+        out = pool.forward(X)
+        analytic = pool.backward(loss.gradient(out, Y))
+        numeric = numerical_gradient(loss_value, X)
+        assert relative_error(analytic, numeric) < TOL

@@ -1,0 +1,56 @@
+"""Unit tests for the weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_uniform,
+    zeros,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGlorot:
+    def test_dense_bounds(self, rng):
+        W = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert W.shape == (100, 50)
+        assert np.abs(W).max() <= limit
+
+    def test_conv_fans(self, rng):
+        W = glorot_uniform((5, 3, 8), rng)
+        fan_in, fan_out = 5 * 3, 5 * 8
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.abs(W).max() <= limit
+
+    def test_roughly_zero_mean(self, rng):
+        W = glorot_uniform((200, 200), rng)
+        assert abs(W.mean()) < 0.01
+
+
+class TestHe:
+    def test_bounds(self, rng):
+        W = he_uniform((64, 32), rng)
+        limit = np.sqrt(6.0 / 64)
+        assert np.abs(W).max() <= limit
+
+
+class TestZeros:
+    def test_all_zero(self):
+        assert not zeros((3, 4)).any()
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_initializer("glorot_uniform") is glorot_uniform
+        assert get_initializer("zeros") is zeros
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_initializer("orthogonal")

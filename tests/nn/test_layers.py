@@ -1,0 +1,143 @@
+"""Unit tests for layer shapes and mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1D, Dense, Dropout, Flatten, MaxPool1D, Reshape
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(7)
+        layer.build((4,), rng)
+        assert layer.output_shape((4,)) == (7,)
+        out = layer.forward(rng.normal(size=(3, 4)))
+        assert out.shape == (3, 7)
+
+    def test_parameter_count(self, rng):
+        layer = Dense(7)
+        layer.build((4,), rng)
+        assert layer.num_parameters == 4 * 7 + 7
+
+    def test_rejects_non_flat_input(self, rng):
+        with pytest.raises(ValueError):
+            Dense(3).build((4, 2), rng)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_linear_identity_weights(self, rng):
+        layer = Dense(2)
+        layer.build((2,), rng)
+        layer.W[...] = np.eye(2)
+        layer.b[...] = 0
+        x = np.array([[3.0, -1.0]])
+        assert np.allclose(layer.forward(x), x)
+
+
+class TestConv1D:
+    def test_output_shape_valid_padding(self, rng):
+        layer = Conv1D(8, kernel_size=5)
+        layer.build((20, 1), rng)
+        assert layer.output_shape((20, 1)) == (16, 8)
+
+    def test_stride_shrinks_output(self, rng):
+        layer = Conv1D(2, kernel_size=3, stride=2)
+        layer.build((11, 1), rng)
+        assert layer.output_shape((11, 1)) == (5, 2)
+
+    def test_known_convolution_values(self, rng):
+        layer = Conv1D(1, kernel_size=2)
+        layer.build((4, 1), rng)
+        layer.W[...] = np.array([[[1.0]], [[2.0]]])  # kernel [1, 2]
+        layer.b[...] = 0
+        x = np.array([[[1.0], [2.0], [3.0], [4.0]]])
+        out = layer.forward(x)
+        assert np.allclose(out.ravel(), [5.0, 8.0, 11.0])
+
+    def test_input_shorter_than_kernel_raises(self, rng):
+        with pytest.raises(ValueError):
+            Conv1D(1, kernel_size=5).build((3, 1), rng)
+
+    def test_requires_2d_per_sample_input(self, rng):
+        with pytest.raises(ValueError):
+            Conv1D(1, kernel_size=2).build((5,), rng)
+
+
+class TestMaxPool1D:
+    def test_values(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        out = pool.forward(x)
+        assert np.allclose(out.ravel(), [5.0, 3.0])
+
+    def test_odd_length_trimmed(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [9.0]]])
+        out = pool.forward(x)
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == 5.0
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[10.0], [20.0]]]))
+        assert np.allclose(grad.ravel(), [0.0, 10.0, 0.0, 20.0])
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(0)
+
+
+class TestFlattenReshape:
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 4)
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        back = flat.backward(out)
+        assert back.shape == x.shape
+
+    def test_reshape(self):
+        reshape = Reshape((6, 1))
+        x = np.arange(12.0).reshape(2, 6)
+        out = reshape.forward(x)
+        assert out.shape == (2, 6, 1)
+        assert reshape.backward(out).shape == (2, 6)
+
+    def test_reshape_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Reshape((5, 1)).output_shape((6,))
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        drop = Dropout(0.5)
+        x = np.ones((4, 10))
+        assert np.array_equal(drop.forward(x, training=False), x)
+
+    def test_scaling_preserves_expectation(self):
+        drop = Dropout(0.5, seed=0)
+        x = np.ones((200, 100))
+        out = drop.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        drop = Dropout(0.5, seed=0)
+        x = np.ones((2, 10))
+        out = drop.forward(x, training=True)
+        grad = drop.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

@@ -1,0 +1,83 @@
+"""Unit tests for the loss functions (Eq 12)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BinaryCrossEntropy,
+    CategoricalCrossEntropy,
+    MeanSquaredError,
+    get_loss,
+)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = BinaryCrossEntropy()
+        assert loss.value(np.array([0.9999]), np.array([1.0])) < 0.01
+
+    def test_confident_wrong_prediction_large(self):
+        loss = BinaryCrossEntropy()
+        assert loss.value(np.array([0.0001]), np.array([1.0])) > 5.0
+
+    def test_symmetric_formula(self):
+        loss = BinaryCrossEntropy()
+        a = loss.value(np.array([0.3]), np.array([1.0]))
+        b = loss.value(np.array([0.7]), np.array([0.0]))
+        assert a == pytest.approx(b)
+
+    def test_gradient_sign(self):
+        loss = BinaryCrossEntropy()
+        grad = loss.gradient(np.array([0.3]), np.array([1.0]))
+        assert grad[0] < 0  # must push prediction up
+
+
+class TestCategoricalCrossEntropy:
+    def test_value(self):
+        loss = CategoricalCrossEntropy()
+        predicted = np.array([[0.7, 0.2, 0.1]])
+        target = np.array([[1.0, 0.0, 0.0]])
+        assert loss.value(predicted, target) == pytest.approx(-np.log(0.7))
+
+    def test_fused_gradient(self):
+        loss = CategoricalCrossEntropy()
+        predicted = np.array([[0.7, 0.2, 0.1]])
+        target = np.array([[0.0, 1.0, 0.0]])
+        grad = loss.gradient(predicted, target)
+        assert np.allclose(grad, (predicted - target) / 1)
+
+    def test_batch_mean_reduction(self):
+        loss = CategoricalCrossEntropy()
+        p = np.array([[0.5, 0.5], [0.5, 0.5]])
+        t = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert loss.value(p, t) == pytest.approx(-np.log(0.5))
+
+    def test_zero_probability_clipped(self):
+        loss = CategoricalCrossEntropy()
+        value = loss.value(np.array([[0.0, 1.0]]), np.array([[1.0, 0.0]]))
+        assert np.isfinite(value)
+
+
+class TestMSE:
+    def test_value_and_gradient(self):
+        loss = MeanSquaredError()
+        p = np.array([[1.0, 2.0]])
+        t = np.array([[0.0, 0.0]])
+        assert loss.value(p, t) == pytest.approx(2.5)
+        assert np.allclose(loss.gradient(p, t), 2 * p / 2)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(
+            get_loss("categorical_crossentropy"), CategoricalCrossEntropy
+        )
+
+    def test_instance_passthrough(self):
+        loss = MeanSquaredError()
+        assert get_loss(loss) is loss
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_loss("hinge")

@@ -1,0 +1,116 @@
+"""Unit tests for the Eq-17 metrics and companions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    accuracy,
+    average_accuracy,
+    classification_report,
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    one_hot,
+)
+
+
+class TestAccuracy:
+    def test_fraction_correct(self):
+        assert accuracy([0, 1, 2, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_accepts_one_hot(self):
+        y_true = np.eye(3)[[0, 1, 2]]
+        y_pred = np.eye(3)[[0, 1, 1]]
+        assert accuracy(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_accepts_probability_rows(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy([0, 1], probs) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+
+    def test_error_rate_complement(self):
+        y_true, y_pred = [0, 1, 2, 1], [0, 1, 1, 1]
+        assert error_rate(y_true, y_pred) == pytest.approx(
+            1 - accuracy(y_true, y_pred)
+        )
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2])
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_explicit_class_count(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert matrix.shape == (3, 3)
+
+
+class TestAverageAccuracy:
+    def test_eq17_on_perfect_prediction(self):
+        assert average_accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_eq17_manual_example(self):
+        # 4 samples, 2 classes: y=[0,0,1,1], pred=[0,1,1,1].
+        # Class 0: TP=1 TN=2 FP=0 FN=1 -> 3/4; class 1: TP=2 TN=1 FP=1 FN=0 -> 3/4.
+        assert average_accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(0.75)
+
+    def test_binary_equals_plain_accuracy(self):
+        y_true = [0, 1, 1, 0, 1]
+        y_pred = [0, 1, 0, 0, 1]
+        assert average_accuracy(y_true, y_pred) == pytest.approx(
+            accuracy(y_true, y_pred)
+        )
+
+    def test_multiclass_average_at_least_plain(self):
+        # With k>2, each miss hurts two per-class accuracies but the TN
+        # mass of other classes keeps Eq 17 >= plain accuracy.
+        y_true = [0, 1, 2, 2, 1, 0]
+        y_pred = [0, 2, 2, 1, 1, 0]
+        assert average_accuracy(y_true, y_pred) >= accuracy(y_true, y_pred)
+
+
+class TestClassificationReport:
+    def test_per_class_values(self):
+        report = classification_report([0, 0, 1, 1], [0, 1, 1, 1])
+        assert report[0].precision == 1.0
+        assert report[0].recall == 0.5
+        assert report[1].precision == pytest.approx(2 / 3)
+        assert report[1].recall == 1.0
+        assert report[0].support == 2
+
+    def test_zero_division_yields_zero(self):
+        report = classification_report([0, 0], [1, 1], n_classes=2)
+        assert report[0].recall == 0.0
+        assert report[0].precision == 0.0
+        assert report[0].f1 == 0.0
+
+    def test_macro_f1(self):
+        report = classification_report([0, 0, 1, 1], [0, 1, 1, 1])
+        expected = (report[0].f1 + report[1].f1) / 2
+        assert macro_f1([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(expected)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot([0, 2, 1], 3)
+        assert np.array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot([3], 3)
+        with pytest.raises(ValueError):
+            one_hot([-1], 3)
+
+    def test_empty(self):
+        assert one_hot([], 3).shape == (0, 3)

@@ -1,0 +1,33 @@
+"""Unit tests for the MSLE metric (related-work comparison scale)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import msle
+
+
+class TestMSLE:
+    def test_perfect_prediction(self):
+        assert msle([1, 10, 100], [1, 10, 100]) == 0.0
+
+    def test_known_value(self):
+        # log1p(e-1) - log1p(0) = 1 -> squared = 1.
+        value = msle([np.e - 1], [0.0])
+        assert value == pytest.approx(1.0)
+
+    def test_symmetric_in_log_space(self):
+        assert msle([10], [100]) == pytest.approx(msle([100], [10]))
+
+    def test_scale_insensitivity_vs_mse(self):
+        # An absolute error of 90 hurts much less at large magnitudes.
+        small = msle([10], [100])
+        large = msle([10_000], [10_090])
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            msle([1, 2], [1])
+        with pytest.raises(ValueError):
+            msle([], [])
+        with pytest.raises(ValueError):
+            msle([-1], [1])

@@ -1,0 +1,197 @@
+"""Unit tests for Sequential: training loop, early stopping, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Dense,
+    EarlyStopping,
+    Sequential,
+    build_mlp,
+)
+
+
+def xor_data():
+    X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+    Y = np.array([[1, 0], [0, 1], [0, 1], [1, 0]], dtype=float)
+    return X, Y
+
+
+def blobs(n=60, seed=0):
+    """Three well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [6, 0], [0, 6]])
+    X, labels = [], []
+    for i, center in enumerate(centers):
+        X.append(rng.normal(size=(n // 3, 2)) + center)
+        labels += [i] * (n // 3)
+    X = np.vstack(X)
+    Y = np.eye(3)[labels]
+    return X, Y, np.array(labels)
+
+
+class TestTraining:
+    def test_learns_xor(self):
+        X, Y = xor_data()
+        model = Sequential(
+            [Dense(8, activation="tanh"), Dense(2, activation="softmax")], seed=0
+        )
+        model.compile(optimizer=SGD(0.5), loss="categorical_crossentropy")
+        history = model.fit(X, Y, epochs=500, batch_size=4)
+        assert history.last("accuracy") == 1.0
+
+    def test_learns_blobs(self):
+        X, Y, labels = blobs()
+        model = Sequential(
+            [Dense(16, activation="relu"), Dense(3, activation="softmax")], seed=0
+        )
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        model.fit(X, Y, epochs=100, batch_size=16)
+        assert np.mean(model.predict_classes(X) == labels) > 0.95
+
+    def test_loss_decreases(self):
+        X, Y, _labels = blobs()
+        model = Sequential(
+            [Dense(8, activation="relu"), Dense(3, activation="softmax")], seed=0
+        )
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        history = model.fit(X, Y, epochs=30, batch_size=16)
+        losses = history.metrics["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_validation_metrics_tracked(self):
+        X, Y, _labels = blobs()
+        model = Sequential(
+            [Dense(8, activation="relu"), Dense(3, activation="softmax")], seed=0
+        )
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        history = model.fit(
+            X[:40], Y[:40], epochs=5, validation_data=(X[40:], Y[40:])
+        )
+        assert "val_loss" in history.metrics
+        assert "val_accuracy" in history.metrics
+        assert len(history.metrics["val_loss"]) == history.epochs
+
+    def test_epoch_timing_recorded(self):
+        X, Y, _labels = blobs()
+        model = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0)
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        history = model.fit(X, Y, epochs=3)
+        assert all(ms > 0 for ms in history.metrics["epoch_ms"])
+
+    def test_mismatched_lengths_raise(self):
+        model = Sequential([Dense(2, activation="softmax")])
+        model.compile()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros((2, 2)))
+
+    def test_empty_dataset_raises(self):
+        model = Sequential([Dense(2, activation="softmax")])
+        model.compile()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 2)), np.zeros((0, 2)))
+
+    def test_uncompiled_training_raises(self):
+        model = Sequential([Dense(2)])
+        model.build((2,))
+        with pytest.raises(RuntimeError):
+            model.train_on_batch(np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestEarlyStopping:
+    def test_stops_before_max_epochs(self):
+        X, Y, _labels = blobs()
+        model = Sequential(
+            [Dense(16, activation="relu"), Dense(3, activation="softmax")], seed=0
+        )
+        model.compile(optimizer=SGD(0.2), loss="categorical_crossentropy")
+        stopper = EarlyStopping(min_delta=1e-3, patience=2)
+        history = model.fit(X, Y, epochs=500, early_stopping=stopper)
+        assert history.epochs < 500
+        assert stopper.stopped_epoch == history.epochs
+
+    def test_no_stop_when_improving(self):
+        stopper = EarlyStopping(min_delta=0.0, patience=0)
+        from repro.nn import History
+
+        history = History()
+        for loss in [1.0, 0.9, 0.8]:
+            history.record(loss=loss)
+            assert not stopper.update(history)
+
+    def test_patience_counts_stalls(self):
+        from repro.nn import History
+
+        stopper = EarlyStopping(min_delta=1e-4, patience=2)
+        history = History()
+        outcomes = []
+        for loss in [1.0, 1.0, 1.0, 1.0]:
+            history.record(loss=loss)
+            outcomes.append(stopper.update(history))
+        assert outcomes == [False, False, False, True]
+
+    def test_reset(self):
+        from repro.nn import History
+
+        stopper = EarlyStopping(patience=0)
+        history = History()
+        history.record(loss=1.0)
+        stopper.update(history)
+        stopper.reset()
+        assert stopper.best is None and stopper.wait == 0
+
+
+class TestCheckpoints:
+    def test_weight_round_trip(self):
+        X, Y, _labels = blobs()
+        model = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0, seed=0)
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        model.fit(X, Y, epochs=5)
+        weights = model.get_weights()
+
+        clone = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0, seed=99)
+        clone.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        clone.set_weights(weights)
+        assert np.allclose(model.predict(X), clone.predict(X))
+
+    def test_checkpoint_file_round_trip(self, tmp_path):
+        X, Y, _labels = blobs()
+        model = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0, seed=0)
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        model.fit(X, Y, epochs=3)
+        path = str(tmp_path / "ckpt.npz")
+        model.save_checkpoint(path)
+
+        clone = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0, seed=5)
+        clone.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        clone.load_checkpoint(path)
+        assert np.allclose(model.predict(X), clone.predict(X))
+
+    def test_shape_mismatch_rejected(self):
+        model = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0)
+        other = build_mlp(3, n_classes=3, hidden=(8, 4), dropout=0)
+        with pytest.raises(ValueError):
+            model.set_weights(other.get_weights())
+
+    def test_resume_training_continues_converging(self):
+        # §4.9: checkpoints let training continue as data arrives.
+        X, Y, _labels = blobs()
+        model = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0, seed=0)
+        model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+        first = model.fit(X, Y, epochs=5)
+        resumed = model.fit(X, Y, epochs=5)
+        assert resumed.metrics["loss"][-1] <= first.metrics["loss"][0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        X, Y, _labels = blobs()
+
+        def run():
+            model = build_mlp(2, n_classes=3, hidden=(8, 4), dropout=0, seed=11)
+            model.compile(optimizer=SGD(0.1), loss="categorical_crossentropy")
+            model.fit(X, Y, epochs=5)
+            return model.predict(X)
+
+        assert np.allclose(run(), run())

@@ -1,0 +1,126 @@
+"""Unit tests for SGD/ADAGRAD/ADADELTA/Adam (Eqs 13–16)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adadelta, Adagrad, Adam, get_optimizer
+
+
+def quadratic_descent(optimizer, start=5.0, steps=200):
+    """Minimize f(w) = w^2; returns the trajectory of |w|."""
+    w = np.array([start])
+    trajectory = []
+    for _i in range(steps):
+        grad = 2 * w
+        optimizer.step([("w", w, grad)])
+        trajectory.append(abs(float(w[0])))
+    return trajectory
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        w = np.array([1.0])
+        SGD(learning_rate=0.1).step([("w", w, np.array([2.0]))])
+        assert w[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates_velocity(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        w = np.array([0.0])
+        grad = np.array([1.0])
+        opt.step([("w", w, grad)])
+        first = w.copy()
+        opt.step([("w", w, grad)])
+        second_step = w - first
+        assert abs(second_step[0]) > abs(first[0])  # velocity built up
+
+    def test_converges_on_quadratic(self):
+        traj = quadratic_descent(SGD(learning_rate=0.1))
+        assert traj[-1] < 1e-4
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.0)
+
+
+class TestAdagrad:
+    def test_effective_rate_decays(self):
+        opt = Adagrad(learning_rate=1.0)
+        w = np.array([10.0])
+        deltas = []
+        for _i in range(5):
+            before = w.copy()
+            opt.step([("w", w, np.array([1.0]))])
+            deltas.append(abs(float((before - w)[0])))
+        assert all(a >= b for a, b in zip(deltas, deltas[1:]))
+
+    def test_converges_on_quadratic(self):
+        traj = quadratic_descent(Adagrad(learning_rate=1.0), steps=400)
+        assert traj[-1] < 0.05
+
+    def test_per_dimension_scaling(self):
+        opt = Adagrad(learning_rate=1.0)
+        w = np.array([1.0, 1.0])
+        opt.step([("w", w, np.array([10.0, 0.1]))])
+        # Both dimensions move ~learning_rate on the first step despite the
+        # 100x gradient difference (that is ADAGRAD's normalization).
+        steps = 1.0 - w
+        assert steps[0] == pytest.approx(steps[1], rel=0.01)
+
+
+class TestAdadelta:
+    def test_makes_steady_progress_on_quadratic(self):
+        # ADADELTA's step sizes self-tune from tiny initial RMS values, so
+        # convergence is slow but strictly monotone on a quadratic bowl.
+        traj = quadratic_descent(Adadelta(learning_rate=2.0), steps=500)
+        assert traj[-1] < 0.8 * traj[0]
+        assert all(b <= a for a, b in zip(traj, traj[1:]))
+
+    def test_no_learning_rate_needed(self):
+        # ADADELTA's whole point (§3.5): works with the default multiplier.
+        traj = quadratic_descent(Adadelta(), steps=500)
+        assert traj[-1] < traj[0]
+
+    def test_learning_rate_scales_update(self):
+        w1, w2 = np.array([5.0]), np.array([5.0])
+        Adadelta(learning_rate=1.0).step([("w", w1, np.array([1.0]))])
+        Adadelta(learning_rate=2.0).step([("w", w2, np.array([1.0]))])
+        assert (5.0 - w2[0]) == pytest.approx(2 * (5.0 - w1[0]))
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            Adadelta(rho=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        traj = quadratic_descent(Adam(learning_rate=0.3), steps=300)
+        assert traj[-1] < 1e-3
+
+    def test_first_step_magnitude_is_learning_rate(self):
+        opt = Adam(learning_rate=0.1)
+        w = np.array([1.0])
+        opt.step([("w", w, np.array([42.0]))])
+        assert 1.0 - w[0] == pytest.approx(0.1, rel=0.01)
+
+
+class TestRegistry:
+    def test_lookup_with_kwargs(self):
+        opt = get_optimizer("sgd", learning_rate=0.5)
+        assert isinstance(opt, SGD)
+        assert opt.learning_rate == 0.5
+
+    def test_instance_passthrough(self):
+        opt = Adam()
+        assert get_optimizer(opt) is opt
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_optimizer("rmsprop")
+
+    def test_state_is_per_parameter(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        w1, w2 = np.array([1.0]), np.array([1.0])
+        opt.step([("a", w1, np.array([1.0])), ("b", w2, np.array([-1.0]))])
+        assert w1[0] < 1.0 < w2[0]

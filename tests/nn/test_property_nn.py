@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the NN framework invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    SGD,
+    Adadelta,
+    Adagrad,
+    CategoricalCrossEntropy,
+    Dense,
+    Sequential,
+    Softmax,
+    one_hot,
+)
+
+finite_rows = st.lists(
+    st.lists(st.floats(-50, 50, allow_nan=False), min_size=3, max_size=3),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(finite_rows)
+def test_softmax_rows_are_distributions(rows):
+    out = Softmax().forward(np.array(rows))
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=1), 1.0)
+
+
+@given(finite_rows)
+def test_softmax_preserves_argmax(rows):
+    x = np.array(rows)
+    # Skip rows whose top two values tie to within float precision —
+    # argmax tie-breaking after exp() is legitimately unstable there.
+    top_two = np.sort(x, axis=1)[:, -2:]
+    if np.any(top_two[:, 1] - top_two[:, 0] < 1e-9):
+        return
+    out = Softmax().forward(x)
+    assert np.array_equal(np.argmax(x, axis=1), np.argmax(out, axis=1))
+
+
+@given(
+    st.integers(0, 10_000),
+    st.sampled_from(["sgd", "adagrad", "adadelta"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_optimizers_reduce_quadratic_loss(seed, name):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=4)
+    w = target + rng.normal(scale=2.0, size=4)
+    start_loss = float(np.sum((w - target) ** 2))
+    optimizer = {
+        "sgd": SGD(learning_rate=0.05),
+        "adagrad": Adagrad(learning_rate=0.5),
+        "adadelta": Adadelta(learning_rate=2.0),
+    }[name]
+    for _step in range(200):
+        grad = 2 * (w - target)
+        optimizer.step([("w", w, grad)])
+    end_loss = float(np.sum((w - target) ** 2))
+    assert end_loss <= start_loss + 1e-9
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_cross_entropy_gradient_matches_finite_difference(seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(3, 4))
+    labels = one_hot(rng.integers(0, 4, 3), 4)
+    softmax = Softmax()
+    loss = CategoricalCrossEntropy()
+
+    def value(z):
+        return loss.value(softmax.forward(z), labels)
+
+    # Analytic fused gradient w.r.t. logits.
+    analytic = loss.gradient(softmax.forward(logits), labels)
+    eps = 1e-6
+    for i in range(3):
+        for j in range(4):
+            bumped = logits.copy()
+            bumped[i, j] += eps
+            dipped = logits.copy()
+            dipped[i, j] -= eps
+            numeric = (value(bumped) - value(dipped)) / (2 * eps)
+            assert analytic[i, j] == pytest.approx(numeric, abs=1e-5)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_training_step_reduces_batch_loss_on_average(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(16, 5))
+    X /= np.linalg.norm(X, axis=1, keepdims=True)
+    Y = one_hot(rng.integers(0, 3, 16), 3)
+    model = Sequential(
+        [Dense(8, activation="tanh"), Dense(3, activation="softmax")],
+        seed=seed % 100,
+    )
+    model.compile(optimizer=SGD(0.3), loss="categorical_crossentropy")
+    model.build((5,))
+    first = model.train_on_batch(X, Y)
+    losses = [model.train_on_batch(X, Y) for _i in range(30)]
+    assert losses[-1] < first

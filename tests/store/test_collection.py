@@ -1,0 +1,224 @@
+"""Unit tests for Collection CRUD, cursors, and aggregation."""
+
+import pytest
+
+from repro.store import (
+    Collection,
+    DuplicateKeyError,
+    QueryError,
+    ValidationError,
+)
+
+
+@pytest.fixture
+def coll():
+    c = Collection("tweets")
+    c.insert_many(
+        [
+            {"author": "a", "likes": 10, "tags": ["x"]},
+            {"author": "b", "likes": 200, "tags": ["x", "y"]},
+            {"author": "a", "likes": 3000, "tags": []},
+            {"author": "c", "likes": 50},
+        ]
+    )
+    return c
+
+
+class TestInsert:
+    def test_auto_ids_are_unique(self, coll):
+        ids = [d["_id"] for d in coll.find()]
+        assert len(set(ids)) == 4
+
+    def test_explicit_id(self):
+        c = Collection("t")
+        assert c.insert_one({"_id": "abc", "x": 1}) == "abc"
+
+    def test_duplicate_id_raises(self):
+        c = Collection("t")
+        c.insert_one({"_id": 1})
+        with pytest.raises(DuplicateKeyError):
+            c.insert_one({"_id": 1})
+
+    def test_non_dict_raises(self):
+        with pytest.raises(QueryError):
+            Collection("t").insert_one([1, 2])
+
+    def test_insert_does_not_alias_caller_document(self):
+        c = Collection("t")
+        original = {"xs": [1]}
+        c.insert_one(original)
+        original["xs"].append(2)
+        assert c.find_one()["xs"] == [1]
+
+
+class TestFind:
+    def test_find_all(self, coll):
+        assert coll.find().count() == 4
+
+    def test_find_with_filter(self, coll):
+        assert coll.find({"author": "a"}).count() == 2
+
+    def test_find_one_returns_none_when_empty(self, coll):
+        assert coll.find_one({"author": "zzz"}) is None
+
+    def test_results_are_copies(self, coll):
+        doc = coll.find_one({"author": "b"})
+        doc["likes"] = 999999
+        assert coll.find_one({"author": "b"})["likes"] == 200
+
+    def test_sort_skip_limit_chain(self, coll):
+        likes = [d["likes"] for d in coll.find().sort("likes", -1).skip(1).limit(2)]
+        assert likes == [200, 50]
+
+    def test_cursor_single_use(self, coll):
+        cursor = coll.find()
+        list(cursor)
+        with pytest.raises(QueryError):
+            list(cursor)
+
+    def test_projection(self, coll):
+        doc = coll.find_one({"author": "b"}, {"likes": 1, "_id": 0})
+        assert doc == {"likes": 200}
+
+    def test_count_documents(self, coll):
+        assert coll.count_documents() == 4
+        assert coll.count_documents({"likes": {"$gt": 100}}) == 2
+
+    def test_distinct(self, coll):
+        assert sorted(coll.distinct("author")) == ["a", "b", "c"]
+
+    def test_distinct_unwinds_lists(self, coll):
+        assert sorted(coll.distinct("tags")) == ["x", "y"]
+
+
+class TestUpdateDelete:
+    def test_update_one(self, coll):
+        assert coll.update_one({"author": "a"}, {"$set": {"seen": True}}) == 1
+        assert coll.count_documents({"seen": True}) == 1
+
+    def test_update_many(self, coll):
+        n = coll.update_many({"author": "a"}, {"$inc": {"likes": 1}})
+        assert n == 2
+
+    def test_update_nonmatching_returns_zero(self, coll):
+        assert coll.update_one({"author": "zzz"}, {"$set": {"x": 1}}) == 0
+
+    def test_replace_one(self, coll):
+        doc_id = coll.find_one({"author": "c"})["_id"]
+        assert coll.replace_one({"author": "c"}, {"author": "c2"}) == 1
+        replaced = coll.find_one({"author": "c2"})
+        assert replaced["_id"] == doc_id
+        assert "likes" not in replaced
+
+    def test_delete_one_and_many(self, coll):
+        assert coll.delete_one({"author": "a"}) == 1
+        assert coll.count_documents() == 3
+        assert coll.delete_many({"likes": {"$gte": 0}}) == 3
+        assert coll.count_documents() == 0
+
+
+class TestValidation:
+    def test_validator_rejects_bad_documents(self):
+        c = Collection("t", validator=lambda d: "likes" in d)
+        c.insert_one({"likes": 1})
+        with pytest.raises(ValidationError):
+            c.insert_one({"nope": 1})
+
+    def test_validator_applies_to_updates(self):
+        c = Collection("t", validator=lambda d: d.get("likes", 0) >= 0)
+        c.insert_one({"likes": 5})
+        with pytest.raises(ValidationError):
+            c.update_one({"likes": 5}, {"$set": {"likes": -1}})
+
+
+class TestIndexes:
+    def test_index_accelerated_find_is_correct(self, coll):
+        before = {d["_id"] for d in coll.find({"author": "a"})}
+        coll.create_index("author")
+        after = {d["_id"] for d in coll.find({"author": "a"})}
+        assert before == after
+
+    def test_index_stays_consistent_after_updates(self, coll):
+        coll.create_index("author")
+        coll.update_many({"author": "a"}, {"$set": {"author": "z"}})
+        assert coll.find({"author": "z"}).count() == 2
+        assert coll.find({"author": "a"}).count() == 0
+
+    def test_index_stays_consistent_after_delete(self, coll):
+        coll.create_index("author")
+        coll.delete_many({"author": "a"})
+        assert coll.find({"author": "a"}).count() == 0
+
+    def test_in_queries_use_index(self, coll):
+        coll.create_index("author")
+        assert coll.find({"author": {"$in": ["a", "b"]}}).count() == 3
+
+    def test_list_and_drop_indexes(self, coll):
+        coll.create_index("author")
+        assert coll.list_indexes() == ["author"]
+        coll.drop_index("author")
+        assert coll.list_indexes() == []
+
+
+class TestAggregation:
+    def test_match_group_sum(self, coll):
+        rows = coll.aggregate(
+            [
+                {"$group": {"_id": "$author", "total": {"$sum": "$likes"}}},
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        assert rows == [
+            {"_id": "a", "total": 3010},
+            {"_id": "b", "total": 200},
+            {"_id": "c", "total": 50},
+        ]
+
+    def test_group_avg_min_max_count(self, coll):
+        rows = coll.aggregate(
+            [
+                {"$match": {"author": "a"}},
+                {
+                    "$group": {
+                        "_id": None,
+                        "avg": {"$avg": "$likes"},
+                        "lo": {"$min": "$likes"},
+                        "hi": {"$max": "$likes"},
+                        "n": {"$count": {}},
+                    }
+                },
+            ]
+        )
+        assert rows == [{"_id": None, "avg": 1505.0, "lo": 10, "hi": 3000, "n": 2}]
+
+    def test_unwind(self, coll):
+        rows = coll.aggregate([{"$unwind": "$tags"}, {"$count": "n"}])
+        assert rows == [{"n": 3}]
+
+    def test_sort_skip_limit_stages(self, coll):
+        rows = coll.aggregate(
+            [{"$sort": {"likes": -1}}, {"$skip": 1}, {"$limit": 1}]
+        )
+        assert rows[0]["likes"] == 200
+
+    def test_group_push(self, coll):
+        rows = coll.aggregate(
+            [
+                {"$group": {"_id": "$author", "all": {"$push": "$likes"}}},
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        assert rows[0] == {"_id": "a", "all": [10, 3000]}
+
+    def test_unknown_stage_raises(self, coll):
+        with pytest.raises(QueryError):
+            coll.aggregate([{"$lookup": {}}])
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, coll, tmp_path):
+        path = str(tmp_path / "tweets.jsonl")
+        assert coll.dump_jsonl(path) == 4
+        other = Collection("copy")
+        assert other.load_jsonl(path) == 4
+        assert other.count_documents({"author": "a"}) == 2

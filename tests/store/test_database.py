@@ -1,0 +1,59 @@
+"""Unit tests for Database collection management and snapshots."""
+
+import pytest
+
+from repro.store import CollectionNotFound, Database
+
+
+class TestDatabase:
+    def test_lazy_collection_creation(self):
+        db = Database("d")
+        assert db.list_collections() == []
+        db["news"].insert_one({"x": 1})
+        assert db.list_collections() == ["news"]
+        assert "news" in db
+
+    def test_same_collection_object_returned(self):
+        db = Database("d")
+        assert db["a"] is db["a"]
+
+    def test_drop_collection(self):
+        db = Database("d")
+        db["a"].insert_one({})
+        db.drop_collection("a")
+        assert "a" not in db
+
+    def test_drop_missing_collection_raises(self):
+        with pytest.raises(CollectionNotFound):
+            Database("d").drop_collection("missing")
+
+    def test_drop_all(self):
+        db = Database("d")
+        db["a"].insert_one({})
+        db["b"].insert_one({})
+        db.drop_all()
+        assert db.list_collections() == []
+
+    def test_stats(self):
+        db = Database("d")
+        db["a"].insert_many([{}, {}])
+        db["b"].insert_one({})
+        assert db.stats() == {"a": 2, "b": 1}
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self, tmp_path):
+        db = Database("d")
+        db["news"].insert_many([{"t": "x"}, {"t": "y"}])
+        db["tweets"].insert_one({"t": "z"})
+        counts = db.snapshot(str(tmp_path))
+        assert counts == {"news": 2, "tweets": 1}
+
+        restored = Database("d2")
+        counts2 = restored.restore(str(tmp_path))
+        assert counts2 == {"news": 2, "tweets": 1}
+        assert restored["news"].count_documents({"t": "x"}) == 1
+
+    def test_restore_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CollectionNotFound):
+            Database("d").restore(str(tmp_path / "nope"))

@@ -1,0 +1,108 @@
+"""Unit tests for HashIndex and the index query planner."""
+
+from repro.store import HashIndex
+from repro.store.index import plan_index_lookup
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "a"})
+        index.add(2, {"author": "b"})
+        index.add(3, {"author": "a"})
+        assert index.lookup("a") == {1, 3}
+        assert index.lookup("b") == {2}
+        assert index.lookup("zzz") == set()
+
+    def test_multikey_list_field(self):
+        index = HashIndex("tags")
+        index.add(1, {"tags": ["x", "y"]})
+        assert index.lookup("x") == {1}
+        assert index.lookup("y") == {1}
+
+    def test_nested_path(self):
+        index = HashIndex("user.name")
+        index.add(1, {"user": {"name": "alice"}})
+        assert index.lookup("alice") == {1}
+
+    def test_missing_field_not_indexed(self):
+        index = HashIndex("author")
+        index.add(1, {"other": 5})
+        assert len(index) == 0
+
+    def test_remove(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "a"})
+        index.remove(1)
+        assert index.lookup("a") == set()
+        index.remove(1)  # idempotent
+
+    def test_update_moves_buckets(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "a"})
+        index.update(1, {"author": "b"})
+        assert index.lookup("a") == set()
+        assert index.lookup("b") == {1}
+
+    def test_lookup_in(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "a"})
+        index.add(2, {"author": "b"})
+        index.add(3, {"author": "c"})
+        assert index.lookup_in(["a", "c"]) == {1, 3}
+
+    def test_rebuild(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "old"})
+        index.rebuild({7: {"author": "new"}})
+        assert index.lookup("old") == set()
+        assert index.lookup("new") == {7}
+
+    def test_unhashable_values_indexed_by_repr(self):
+        index = HashIndex("payload")
+        index.add(1, {"payload": {"k": 1}})
+        assert index.lookup({"k": 1}) == {1}
+
+    def test_distinct_keys(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "a"})
+        index.add(2, {"author": "b"})
+        assert sorted(index.distinct_keys()) == ["a", "b"]
+
+
+class TestPlanner:
+    def _indexes(self):
+        index = HashIndex("author")
+        index.add(1, {"author": "a"})
+        index.add(2, {"author": "b"})
+        return {"author": index}
+
+    def test_equality_plan(self):
+        plan = plan_index_lookup({"author": "a"}, self._indexes())
+        assert plan == {1}
+
+    def test_eq_operator_plan(self):
+        plan = plan_index_lookup({"author": {"$eq": "b"}}, self._indexes())
+        assert plan == {2}
+
+    def test_in_operator_plan(self):
+        plan = plan_index_lookup({"author": {"$in": ["a", "b"]}}, self._indexes())
+        assert plan == {1, 2}
+
+    def test_unindexed_field_gives_no_plan(self):
+        assert plan_index_lookup({"likes": 5}, self._indexes()) is None
+
+    def test_range_operator_gives_no_plan(self):
+        assert plan_index_lookup({"author": {"$gt": "a"}}, self._indexes()) is None
+
+    def test_multiple_indexed_conditions_intersect(self):
+        author = HashIndex("author")
+        author.add(1, {"author": "a", "kind": "x"})
+        author.add(2, {"author": "a", "kind": "y"})
+        kind = HashIndex("kind")
+        kind.add(1, {"author": "a", "kind": "x"})
+        kind.add(2, {"author": "a", "kind": "y"})
+        plan = plan_index_lookup(
+            {"author": "a", "kind": "y"}, {"author": author, "kind": kind}
+        )
+        assert plan == {2}

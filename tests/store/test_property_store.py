@@ -1,0 +1,89 @@
+"""Property-based tests for the query engine (hypothesis).
+
+These check semantic invariants that must hold for arbitrary documents
+and values: De Morgan-style relations between operators, idempotence of
+updates, and agreement between indexed and unindexed query plans.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store import Collection, apply_update, matches
+
+scalars = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+)
+documents = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), scalars, max_size=4
+)
+
+
+@given(documents, scalars)
+def test_eq_and_ne_are_complementary_when_field_present(doc, value):
+    if "a" not in doc:
+        return
+    assert matches(doc, {"a": {"$eq": value}}) != matches(doc, {"a": {"$ne": value}})
+
+
+@given(documents, st.integers(-1000, 1000))
+def test_gt_lte_partition_numbers(doc, threshold):
+    value = doc.get("a")
+    if not isinstance(value, int) or isinstance(value, bool):
+        return
+    gt = matches(doc, {"a": {"$gt": threshold}})
+    lte = matches(doc, {"a": {"$lte": threshold}})
+    assert gt != lte
+
+
+@given(documents, scalars)
+def test_not_inverts(doc, value):
+    inner = {"$eq": value}
+    if "a" not in doc:
+        return
+    assert matches(doc, {"a": inner}) != matches(doc, {"a": {"$not": inner}})
+
+
+@given(documents)
+def test_or_of_self_equals_self(doc):
+    query = {"a": {"$exists": True}}
+    assert matches(doc, {"$or": [query, query]}) == matches(doc, query)
+
+
+@given(documents, scalars)
+def test_set_then_match(doc, value):
+    doc = dict(doc)
+    apply_update(doc, {"$set": {"k": value}})
+    assert matches(doc, {"k": {"$eq": value}})
+
+
+@given(documents, st.integers(-100, 100), st.integers(-100, 100))
+def test_inc_accumulates(doc, x, y):
+    doc = {"n": 0}
+    apply_update(doc, {"$inc": {"n": x}})
+    apply_update(doc, {"$inc": {"n": y}})
+    assert doc["n"] == x + y
+
+
+@given(st.lists(st.dictionaries(st.sampled_from(["k", "v"]), scalars, max_size=2), max_size=20), scalars)
+@settings(max_examples=50)
+def test_indexed_and_unindexed_plans_agree(docs, needle):
+    plain = Collection("plain")
+    indexed = Collection("indexed")
+    indexed.create_index("k")
+    for d in docs:
+        plain.insert_one(dict(d))
+        indexed.insert_one(dict(d))
+    query = {"k": needle}
+    plain_ids = {doc["_id"] for doc in plain.find(query)}
+    indexed_ids = {doc["_id"] for doc in indexed.find(query)}
+    assert plain_ids == indexed_ids
+
+
+@given(st.lists(scalars, max_size=10))
+def test_push_builds_exact_list(values):
+    doc = {}
+    for v in values:
+        apply_update(doc, {"$push": {"xs": v}})
+    assert doc.get("xs", []) == list(values)

@@ -1,0 +1,285 @@
+"""Unit tests for the Mongo-style query matcher and update engine."""
+
+import re
+
+import pytest
+
+from repro.store import QueryError, apply_update, matches, project, sort_documents
+
+
+class TestEquality:
+    def test_simple_equality(self):
+        assert matches({"a": 1}, {"a": 1})
+        assert not matches({"a": 1}, {"a": 2})
+
+    def test_missing_field_does_not_match(self):
+        assert not matches({"a": 1}, {"b": 1})
+
+    def test_nested_path(self):
+        doc = {"user": {"name": "alice", "stats": {"followers": 120}}}
+        assert matches(doc, {"user.name": "alice"})
+        assert matches(doc, {"user.stats.followers": 120})
+        assert not matches(doc, {"user.stats.followers": 121})
+
+    def test_list_element_equality(self):
+        assert matches({"tags": ["a", "b"]}, {"tags": "a"})
+        assert not matches({"tags": ["a", "b"]}, {"tags": "c"})
+
+    def test_list_index_path(self):
+        assert matches({"tags": ["a", "b"]}, {"tags.1": "b"})
+        assert not matches({"tags": ["a", "b"]}, {"tags.5": "b"})
+
+    def test_whole_list_equality(self):
+        assert matches({"tags": ["a", "b"]}, {"tags": ["a", "b"]})
+
+    def test_empty_query_matches_everything(self):
+        assert matches({"a": 1}, {})
+        assert matches({}, {})
+
+
+class TestComparisonOperators:
+    def test_gt_gte_lt_lte(self):
+        doc = {"n": 10}
+        assert matches(doc, {"n": {"$gt": 5}})
+        assert not matches(doc, {"n": {"$gt": 10}})
+        assert matches(doc, {"n": {"$gte": 10}})
+        assert matches(doc, {"n": {"$lt": 11}})
+        assert matches(doc, {"n": {"$lte": 10}})
+        assert not matches(doc, {"n": {"$lt": 10}})
+
+    def test_ne(self):
+        assert matches({"n": 1}, {"n": {"$ne": 2}})
+        assert not matches({"n": 1}, {"n": {"$ne": 1}})
+
+    def test_ne_on_missing_field_matches(self):
+        # MongoDB semantics: $ne matches documents lacking the field.
+        assert matches({"a": 1}, {"b": {"$ne": 5}})
+
+    def test_in_nin(self):
+        assert matches({"n": 2}, {"n": {"$in": [1, 2, 3]}})
+        assert not matches({"n": 4}, {"n": {"$in": [1, 2, 3]}})
+        assert matches({"n": 4}, {"n": {"$nin": [1, 2, 3]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches({"n": 1}, {"n": {"$in": 1}})
+
+    def test_cross_type_comparison_does_not_match(self):
+        assert not matches({"n": "abc"}, {"n": {"$gt": 5}})
+
+    def test_range_combination(self):
+        assert matches({"n": 5}, {"n": {"$gte": 1, "$lte": 10}})
+        assert not matches({"n": 15}, {"n": {"$gte": 1, "$lte": 10}})
+
+
+class TestElementOperators:
+    def test_exists(self):
+        assert matches({"a": 1}, {"a": {"$exists": True}})
+        assert matches({"a": 1}, {"b": {"$exists": False}})
+        assert not matches({"a": 1}, {"a": {"$exists": False}})
+
+    def test_regex_string(self):
+        assert matches({"s": "hello world"}, {"s": {"$regex": "wor"}})
+        assert not matches({"s": "hello"}, {"s": {"$regex": "^world"}})
+
+    def test_regex_compiled_pattern(self):
+        assert matches({"s": "Hello"}, {"s": re.compile("hel", re.I)})
+
+    def test_regex_non_string_field(self):
+        assert not matches({"s": 42}, {"s": {"$regex": "4"}})
+
+    def test_mod(self):
+        assert matches({"n": 10}, {"n": {"$mod": [3, 1]}})
+        assert not matches({"n": 10}, {"n": {"$mod": [3, 2]}})
+
+    def test_mod_zero_divisor_raises(self):
+        with pytest.raises(QueryError):
+            matches({"n": 10}, {"n": {"$mod": [0, 1]}})
+
+    def test_size(self):
+        assert matches({"xs": [1, 2, 3]}, {"xs": {"$size": 3}})
+        assert not matches({"xs": [1, 2]}, {"xs": {"$size": 3}})
+
+    def test_type(self):
+        assert matches({"n": 1}, {"n": {"$type": "int"}})
+        assert matches({"s": "x"}, {"s": {"$type": "string"}})
+        assert not matches({"b": True}, {"b": {"$type": "int"}})
+        assert matches({"b": True}, {"b": {"$type": "bool"}})
+
+    def test_elem_match(self):
+        doc = {"items": [{"q": 1}, {"q": 5}]}
+        assert matches(doc, {"items": {"$elemMatch": {"q": {"$gt": 3}}}})
+        assert not matches(doc, {"items": {"$elemMatch": {"q": {"$gt": 10}}}})
+
+    def test_all(self):
+        assert matches({"tags": ["a", "b", "c"]}, {"tags": {"$all": ["a", "c"]}})
+        assert not matches({"tags": ["a"]}, {"tags": {"$all": ["a", "c"]}})
+
+
+class TestLogicalOperators:
+    def test_and(self):
+        assert matches({"a": 1, "b": 2}, {"$and": [{"a": 1}, {"b": 2}]})
+        assert not matches({"a": 1, "b": 3}, {"$and": [{"a": 1}, {"b": 2}]})
+
+    def test_or(self):
+        assert matches({"a": 1}, {"$or": [{"a": 1}, {"a": 2}]})
+        assert not matches({"a": 3}, {"$or": [{"a": 1}, {"a": 2}]})
+
+    def test_nor(self):
+        assert matches({"a": 3}, {"$nor": [{"a": 1}, {"a": 2}]})
+        assert not matches({"a": 1}, {"$nor": [{"a": 1}, {"a": 2}]})
+
+    def test_not(self):
+        assert matches({"n": 5}, {"n": {"$not": {"$gt": 10}}})
+        assert not matches({"n": 15}, {"n": {"$not": {"$gt": 10}}})
+
+    def test_where_callable(self):
+        assert matches({"a": 2, "b": 3}, {"$where": lambda d: d["a"] < d["b"]})
+
+    def test_empty_logical_list_raises(self):
+        with pytest.raises(QueryError):
+            matches({}, {"$and": []})
+        with pytest.raises(QueryError):
+            matches({}, {"$or": []})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$bogus": 1}})
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"$bogus": [{"a": 1}]})
+
+
+class TestUpdates:
+    def test_set_and_unset(self):
+        doc = {"_id": 1, "a": 1}
+        apply_update(doc, {"$set": {"b": 2}})
+        assert doc["b"] == 2
+        apply_update(doc, {"$unset": {"a": ""}})
+        assert "a" not in doc
+
+    def test_set_nested_creates_path(self):
+        doc = {"_id": 1}
+        apply_update(doc, {"$set": {"x.y.z": 5}})
+        assert doc["x"]["y"]["z"] == 5
+
+    def test_inc_and_mul(self):
+        doc = {"_id": 1, "n": 10}
+        apply_update(doc, {"$inc": {"n": 5}})
+        assert doc["n"] == 15
+        apply_update(doc, {"$mul": {"n": 2}})
+        assert doc["n"] == 30
+
+    def test_inc_missing_field_starts_at_zero(self):
+        doc = {"_id": 1}
+        apply_update(doc, {"$inc": {"n": 3}})
+        assert doc["n"] == 3
+
+    def test_inc_non_numeric_raises(self):
+        with pytest.raises(QueryError):
+            apply_update({"n": "x"}, {"$inc": {"n": 1}})
+
+    def test_min_max(self):
+        doc = {"n": 10}
+        apply_update(doc, {"$min": {"n": 5}})
+        assert doc["n"] == 5
+        apply_update(doc, {"$max": {"n": 8}})
+        assert doc["n"] == 8
+        apply_update(doc, {"$max": {"n": 2}})
+        assert doc["n"] == 8
+
+    def test_rename(self):
+        doc = {"a": 1}
+        apply_update(doc, {"$rename": {"a": "b"}})
+        assert doc == {"b": 1}
+
+    def test_push_and_add_to_set(self):
+        doc = {"xs": [1]}
+        apply_update(doc, {"$push": {"xs": 2}})
+        assert doc["xs"] == [1, 2]
+        apply_update(doc, {"$addToSet": {"xs": 2}})
+        assert doc["xs"] == [1, 2]
+        apply_update(doc, {"$addToSet": {"xs": 3}})
+        assert doc["xs"] == [1, 2, 3]
+
+    def test_push_creates_list(self):
+        doc = {}
+        apply_update(doc, {"$push": {"xs": 1}})
+        assert doc["xs"] == [1]
+
+    def test_pull_value_and_condition(self):
+        doc = {"xs": [1, 2, 3, 4]}
+        apply_update(doc, {"$pull": {"xs": 2}})
+        assert doc["xs"] == [1, 3, 4]
+        apply_update(doc, {"$pull": {"xs": {"$gt": 3}}})
+        assert doc["xs"] == [1, 3]
+
+    def test_pop(self):
+        doc = {"xs": [1, 2, 3]}
+        apply_update(doc, {"$pop": {"xs": 1}})
+        assert doc["xs"] == [1, 2]
+        apply_update(doc, {"$pop": {"xs": -1}})
+        assert doc["xs"] == [2]
+
+    def test_replacement_preserves_id(self):
+        doc = {"_id": 7, "a": 1}
+        apply_update(doc, {"b": 2})
+        assert doc == {"b": 2, "_id": 7}
+
+    def test_mixing_replacement_and_operators_raises(self):
+        with pytest.raises(QueryError):
+            apply_update({"a": 1}, {"$set": {"b": 2}, "c": 3})
+
+    def test_unknown_update_operator_raises(self):
+        with pytest.raises(QueryError):
+            apply_update({"a": 1}, {"$frobnicate": {"a": 2}})
+
+
+class TestProjection:
+    def test_inclusion(self):
+        doc = {"_id": 1, "a": 1, "b": 2, "c": 3}
+        assert project(doc, {"a": 1}) == {"_id": 1, "a": 1}
+
+    def test_exclusion(self):
+        doc = {"_id": 1, "a": 1, "b": 2}
+        assert project(doc, {"b": 0}) == {"_id": 1, "a": 1}
+
+    def test_id_suppression(self):
+        doc = {"_id": 1, "a": 1}
+        assert project(doc, {"a": 1, "_id": 0}) == {"a": 1}
+
+    def test_nested_inclusion(self):
+        doc = {"_id": 1, "u": {"n": "x", "f": 5}}
+        assert project(doc, {"u.f": 1}) == {"_id": 1, "u": {"f": 5}}
+
+    def test_mixed_projection_raises(self):
+        with pytest.raises(QueryError):
+            project({"a": 1, "b": 2}, {"a": 1, "b": 0})
+
+    def test_none_projection_is_identity(self):
+        doc = {"a": 1}
+        assert project(doc, None) is doc
+
+
+class TestSorting:
+    def test_ascending_descending(self):
+        docs = [{"n": 3}, {"n": 1}, {"n": 2}]
+        assert [d["n"] for d in sort_documents(docs, [("n", 1)])] == [1, 2, 3]
+        assert [d["n"] for d in sort_documents(docs, [("n", -1)])] == [3, 2, 1]
+
+    def test_compound_sort(self):
+        docs = [{"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9}]
+        ordered = sort_documents(docs, [("a", 1), ("b", 1)])
+        assert [(d["a"], d["b"]) for d in ordered] == [(0, 9), (1, 1), (1, 2)]
+
+    def test_missing_values_sort_first_ascending(self):
+        docs = [{"n": 1}, {}, {"n": 0}]
+        ordered = sort_documents(docs, [("n", 1)])
+        assert ordered[0] == {}
+
+    def test_heterogeneous_types_do_not_raise(self):
+        docs = [{"n": "abc"}, {"n": 5}, {"n": [1, 2]}]
+        sort_documents(docs, [("n", 1)])  # must not raise
+
+    def test_invalid_direction_raises(self):
+        with pytest.raises(QueryError):
+            sort_documents([{"n": 1}], [("n", 2)])

@@ -1,0 +1,85 @@
+"""Unit tests for the suffix-rule lemmatizer."""
+
+import pytest
+
+from repro.text import Lemmatizer
+
+
+@pytest.fixture(scope="module")
+def lemmatizer():
+    return Lemmatizer()
+
+
+class TestIrregulars:
+    @pytest.mark.parametrize(
+        "form,lemma",
+        [
+            ("went", "go"), ("was", "be"), ("were", "be"), ("said", "say"),
+            ("children", "child"), ("men", "man"), ("women", "woman"),
+            ("took", "take"), ("better", "good"), ("wrote", "write"),
+            ("countries", "country"), ("parties", "party"),
+        ],
+    )
+    def test_irregular_forms(self, lemmatizer, form, lemma):
+        assert lemmatizer.lemma(form) == lemma
+
+
+class TestSuffixRules:
+    @pytest.mark.parametrize(
+        "form,lemma",
+        [
+            ("elections", "election"),
+            ("voters", "voter"),
+            ("tariffs", "tariff"),
+            ("running", "run"),
+            ("stopped", "stop"),
+            ("voting", "vote"),
+            ("makes", "make"),
+            ("churches", "church"),
+            ("boxes", "box"),
+            ("cities", "city"),
+            ("happily", "happy"),
+        ],
+    )
+    def test_suffix_stripping(self, lemmatizer, form, lemma):
+        assert lemmatizer.lemma(form) == lemma
+
+    def test_double_s_words_not_mangled(self, lemmatizer):
+        assert lemmatizer.lemma("congress") == "congress"
+        assert lemmatizer.lemma("business") == "business"
+
+    def test_us_is_endings_kept(self, lemmatizer):
+        assert lemmatizer.lemma("virus") == "virus"
+        assert lemmatizer.lemma("crisis") == "crisis"
+
+    def test_nouns_in_er_not_mangled(self, lemmatizer):
+        assert lemmatizer.lemma("minister") == "minister"
+        assert lemmatizer.lemma("customer") == "customer"
+
+    def test_short_words_untouched(self, lemmatizer):
+        assert lemmatizer.lemma("as") == "as"
+        assert lemmatizer.lemma("is") == "be"  # irregular, not suffix
+
+    def test_case_insensitive(self, lemmatizer):
+        assert lemmatizer.lemma("Elections") == "election"
+
+    def test_non_alpha_untouched(self, lemmatizer):
+        assert lemmatizer.lemma("covid-19s") == "covid-19s"
+
+
+class TestAPI:
+    def test_lemmatize_sequence(self, lemmatizer):
+        assert lemmatizer.lemmatize(["voters", "went"]) == ["voter", "go"]
+
+    def test_extra_exceptions(self):
+        custom = Lemmatizer(extra_exceptions={"foos": "foo!"})
+        assert custom.lemma("foos") == "foo!"
+
+    def test_idempotence_on_lemmas(self, lemmatizer):
+        # A lemma should map to itself (fixed point) for common nouns.
+        for word in ["election", "vote", "tariff", "policy"]:
+            once = lemmatizer.lemma(word)
+            assert lemmatizer.lemma(once) == once
+
+    def test_cache_consistency(self, lemmatizer):
+        assert lemmatizer.lemma("voting") == lemmatizer.lemma("voting")

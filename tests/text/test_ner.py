@@ -1,0 +1,56 @@
+"""Unit tests for the shape/gazetteer NER."""
+
+from repro.text import EntityRecognizer
+
+
+class TestGazetteer:
+    def test_known_entity_found(self):
+        ner = EntityRecognizer()
+        assert "white house" in ner.entities("Officials at the White House said.")
+
+    def test_gazetteer_merge(self):
+        ner = EntityRecognizer()
+        tokens = ner.merge_entities("The White House denied it.")
+        assert "white_house" in tokens
+
+    def test_longest_match_wins(self):
+        ner = EntityRecognizer(gazetteer=["new york", "new york times"])
+        assert "new york times" in ner.entities("Read the New York Times today.")
+
+    def test_add_entities(self):
+        ner = EntityRecognizer(gazetteer=[])
+        ner.add_entities(["acme corp"])
+        assert "acme corp" in ner.entities("We asked Acme Corp about it.")
+
+
+class TestShapeHeuristic:
+    def test_capitalized_run(self):
+        ner = EntityRecognizer(gazetteer=[])
+        assert "angela merkel" in ner.entities("Yesterday Angela Merkel spoke.")
+
+    def test_connector_inside_entity(self):
+        ner = EntityRecognizer(gazetteer=[])
+        found = ner.entities("He visited the Bank of England on Monday.")
+        assert "bank of england" in found
+
+    def test_sentence_initial_single_word_not_entity(self):
+        ner = EntityRecognizer(gazetteer=[])
+        assert ner.entities("Today was fine.") == []
+
+    def test_all_caps_token(self):
+        ner = EntityRecognizer(gazetteer=[])
+        tokens = ner.merge_entities("Experts at NATO Headquarters agreed.")
+        assert "nato_headquarters" in tokens
+
+
+class TestMerge:
+    def test_merge_preserves_other_tokens(self):
+        ner = EntityRecognizer()
+        tokens = ner.merge_entities("Talks with the European Union stalled.")
+        assert "european_union" in tokens
+        assert "stalled" in tokens
+
+    def test_empty_text(self):
+        ner = EntityRecognizer()
+        assert ner.merge_entities("") == []
+        assert ner.entities("") == []

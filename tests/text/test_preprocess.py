@@ -1,0 +1,95 @@
+"""Unit tests for the three preprocessing pipelines (§4.2)."""
+
+import pytest
+
+from repro.store import Collection
+from repro.text import (
+    build_corpus,
+    preprocess_for_event_detection,
+    preprocess_for_topic_modeling,
+)
+
+
+class TestTopicModelingPipeline:
+    def test_removes_stopwords_and_punctuation(self):
+        tokens = preprocess_for_topic_modeling("The votes, and the results!")
+        assert "the" not in tokens
+        assert "," not in tokens
+        assert "vote" in tokens  # lemmatized
+
+    def test_entities_become_concepts(self):
+        tokens = preprocess_for_topic_modeling(
+            "Officials at the White House said elections were near."
+        )
+        assert "white_house" in tokens
+        assert "election" in tokens
+
+    def test_concepts_are_not_lemmatized(self):
+        tokens = preprocess_for_topic_modeling("The New York Times reported.")
+        assert "new_york_times" in tokens
+
+    def test_numbers_dropped(self):
+        tokens = preprocess_for_topic_modeling("Tariffs rose 25 percent")
+        assert "25" not in tokens
+
+    def test_empty_text(self):
+        assert preprocess_for_topic_modeling("") == []
+
+
+class TestEventDetectionPipeline:
+    def test_minimal_processing(self):
+        tokens = preprocess_for_event_detection("Voters voted, again!")
+        assert tokens == ["voters", "voted", "again"]
+
+    def test_keeps_numbers(self):
+        assert "25" in preprocess_for_event_detection("tariffs of 25 percent")
+
+    def test_hashtags_unsigiled(self):
+        assert "brexit" in preprocess_for_event_detection("#brexit is back")
+
+    def test_urls_dropped(self):
+        tokens = preprocess_for_event_detection("read https://ex.co now")
+        assert tokens == ["read", "now"]
+
+
+class TestBuildCorpus:
+    def _source(self):
+        src = Collection("raw")
+        src.insert_many(
+            [
+                {"text": "The elections were held.", "created_at": "2019-05-01",
+                 "author": "a", "followers": 10, "likes": 5, "retweets": 1},
+                {"text": "Tariffs rose again!", "created_at": "2019-05-02"},
+            ]
+        )
+        return src
+
+    def test_event_detection_corpus(self):
+        src = self._source()
+        dst = Collection("ed")
+        assert build_corpus(src, dst, "event_detection") == 2
+        docs = dst.find().sort("source_id", 1).to_list()
+        assert docs[0]["tokens"] == ["the", "elections", "were", "held"]
+        assert docs[0]["author"] == "a"
+        assert docs[0]["created_at"] == "2019-05-01"
+        assert "author" not in docs[1]
+
+    def test_topic_modeling_corpus(self):
+        src = self._source()
+        dst = Collection("tm")
+        build_corpus(src, dst, "topic_modeling")
+        docs = dst.find().sort("source_id", 1).to_list()
+        assert "election" in docs[0]["tokens"]
+        assert "the" not in docs[0]["tokens"]
+
+    def test_unknown_pipeline_raises(self):
+        with pytest.raises(ValueError):
+            build_corpus(Collection("a"), Collection("b"), "bogus")
+
+    def test_source_ids_preserved(self):
+        src = self._source()
+        dst = Collection("ed")
+        build_corpus(src, dst, "event_detection")
+        src_ids = {d["_id"] for d in src.find()}
+        linked = {d["source_id"] for d in dst.find()}
+        assert src_ids == linked

@@ -1,0 +1,68 @@
+"""Property-based tests (hypothesis) for the text substrate."""
+
+from hypothesis import given, strategies as st
+
+from repro.text import (
+    Lemmatizer,
+    is_punctuation,
+    preprocess_for_event_detection,
+    preprocess_for_topic_modeling,
+    remove_stopwords,
+    tokenize,
+    words,
+)
+
+text_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N", "P", "Z")),
+    max_size=120,
+)
+
+
+@given(text_strategy)
+def test_tokenize_never_returns_empty_tokens(text):
+    for token in tokenize(text):
+        assert token
+        assert not token.isspace()
+
+
+@given(text_strategy)
+def test_words_returns_no_punctuation_or_sigils(text):
+    for token in words(text):
+        assert not is_punctuation(token)
+        assert not token.startswith(("@", "#"))
+        assert token == token.lower()
+
+
+@given(text_strategy)
+def test_event_detection_pipeline_is_words(text):
+    assert preprocess_for_event_detection(text) == words(text)
+
+
+@given(st.lists(st.sampled_from(["the", "vote", "a", "election", "of"]), max_size=20))
+def test_remove_stopwords_is_idempotent(tokens):
+    once = remove_stopwords(tokens)
+    assert remove_stopwords(once) == once
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+def test_lemma_is_deterministic_and_nonempty(word):
+    lemmatizer = Lemmatizer()
+    lemma = lemmatizer.lemma(word)
+    assert lemma
+    assert lemma == lemmatizer.lemma(word)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=4, max_size=15))
+def test_lemma_never_longer_than_word_plus_one(word):
+    # Suffix rules only strip or swap short suffixes; the 'e'-restore step
+    # may add at most one character.
+    lemma = Lemmatizer().lemma(word)
+    assert len(lemma) <= len(word) + 1
+
+
+@given(text_strategy)
+def test_topic_modeling_pipeline_outputs_content_tokens(text):
+    for token in preprocess_for_topic_modeling(text):
+        assert token
+        # Concept tokens use underscores; everything else is alphabetic.
+        assert token.replace("_", "").isalpha()

@@ -1,0 +1,27 @@
+"""Unit tests for the stopword list."""
+
+from repro.text import ENGLISH_STOPWORDS, is_stopword, remove_stopwords
+
+
+class TestStopwords:
+    def test_common_stopwords_present(self):
+        for word in ["the", "and", "of", "is", "with"]:
+            assert is_stopword(word)
+
+    def test_content_words_absent(self):
+        for word in ["election", "tariff", "huawei", "impeachment"]:
+            assert not is_stopword(word)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_remove_preserves_order(self):
+        tokens = ["the", "vote", "of", "confidence", "failed"]
+        assert remove_stopwords(tokens) == ["vote", "confidence", "failed"]
+
+    def test_remove_empty(self):
+        assert remove_stopwords([]) == []
+
+    def test_list_is_lowercase(self):
+        assert all(w == w.lower() for w in ENGLISH_STOPWORDS)

@@ -1,0 +1,83 @@
+"""Unit tests for the rule-based tokenizer."""
+
+from repro.text import (
+    is_hashtag,
+    is_mention,
+    is_punctuation,
+    is_url,
+    sentences,
+    tokenize,
+    words,
+)
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("hello world") == ["hello", "world"]
+
+    def test_punctuation_split(self):
+        assert tokenize("hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_contractions_stay_whole(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_urls(self):
+        tokens = tokenize("see https://example.com/x?q=1 now")
+        assert tokens[1].startswith("https://")
+        assert is_url(tokens[1])
+
+    def test_mentions_and_hashtags(self):
+        tokens = tokenize("@alice likes #brexit")
+        assert tokens[0] == "@alice"
+        assert is_mention(tokens[0])
+        assert tokens[2] == "#brexit"
+        assert is_hashtag(tokens[2])
+
+    def test_numbers(self):
+        assert tokenize("25 tariffs at 3.5% on 1,000 goods")[0] == "25"
+        assert "3.5%" in tokenize("up 3.5% today")
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []
+
+
+class TestPredicates:
+    def test_is_punctuation(self):
+        assert is_punctuation(",")
+        assert is_punctuation("!")
+        assert not is_punctuation("a")
+        assert not is_punctuation("#tag")
+
+    def test_bare_sigils_are_not_mentions_or_hashtags(self):
+        assert not is_mention("@")
+        assert not is_hashtag("#")
+
+
+class TestWords:
+    def test_drops_punctuation_and_urls(self):
+        out = words("Hello, world! https://x.co")
+        assert out == ["hello", "world"]
+
+    def test_strips_sigils(self):
+        assert words("@alice #brexit") == ["alice", "brexit"]
+
+    def test_preserves_case_when_asked(self):
+        assert words("Hello World", lowercase=False) == ["Hello", "World"]
+
+    def test_keeps_numbers(self):
+        assert "25" in words("tariffs of 25 percent")
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        parts = sentences("One. Two! Three?")
+        assert parts == ["One.", "Two!", "Three?"]
+
+    def test_single_sentence(self):
+        assert sentences("Just one") == ["Just one"]
+
+    def test_empty(self):
+        assert sentences("") == []

@@ -1,0 +1,95 @@
+"""Unit and property tests for Vocabulary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import Vocabulary
+
+DOCS = [
+    ["a", "b", "a", "c"],
+    ["b", "c", "d"],
+    ["a", "e"],
+]
+
+
+class TestConstruction:
+    def test_from_documents(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        assert set(vocab.terms()) == {"a", "b", "c", "d", "e"}
+
+    def test_frequency_ordering(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        # 'a' has the highest total frequency (3), so index 0.
+        assert vocab.term(0) == "a"
+
+    def test_min_count_pruning(self):
+        vocab = Vocabulary.from_documents(DOCS, min_count=2)
+        assert "d" not in vocab
+        assert "a" in vocab
+
+    def test_min_df_pruning(self):
+        vocab = Vocabulary.from_documents(DOCS, min_df=2)
+        assert "e" not in vocab
+        assert "b" in vocab
+
+    def test_max_df_ratio_pruning(self):
+        vocab = Vocabulary.from_documents(DOCS, max_df_ratio=0.5)
+        assert "a" not in vocab  # in 2/3 of documents
+
+    def test_max_size(self):
+        vocab = Vocabulary.from_documents(DOCS, max_size=2)
+        assert len(vocab) == 2
+
+    def test_double_finalize_raises(self):
+        vocab = Vocabulary()
+        vocab.add_document(["x"])
+        vocab.finalize()
+        with pytest.raises(RuntimeError):
+            vocab.finalize()
+
+    def test_add_after_finalize_raises(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        with pytest.raises(RuntimeError):
+            vocab.add_document(["x"])
+
+
+class TestLookups:
+    def test_round_trip(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        for term in vocab.terms():
+            assert vocab.term(vocab.index(term)) == term
+
+    def test_get_index_default(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        assert vocab.get_index("zzz") == -1
+
+    def test_index_raises_for_unknown(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        with pytest.raises(KeyError):
+            vocab.index("zzz")
+
+    def test_encode_skips_oov(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        encoded = vocab.encode(["a", "zzz", "b"])
+        assert encoded == [vocab.index("a"), vocab.index("b")]
+
+    def test_statistics(self):
+        vocab = Vocabulary.from_documents(DOCS)
+        assert vocab.num_documents == 3
+        assert vocab.term_frequency("a") == 3
+        assert vocab.document_frequency("a") == 2
+        assert vocab.term_frequency("zzz") == 0
+
+
+@given(st.lists(st.lists(st.sampled_from("abcdef"), max_size=10), min_size=1, max_size=20))
+def test_indexes_are_dense_and_unique(docs):
+    vocab = Vocabulary.from_documents(docs)
+    indexes = [vocab.index(t) for t in vocab.terms()]
+    assert sorted(indexes) == list(range(len(vocab)))
+
+
+@given(st.lists(st.lists(st.sampled_from("abcd"), max_size=8), min_size=1, max_size=10))
+def test_document_frequency_never_exceeds_corpus_size(docs):
+    vocab = Vocabulary.from_documents(docs)
+    for term in vocab.terms():
+        assert 1 <= vocab.document_frequency(term) <= len(docs)

@@ -1,0 +1,58 @@
+"""Unit tests for topic coherence and diversity metrics."""
+
+import pytest
+
+from repro.topics import mean_coherence, topic_diversity, umass_coherence
+
+DOCS = [
+    ["vote", "election", "party"],
+    ["vote", "election"],
+    ["tariff", "trade"],
+    ["tariff", "trade", "china"],
+    ["vote", "tariff"],
+]
+
+
+class TestUMassCoherence:
+    def test_cooccurring_terms_more_coherent(self):
+        coherent = umass_coherence(["vote", "election"], DOCS)
+        incoherent = umass_coherence(["election", "china"], DOCS)
+        assert coherent > incoherent
+
+    def test_unseen_terms_are_skipped(self):
+        assert umass_coherence(["zzz", "yyy"], DOCS) == 0.0
+
+    def test_single_term_topic(self):
+        assert umass_coherence(["vote"], DOCS) == 0.0
+
+    def test_coherence_is_nonpositive_for_imperfect_cooccurrence(self):
+        # With epsilon=1, log((co+1)/df) <= 0 whenever co+1 <= df.
+        score = umass_coherence(["vote", "party"], DOCS)
+        assert score <= 0.0
+
+
+class TestMeanCoherence:
+    def test_averages_topics(self):
+        topics = [["vote", "election"], ["tariff", "trade"]]
+        mean = mean_coherence(topics, DOCS)
+        parts = [umass_coherence(t, DOCS) for t in topics]
+        assert mean == pytest.approx(sum(parts) / 2)
+
+    def test_empty_topics(self):
+        assert mean_coherence([], DOCS) == 0.0
+
+
+class TestTopicDiversity:
+    def test_fully_distinct(self):
+        assert topic_diversity([["a", "b"], ["c", "d"]]) == 1.0
+
+    def test_fully_redundant(self):
+        assert topic_diversity([["a", "b"], ["a", "b"]]) == 0.5
+
+    def test_empty(self):
+        assert topic_diversity([]) == 0.0
+
+    def test_top_n_truncation(self):
+        topics = [["a", "b", "x"], ["c", "d", "x"]]
+        assert topic_diversity(topics, top_n=2) == 1.0
+        assert topic_diversity(topics, top_n=3) == pytest.approx(5 / 6)

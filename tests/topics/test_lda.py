@@ -1,0 +1,49 @@
+"""Unit tests for the collapsed Gibbs LDA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.topics import LatentDirichletAllocation
+
+DOCS = (
+    [["vote", "election", "party", "vote"]] * 8
+    + [["tariff", "trade", "china", "tariff"]] * 8
+)
+
+
+class TestLDA:
+    def test_distributions_are_normalized(self):
+        res = LatentDirichletAllocation(n_topics=2, n_iterations=30, seed=0).fit(DOCS)
+        assert np.allclose(res.doc_topic.sum(axis=1), 1.0)
+        assert np.allclose(res.topic_term.sum(axis=1), 1.0)
+
+    def test_separates_two_clear_topics(self):
+        res = LatentDirichletAllocation(n_topics=2, n_iterations=60, seed=1).fit(DOCS)
+        first_block = {res.dominant_topic(d) for d in range(8)}
+        second_block = {res.dominant_topic(d) for d in range(8, 16)}
+        assert len(first_block) == 1
+        assert len(second_block) == 1
+        assert first_block != second_block
+
+    def test_topics_have_terms(self):
+        res = LatentDirichletAllocation(n_topics=2, n_iterations=20, seed=0).fit(DOCS)
+        assert len(res.topics) == 2
+        for topic in res.topics:
+            assert topic.terms
+
+    def test_log_likelihood_trend(self):
+        res = LatentDirichletAllocation(n_topics=2, n_iterations=40, seed=0).fit(DOCS)
+        hist = res.log_likelihood_history
+        # The sampler should, on balance, improve over its first state.
+        assert max(hist[5:]) >= hist[0]
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(n_topics=0)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(n_topics=2, alpha=0)
+
+    def test_deterministic_given_seed(self):
+        res1 = LatentDirichletAllocation(n_topics=2, n_iterations=10, seed=5).fit(DOCS)
+        res2 = LatentDirichletAllocation(n_topics=2, n_iterations=10, seed=5).fit(DOCS)
+        assert np.allclose(res1.doc_topic, res2.doc_topic)

@@ -1,0 +1,42 @@
+"""Unit tests for the LSA (truncated SVD) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.topics import LSA
+from repro.weighting import DocumentTermMatrix
+
+DOCS = (
+    [["vote", "election", "party"]] * 6
+    + [["tariff", "trade", "china"]] * 6
+)
+
+
+class TestLSA:
+    def test_shapes(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS)
+        res = LSA(n_topics=2).fit(dtm)
+        assert res.doc_embeddings.shape == (12, 2)
+        assert res.components.shape == (2, len(dtm.vocabulary))
+        assert len(res.topics) == 2
+
+    def test_singular_values_descending(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS)
+        res = LSA(n_topics=2).fit(dtm)
+        s = res.singular_values
+        assert all(a >= b for a, b in zip(s, s[1:]))
+
+    def test_doc_embeddings_separate_blocks(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS)
+        res = LSA(n_topics=2).fit(dtm)
+        first = res.doc_embeddings[:6].mean(axis=0)
+        second = res.doc_embeddings[6:].mean(axis=0)
+        assert np.linalg.norm(first - second) > 0.1
+
+    def test_tiny_matrix_raises(self):
+        with pytest.raises(ValueError):
+            LSA(n_topics=3).fit(np.array([[1.0]]))
+
+    def test_invalid_n_topics(self):
+        with pytest.raises(ValueError):
+            LSA(n_topics=0)

@@ -1,0 +1,130 @@
+"""Unit and property tests for NMF (Eqs 6–8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topics import NMF, extract_topics
+from repro.weighting import DocumentTermMatrix
+
+
+def block_matrix(n_blocks=3, docs_per_block=10, terms_per_block=5, seed=0):
+    """Perfectly separable block-diagonal document-term matrix."""
+    rng = np.random.default_rng(seed)
+    n, m = n_blocks * docs_per_block, n_blocks * terms_per_block
+    A = np.zeros((n, m))
+    for d in range(n):
+        b = d // docs_per_block
+        A[d, b * terms_per_block:(b + 1) * terms_per_block] = rng.random(terms_per_block) + 0.5
+    return A
+
+
+class TestFactorization:
+    def test_factors_non_negative(self):
+        res = NMF(n_topics=3, max_iter=50).fit(block_matrix())
+        assert (res.W >= 0).all()
+        assert (res.H >= 0).all()
+
+    def test_objective_monotonically_decreases(self):
+        res = NMF(n_topics=3, max_iter=100, tol=0).fit(block_matrix())
+        hist = res.objective_history
+        assert len(hist) > 5
+        for earlier, later in zip(hist, hist[1:]):
+            assert later <= earlier + 1e-6
+
+    def test_recovers_block_structure(self):
+        A = block_matrix()
+        res = NMF(n_topics=3, max_iter=300, tol=1e-8).fit(A)
+        # Every document's dominant topic must match its block, up to a
+        # permutation of topic labels.
+        assignments = [res.dominant_topic(d) for d in range(A.shape[0])]
+        for block in range(3):
+            members = assignments[block * 10:(block + 1) * 10]
+            assert len(set(members)) == 1
+        assert len(set(assignments)) == 3
+
+    def test_reconstruction_quality(self):
+        A = block_matrix()
+        res = NMF(n_topics=3, max_iter=300, tol=1e-9).fit(A)
+        relative_error = np.linalg.norm(A - res.W @ res.H) / np.linalg.norm(A)
+        assert relative_error < 0.35
+
+    def test_sparse_and_dense_agree(self):
+        from scipy import sparse
+
+        A = block_matrix()
+        dense_res = NMF(n_topics=3, max_iter=50, tol=0, seed=1).fit(A)
+        sparse_res = NMF(n_topics=3, max_iter=50, tol=0, seed=1).fit(
+            sparse.csr_matrix(A)
+        )
+        assert dense_res.objective_history[-1] == pytest.approx(
+            sparse_res.objective_history[-1], rel=1e-6
+        )
+
+    def test_negative_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            NMF(n_topics=2).fit(np.array([[1.0, -1.0]]))
+
+    def test_k_clamped_to_matrix_rank_bounds(self):
+        A = np.abs(np.random.default_rng(0).random((4, 3)))
+        res = NMF(n_topics=10, max_iter=10).fit(A)
+        assert res.W.shape == (4, 3)
+        assert res.H.shape == (3, 3)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            NMF(n_topics=0)
+        with pytest.raises(ValueError):
+            NMF(n_topics=1, max_iter=0)
+
+
+class TestTopicExtraction:
+    DOCS = (
+        [["vote", "election", "party"]] * 6
+        + [["tariff", "trade", "china"]] * 6
+        + [["derby", "horse", "race"]] * 6
+    )
+
+    def test_topics_carry_terms(self):
+        res = extract_topics(self.DOCS, n_topics=3, max_iter=200, seed=3)
+        assert len(res.topics) == 3
+        all_keywords = {k for t in res.topics for k in t.keywords[:3]}
+        assert {"vote", "tariff", "derby"} & all_keywords
+
+    def test_topics_are_separated(self):
+        res = extract_topics(self.DOCS, n_topics=3, max_iter=300, seed=3)
+        groups = []
+        for topic in res.topics:
+            top = set(topic.keywords[:3])
+            groups.append(top)
+        # No topic should mix terms from two different blocks.
+        blocks = [
+            {"vote", "election", "party"},
+            {"tariff", "trade", "china"},
+            {"derby", "horse", "race"},
+        ]
+        for group in groups:
+            overlaps = sum(1 for block in blocks if group & block)
+            assert overlaps == 1
+
+    def test_document_topics_ranked(self):
+        res = extract_topics(self.DOCS, n_topics=3, max_iter=100, seed=0)
+        pairs = res.document_topics(0)
+        memberships = [m for _t, m in pairs]
+        assert memberships == sorted(memberships, reverse=True)
+
+    def test_with_document_term_matrix(self):
+        dtm = DocumentTermMatrix.from_documents(self.DOCS)
+        res = NMF(n_topics=3, max_iter=100).fit(dtm)
+        assert all(isinstance(k, str) for t in res.topics for k in t.keywords)
+
+
+@given(st.integers(2, 5), st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_objective_never_increases_property(k, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.random((12, 8))
+    res = NMF(n_topics=k, max_iter=40, tol=0, seed=seed).fit(A)
+    hist = res.objective_history
+    assert all(b <= a + 1e-6 for a, b in zip(hist, hist[1:]))
+    assert (res.W >= 0).all() and (res.H >= 0).all()

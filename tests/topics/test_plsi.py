@@ -1,0 +1,57 @@
+"""Unit tests for the PLSI aspect model."""
+
+import numpy as np
+import pytest
+
+from repro.topics import PLSI
+
+DOCS = (
+    [["vote", "election", "party", "vote"]] * 8
+    + [["tariff", "trade", "china", "tariff"]] * 8
+)
+
+
+class TestPLSI:
+    def test_distributions_normalized(self):
+        res = PLSI(n_topics=2, n_iterations=30, seed=0).fit(DOCS)
+        assert res.topic_prior.sum() == pytest.approx(1.0)
+        assert np.allclose(res.doc_given_topic.sum(axis=1), 1.0)
+        assert np.allclose(res.term_given_topic.sum(axis=1), 1.0)
+
+    def test_log_likelihood_non_decreasing(self):
+        res = PLSI(n_topics=2, n_iterations=40, tol=0, seed=0).fit(DOCS)
+        hist = res.log_likelihood_history
+        assert len(hist) > 3
+        for earlier, later in zip(hist, hist[1:]):
+            assert later >= earlier - 1e-6  # EM monotonicity
+
+    def test_separates_two_topics(self):
+        res = PLSI(n_topics=2, n_iterations=60, seed=1).fit(DOCS)
+        first = {res.dominant_topic(d) for d in range(8)}
+        second = {res.dominant_topic(d) for d in range(8, 16)}
+        assert len(first) == 1 and len(second) == 1
+        assert first != second
+
+    def test_topics_carry_terms(self):
+        res = PLSI(n_topics=2, n_iterations=20, seed=0).fit(DOCS)
+        keywords = {k for t in res.topics for k in t.keywords[:2]}
+        assert {"vote", "tariff"} & keywords
+
+    def test_k_clamped(self):
+        res = PLSI(n_topics=50, n_iterations=5, seed=0).fit(DOCS[:3])
+        assert len(res.topics) <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PLSI(n_topics=0)
+        with pytest.raises(ValueError):
+            PLSI(n_topics=2, n_iterations=0)
+
+    def test_empty_vocabulary_raises(self):
+        with pytest.raises(ValueError):
+            PLSI(n_topics=2).fit([[]])
+
+    def test_deterministic(self):
+        a = PLSI(n_topics=2, n_iterations=10, seed=5).fit(DOCS)
+        b = PLSI(n_topics=2, n_iterations=10, seed=5).fit(DOCS)
+        assert np.allclose(a.term_given_topic, b.term_given_topic)

@@ -1,0 +1,78 @@
+"""Unit tests for DocumentTermMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.text import Vocabulary
+from repro.weighting import DocumentTermMatrix
+
+DOCS = [
+    ["a", "b", "a"],
+    ["b", "c"],
+    ["a", "c", "c", "d"],
+]
+
+
+class TestCountMatrix:
+    def test_shape_and_counts(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS, weighting="count")
+        assert dtm.shape == (3, 4)
+        row = dtm.row(0)
+        assert row[dtm.vocabulary.index("a")] == 2
+        assert row[dtm.vocabulary.index("b")] == 1
+
+    def test_oov_tokens_ignored_with_fixed_vocabulary(self):
+        vocab = Vocabulary.from_documents([["a", "b"]])
+        dtm = DocumentTermMatrix.from_documents_with_vocabulary(
+            [["a", "zzz", "b"]], vocab, weighting="count"
+        )
+        assert dtm.dense().sum() == 2
+
+
+class TestTfidfMatrix:
+    def test_ubiquitous_term_zeroed(self):
+        docs = [["a", "b"], ["a", "c"], ["a", "d"]]
+        dtm = DocumentTermMatrix.from_documents(docs, weighting="tfidf")
+        col = dtm.vocabulary.index("a")
+        assert np.allclose(dtm.dense()[:, col], 0.0)
+
+    def test_tfidf_n_rows_unit_norm(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS, weighting="tfidf_n")
+        norms = np.linalg.norm(dtm.dense(), axis=1)
+        for norm in norms:
+            assert norm == pytest.approx(1.0, abs=1e-9) or norm == 0.0
+
+    def test_matches_scalar_implementation(self):
+        from repro.weighting import corpus_tfidf
+
+        dtm = DocumentTermMatrix.from_documents(DOCS, weighting="tfidf_n")
+        sparse_vectors = corpus_tfidf(DOCS, normalize=True)
+        for i, vector in enumerate(sparse_vectors):
+            for term, weight in vector.items():
+                col = dtm.vocabulary.index(term)
+                assert dtm.row(i)[col] == pytest.approx(weight)
+
+
+class TestAPI:
+    def test_unknown_weighting_raises(self):
+        with pytest.raises(ValueError):
+            DocumentTermMatrix.from_documents(DOCS, weighting="bm25")
+
+    def test_vocabulary_size_mismatch_raises(self):
+        from scipy import sparse
+
+        vocab = Vocabulary.from_documents(DOCS)
+        bad = sparse.csr_matrix(np.zeros((2, len(vocab) + 1)))
+        with pytest.raises(ValueError):
+            DocumentTermMatrix(bad, vocab)
+
+    def test_term_weights_sorted(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS, weighting="count")
+        pairs = dtm.term_weights(0)
+        weights = [w for _t, w in pairs]
+        assert weights == sorted(weights, reverse=True)
+        assert dtm.term_weights(0, top=1)[0][0] == "a"
+
+    def test_min_df_prunes_vocabulary(self):
+        dtm = DocumentTermMatrix.from_documents(DOCS, min_df=2)
+        assert "d" not in dtm.vocabulary

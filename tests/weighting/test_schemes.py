@@ -1,0 +1,113 @@
+"""Unit and property tests for the Eq 1–5 weighting schemes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.weighting import (
+    corpus_tfidf,
+    document_frequencies,
+    inverse_document_frequency,
+    l2_norm,
+    normalized_tfidf_vector,
+    term_frequencies,
+    tfidf_vector,
+)
+
+DOCS = [
+    ["a", "b", "a"],
+    ["b", "c"],
+    ["a", "c", "c", "d"],
+]
+
+
+class TestTermFrequency:
+    def test_counts(self):
+        assert term_frequencies(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_empty_document(self):
+        assert term_frequencies([]) == {}
+
+
+class TestDocumentFrequency:
+    def test_counts_documents_not_occurrences(self):
+        df = document_frequencies(DOCS)
+        assert df == {"a": 2, "b": 2, "c": 2, "d": 1}
+
+
+class TestIDF:
+    def test_formula(self):
+        # Eq 2: log2(n / n_t)
+        assert inverse_document_frequency(8, 2) == pytest.approx(2.0)
+
+    def test_ubiquitous_term_has_zero_idf(self):
+        assert inverse_document_frequency(5, 5) == 0.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            inverse_document_frequency(0, 1)
+        with pytest.raises(ValueError):
+            inverse_document_frequency(5, 0)
+
+
+class TestTFIDF:
+    def test_weights(self):
+        df = document_frequencies(DOCS)
+        weights = tfidf_vector(DOCS[0], df, len(DOCS))
+        # a: tf=2, df=2 -> 2 * log2(3/2)
+        assert weights["a"] == pytest.approx(2 * math.log2(3 / 2))
+
+    def test_rare_term_outweighs_common_term(self):
+        df = document_frequencies(DOCS)
+        weights = tfidf_vector(DOCS[2], df, len(DOCS))
+        assert weights["d"] > weights["a"]
+
+    def test_unseen_term_treated_as_df_one(self):
+        df = document_frequencies(DOCS)
+        weights = tfidf_vector(["zzz"], df, len(DOCS))
+        assert weights["zzz"] == pytest.approx(math.log2(3))
+
+
+class TestNormalization:
+    def test_unit_norm(self):
+        df = document_frequencies(DOCS)
+        weights = normalized_tfidf_vector(DOCS[2], df, len(DOCS))
+        assert l2_norm(weights) == pytest.approx(1.0)
+
+    def test_zero_vector_stays_zero(self):
+        # Single-document corpus: every term's IDF is log2(1/1) = 0.
+        weights = normalized_tfidf_vector(["a"], {"a": 1}, 1)
+        assert weights == {"a": 0.0}
+
+    def test_corpus_tfidf_shapes(self):
+        vectors = corpus_tfidf(DOCS)
+        assert len(vectors) == 3
+        for tokens, vector in zip(DOCS, vectors):
+            assert set(vector) == set(tokens)
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=10),
+        min_size=2,
+        max_size=12,
+    )
+)
+def test_normalized_rows_always_unit_or_zero(docs):
+    vectors = corpus_tfidf(docs, normalize=True)
+    for vector in vectors:
+        norm = l2_norm(vector)
+        assert norm == pytest.approx(1.0, abs=1e-9) or norm == 0.0
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=8),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_tfidf_weights_are_non_negative(docs):
+    for vector in corpus_tfidf(docs, normalize=False):
+        assert all(w >= 0 for w in vector.values())
