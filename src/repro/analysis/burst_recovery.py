@@ -86,16 +86,19 @@ class RecoveryReport:
 
     @property
     def recall(self) -> float:
+        """Fraction of planted bursts recovered by some detected event."""
         total = len(self.recovered) + len(self.missed)
         return len(self.recovered) / total if total else 0.0
 
     @property
     def precision(self) -> float:
+        """Fraction of detected events that match a planted burst."""
         total = self.matched_events + self.spurious_events
         return self.matched_events / total if total else 0.0
 
     @property
     def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
         p, r = self.precision, self.recall
         return 2 * p * r / (p + r) if p + r else 0.0
 

@@ -75,6 +75,7 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """Handle the ``generate`` subcommand."""
     world = build_world(
         WorldConfig(
             n_articles=args.articles,
@@ -89,6 +90,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_topics(args: argparse.Namespace) -> int:
+    """Handle the ``topics`` subcommand."""
     world = _world_from_snapshot(args.data)
     pipeline = NewsDiffusionPipeline(_pipeline_config(args))
     nmf = pipeline.extract_news_topics(pipeline.preprocess_news_tm(world))
@@ -98,6 +100,7 @@ def cmd_topics(args: argparse.Namespace) -> int:
 
 
 def cmd_events(args: argparse.Namespace) -> int:
+    """Handle the ``events`` subcommand."""
     world = _world_from_snapshot(args.data)
     pipeline = NewsDiffusionPipeline(_pipeline_config(args))
     if args.medium == "news":
@@ -112,6 +115,7 @@ def cmd_events(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """Handle the ``run`` subcommand."""
     world = _world_from_snapshot(args.data)
     result = NewsDiffusionPipeline(_pipeline_config(args)).run(world)
     print(result.summary())
@@ -122,6 +126,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    """Handle the ``predict`` subcommand."""
     world = _world_from_snapshot(args.data)
     result = NewsDiffusionPipeline(_pipeline_config(args)).run(world)
     if args.variant not in result.datasets:
@@ -156,6 +161,7 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Audience-interest prediction pipeline (EDBT 2021 reproduction)",
@@ -196,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

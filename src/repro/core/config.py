@@ -43,7 +43,6 @@ class PipelineConfig:
 
     # Embeddings (§4.9: 300-d pretrained vectors).
     embedding_dim: int = 300
-    embedding_epochs: int = 2
     embedding_coverage: float = 0.9
 
     # Prediction (§5.6).
@@ -76,7 +75,6 @@ def small_config(seed: int = 42) -> PipelineConfig:
         n_twitter_events=30,
         nmf_max_iter=80,
         embedding_dim=64,
-        embedding_epochs=1,
         max_epochs=25,
         min_term_support=5,
         min_event_records=5,

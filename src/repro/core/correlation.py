@@ -51,9 +51,11 @@ class CorrelationResult:
 
     @property
     def n_pairs(self) -> int:
+        """Number of correlated <trending topic, Twitter event> pairs."""
         return len(self.pairs)
 
     def pairs_for_event(self, event: Event) -> List[CorrelatedPair]:
+        """All pairs whose Twitter event is *event*."""
         return [p for p in self.pairs if p.twitter_event is event]
 
 

@@ -54,9 +54,11 @@ class DeploymentReport:
     cycles: List[CycleReport] = field(default_factory=list)
 
     def cold_epochs(self) -> List[int]:
+        """Epochs trained in each from-scratch (cold-start) cycle."""
         return [c.n_epochs for c in self.cycles if c.trained and not c.warm_start]
 
     def warm_epochs(self) -> List[int]:
+        """Epochs trained in each checkpoint-resumed (warm-start) cycle."""
         return [c.n_epochs for c in self.cycles if c.trained and c.warm_start]
 
     def summary(self) -> str:

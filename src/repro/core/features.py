@@ -86,6 +86,7 @@ class FeatureCreationModule:
         events: Sequence[Event],
         tweets: Iterable[TweetRecord],
     ) -> List[EventTweet]:
+        """Per-event feature records for an explicit event list (§4.7)."""
         tweet_list = list(tweets)
         records: List[EventTweet] = []
         for event_id, event in enumerate(events):

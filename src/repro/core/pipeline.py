@@ -191,6 +191,7 @@ class NewsDiffusionPipeline:
         return embeddings.without(TWITTER_SLANG)
 
     def build_predictor(self) -> AudienceInterestPredictor:
+        """The §5.6 predictor configured from this pipeline's config."""
         return AudienceInterestPredictor(
             max_epochs=self.config.max_epochs,
             batch_size=self.config.batch_size,

@@ -8,6 +8,7 @@ the preprocessing modules.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..store import Database
 from .engagement import (
@@ -40,14 +41,16 @@ class World:
 
     @property
     def news(self):
+        """The news-article collection of the world's store."""
         return self.database["news"]
 
     @property
     def tweets(self):
+        """The tweet collection of the world's store."""
         return self.database["tweets"]
 
 
-def build_world(config: WorldConfig = None) -> World:
+def build_world(config: Optional[WorldConfig] = None) -> World:
     """Generate a complete world into a fresh database.
 
     This is the reproduction's stand-in for the paper's Data Collection

@@ -33,6 +33,7 @@ class User:
     day_profile: tuple = DEFAULT_DAY_PROFILE
 
     def affinity(self, topic: str) -> float:
+        """This user's interest in *topic* (0.0 when unknown)."""
         return self.topic_affinity.get(topic, 0.1)
 
 
@@ -107,9 +108,11 @@ class UserPopulation:
         return self.users[index]
 
     def influencers(self) -> List[User]:
+        """Users flagged as influencers."""
         return [u for u in self.users if u.is_influencer]
 
     def by_handle(self, handle: str) -> User:
+        """Look up a user by handle; raises KeyError when absent."""
         for user in self.users:
             if user.handle == handle:
                 return user
@@ -119,5 +122,6 @@ class UserPopulation:
         return len(self.users)
 
     def follower_percentiles(self, percentiles: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
+        """Follower-count percentiles across the population."""
         counts = np.array([u.followers for u in self.users], dtype=np.float64)
         return {p: float(np.percentile(counts, p)) for p in percentiles}

@@ -31,6 +31,7 @@ class Burst:
     intensity: float      # multiplier over the topic's base rate
 
     def active(self, day_offset: float) -> bool:
+        """True when *day_offset* falls inside the burst window."""
         return self.start_day <= day_offset < self.start_day + self.duration_days
 
 
@@ -265,10 +266,13 @@ class WorldConfig:
 
     @property
     def end(self) -> datetime:
+        """End of the simulated window (start + duration)."""
         return self.start + timedelta(days=self.duration_days)
 
     def news_topics(self) -> List[TopicSpec]:
+        """Topic specs that appear in the news stream."""
         return [t for t in self.topics if t.in_news]
 
     def twitter_topics(self) -> List[TopicSpec]:
+        """Topic specs that appear in the tweet stream."""
         return [t for t in self.topics if t.on_twitter]

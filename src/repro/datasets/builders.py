@@ -58,10 +58,12 @@ class Dataset:
 
     @property
     def n_samples(self) -> int:
+        """Number of rows (event-tweet records)."""
         return self.X.shape[0]
 
     @property
     def n_features(self) -> int:
+        """Number of feature columns."""
         return self.X.shape[1]
 
 

@@ -8,7 +8,7 @@ used by the prediction module and the Table 8–9 benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ def train_validation_split(
     n: int,
     validation_fraction: float = 0.2,
     seed: int = 0,
-    stratify: np.ndarray = None,
+    stratify: Optional[np.ndarray] = None,
 ) -> Split:
     """Random (optionally stratified) train/validation index split."""
     if n < 2:

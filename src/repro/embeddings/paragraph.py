@@ -187,11 +187,13 @@ class ParagraphVectors:
     # -- lookup / inference --------------------------------------------------------
 
     def document_vector(self, doc_id: int) -> np.ndarray:
+        """The learned vector of training document *doc_id*."""
         if self.D is None:
             raise RuntimeError("model not trained")
         return self.D[doc_id]
 
     def document_vectors(self) -> np.ndarray:
+        """All document vectors as an (n_docs, dim) matrix."""
         if self.D is None:
             raise RuntimeError("model not trained")
         return self.D.copy()

@@ -212,6 +212,7 @@ class PretrainedEmbeddings:
         return self._vectors.get(word)
 
     def words(self) -> List[str]:
+        """All in-vocabulary words."""
         return list(self._vectors.keys())
 
     def coverage_of(self, tokens: Sequence[str]) -> float:

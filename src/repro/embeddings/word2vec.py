@@ -81,6 +81,7 @@ class Word2Vec:
     # -- vocabulary ----------------------------------------------------------
 
     def build_vocab(self, corpus: Sequence[Sequence[str]]) -> None:
+        """Build the vocabulary and negative-sampling table from *corpus*."""
         counts: Counter = Counter()
         for sentence in corpus:
             counts.update(sentence)

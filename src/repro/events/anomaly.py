@@ -14,7 +14,7 @@ Kadane's algorithm.  The maximum value is the event's magnitude of impact.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -53,6 +53,7 @@ class Event:
 
     @property
     def duration_seconds(self) -> float:
+        """Event span from start to end, in seconds."""
         return (self.end - self.start).total_seconds()
 
     def overlaps(self, other: "Event") -> bool:

@@ -39,6 +39,7 @@ class Cascade:
 
     @property
     def depth(self) -> int:
+        """Longest hop distance from any seed."""
         return max(self.hops.values(), default=0)
 
 
@@ -72,6 +73,7 @@ class IndependentCascade:
 
     @property
     def edge_probability(self) -> float:
+        """Per-edge activation probability (base rate scaled by virality)."""
         return min(1.0, self.base_probability * (0.4 + 2.4 * self.virality))
 
     def spread(self, seeds: Sequence[str]) -> Cascade:

@@ -35,6 +35,7 @@ class SocialGraph:
     # -- construction ---------------------------------------------------------
 
     def add_node(self, node: str) -> None:
+        """Ensure *node* exists in the graph."""
         self._following.setdefault(node, set())
         self._followers.setdefault(node, set())
 
@@ -100,6 +101,7 @@ class SocialGraph:
     # -- accessors ---------------------------------------------------------------
 
     def nodes(self) -> List[str]:
+        """All node handles, in insertion order."""
         return list(self._following.keys())
 
     def __len__(self) -> int:
@@ -109,6 +111,7 @@ class SocialGraph:
         return node in self._following
 
     def num_edges(self) -> int:
+        """Total number of follow edges."""
         return sum(len(f) for f in self._following.values())
 
     def following_of(self, node: str) -> Set[str]:
@@ -120,9 +123,11 @@ class SocialGraph:
         return set(self._followers.get(node, ()))
 
     def in_degree(self, node: str) -> int:
+        """Number of followers of *node*."""
         return len(self._followers.get(node, ()))
 
     def out_degree(self, node: str) -> int:
+        """Number of accounts *node* follows."""
         return len(self._following.get(node, ()))
 
     def remove_node(self, node: str) -> None:
@@ -133,12 +138,14 @@ class SocialGraph:
             self._following[follower].discard(node)
 
     def copy(self) -> "SocialGraph":
+        """Independent deep copy of the graph."""
         clone = SocialGraph()
         clone._following = {n: set(f) for n, f in self._following.items()}
         clone._followers = {n: set(f) for n, f in self._followers.items()}
         return clone
 
     def edges(self) -> Iterator[tuple]:
+        """Iterate over (follower, followee) pairs."""
         for follower, followees in self._following.items():
             for followee in followees:
                 yield follower, followee

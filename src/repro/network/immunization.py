@@ -33,6 +33,7 @@ StrategyFn = Callable[[SocialGraph, int], List[str]]
 
 
 def random_strategy(graph: SocialGraph, k: int, seed: int = 0) -> List[str]:
+    """Pick *k* nodes uniformly at random (seeded)."""
     rng = np.random.default_rng(seed)
     nodes = graph.nodes()
     k = min(k, len(nodes))
@@ -40,14 +41,17 @@ def random_strategy(graph: SocialGraph, k: int, seed: int = 0) -> List[str]:
 
 
 def degree_strategy(graph: SocialGraph, k: int) -> List[str]:
+    """Pick the *k* highest-degree nodes."""
     return top_nodes(in_degree_centrality(graph), k)
 
 
 def pagerank_strategy(graph: SocialGraph, k: int) -> List[str]:
+    """Pick the *k* highest-PageRank nodes."""
     return top_nodes(pagerank(graph), k)
 
 
 def core_strategy(graph: SocialGraph, k: int) -> List[str]:
+    """Pick *k* nodes by descending k-core shell index."""
     return top_nodes({n: float(c) for n, c in k_core_decomposition(graph).items()}, k)
 
 

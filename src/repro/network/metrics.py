@@ -10,7 +10,7 @@ clusters).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -92,7 +92,7 @@ def k_core_decomposition(graph: SocialGraph) -> Dict[str, int]:
     return core
 
 
-def reachable_audience(graph: SocialGraph, node: str, max_hops: int = None) -> int:
+def reachable_audience(graph: SocialGraph, node: str, max_hops: Optional[int] = None) -> int:
     """Transitive follower reach of *node* via BFS over follower edges.
 
     Counts every account that could see a message through chains of

@@ -15,6 +15,7 @@ from .architectures import (
     paper_optimizer,
 )
 from .callbacks import EarlyStopping, History
+from .contracts import ContractError, contracts_enabled
 from .layers import Conv1D, Dense, Dropout, Flatten, Layer, MaxPool1D, Reshape
 from .losses import (
     BinaryCrossEntropy,
@@ -37,6 +38,8 @@ from .network import Sequential
 from .optimizers import SGD, Adadelta, Adagrad, Adam, get_optimizer
 
 __all__ = [
+    "ContractError",
+    "contracts_enabled",
     "Layer",
     "Dense",
     "Conv1D",

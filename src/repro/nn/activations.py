@@ -18,6 +18,7 @@ class Activation:
     name = "identity"
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise activation of the pre-activations *z*."""
         raise NotImplementedError
 
     def backward(self, grad: np.ndarray, output: np.ndarray) -> np.ndarray:

@@ -19,11 +19,13 @@ class History:
     metrics: Dict[str, List[float]] = field(default_factory=dict)
 
     def record(self, **values: float) -> None:
+        """Append one epoch's metric values."""
         self.epochs += 1
         for name, value in values.items():
             self.metrics.setdefault(name, []).append(float(value))
 
     def last(self, name: str) -> Optional[float]:
+        """Most recent value of metric *name*, or None."""
         series = self.metrics.get(name)
         return series[-1] if series else None
 
@@ -73,6 +75,7 @@ class EarlyStopping:
         return False
 
     def reset(self) -> None:
+        """Clear the tracked best value and patience counter."""
         self.best = None
         self.wait = 0
         self.stopped_epoch = None

@@ -1,0 +1,202 @@
+"""Runtime shape/dtype contracts for the NN stack.
+
+The static analyzer (``repro.tools.staticcheck``) guards conventions the
+AST can see; this module guards what it cannot — the actual arrays that
+flow through ``Layer.forward``/``backward`` and ``Sequential.fit``/
+``predict`` at run time.  Together they cover each other's blind spots.
+
+Contracts are **off by default** in production.  They switch on when
+
+* the environment variable ``REPRO_CONTRACTS`` is ``1`` (or any value
+  other than ``0``/``false``/empty), or
+* the code runs under pytest (detected via ``PYTEST_CURRENT_TEST``) and
+  ``REPRO_CONTRACTS`` is unset.
+
+``REPRO_CONTRACTS=0`` force-disables them everywhere, including tests;
+a disabled wrapper is a single dict lookup and one branch per call.
+
+Wiring: ``Layer.__init_subclass__`` (see ``layers.py``) calls
+:func:`instrument_layer` so every layer subclass — current and future —
+is contract-checked without per-class boilerplate; ``Sequential.fit`` /
+``predict`` use the :func:`check_fit` / :func:`check_predict`
+decorators directly.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+
+class ContractError(AssertionError, ValueError):
+    """A runtime shape/dtype contract was violated.
+
+    Subclasses both :class:`AssertionError` (it is a failed invariant)
+    and :class:`ValueError` (the offending argument is an invalid
+    value), so callers that guarded against either keep working when
+    contracts are enabled.
+    """
+
+
+def contracts_enabled() -> bool:
+    """Resolve the current on/off state from the environment."""
+    flag = os.environ.get("REPRO_CONTRACTS")
+    if flag is not None:
+        return flag.strip().lower() not in ("0", "false", "")
+    return "PYTEST_CURRENT_TEST" in os.environ
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ContractError` with *message* unless *condition*."""
+    if not condition:
+        raise ContractError(message)
+
+
+def _check_batched_array(value: Any, owner: str, role: str) -> np.ndarray:
+    """Common layer-boundary checks: ndarray, batch axis, numeric dtype."""
+    _require(
+        isinstance(value, np.ndarray),
+        f"{owner}: {role} must be an np.ndarray, got {type(value).__name__}",
+    )
+    _require(
+        value.ndim >= 2,
+        f"{owner}: {role} must have a batch axis plus at least one feature "
+        f"axis, got shape {value.shape}",
+    )
+    _require(
+        value.dtype.kind in "fiu",
+        f"{owner}: {role} must be numeric, got dtype {value.dtype}",
+    )
+    return value
+
+
+def wrap_forward(forward: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
+    """Contract-check a layer ``forward``: valid input, batch preserved.
+
+    The output shape is stashed on the layer so the paired ``backward``
+    can verify the incoming gradient against it.
+    """
+
+    @functools.wraps(forward)
+    def checked(self: Any, x: Any, training: bool = False) -> np.ndarray:
+        if not contracts_enabled():
+            return forward(self, x, training=training)
+        owner = type(self).__name__
+        _check_batched_array(x, owner, "forward input")
+        out = forward(self, x, training=training)
+        _require(
+            isinstance(out, np.ndarray),
+            f"{owner}: forward must return an np.ndarray, "
+            f"got {type(out).__name__}",
+        )
+        _require(
+            out.shape[0] == x.shape[0],
+            f"{owner}: forward changed the batch size "
+            f"({x.shape[0]} -> {out.shape[0]})",
+        )
+        self._contract_forward_shape = out.shape
+        return out
+
+    checked.__contract_wrapped__ = True  # type: ignore[attr-defined]
+    return checked
+
+
+def wrap_backward(backward: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
+    """Contract-check a layer ``backward``: gradient matches last output."""
+
+    @functools.wraps(backward)
+    def checked(self: Any, grad: Any) -> np.ndarray:
+        if not contracts_enabled():
+            return backward(self, grad)
+        owner = type(self).__name__
+        _check_batched_array(grad, owner, "backward gradient")
+        expected: Tuple[int, ...] = getattr(self, "_contract_forward_shape", ())
+        if expected:
+            _require(
+                grad.shape == expected,
+                f"{owner}: backward gradient shape {grad.shape} does not "
+                f"match the last forward output shape {expected}",
+            )
+        return backward(self, grad)
+
+    checked.__contract_wrapped__ = True  # type: ignore[attr-defined]
+    return checked
+
+
+def instrument_layer(cls: type) -> type:
+    """Wrap the ``forward``/``backward`` a class defines *itself*.
+
+    Called from ``Layer.__init_subclass__``; inherited methods are left
+    alone (the defining class already wrapped them), and double-wrapping
+    is prevented by the ``__contract_wrapped__`` marker.
+    """
+    for name, wrapper in (("forward", wrap_forward), ("backward", wrap_backward)):
+        method = cls.__dict__.get(name)
+        if method is not None and not getattr(method, "__contract_wrapped__", False):
+            setattr(cls, name, wrapper(method))
+    return cls
+
+
+def check_fit(fit: Callable[..., Any]) -> Callable[..., Any]:
+    """Contract-check ``Sequential.fit``: aligned, non-empty X/Y arrays."""
+
+    @functools.wraps(fit)
+    def checked(self: Any, X: Any, Y: Any, *args: Any, **kwargs: Any) -> Any:
+        if not contracts_enabled():
+            return fit(self, X, Y, *args, **kwargs)
+        X = np.asarray(X)
+        Y = np.asarray(Y)
+        _require(
+            X.ndim >= 2,
+            f"fit: X must be (batch, features...), got shape {X.shape}",
+        )
+        _require(Y.ndim in (1, 2), f"fit: Y must be 1-D or 2-D, got shape {Y.shape}")
+        _require(
+            len(X) == len(Y),
+            f"fit: X and Y lengths differ ({len(X)} vs {len(Y)})",
+        )
+        _require(len(X) > 0, "fit: cannot fit on an empty dataset")
+        _require(
+            X.dtype.kind in "fiu",
+            f"fit: X must be numeric, got dtype {X.dtype}",
+        )
+        batch_size = kwargs.get("batch_size", 32)
+        _require(batch_size >= 1, f"fit: batch_size must be >= 1, got {batch_size}")
+        return fit(self, X, Y, *args, **kwargs)
+
+    return checked
+
+
+def check_predict(predict: Callable[..., Any]) -> Callable[..., Any]:
+    """Contract-check ``Sequential.predict``: batched numeric input.
+
+    Once the model is built, the per-sample shape must also match the
+    shape the network was built with.
+    """
+
+    @functools.wraps(predict)
+    def checked(self: Any, X: Any, *args: Any, **kwargs: Any) -> Any:
+        if not contracts_enabled():
+            return predict(self, X, *args, **kwargs)
+        X = np.asarray(X)
+        _require(
+            X.ndim >= 2,
+            f"predict: X must be (batch, features...), got shape {X.shape}",
+        )
+        _require(
+            X.dtype.kind in "fiu",
+            f"predict: X must be numeric, got dtype {X.dtype}",
+        )
+        built_shape = getattr(self, "_input_shape", None)
+        if built_shape is not None:
+            _require(
+                tuple(X.shape[1:]) == tuple(built_shape),
+                f"predict: per-sample shape {tuple(X.shape[1:])} does not "
+                f"match the built input shape {tuple(built_shape)}",
+            )
+        return predict(self, X, *args, **kwargs)
+
+    return checked

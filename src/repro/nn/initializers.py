@@ -24,8 +24,12 @@ def he_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     return rng.uniform(-limit, limit, size=shape)
 
 
-def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
-    """All-zero initializer (biases)."""
+def zeros(shape, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initializer (biases).
+
+    ``rng`` is unused but required so every initializer shares the
+    ``(shape, rng)`` signature the determinism rule enforces.
+    """
     return np.zeros(shape)
 
 

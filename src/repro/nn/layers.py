@@ -14,15 +14,26 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from . import contracts
 from .activations import Activation, Softmax, get_activation
 from .initializers import get_initializer
 
 
 class Layer:
-    """Base layer."""
+    """Base layer.
+
+    Every subclass is automatically instrumented with the runtime
+    shape/dtype contracts of :mod:`repro.nn.contracts` (active under
+    pytest, toggleable via ``REPRO_CONTRACTS``).
+    """
 
     def __init__(self) -> None:
         self.built = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Contract-wrap the ``forward``/``backward`` the subclass defines."""
+        super().__init_subclass__(**kwargs)
+        contracts.instrument_layer(cls)
 
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         """Allocate parameters given the per-sample *input_shape*."""
@@ -33,6 +44,7 @@ class Layer:
         return input_shape
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Batched forward pass; *training* toggles train-time behaviour."""
         raise NotImplementedError
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -44,6 +56,7 @@ class Layer:
 
     @property
     def num_parameters(self) -> int:
+        """Total number of trainable scalars in this layer."""
         return sum(p.size for _n, p, _g in self.parameters())
 
 

@@ -18,9 +18,11 @@ class Loss:
     name = "loss"
 
     def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        """Scalar loss of *predicted* against *target*."""
         raise NotImplementedError
 
     def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """dLoss/dPredicted for the backward pass."""
         raise NotImplementedError
 
 

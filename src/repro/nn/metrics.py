@@ -11,7 +11,7 @@ breakdowns in the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ def accuracy(y_true, y_pred) -> float:
     return float(np.mean(t == p))
 
 
-def confusion_matrix(y_true, y_pred, n_classes: int = None) -> np.ndarray:
+def confusion_matrix(y_true, y_pred, n_classes: Optional[int] = None) -> np.ndarray:
     """Counts[i, j] = samples of true class i predicted as class j."""
     t = _as_labels(y_true)
     p = _as_labels(y_pred)
@@ -47,7 +47,7 @@ def confusion_matrix(y_true, y_pred, n_classes: int = None) -> np.ndarray:
     return matrix
 
 
-def average_accuracy(y_true, y_pred, n_classes: int = None) -> float:
+def average_accuracy(y_true, y_pred, n_classes: Optional[int] = None) -> float:
     """Eq 17: A = (1/k) * sum_i (TP_i + TN_i) / (TP_i + FN_i + FP_i + TN_i).
 
     For each class i treated one-vs-rest, the per-class binary accuracy is
@@ -83,7 +83,7 @@ class ClassReport:
     support: int
 
 
-def classification_report(y_true, y_pred, n_classes: int = None) -> Dict[int, ClassReport]:
+def classification_report(y_true, y_pred, n_classes: Optional[int] = None) -> Dict[int, ClassReport]:
     """Per-class precision/recall/F1 (zero-division maps to 0.0)."""
     matrix = confusion_matrix(y_true, y_pred, n_classes)
     report: Dict[int, ClassReport] = {}
@@ -107,7 +107,7 @@ def classification_report(y_true, y_pred, n_classes: int = None) -> Dict[int, Cl
     return report
 
 
-def macro_f1(y_true, y_pred, n_classes: int = None) -> float:
+def macro_f1(y_true, y_pred, n_classes: Optional[int] = None) -> float:
     """Unweighted mean of per-class F1 scores."""
     report = classification_report(y_true, y_pred, n_classes)
     if not report:

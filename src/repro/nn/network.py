@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .callbacks import EarlyStopping, History
+from .contracts import check_fit, check_predict
 from .layers import Layer
 from .losses import Loss, get_loss
 from .metrics import accuracy
@@ -36,6 +37,7 @@ class Sequential:
         self._input_shape: Optional[Tuple[int, ...]] = None
 
     def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
         self.layers.append(layer)
         return self
 
@@ -62,6 +64,7 @@ class Sequential:
 
     # -- forward / backward ------------------------------------------------------
 
+    @check_predict
     def predict(self, X: np.ndarray, batch_size: int = 1024) -> np.ndarray:
         """Forward pass in inference mode (dropout disabled)."""
         X = np.asarray(X, dtype=np.float64)
@@ -102,6 +105,7 @@ class Sequential:
 
     # -- fit ----------------------------------------------------------------------
 
+    @check_fit
     def fit(
         self,
         X: np.ndarray,

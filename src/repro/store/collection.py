@@ -37,6 +37,7 @@ class Cursor:
         self._consumed = False
 
     def sort(self, field_or_spec, direction: int = 1) -> "Cursor":
+        """Sort by a field name or a [(field, direction), ...] spec."""
         if isinstance(field_or_spec, str):
             self._sort_spec = [(field_or_spec, direction)]
         else:
@@ -44,12 +45,14 @@ class Cursor:
         return self
 
     def skip(self, n: int) -> "Cursor":
+        """Skip the first *n* documents."""
         if n < 0:
             raise QueryError("skip must be non-negative")
         self._skip = n
         return self
 
     def limit(self, n: int) -> "Cursor":
+        """Yield at most *n* documents."""
         if n < 0:
             raise QueryError("limit must be non-negative")
         self._limit = n
@@ -72,9 +75,11 @@ class Cursor:
         return iter(self._materialize())
 
     def to_list(self) -> List[Dict[str, Any]]:
+        """Materialize the cursor into a list."""
         return list(self)
 
     def count(self) -> int:
+        """Number of documents the cursor yields."""
         return len(self._materialize())
 
 
@@ -106,6 +111,7 @@ class Collection:
         return f"Collection({self.name!r}, {len(self)} docs)"
 
     def count_documents(self, query: Optional[Dict[str, Any]] = None) -> int:
+        """Count documents matching *query* (all when None)."""
         if not query:
             return len(self._docs)
         return sum(1 for _ in self._iter_matching(query))
@@ -138,6 +144,7 @@ class Collection:
         return [self.insert_one(doc) for doc in documents]
 
     def replace_one(self, query: Dict[str, Any], replacement: Dict[str, Any]) -> int:
+        """Replace the first match wholesale; returns 1 if replaced, else 0."""
         for doc in self._iter_matching(query):
             doc_id = doc["_id"]
             new_doc = copy.deepcopy(replacement)
@@ -171,12 +178,14 @@ class Collection:
         return count
 
     def delete_one(self, query: Dict[str, Any]) -> int:
+        """Delete the first match; returns the number deleted (0 or 1)."""
         for doc in self._iter_matching(query):
             self._remove(doc["_id"])
             return 1
         return 0
 
     def delete_many(self, query: Dict[str, Any]) -> int:
+        """Delete every match; returns the number deleted."""
         ids = [doc["_id"] for doc in self._iter_matching(query)]
         for doc_id in ids:
             self._remove(doc_id)
@@ -221,6 +230,7 @@ class Collection:
         query: Optional[Dict[str, Any]] = None,
         projection: Optional[Dict[str, int]] = None,
     ) -> Optional[Dict[str, Any]]:
+        """First matching document, or None."""
         for doc in self.find(query, projection).limit(1):
             return doc
         return None
@@ -248,9 +258,11 @@ class Collection:
         return field
 
     def drop_index(self, field: str) -> None:
+        """Remove the index on *field* if present."""
         self._indexes.pop(field, None)
 
     def list_indexes(self) -> List[str]:
+        """Names of the indexed fields."""
         return list(self._indexes.keys())
 
     # -- aggregation -------------------------------------------------------

@@ -48,14 +48,17 @@ class Database:
         return self._collections[name]
 
     def list_collections(self) -> List[str]:
+        """Sorted names of the existing collections."""
         return sorted(self._collections.keys())
 
     def drop_collection(self, name: str) -> None:
+        """Delete a collection and its documents if it exists."""
         if name not in self._collections:
             raise CollectionNotFound(name)
         del self._collections[name]
 
     def drop_all(self) -> None:
+        """Delete every collection."""
         self._collections.clear()
 
     # -- snapshots -----------------------------------------------------------

@@ -46,12 +46,14 @@ class HashIndex:
         return [_hashable(value)]
 
     def add(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        """Index *document* under *doc_id*."""
         keys = self._keys_for(document)
         self._keys_by_doc[doc_id] = keys
         for key in keys:
             self._buckets[key].add(doc_id)
 
     def remove(self, doc_id: Any) -> None:
+        """Drop *doc_id* from every bucket it appears in."""
         for key in self._keys_by_doc.pop(doc_id, []):
             bucket = self._buckets.get(key)
             if bucket is not None:
@@ -75,9 +77,11 @@ class HashIndex:
         return out
 
     def distinct_keys(self) -> List[Any]:
+        """All distinct indexed key values."""
         return list(self._buckets.keys())
 
     def rebuild(self, documents: Dict[Any, Dict[str, Any]]) -> None:
+        """Re-index from scratch from a {doc_id: document} mapping."""
         self._buckets.clear()
         self._keys_by_doc.clear()
         for doc_id, document in documents.items():

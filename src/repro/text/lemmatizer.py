@@ -9,7 +9,7 @@ family of algorithm SpaCy's lookup lemmatizer uses for English.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 # Irregular forms that suffix rules would mangle.
 IRREGULAR_LEMMAS: Dict[str, str] = {
@@ -134,7 +134,7 @@ class Lemmatizer:
     'go'
     """
 
-    def __init__(self, extra_exceptions: Dict[str, str] = None) -> None:
+    def __init__(self, extra_exceptions: Optional[Dict[str, str]] = None) -> None:
         self._exceptions = dict(IRREGULAR_LEMMAS)
         if extra_exceptions:
             self._exceptions.update(extra_exceptions)

@@ -103,6 +103,7 @@ class Vocabulary:
         return self._term_to_index[term]
 
     def get_index(self, term: str, default: int = -1) -> int:
+        """Index of *term*, or *default* when out of vocabulary."""
         return self._term_to_index.get(term, default)
 
     def term(self, index: int) -> str:
@@ -124,6 +125,7 @@ class Vocabulary:
 
     @property
     def num_documents(self) -> int:
+        """Number of documents the vocabulary was built from."""
         return self._num_docs
 
     def term_frequency(self, term: str) -> int:

@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the reproduction.
+
+Currently a single subpackage: :mod:`repro.tools.staticcheck`, the
+project-aware static analyzer that gates every PR (see
+``docs/static_analysis.md``).
+"""

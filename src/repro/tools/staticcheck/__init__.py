@@ -1,0 +1,30 @@
+"""Project-aware static analysis for the reproduction codebase.
+
+Public surface::
+
+    from repro.tools.staticcheck import analyze_paths, Analyzer, RULES
+
+    violations = analyze_paths(["src/repro"])   # -> List[Violation]
+
+or from the shell::
+
+    python -m repro.tools.staticcheck src
+
+Rules, suppression syntax (``# staticcheck: disable=<rule>``), and the
+CI wiring are documented in ``docs/static_analysis.md``.
+"""
+
+from . import rules  # noqa: F401  (import registers the built-in rules)
+from .cli import main
+from .core import RULES, Analyzer, Rule, SourceFile, Violation, analyze_paths, register
+
+__all__ = [
+    "Analyzer",
+    "RULES",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "analyze_paths",
+    "main",
+    "register",
+]

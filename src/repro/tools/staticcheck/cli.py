@@ -1,0 +1,81 @@
+"""Command-line front end: ``python -m repro.tools.staticcheck [paths]``.
+
+Exit status is 0 when the tree is clean, 1 when violations were found,
+and 2 on usage errors — so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401  (import registers the rules)
+from .core import RULES, Analyzer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and --help generation)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.staticcheck",
+        description="Project-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        default="",
+        metavar="RULE[,RULE...]",
+        help="comma-separated rule IDs to skip for this run",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, rule_cls in sorted(RULES.items()):
+            print(f"{rule_id}: {rule_cls.description}")
+        return 0
+
+    disabled: List[str] = [
+        part.strip() for part in options.disable.split(",") if part.strip()
+    ]
+    try:
+        analyzer = Analyzer(disabled=disabled)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        violations = analyzer.run(options.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if options.format == "json":
+        print(json.dumps([violation.as_dict() for violation in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.format())
+        if violations:
+            print(f"{len(violations)} violation(s) found", file=sys.stderr)
+    return 1 if violations else 0

@@ -1,0 +1,218 @@
+"""Core of the project-aware static analyzer.
+
+The model is deliberately small:
+
+* a :class:`SourceFile` is a parsed ``.py`` file plus its per-line
+  suppression sets (``# staticcheck: disable=<rule>[,<rule>...]``),
+* a :class:`Rule` inspects one file at a time via :meth:`Rule.check` and
+  may emit project-wide findings from :meth:`Rule.finalize` once every
+  file has been seen (used by cross-file rules such as ``config-drift``),
+* an :class:`Analyzer` walks the requested paths, applies every
+  registered rule, filters suppressed findings, and returns sorted
+  :class:`Violation` records.
+
+Rules register themselves through :func:`register`; the registry is what
+the CLI's ``--list-rules`` and ``--disable`` options operate on.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+_SUPPRESS_RE = re.compile(r"#\s*staticcheck:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule ID anchored to a file, line, and column."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the canonical ``path:line:col: rule: message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """A parsed Python source file with suppression metadata."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self) -> Dict[int, Set[str]]:
+        """Map line number -> rule names suppressed on that line.
+
+        A trailing comment suppresses its own line; a comment that is the
+        whole line suppresses the next line as well, so either style works::
+
+            x = risky()  # staticcheck: disable=determinism
+            # staticcheck: disable=determinism
+            x = risky()
+        """
+        suppressed: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            suppressed.setdefault(lineno, set()).update(rules)
+            if line.lstrip().startswith("#"):
+                suppressed.setdefault(lineno + 1, set()).update(rules)
+        return suppressed
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when *rule* (or ``all``) is disabled on *line*."""
+        active = self.suppressions.get(line, ())
+        return rule in active or "all" in active
+
+
+@dataclass
+class Project:
+    """Everything the analyzer saw, handed to cross-file finalizers."""
+
+    files: List[SourceFile] = field(default_factory=list)
+
+
+class Rule:
+    """Base class for one analysis rule.
+
+    Subclasses set :attr:`id` / :attr:`description`, implement
+    :meth:`check` for per-file findings, and may override
+    :meth:`finalize` for findings that need the whole project.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Yield violations found in a single file."""
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        """Yield cross-file violations once every file has been checked."""
+        return iter(())
+
+    def violation(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at *node* in *source*."""
+        return Violation(
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_cls* to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in RULES:
+        raise ValueError(f"duplicate rule id: {rule_cls.id}")
+    RULES[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+class Analyzer:
+    """Runs a set of rules over a set of paths."""
+
+    def __init__(self, disabled: Optional[Iterable[str]] = None) -> None:
+        disabled_set = set(disabled or ())
+        unknown = disabled_set - RULES.keys()
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        self.rules: List[Rule] = [
+            cls() for rule_id, cls in sorted(RULES.items())
+            if rule_id not in disabled_set
+        ]
+        self.parse_errors: List[Violation] = []
+
+    def run(self, paths: Sequence[str]) -> List[Violation]:
+        """Analyze *paths* and return sorted, unsuppressed violations."""
+        project = Project()
+        violations: List[Violation] = []
+        for file_path in iter_python_files(paths):
+            text = file_path.read_text(encoding="utf-8")
+            try:
+                source = SourceFile(str(file_path), text)
+            except SyntaxError as exc:
+                self.parse_errors.append(
+                    Violation(
+                        path=str(file_path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule="parse-error",
+                        message=f"cannot parse file: {exc.msg}",
+                    )
+                )
+                continue
+            project.files.append(source)
+            for rule in self.rules:
+                violations.extend(rule.check(source))
+        for rule in self.rules:
+            violations.extend(rule.finalize(project))
+
+        by_path = {source.path: source for source in project.files}
+        kept = [
+            violation
+            for violation in violations
+            if violation.path not in by_path
+            or not by_path[violation.path].is_suppressed(violation.line, violation.rule)
+        ]
+        kept.extend(self.parse_errors)
+        return sorted(set(kept))
+
+
+def analyze_paths(
+    paths: Sequence[str], disabled: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Convenience wrapper: analyze *paths* with all registered rules."""
+    from . import rules as _rules  # noqa: F401  (ensure registration)
+
+    return Analyzer(disabled=disabled).run(paths)

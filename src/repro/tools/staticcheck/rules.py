@@ -1,0 +1,571 @@
+"""The project-specific rules enforced by ``repro.tools.staticcheck``.
+
+Five rules ship with the analyzer (see ``docs/static_analysis.md``):
+
+``determinism``
+    Algorithm code must draw randomness from an injected, explicitly
+    seeded ``np.random.Generator`` and must not read the wall clock with
+    ``time.time()``; the legacy global NumPy RNG and the stdlib
+    ``random`` module are banned outright, and even seeded generators
+    may not be constructed at import time.
+``mutable-default``
+    No mutable default arguments, and no bare ``None`` default on a
+    parameter annotated as ``np.ndarray`` / ``np.random.Generator``
+    (use ``Optional[...]`` or make the argument required).
+``broad-except``
+    No bare ``except:`` and no ``except Exception:`` that swallows the
+    error without re-raising.
+``config-drift``
+    Every declared ``PipelineConfig`` field must be read somewhere in
+    the scanned tree, and every attribute access on a value known to be
+    a ``PipelineConfig`` must resolve to a declared field.
+``docstring``
+    Public modules, classes, top-level functions, and methods need
+    docstrings; a method is exempt when a same-named documented method
+    exists anywhere in the project (the override-inherits-docs
+    convention).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import Project, Rule, SourceFile, Violation, register
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@register
+class DeterminismRule(Rule):
+    """Seed-reproducibility: injected generators only, no wall-clock."""
+
+    id = "determinism"
+    description = (
+        "randomness must come from an explicitly seeded np.random.Generator; "
+        "no legacy np.random.* globals, stdlib random, time.time(), or "
+        "import-time RNG construction"
+    )
+
+    _GENERATOR_API = {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Scan one file for nondeterministic RNG/clock usage."""
+        random_aliases: Set[str] = set()
+        time_aliases: Set[str] = set()
+        violations: List[Violation] = []
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        violations.append(
+                            self.violation(
+                                source,
+                                node,
+                                "stdlib random uses hidden global state; "
+                                "inject an np.random.Generator instead",
+                            )
+                        )
+                        random_aliases.add(alias.asname or alias.name)
+                    elif alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    violations.append(
+                        self.violation(
+                            source,
+                            node,
+                            "stdlib random uses hidden global state; "
+                            "inject an np.random.Generator instead",
+                        )
+                    )
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            violations.append(
+                                self.violation(
+                                    source,
+                                    node,
+                                    "time.time() is wall-clock and "
+                                    "nondeterministic; use time.perf_counter "
+                                    "via the pipeline timer",
+                                )
+                            )
+
+        violations.extend(self._walk_calls(source, source.tree, 0, random_aliases, time_aliases))
+        return iter(violations)
+
+    def _walk_calls(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        depth: int,
+        random_aliases: Set[str],
+        time_aliases: Set[str],
+    ) -> List[Violation]:
+        """Recurse tracking function-nesting depth (0 == import time)."""
+        violations: List[Violation] = []
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth + 1 if isinstance(child, _FUNCTION_NODES) else depth
+            if isinstance(child, ast.Call):
+                found = self._check_call(source, child, depth, random_aliases, time_aliases)
+                if found is not None:
+                    violations.append(found)
+            violations.extend(
+                self._walk_calls(source, child, child_depth, random_aliases, time_aliases)
+            )
+        return violations
+
+    def _check_call(
+        self,
+        source: SourceFile,
+        call: ast.Call,
+        depth: int,
+        random_aliases: Set[str],
+        time_aliases: Set[str],
+    ) -> Optional[Violation]:
+        """One Call node: return a violation or None."""
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        for prefix in ("np.random.", "numpy.random."):
+            if dotted.startswith(prefix):
+                tail = dotted[len(prefix):]
+                if tail.split(".")[0] not in self._GENERATOR_API:
+                    return self.violation(
+                        source,
+                        call,
+                        f"legacy global NumPy RNG ({dotted}); use an injected "
+                        "np.random.Generator",
+                    )
+                if tail == "default_rng" and not call.args and not call.keywords:
+                    return self.violation(
+                        source,
+                        call,
+                        "np.random.default_rng() without an explicit seed is "
+                        "nondeterministic",
+                    )
+                if depth == 0:
+                    return self.violation(
+                        source,
+                        call,
+                        "RNG constructed at import time; build generators "
+                        "inside functions from an explicit seed",
+                    )
+                return None
+        root = dotted.split(".")[0]
+        if root in random_aliases and "." in dotted:
+            return self.violation(
+                source,
+                call,
+                f"stdlib random call ({dotted}); inject an "
+                "np.random.Generator instead",
+            )
+        if root in time_aliases and dotted == f"{root}.time":
+            return self.violation(
+                source,
+                call,
+                "time.time() is wall-clock and nondeterministic; use "
+                "time.perf_counter via the pipeline timer",
+            )
+        return None
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Shared-state default arguments."""
+
+    id = "mutable-default"
+    description = (
+        "no mutable default arguments; no bare None default on "
+        "np.ndarray / np.random.Generator parameters"
+    )
+
+    _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"}
+    _MUTABLE_NP = {"zeros", "ones", "empty", "full", "array", "arange"}
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Scan every function signature in the file."""
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            pos_defaults: List[Tuple[ast.arg, Optional[ast.expr]]] = list(
+                zip(positional[len(positional) - len(args.defaults):], args.defaults)
+            )
+            kw_defaults = [
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            ]
+            for arg, default in pos_defaults + kw_defaults:
+                found = self._check_default(source, arg, default)
+                if found is not None:
+                    violations.append(found)
+        return iter(violations)
+
+    def _check_default(
+        self, source: SourceFile, arg: ast.arg, default: ast.expr
+    ) -> Optional[Violation]:
+        """One (parameter, default) pair: return a violation or None."""
+        if isinstance(default, self._MUTABLE_LITERALS):
+            return self.violation(
+                source,
+                default,
+                f"mutable default for parameter {arg.arg!r}; default to None "
+                "and allocate inside the function",
+            )
+        if isinstance(default, ast.Call):
+            dotted = _dotted(default.func) or ""
+            tail = dotted.split(".")[-1]
+            if dotted in self._MUTABLE_CALLS or (
+                "." in dotted and tail in self._MUTABLE_NP
+            ):
+                return self.violation(
+                    source,
+                    default,
+                    f"mutable default for parameter {arg.arg!r} "
+                    f"(call to {dotted}); default to None and allocate "
+                    "inside the function",
+                )
+        if (
+            isinstance(default, ast.Constant)
+            and default.value is None
+            and arg.annotation is not None
+        ):
+            annotation = ast.unparse(arg.annotation)
+            if "Optional" in annotation or "None" in annotation:
+                return None
+            if "ndarray" in annotation or "Generator" in annotation:
+                return self.violation(
+                    source,
+                    default,
+                    f"parameter {arg.arg!r} is annotated {annotation} but "
+                    "defaults to None; use Optional[...] or make it required",
+                )
+        return None
+
+
+@register
+class BroadExceptRule(Rule):
+    """Silently swallowed errors."""
+
+    id = "broad-except"
+    description = "no bare except; no except Exception that does not re-raise"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Scan every except handler in the file."""
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                violations.append(
+                    self.violation(
+                        source, node, "bare except: catch a specific exception type"
+                    )
+                )
+                continue
+            if self._is_broad(node.type) and not self._reraises(node):
+                violations.append(
+                    self.violation(
+                        source,
+                        node,
+                        f"except {ast.unparse(node.type)} without re-raise "
+                        "swallows errors; catch a specific type or re-raise",
+                    )
+                )
+        return iter(violations)
+
+    def _is_broad(self, node: ast.expr) -> bool:
+        """True for Exception/BaseException, alone or inside a tuple."""
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        dotted = _dotted(node)
+        return dotted is not None and dotted.split(".")[-1] in self._BROAD
+
+    def _reraises(self, handler: ast.ExceptHandler) -> bool:
+        """True when the handler contains a bare ``raise``."""
+        return any(
+            isinstance(node, ast.Raise) and node.exc is None
+            for node in ast.walk(handler)
+        )
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One attribute read (or constructor kwarg) on a PipelineConfig."""
+
+    attr: str
+    path: str
+    line: int
+    col: int
+    is_read: bool
+
+
+@register
+class ConfigDriftRule(Rule):
+    """Declared config fields and actual usage must stay in sync."""
+
+    id = "config-drift"
+    description = (
+        "every PipelineConfig field must be read somewhere; every access on "
+        "a PipelineConfig value must resolve to a declared field"
+    )
+
+    _CONFIG_CLASS = "PipelineConfig"
+    _FACTORIES = {"PipelineConfig", "small_config"}
+    _ALLOWED_ATTRS = {"replace"}
+
+    def __init__(self) -> None:
+        self._fields: Dict[str, Tuple[str, int, int]] = {}
+        self._accesses: List[_Access] = []
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Collect field declarations and config accesses from one file."""
+        self._collect_fields(source)
+        receivers, self_receivers = self._collect_receivers(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if self._is_receiver(node.value, receivers, self_receivers):
+                    self._accesses.append(
+                        _Access(
+                            attr=node.attr,
+                            path=source.path,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            is_read=True,
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func) or ""
+                if dotted.split(".")[-1] == self._CONFIG_CLASS:
+                    for keyword in node.keywords:
+                        if keyword.arg is not None:
+                            self._accesses.append(
+                                _Access(
+                                    attr=keyword.arg,
+                                    path=source.path,
+                                    line=keyword.value.lineno,
+                                    col=keyword.value.col_offset + 1,
+                                    is_read=False,
+                                )
+                            )
+        return iter(())
+
+    def _collect_fields(self, source: SourceFile) -> None:
+        """Record field declarations from a PipelineConfig class body."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name == self._CONFIG_CLASS:
+                for statement in node.body:
+                    if (
+                        isinstance(statement, ast.AnnAssign)
+                        and isinstance(statement.target, ast.Name)
+                        and not statement.target.id.startswith("_")
+                        and "ClassVar" not in ast.unparse(statement.annotation)
+                    ):
+                        self._fields[statement.target.id] = (
+                            source.path,
+                            statement.lineno,
+                            statement.col_offset + 1,
+                        )
+
+    def _collect_receivers(self, source: SourceFile) -> Tuple[Set[str], Set[str]]:
+        """Names (and ``self.<name>`` attrs) known to hold a PipelineConfig."""
+        receivers: Set[str] = set()
+        self_receivers: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+                    if arg.annotation is not None and self._CONFIG_CLASS in ast.unparse(
+                        arg.annotation
+                    ):
+                        receivers.add(arg.arg)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not self._value_is_config(node.value, receivers):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    receivers.add(target.id)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self_receivers.add(target.attr)
+        return receivers, self_receivers
+
+    def _value_is_config(self, value: ast.expr, receivers: Set[str]) -> bool:
+        """True when the assigned value is (or contains) a PipelineConfig."""
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func) or ""
+                if dotted.split(".")[-1] in self._FACTORIES:
+                    return True
+            elif isinstance(node, ast.Name) and node.id in receivers:
+                return True
+        return False
+
+    def _is_receiver(
+        self, value: ast.expr, receivers: Set[str], self_receivers: Set[str]
+    ) -> bool:
+        """True when *value* is a known PipelineConfig expression."""
+        if isinstance(value, ast.Name):
+            return value.id in receivers
+        return (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and value.attr in self_receivers
+        )
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        """Cross-file reconciliation of declarations vs. accesses."""
+        if not self._fields:
+            return iter(())
+        violations: List[Violation] = []
+        for access in self._accesses:
+            if (
+                access.attr not in self._fields
+                and access.attr not in self._ALLOWED_ATTRS
+                and not access.attr.startswith("__")
+            ):
+                violations.append(
+                    Violation(
+                        path=access.path,
+                        line=access.line,
+                        col=access.col,
+                        rule=self.id,
+                        message=(
+                            f"access to undeclared PipelineConfig field "
+                            f"{access.attr!r}"
+                        ),
+                    )
+                )
+        read_fields = {access.attr for access in self._accesses if access.is_read}
+        if read_fields:
+            for name, (path, line, col) in sorted(self._fields.items()):
+                if name not in read_fields:
+                    violations.append(
+                        Violation(
+                            path=path,
+                            line=line,
+                            col=col,
+                            rule=self.id,
+                            message=(
+                                f"PipelineConfig field {name!r} is never read "
+                                "in the scanned tree; delete it or wire it up"
+                            ),
+                        )
+                    )
+        return iter(violations)
+
+
+@register
+class DocstringRule(Rule):
+    """Public-API documentation."""
+
+    id = "docstring"
+    description = (
+        "public modules, classes, functions and methods need docstrings "
+        "(methods inherit documentation from same-named documented methods)"
+    )
+
+    def __init__(self) -> None:
+        self._documented_methods: Set[str] = set()
+        self._pending: List[Tuple[str, Violation]] = []
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Per-file pass; method findings are deferred to finalize()."""
+        violations: List[Violation] = []
+        if ast.get_docstring(source.tree) is None:
+            violations.append(
+                Violation(
+                    path=source.path,
+                    line=1,
+                    col=1,
+                    rule=self.id,
+                    message="module is missing a docstring",
+                )
+            )
+        for node in source.tree.body:
+            violations.extend(self._check_top_level(source, node))
+        return iter(violations)
+
+    def _check_top_level(self, source: SourceFile, node: ast.stmt) -> Iterator[Violation]:
+        """Check one module-level class or function."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_") and ast.get_docstring(node) is None:
+                yield self.violation(
+                    source, node, f"public function {node.name!r} is missing a docstring"
+                )
+        elif isinstance(node, ast.ClassDef):
+            if not node.name.startswith("_") and ast.get_docstring(node) is None:
+                yield self.violation(
+                    source, node, f"public class {node.name!r} is missing a docstring"
+                )
+            if not node.name.startswith("_"):
+                self._collect_methods(source, node)
+
+    def _collect_methods(self, source: SourceFile, class_node: ast.ClassDef) -> None:
+        """Record documented method names and pending undocumented ones."""
+        for node in class_node.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is not None:
+                self._documented_methods.add(node.name)
+            else:
+                self._pending.append(
+                    (
+                        node.name,
+                        self.violation(
+                            source,
+                            node,
+                            f"public method {class_node.name}.{node.name!r} is "
+                            "missing a docstring (and no same-named documented "
+                            "method exists to inherit from)",
+                        ),
+                    )
+                )
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        """Emit method findings that no documented override can excuse."""
+        return iter(
+            violation
+            for name, violation in self._pending
+            if name not in self._documented_methods
+        )

@@ -49,6 +49,7 @@ class NMFResult:
 
     @property
     def n_iterations(self) -> int:
+        """Number of multiplicative-update iterations performed."""
         return len(self.objective_history)
 
     def document_topics(self, doc_index: int, top: Optional[int] = None) -> List[Tuple[int, float]]:

@@ -8,7 +8,7 @@ the representation NMF factorizes in §3.2.  Backed by scipy CSR so the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -63,6 +63,7 @@ class DocumentTermMatrix:
         vocabulary: Vocabulary,
         weighting: str = "tfidf_n",
     ) -> "DocumentTermMatrix":
+        """Build a count matrix over an existing, frozen vocabulary."""
         counts = cls._count_matrix(documents, vocabulary)
         if weighting == "count":
             return cls(counts, vocabulary)
@@ -122,14 +123,17 @@ class DocumentTermMatrix:
 
     @property
     def shape(self) -> tuple:
+        """(num_documents, num_terms)."""
         return self.matrix.shape
 
     @property
     def num_documents(self) -> int:
+        """Number of document rows."""
         return self.matrix.shape[0]
 
     @property
     def num_terms(self) -> int:
+        """Number of vocabulary term columns."""
         return self.matrix.shape[1]
 
     def dense(self) -> np.ndarray:

@@ -1,0 +1,129 @@
+"""Runtime shape/dtype contracts (repro.nn.contracts).
+
+Contracts auto-enable under pytest, so these tests exercise the real
+wiring: every layer subclass is instrumented via ``Layer.__init_subclass__``
+and ``Sequential.fit``/``predict`` carry the decorator checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import ContractError, Dense, Flatten, Sequential, contracts_enabled
+from repro.nn.contracts import instrument_layer
+from repro.nn.layers import Layer
+
+
+def make_model(units_in=4, classes=3):
+    model = Sequential([Dense(classes, activation="softmax")], seed=0)
+    model.compile()
+    model.build((units_in,))
+    return model
+
+
+class TestEnablement:
+    def test_enabled_under_pytest_by_default(self):
+        assert contracts_enabled()
+
+    def test_env_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTRACTS", "0")
+        assert not contracts_enabled()
+
+    def test_env_one_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTRACTS", "1")
+        assert contracts_enabled()
+
+    def test_layer_methods_are_instrumented(self):
+        assert getattr(Dense.forward, "__contract_wrapped__", False)
+        assert getattr(Dense.backward, "__contract_wrapped__", False)
+
+    def test_double_instrumentation_is_idempotent(self):
+        before = Dense.forward
+        instrument_layer(Dense)
+        assert Dense.forward is before
+
+
+class TestLayerContracts:
+    def test_misshaped_forward_input_raises(self):
+        layer = Dense(3)
+        layer.build((4,), np.random.default_rng(0))
+        with pytest.raises(ContractError, match="batch axis"):
+            layer.forward(np.zeros(4))  # 1-D: no batch axis
+
+    def test_non_array_forward_input_raises(self):
+        layer = Flatten()
+        with pytest.raises(ContractError, match="np.ndarray"):
+            layer.forward([[1.0, 2.0]])
+
+    def test_non_numeric_dtype_raises(self):
+        layer = Flatten()
+        with pytest.raises(ContractError, match="numeric"):
+            layer.forward(np.array([["a", "b"]]))
+
+    def test_backward_gradient_shape_checked_against_forward(self):
+        layer = Dense(3)
+        layer.build((4,), np.random.default_rng(0))
+        layer.forward(np.zeros((2, 4)))
+        with pytest.raises(ContractError, match="does not match"):
+            layer.backward(np.zeros((2, 5)))
+
+    def test_valid_shapes_pass(self):
+        layer = Dense(3)
+        layer.build((4,), np.random.default_rng(0))
+        out = layer.forward(np.zeros((2, 4)))
+        assert out.shape == (2, 3)
+        assert layer.backward(np.zeros((2, 3))).shape == (2, 4)
+
+    def test_disabled_contracts_skip_checks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTRACTS", "0")
+        out = Flatten().forward(np.zeros(5))  # 1-D would fail the contract
+        assert out.shape == (5, 1)
+
+    def test_future_layer_subclasses_are_instrumented(self):
+        class Doubler(Layer):
+            """Toy layer defined after import time."""
+
+            def forward(self, x, training=False):
+                """Double the input."""
+                return x * 2.0
+
+        with pytest.raises(ContractError):
+            Doubler().forward(np.zeros(3))
+        assert Doubler().forward(np.ones((2, 3))).shape == (2, 3)
+
+
+class TestNetworkContracts:
+    def test_predict_shape_mismatch_raises(self):
+        model = make_model(units_in=4)
+        with pytest.raises(ContractError, match="built input shape"):
+            model.predict(np.zeros((2, 5)))
+
+    def test_predict_flat_input_raises(self):
+        model = make_model()
+        with pytest.raises(ContractError, match="batch"):
+            model.predict(np.zeros(4))
+
+    def test_fit_length_mismatch_is_contract_and_value_error(self):
+        model = make_model()
+        with pytest.raises(ContractError):
+            model.fit(np.zeros((3, 4)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):  # ContractError subclasses ValueError
+            model.fit(np.zeros((3, 4)), np.zeros((2, 3)))
+
+    def test_fit_empty_dataset_raises(self):
+        model = make_model()
+        with pytest.raises(ContractError, match="empty"):
+            model.fit(np.zeros((0, 4)), np.zeros((0, 3)))
+
+    def test_fit_bad_batch_size_raises(self):
+        model = make_model()
+        with pytest.raises(ContractError, match="batch_size"):
+            model.fit(np.zeros((4, 4)), np.eye(4, 3), batch_size=0)
+
+    def test_training_still_works_end_to_end(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(24, 4))
+        Y = np.eye(3)[rng.integers(0, 3, size=24)]
+        model = make_model()
+        history = model.fit(X, Y, epochs=2, batch_size=8)
+        assert history.epochs == 2
+        assert model.predict(X).shape == (24, 3)

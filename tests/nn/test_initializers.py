@@ -43,7 +43,7 @@ class TestHe:
 
 class TestZeros:
     def test_all_zero(self):
-        assert not zeros((3, 4)).any()
+        assert not zeros((3, 4), np.random.default_rng(0)).any()
 
 
 class TestRegistry:

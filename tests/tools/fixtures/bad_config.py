@@ -1,0 +1,21 @@
+"""Fixture: config drift in both directions."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PipelineConfig:
+    """A miniature config with one dead field."""
+
+    used_field: int = 1
+    dead_field: int = 2  # line 11: declared but never read
+
+
+def consume(cfg: PipelineConfig) -> int:
+    """Read one real field and one that does not exist."""
+    return cfg.used_field + cfg.not_declared  # line 16: undeclared access
+
+
+def make() -> PipelineConfig:
+    """Constructor kwargs must also resolve to declared fields."""
+    return PipelineConfig(used_field=3, ghost_field=4)  # line 21: unknown kwarg

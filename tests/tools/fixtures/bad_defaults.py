@@ -1,0 +1,29 @@
+"""Fixture: mutable and None-array default arguments."""
+
+import numpy as np
+
+
+def accumulate(item: int, into: list = []) -> list:  # line 6: mutable literal
+    """Append to a shared default list."""
+    into.append(item)
+    return into
+
+
+def tabulate(counts: dict = dict()) -> dict:  # line 12: mutable call
+    """Return a shared default dict."""
+    return counts
+
+
+def initialize(shape, rng: np.random.Generator = None):  # line 17: None Generator
+    """Pretend to initialize with an optional generator."""
+    return np.zeros(shape)
+
+
+def window(x: np.ndarray = None):  # line 22: None ndarray
+    """Pretend to window an optional array."""
+    return x
+
+
+def fine(shape, rng: np.random.Generator, out=None, names=()) -> tuple:
+    """Clean signature: required rng, immutable defaults."""
+    return shape, rng, out, names

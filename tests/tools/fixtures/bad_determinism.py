@@ -1,0 +1,17 @@
+"""Fixture: every flavour of determinism violation, one per line."""
+
+import random  # line 3: stdlib random import
+
+import numpy as np
+import time
+
+GLOBAL_RNG = np.random.default_rng(42)  # line 8: import-time RNG
+
+
+def draw() -> tuple:
+    """Produce nondeterministic values in four distinct ways."""
+    a = np.random.rand(3)  # line 13: legacy global NumPy RNG
+    b = np.random.default_rng()  # line 14: unseeded generator
+    c = random.random()  # line 15: stdlib random call
+    d = time.time()  # line 16: wall-clock read
+    return a, b, c, d

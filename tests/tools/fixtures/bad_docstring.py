@@ -1,0 +1,23 @@
+class Widget:
+    """A documented class with an undocumented unique method."""
+
+    def frobnicate(self) -> None:  # line 4: no same-named documented method
+        pass
+
+    def tally(self) -> int:
+        """Documented here, so the override below is exempt."""
+        return 0
+
+
+class Gadget:
+
+    def tally(self) -> int:  # exempt: Widget.tally documents the name
+        return 1
+
+
+def helper() -> None:  # line 17: public function without docstring
+    pass
+
+
+def _private() -> None:
+    pass

@@ -1,0 +1,33 @@
+"""Fixture: bare and broad exception handlers."""
+
+
+def swallow_everything() -> int:
+    """Return 0 no matter what happened."""
+    try:
+        return 1 // 0
+    except:  # line 8: bare except
+        return 0
+
+
+def swallow_broad() -> int:
+    """Catch Exception and discard it."""
+    try:
+        return 1 // 0
+    except Exception:  # line 16: broad without re-raise
+        return 0
+
+
+def broad_but_reraises() -> int:
+    """Broad catch is fine when the handler re-raises."""
+    try:
+        return 1 // 0
+    except Exception:
+        raise
+
+
+def narrow() -> int:
+    """Specific exception types are fine."""
+    try:
+        return 1 // 0
+    except ZeroDivisionError:
+        return 0

@@ -1,0 +1,15 @@
+"""Fixture: determinism-clean code, plus one suppressed violation."""
+
+import time
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator, seed: int) -> tuple:
+    """Draw deterministically from an injected or explicitly seeded RNG."""
+    started = time.perf_counter()
+    local = np.random.default_rng(seed)
+    legacy = np.random.rand(2)  # staticcheck: disable=determinism
+    # staticcheck: disable=determinism
+    also_legacy = np.random.rand(2)
+    return rng.normal(size=3), local.normal(size=3), legacy, also_legacy, started

@@ -1,0 +1,46 @@
+"""Tier-1 gate: the whole ``src/repro`` tree must stay staticcheck-clean.
+
+This is the enforcement point for the analyzer's conventions — any new
+violation anywhere under ``src/repro`` fails the test suite with the
+exact rule ID and ``file:line`` location.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.tools.staticcheck import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_tree_has_no_violations():
+    violations = analyze_paths([str(SRC)])
+    details = "\n".join(violation.format() for violation in violations)
+    assert violations == [], f"staticcheck violations in src/repro:\n{details}"
+
+
+def test_gate_catches_an_introduced_violation(tmp_path):
+    """Sanity-check the gate itself: a seeded violation must be caught."""
+    shadow = tmp_path / "module.py"
+    shadow.write_text(
+        '"""Doc."""\n'
+        "import numpy as np\n\n\n"
+        "def sample():\n"
+        '    """Draw."""\n'
+        "    return np.random.rand(4)\n"
+    )
+    violations = analyze_paths([str(shadow)])
+    assert [(v.rule, v.line) for v in violations] == [("determinism", 7)]
+
+
+def test_cli_entry_point_runs_clean_over_src():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.tools.staticcheck", str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert result.stdout.strip() == ""
