@@ -9,6 +9,13 @@ corpus sizes on bigger machines.
 Every bench writes its rendered table to ``benchmarks/results/<name>.txt``
 (and prints it, visible with ``pytest -s``); EXPERIMENTS.md records the
 paper-vs-measured comparison from those files.
+
+Observability: ``repro.obs`` is enabled for every bench (unless
+``REPRO_OBS=0`` force-disables it) and each test dumps the registry
+snapshot — the per-stage span tree plus counters/histograms — to
+``benchmarks/results/obs/<test_name>.json``, renderable with
+``python -m repro.obs report <file>``.  The Table 10 scalability run
+therefore produces a stage breakdown, not just a total.
 """
 
 from __future__ import annotations
@@ -17,12 +24,13 @@ import os
 
 import pytest
 
-from repro import NewsDiffusionPipeline, build_world
+from repro import NewsDiffusionPipeline, build_world, obs
 from repro.core.config import PipelineConfig
 from repro.core.prediction import AudienceInterestPredictor
 from repro.datagen import WorldConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+OBS_RESULTS_DIR = os.path.join(RESULTS_DIR, "obs")
 
 
 def bench_scale() -> float:
@@ -96,3 +104,35 @@ def predictor(config):
         early_stopping_patience=config.early_stopping_patience,
         seed=config.seed,
     )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_enabled_for_benchmarks():
+    """Switch observability on for the whole bench session.
+
+    ``REPRO_OBS=0`` in the environment still wins (see repro.obs), so a
+    timing-sensitive machine can strip even this instrumentation.
+    """
+    previous = obs.set_enabled(True)
+    yield
+    obs.set_enabled(previous)
+
+
+@pytest.fixture(autouse=True)
+def _obs_snapshot_per_bench(request, _obs_enabled_for_benchmarks):
+    """Dump one obs snapshot per benchmark under results/obs/.
+
+    Session-scoped fixtures (the shared pipeline run, corpora) execute
+    during the setup of the first test that needs them — before this
+    fixture's yield — so the registry is reset *after* each save, never
+    before the test: that way the ``pipeline.run`` span tree lands in
+    that first test's snapshot, which is exactly the end-to-end
+    breakdown the Table 10-style runs need.
+    """
+    registry = obs.get_registry()
+    yield
+    if not obs.obs_enabled() or registry.is_empty():
+        return
+    name = request.node.name.replace("/", "_").replace("[", "_").rstrip("]")
+    registry.save(os.path.join(OBS_RESULTS_DIR, f"{name}.json"))
+    registry.reset()

@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .core import AudienceInterestPredictor, NewsDiffusionPipeline
 from .core.config import PipelineConfig
 from .datagen import UserPopulation, World, WorldConfig, build_world
@@ -158,6 +159,13 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--min-term-support", type=int, default=6)
     parser.add_argument("--min-event-records", type=int, default=8)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable repro.obs tracing and write the snapshot JSON to PATH "
+        "(render with `python -m repro.obs report PATH`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,9 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When the subcommand carries ``--trace PATH``, observability is
+    enabled for the duration of the command and the registry snapshot
+    is written to PATH afterwards.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+    previous = obs.set_enabled(True)
+    obs.get_registry().reset()
+    try:
+        code = args.func(args)
+        if obs.obs_enabled():
+            saved = obs.get_registry().save(trace_path)
+            print(
+                f"trace written to {saved}; render with "
+                f"`python -m repro.obs report {saved}`"
+            )
+        return code
+    finally:
+        obs.set_enabled(previous)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
+
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
@@ -124,23 +126,32 @@ class ParagraphVectors:
         self.W_out = np.zeros((len(self.index_to_word), self.vector_size))
 
         final_loss = 0.0
-        for epoch in range(self.epochs):
-            # Linear learning-rate decay, as in the reference Doc2Vec
-            # implementation — a fixed rate makes the small document
-            # vectors oscillate instead of settling.
-            lr = self.learning_rate * max(0.05, 1.0 - epoch / max(self.epochs, 1))
-            losses = 0.0
-            n_steps = 0
-            for doc_id, tokens in enumerate(encoded):
-                for pos, word in enumerate(tokens):
-                    if self.dm:
-                        left = max(0, pos - self.window)
-                        context = tokens[left:pos] + tokens[pos + 1:pos + 1 + self.window]
-                        losses += self._step_pvdm(doc_id, context, word, rng, lr)
-                    else:
-                        losses += self._step_pvdbow(doc_id, word, rng, lr)
-                    n_steps += 1
-            final_loss = losses / max(n_steps, 1)
+        with obs.span("embeddings.doc2vec.train") as train_span:
+            for epoch in range(self.epochs):
+                # Linear learning-rate decay, as in the reference Doc2Vec
+                # implementation — a fixed rate makes the small document
+                # vectors oscillate instead of settling.
+                lr = self.learning_rate * max(0.05, 1.0 - epoch / max(self.epochs, 1))
+                losses = 0.0
+                n_steps = 0
+                for doc_id, tokens in enumerate(encoded):
+                    for pos, word in enumerate(tokens):
+                        if self.dm:
+                            left = max(0, pos - self.window)
+                            context = tokens[left:pos] + tokens[pos + 1:pos + 1 + self.window]
+                            losses += self._step_pvdm(doc_id, context, word, rng, lr)
+                        else:
+                            losses += self._step_pvdbow(doc_id, word, rng, lr)
+                        n_steps += 1
+                final_loss = losses / max(n_steps, 1)
+                obs.histogram("embeddings.doc2vec.epoch_loss").observe(final_loss)
+            train_span.annotate(
+                model="pvdm" if self.dm else "pvdbow",
+                documents=len(encoded),
+                vocabulary=len(self.index_to_word),
+                epochs=self.epochs,
+                final_loss=final_loss,
+            )
         return final_loss
 
     def _nce_update(self, h: np.ndarray, target: int, rng, lr: float,

@@ -16,6 +16,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
+
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
@@ -131,33 +133,41 @@ class Word2Vec:
         rng = np.random.default_rng(self.seed + 1)
         step = 0
         final_loss = 0.0
-        for _epoch in range(self.epochs):
-            epoch_loss = 0.0
-            n_pairs = 0
-            for sentence in encoded:
-                sampled = self._subsample(sentence, rng)
-                for pos, center in enumerate(sampled):
-                    step += 1
-                    lr = self.learning_rate * max(
-                        1e-4, 1.0 - step / (total_steps + 1)
-                    )
-                    reduced = rng.integers(1, self.window + 1)
-                    left = max(0, pos - reduced)
-                    context = [
-                        sampled[i]
-                        for i in range(left, min(len(sampled), pos + reduced + 1))
-                        if i != pos
-                    ]
-                    if not context:
-                        continue
-                    if self.sg:
-                        for ctx in context:
-                            epoch_loss += self._train_pair(center, ctx, lr, rng)
+        with obs.span("embeddings.word2vec.train") as train_span:
+            for _epoch in range(self.epochs):
+                epoch_loss = 0.0
+                n_pairs = 0
+                for sentence in encoded:
+                    sampled = self._subsample(sentence, rng)
+                    for pos, center in enumerate(sampled):
+                        step += 1
+                        lr = self.learning_rate * max(
+                            1e-4, 1.0 - step / (total_steps + 1)
+                        )
+                        reduced = rng.integers(1, self.window + 1)
+                        left = max(0, pos - reduced)
+                        context = [
+                            sampled[i]
+                            for i in range(left, min(len(sampled), pos + reduced + 1))
+                            if i != pos
+                        ]
+                        if not context:
+                            continue
+                        if self.sg:
+                            for ctx in context:
+                                epoch_loss += self._train_pair(center, ctx, lr, rng)
+                                n_pairs += 1
+                        else:
+                            epoch_loss += self._train_cbow(context, center, lr, rng)
                             n_pairs += 1
-                    else:
-                        epoch_loss += self._train_cbow(context, center, lr, rng)
-                        n_pairs += 1
-            final_loss = epoch_loss / max(n_pairs, 1)
+                final_loss = epoch_loss / max(n_pairs, 1)
+                obs.histogram("embeddings.word2vec.epoch_loss").observe(final_loss)
+            train_span.annotate(
+                vocabulary=len(self.index_to_word),
+                sentences=len(encoded),
+                epochs=self.epochs,
+                final_loss=final_loss,
+            )
         return final_loss
 
     def _encode_corpus(self, corpus: Sequence[Sequence[str]]) -> List[List[int]]:

@@ -22,6 +22,7 @@ from collections import Counter, defaultdict
 from datetime import timedelta
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from .anomaly import anomaly_series, candidate_weight, max_anomaly_interval
 from .event import Event
 from .timeslice import SlicedCorpus, TimeSlicer, TimestampedDocument
@@ -80,11 +81,19 @@ class MABED:
         n_events: int,
     ) -> List[Event]:
         """Detect the top *n_events* events in *documents*."""
-        docs = list(documents)
-        if not docs:
-            return []
-        sliced = TimeSlicer(self.slice_width).slice(docs)
-        return self.detect_on_sliced(sliced, docs, n_events)
+        with obs.span("events.mabed.detect") as detect_span:
+            docs = list(documents)
+            if not docs:
+                return []
+            with obs.span("events.mabed.slice"):
+                sliced = TimeSlicer(self.slice_width).slice(docs)
+            events = self.detect_on_sliced(sliced, docs, n_events)
+            detect_span.annotate(
+                n_documents=len(docs),
+                n_slices=sliced.n_slices,
+                n_events=len(events),
+            )
+        return events
 
     def detect_on_sliced(
         self,
@@ -100,29 +109,37 @@ class MABED:
         either merged away or kept, until *n_events* are selected — the
         same greedy scheme as pyMABED.
         """
-        candidates = self._candidate_events(sliced)
-        index = _CorpusIndex(documents)
+        with obs.span("events.mabed.candidates"):
+            candidates = self._candidate_events(sliced)
+        obs.counter("events.mabed.candidates").inc(len(candidates))
+        with obs.span("events.mabed.index"):
+            index = _CorpusIndex(documents)
         events: List[Event] = []
-        for main_word, interval, magnitude in candidates:
-            if len(events) >= n_events:
-                break
-            related = self._related_words(sliced, index, main_word, interval)
-            candidate = Event(
-                main_word=main_word,
-                related_words=related,
-                start=sliced.slice_start(interval[0]),
-                end=sliced.slice_end(interval[1]),
-                magnitude=magnitude,
-                slice_interval=interval,
-                support=index.support(
-                    main_word,
-                    sliced.slice_start(interval[0]),
-                    sliced.slice_end(interval[1]),
-                ),
-            )
-            if any(self._redundant(candidate, kept) for kept in events):
-                continue
-            events.append(candidate)
+        with obs.span("events.mabed.selection") as selection_span:
+            considered = 0
+            for main_word, interval, magnitude in candidates:
+                if len(events) >= n_events:
+                    break
+                considered += 1
+                related = self._related_words(sliced, index, main_word, interval)
+                candidate = Event(
+                    main_word=main_word,
+                    related_words=related,
+                    start=sliced.slice_start(interval[0]),
+                    end=sliced.slice_end(interval[1]),
+                    magnitude=magnitude,
+                    slice_interval=interval,
+                    support=index.support(
+                        main_word,
+                        sliced.slice_start(interval[0]),
+                        sliced.slice_end(interval[1]),
+                    ),
+                )
+                if any(self._redundant(candidate, kept) for kept in events):
+                    continue
+                events.append(candidate)
+            selection_span.annotate(considered=considered, kept=len(events))
+        obs.counter("events.mabed.events_kept").inc(len(events))
         return events
 
     def _redundant(self, candidate: Event, kept: Event) -> bool:

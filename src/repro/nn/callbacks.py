@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
+
 
 @dataclass
 class History:
@@ -19,10 +21,17 @@ class History:
     metrics: Dict[str, List[float]] = field(default_factory=dict)
 
     def record(self, **values: float) -> None:
-        """Append one epoch's metric values."""
+        """Append one epoch's metric values.
+
+        Each value is mirrored into the ``nn.history.<name>`` obs
+        histogram, so an enabled registry captures the per-epoch
+        loss/accuracy/epoch-time series across every ``fit`` of a run.
+        """
         self.epochs += 1
         for name, value in values.items():
-            self.metrics.setdefault(name, []).append(float(value))
+            value = float(value)
+            self.metrics.setdefault(name, []).append(value)
+            obs.histogram(f"nn.history.{name}").observe(value)
 
     def last(self, name: str) -> Optional[float]:
         """Most recent value of metric *name*, or None."""

@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .callbacks import EarlyStopping, History
 from .contracts import check_fit, check_predict
 from .layers import Layer
@@ -68,6 +69,8 @@ class Sequential:
     def predict(self, X: np.ndarray, batch_size: int = 1024) -> np.ndarray:
         """Forward pass in inference mode (dropout disabled)."""
         X = np.asarray(X, dtype=np.float64)
+        obs.counter("nn.predict_calls").inc()
+        obs.counter("nn.predict_rows").inc(len(X))
         outputs = []
         for start in range(0, len(X), batch_size):
             batch = X[start:start + batch_size]
@@ -94,6 +97,7 @@ class Sequential:
         """One optimization step on a batch; returns the batch loss."""
         if self.loss is None or self.optimizer is None:
             raise RuntimeError("model not compiled")
+        obs.counter("nn.train_batches").inc()
         predicted = self._forward(X)
         loss_value = self.loss.value(predicted, Y)
         self._backward(self.loss.gradient(predicted, Y))
@@ -138,35 +142,43 @@ class Sequential:
         rng = np.random.default_rng(self.seed + 7)
         history = History()
         indices = np.arange(len(X))
-        for epoch in range(epochs):
-            started = time.perf_counter()
-            if shuffle:
-                rng.shuffle(indices)
-            epoch_loss = 0.0
-            n_batches = 0
-            for start in range(0, len(X), batch_size):
-                batch_idx = indices[start:start + batch_size]
-                epoch_loss += self.train_on_batch(X[batch_idx], Y[batch_idx])
-                n_batches += 1
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with obs.span("nn.fit") as fit_span:
+            for epoch in range(epochs):
+                started = time.perf_counter()
+                if shuffle:
+                    rng.shuffle(indices)
+                epoch_loss = 0.0
+                n_batches = 0
+                for start in range(0, len(X), batch_size):
+                    batch_idx = indices[start:start + batch_size]
+                    epoch_loss += self.train_on_batch(X[batch_idx], Y[batch_idx])
+                    n_batches += 1
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
 
-            record = {
-                "loss": epoch_loss / max(n_batches, 1),
-                "epoch_ms": elapsed_ms,
-            }
-            if track_accuracy:
-                record["accuracy"] = accuracy(Y, self.predict(X))
-            if validation_data is not None:
-                vx, vy = validation_data
-                vp = self.predict(np.asarray(vx, dtype=np.float64))
-                record["val_loss"] = self.loss.value(vp, np.asarray(vy, dtype=np.float64))
-                record["val_accuracy"] = accuracy(vy, vp)
-            history.record(**record)
-            if verbose:
-                msg = ", ".join(f"{k}={v:.4f}" for k, v in record.items())
-                print(f"epoch {epoch + 1}/{epochs}: {msg}")
-            if early_stopping is not None and early_stopping.update(history):
-                break
+                record = {
+                    "loss": epoch_loss / max(n_batches, 1),
+                    "epoch_ms": elapsed_ms,
+                }
+                if track_accuracy:
+                    record["accuracy"] = accuracy(Y, self.predict(X))
+                if validation_data is not None:
+                    vx, vy = validation_data
+                    vp = self.predict(np.asarray(vx, dtype=np.float64))
+                    record["val_loss"] = self.loss.value(vp, np.asarray(vy, dtype=np.float64))
+                    record["val_accuracy"] = accuracy(vy, vp)
+                history.record(**record)
+                if verbose:
+                    msg = ", ".join(f"{k}={v:.4f}" for k, v in record.items())
+                    print(f"epoch {epoch + 1}/{epochs}: {msg}")
+                if early_stopping is not None and early_stopping.update(history):
+                    break
+            fit_span.annotate(
+                epochs=history.epochs,
+                samples=len(X),
+                batch_size=batch_size,
+                parameters=self.num_parameters,
+                final_loss=history.last("loss"),
+            )
         return history
 
     def evaluate(self, X: np.ndarray, Y: np.ndarray) -> Tuple[float, float]:

@@ -1,0 +1,76 @@
+"""``repro.obs`` — dependency-free pipeline tracing and metrics.
+
+The observability layer behind the ROADMAP's "fast as the hardware
+allows" goal: before any hot-path optimisation can be honest, a run has
+to show *where* its time goes.  Three pieces:
+
+* :class:`Span` — nested wall/CPU timing as a context manager, forming
+  a per-run stage tree (`pipeline.run` → stages → inner loops);
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — named
+  metrics (store queries served, per-epoch loss series, ...);
+* :class:`Registry` — the process-global owner of both, exported as a
+  JSON snapshot that ``python -m repro.obs report`` renders.
+
+Instrumented call sites use the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("events.mabed.detect") as sp:
+        ...
+        sp.annotate(n_documents=len(docs))
+    obs.counter("store.queries").inc()
+    obs.histogram("nn.history.loss").observe(loss)
+
+Everything is **off by default**: the helpers return shared no-op
+objects unless ``REPRO_OBS=1`` is set or :func:`set_enabled` was called
+(``REPRO_OBS=0`` force-disables either way) — see
+``docs/observability.md``.
+"""
+
+from .metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from .registry import (
+    Registry,
+    counter,
+    enabled,
+    gauge,
+    get_registry,
+    histogram,
+    obs_enabled,
+    reset,
+    set_enabled,
+    span,
+)
+from .report import load_snapshot, render_metrics, render_report, render_spans
+from .span import NULL_SPAN, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "Registry",
+    "Span",
+    "counter",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "load_snapshot",
+    "obs_enabled",
+    "render_metrics",
+    "render_report",
+    "render_spans",
+    "reset",
+    "set_enabled",
+    "span",
+]

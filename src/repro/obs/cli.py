@@ -1,0 +1,68 @@
+"""``python -m repro.obs`` — inspect saved observability snapshots.
+
+    python -m repro.obs report run.json              # timing tree + metrics
+    python -m repro.obs report run.json --no-metrics # tree only
+    python -m repro.obs report run.json --json       # normalized JSON
+
+Snapshots come from ``Registry.save`` — e.g. ``repro run --trace run.json``,
+the benchmark harness (``benchmarks/results/obs/*.json``), or
+``examples/profiled_run.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .report import load_snapshot, render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Inspect pipeline tracing/metrics snapshots",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="render a snapshot as a timing tree")
+    report.add_argument("snapshot", help="path to a snapshot JSON file")
+    report.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="omit the counters/gauges/histograms tables",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="re-emit the snapshot as normalized JSON instead of text",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except FileNotFoundError:
+        print(f"error: no snapshot at {args.snapshot!r}", file=sys.stderr)
+        return 1
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            print(json.dumps(snapshot, indent=2))
+        else:
+            print(render_report(snapshot, include_metrics=not args.no_metrics))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""The process-global observability registry and the ``REPRO_OBS`` toggle.
+
+Mirrors the ``REPRO_CONTRACTS`` pattern from ``repro.nn.contracts``:
+
+* ``REPRO_OBS=1`` (or any value other than ``0``/``false``/empty)
+  force-enables tracing and metrics everywhere;
+* ``REPRO_OBS=0`` force-disables them, overriding any programmatic
+  default (so a benchmark machine can strip even the benchmark
+  harness's instrumentation);
+* when the variable is unset, the programmatic default applies —
+  ``False`` out of the box, flipped by :func:`set_enabled` (used by the
+  benchmark conftest, the ``--trace`` CLI flag, and tests).
+
+Instrumented code never talks to the registry directly; it calls the
+module-level helpers :func:`span` / :func:`counter` / :func:`gauge` /
+:func:`histogram`, which return shared no-op objects while disabled.
+That keeps the disabled fast path to one environment lookup per call
+site — verified by ``tests/obs/test_span.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    _NullCounter,
+    _NullGauge,
+    _NullHistogram,
+)
+from .span import NULL_SPAN, Span, _NullSpan
+
+_DEFAULT_ENABLED = False
+
+SNAPSHOT_VERSION = 1
+
+
+def obs_enabled() -> bool:
+    """Resolve the current on/off state (environment wins over default)."""
+    flag = os.environ.get("REPRO_OBS")
+    if flag is not None:
+        return flag.strip().lower() not in ("0", "false", "")
+    return _DEFAULT_ENABLED
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the programmatic default used when ``REPRO_OBS`` is unset.
+
+    Returns the previous default so callers can restore it.  Note that
+    an explicit ``REPRO_OBS`` environment value still overrides this.
+    """
+    global _DEFAULT_ENABLED
+    previous = _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(value)
+    return previous
+
+
+class enabled:
+    """Context manager flipping the programmatic default, then restoring it.
+
+    >>> with enabled():
+    ...     result = pipeline.run(world)        # doctest: +SKIP
+    """
+
+    def __init__(self, value: bool = True) -> None:
+        self._value = value
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> None:
+        self._previous = set_enabled(self._value)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_enabled(bool(self._previous))
+
+
+class Registry:
+    """Process-global home of every span tree and named metric.
+
+    Metrics are get-or-create by name; span trees grow from the
+    per-thread active-span stack.  ``snapshot()`` exports everything as
+    a JSON-able dict consumed by ``python -m repro.obs report`` and the
+    benchmark harness.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._roots: List[Span] = []
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- metrics ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the :class:`Counter` called *name*."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, self._lock)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the :class:`Gauge` called *name*."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, self._lock)
+            return metric
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        """Get or create the :class:`Histogram` called *name*."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    name, max_samples, self._lock
+                )
+            return metric
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """Create a span owned by this registry (attach happens on enter)."""
+        return Span(name, self)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _attach(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _detach(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            # Mis-nested exit (e.g. a generator finalized late): drop the
+            # span and everything opened after it rather than corrupting
+            # the stack for subsequent spans.
+            del stack[stack.index(span):]
+
+    @property
+    def roots(self) -> List[Span]:
+        """Top-level spans recorded so far (completed or still open)."""
+        with self._lock:
+            return list(self._roots)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+        pending = self.roots
+        while pending:
+            span = pending.pop()
+            yield span
+            pending.extend(span.children)
+
+    # -- lifecycle / export -------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every metric and span tree (thread stacks included)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._roots.clear()
+            self._local = threading.local()
+            self._epoch = time.perf_counter()
+
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded since the last reset."""
+        with self._lock:
+            return not (
+                self._roots or self._counters or self._gauges or self._histograms
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Export spans + metrics as a JSON-able dict."""
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "spans": [span.to_dict() for span in self._roots],
+                "metrics": {
+                    "counters": {
+                        name: c.to_dict() for name, c in sorted(self._counters.items())
+                    },
+                    "gauges": {
+                        name: g.to_dict() for name, g in sorted(self._gauges.items())
+                    },
+                    "histograms": {
+                        name: h.to_dict()
+                        for name, h in sorted(self._histograms.items())
+                    },
+                },
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON string."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def save(self, path: str) -> str:
+        """Write the snapshot to *path*; returns the path."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+
+_REGISTRY = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-global :class:`Registry`."""
+    return _REGISTRY
+
+
+def reset() -> None:
+    """Clear the process-global registry."""
+    _REGISTRY.reset()
+
+
+def span(name: str) -> Union[Span, _NullSpan]:
+    """A registry-owned span, or the shared no-op span while disabled."""
+    if not obs_enabled():
+        return NULL_SPAN
+    return _REGISTRY.span(name)
+
+
+def counter(name: str) -> Union[Counter, _NullCounter]:
+    """The named counter, or the shared no-op counter while disabled."""
+    if not obs_enabled():
+        return NULL_COUNTER
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Union[Gauge, _NullGauge]:
+    """The named gauge, or the shared no-op gauge while disabled."""
+    if not obs_enabled():
+        return NULL_GAUGE
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Union[Histogram, _NullHistogram]:
+    """The named histogram, or the shared no-op histogram while disabled."""
+    if not obs_enabled():
+        return NULL_HISTOGRAM
+    return _REGISTRY.histogram(name)

@@ -21,6 +21,7 @@ from typing import (
     Tuple,
 )
 
+from .. import obs
 from .errors import DuplicateKeyError, QueryError, ValidationError
 from .index import HashIndex, plan_index_lookup
 from .query import apply_update, get_path, matches, project, sort_documents, _MISSING
@@ -137,6 +138,7 @@ class Collection:
         self._docs[doc["_id"]] = doc
         for index in self._indexes.values():
             index.add(doc["_id"], doc)
+        obs.counter("store.inserts").inc()
         return doc["_id"]
 
     def insert_many(self, documents: Iterable[Dict[str, Any]]) -> List[Any]:
@@ -163,6 +165,7 @@ class Collection:
             self._validate(doc)
             for index in self._indexes.values():
                 index.update(doc["_id"], doc)
+            obs.counter("store.updates").inc()
             return 1
         return 0
 
@@ -175,6 +178,7 @@ class Collection:
             for index in self._indexes.values():
                 index.update(doc["_id"], doc)
             count += 1
+        obs.counter("store.updates").inc(count)
         return count
 
     def delete_one(self, query: Dict[str, Any]) -> int:
@@ -195,6 +199,7 @@ class Collection:
         self._docs.pop(doc_id, None)
         for index in self._indexes.values():
             index.remove(doc_id)
+        obs.counter("store.deletes").inc()
 
     # -- reads -------------------------------------------------------------
 
@@ -202,10 +207,12 @@ class Collection:
         """Yield *live* matching documents (internal use only)."""
         candidate_ids = plan_index_lookup(query, self._indexes) if query else None
         if candidate_ids is not None:
+            obs.counter("store.index_scans").inc()
             pool: Iterable[Dict[str, Any]] = (
                 self._docs[i] for i in candidate_ids if i in self._docs
             )
         else:
+            obs.counter("store.full_scans").inc()
             pool = self._docs.values()
         for doc in pool:
             if matches(doc, query):
@@ -218,6 +225,7 @@ class Collection:
     ) -> Cursor:
         """Query the collection; returns a chainable :class:`Cursor`."""
         query = query or {}
+        obs.counter("store.queries").inc()
 
         def producer() -> Iterable[Dict[str, Any]]:
             for doc in self._iter_matching(query):
@@ -255,6 +263,7 @@ class Collection:
         index = HashIndex(field)
         index.rebuild(self._docs)
         self._indexes[field] = index
+        obs.counter("store.index_builds").inc()
         return field
 
     def drop_index(self, field: str) -> None:
@@ -275,6 +284,7 @@ class Collection:
         ``$max``, ``$count``, ``$push``, ``$addToSet``, ``$first``,
         ``$last``), ``$unwind``, ``$count``.
         """
+        obs.counter("store.aggregates").inc()
         docs: List[Dict[str, Any]] = [copy.deepcopy(d) for d in self._docs.values()]
         for stage in pipeline:
             if len(stage) != 1:

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy import sparse
 
+from .. import obs
 from ..text.vocabulary import Vocabulary
 from ..weighting.matrix import DocumentTermMatrix
 
@@ -131,23 +132,31 @@ class NMF:
 
         history: List[float] = []
         previous = np.inf
-        for _iteration in range(self.max_iter):
-            # H update: H <- H * (W^T A) / (W^T W H)    (Eq 8, first rule)
-            numerator = self._wta(W, A)
-            denominator = (W.T @ W) @ H + _EPS
-            H *= numerator / denominator
-            # W update: W <- W * (A H^T) / (W H H^T)    (Eq 8, second rule)
-            numerator = self._aht(A, H)
-            denominator = W @ (H @ H.T) + _EPS
-            W *= numerator / denominator
+        with obs.span("topics.nmf.fit") as fit_span:
+            for _iteration in range(self.max_iter):
+                # H update: H <- H * (W^T A) / (W^T W H)    (Eq 8, first rule)
+                numerator = self._wta(W, A)
+                denominator = (W.T @ W) @ H + _EPS
+                H *= numerator / denominator
+                # W update: W <- W * (A H^T) / (W H H^T)    (Eq 8, second rule)
+                numerator = self._aht(A, H)
+                denominator = W @ (H @ H.T) + _EPS
+                W *= numerator / denominator
 
-            objective = self._objective(A, W, H)
-            history.append(objective)
-            if np.isfinite(previous) and (
-                previous - objective <= self.tol * max(previous, _EPS)
-            ):
-                break
-            previous = objective
+                objective = self._objective(A, W, H)
+                history.append(objective)
+                obs.histogram("topics.nmf.objective").observe(objective)
+                if np.isfinite(previous) and (
+                    previous - objective <= self.tol * max(previous, _EPS)
+                ):
+                    break
+                previous = objective
+            fit_span.annotate(
+                shape=[int(n), int(m)],
+                n_topics=int(k),
+                iterations=len(history),
+                final_objective=history[-1] if history else None,
+            )
 
         topics = self._extract_topics(H, vocabulary, top_terms)
         return NMFResult(W=W, H=H, objective_history=history, topics=topics)

@@ -1,0 +1,94 @@
+"""Paper-pinned optimizer steps, checked against hand-computed weights.
+
+Tables 8–9 report the best configurations as SGD with lr=0.5 (MLP 1/2)
+and ADADELTA with lr=2 (CNN 1/2).  These tests take a single optimizer
+step on a tiny fixed (weight, gradient) problem and compare against
+weights computed by hand from Eqs 14 and 16, to 1e-8 — so a regression
+in either update rule (or in the Keras-style lr-as-multiplier ADADELTA
+semantics the paper's hyperparameters rely on) cannot slip through.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adadelta
+from repro.nn.optimizers import Adagrad
+
+W0 = np.array([1.0, -2.0, 0.5])
+G = np.array([0.2, -0.4, 0.1])
+
+
+def _step(optimizer, weights, grad):
+    param = weights.copy()
+    optimizer.step([("w", param, grad.copy())])
+    return param
+
+
+class TestSGDPaperStep:
+    def test_lr_half_single_step(self):
+        """Plain SGD, lr=0.5 (Table 8's MLP setting): w' = w - 0.5 g."""
+        # w - 0.5 * g = [1 - 0.1, -2 + 0.2, 0.5 - 0.05]
+        expected = np.array([0.9, -1.8, 0.45])
+        result = _step(SGD(learning_rate=0.5), W0, G)
+        np.testing.assert_allclose(result, expected, rtol=0, atol=1e-8)
+
+    def test_momentum_two_steps(self):
+        """Eq 14 with decay α=0.9: Δw(t) = α Δw(t-1) − η γ_t, by hand.
+
+        Step 1: v1 = −0.5 g         → w1 = w0 + v1
+        Step 2: v2 = 0.9 v1 − 0.5 g → w2 = w1 + v2
+        """
+        optimizer = SGD(learning_rate=0.5, momentum=0.9)
+        param = W0.copy()
+        optimizer.step([("w", param, G.copy())])
+        np.testing.assert_allclose(
+            param, np.array([0.9, -1.8, 0.45]), rtol=0, atol=1e-8
+        )
+        optimizer.step([("w", param, G.copy())])
+        np.testing.assert_allclose(
+            param, np.array([0.71, -1.42, 0.355]), rtol=0, atol=1e-8
+        )
+
+
+class TestAdadeltaPaperStep:
+    def test_lr_two_single_step(self):
+        """ADADELTA lr=2 (Table 9's CNN setting), first step of Eq 16.
+
+        With empty accumulators (rho=0.95, eps=1e-7):
+            E[g²]  = 0.05 · g²
+            Δw     = −(√eps / √(E[g²] + eps)) · g
+            w'     = w + 2 · Δw
+        evaluated by hand for g = [0.2, −0.4, 0.1]:
+        """
+        expected = np.array(
+            [0.9971716435832804, -1.9971715905527576, 0.49717185567554695]
+        )
+        result = _step(Adadelta(learning_rate=2.0), W0, G)
+        np.testing.assert_allclose(result, expected, rtol=0, atol=1e-8)
+
+    def test_keras_lr_multiplier_semantics(self):
+        """Doubling lr exactly doubles the applied update (lr is a multiplier)."""
+        step_1 = _step(Adadelta(learning_rate=1.0), W0, G) - W0
+        step_2 = _step(Adadelta(learning_rate=2.0), W0, G) - W0
+        np.testing.assert_allclose(step_2, 2.0 * step_1, rtol=0, atol=1e-12)
+
+
+class TestAdagradStep:
+    def test_eq15_single_step(self):
+        """ADAGRAD (Eq 15): w' = w − lr · g / (√(g²) + eps) ≈ w − lr · sign(g)."""
+        eps = 1e-7
+        expected = W0 - 0.1 * G / (np.sqrt(G * G) + eps)
+        result = _step(Adagrad(learning_rate=0.1), W0, G)
+        np.testing.assert_allclose(result, expected, rtol=0, atol=1e-8)
+
+
+class TestStatefulSlots:
+    def test_state_is_per_parameter(self):
+        """Two parameters updated by one optimizer keep separate accumulators."""
+        optimizer = Adadelta(learning_rate=2.0)
+        a = np.array([1.0])
+        b = np.array([1.0])
+        optimizer.step([("a", a, np.array([0.5])), ("b", b, np.array([0.5]))])
+        assert a == pytest.approx(b)
+        optimizer.step([("a", a, np.array([0.5]))])
+        assert a[0] != pytest.approx(b[0])

@@ -1,0 +1,29 @@
+"""Shared fixtures for the observability tests.
+
+The registry is process-global and the toggle has both an environment
+and a programmatic leg, so every test here runs with ``REPRO_OBS``
+scrubbed from the environment and the registry reset on both sides —
+no state may leak between tests (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs(monkeypatch):
+    """Scrub REPRO_OBS, reset the registry, and restore the default after."""
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    previous = obs.set_enabled(False)
+    obs.reset()
+    yield
+    obs.set_enabled(previous)
+    obs.reset()
+
+
+@pytest.fixture
+def enabled_obs():
+    """Observability switched on (programmatic default) for one test."""
+    obs.set_enabled(True)
+    return obs.get_registry()

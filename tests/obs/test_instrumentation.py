@@ -1,0 +1,172 @@
+"""Acceptance: the instrumented hot paths actually emit spans and metrics.
+
+Runs the real pipeline (tiny world), a real ``Sequential`` fit, and real
+store traffic with observability enabled, then checks the span tree
+covers every stage in ``PipelineResult.timings_seconds`` and that the
+report CLI can render the captured snapshot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NewsDiffusionPipeline, build_world, obs
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+from repro.nn import Dense, Sequential
+from repro.obs.report import render_report
+from repro.store import Collection
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One tiny pipeline run with obs enabled; yields (result, snapshot)."""
+    previous = obs.set_enabled(True)
+    obs.reset()
+    try:
+        world = build_world(
+            WorldConfig(n_articles=200, n_tweets=700, n_users=60, seed=13)
+        )
+        result = NewsDiffusionPipeline(
+            PipelineConfig(
+                n_topics=6,
+                nmf_max_iter=120,
+                n_news_events=8,
+                n_twitter_events=16,
+                embedding_dim=32,
+                min_term_support=3,
+                min_event_records=3,
+                seed=13,
+            )
+        ).run(world)
+        snapshot = obs.get_registry().snapshot()
+    finally:
+        obs.set_enabled(previous)
+        obs.reset()
+    return result, snapshot
+
+
+class TestPipelineSpans:
+    def test_root_span_is_pipeline_run(self, traced_run):
+        _result, snapshot = traced_run
+        roots = [s["name"] for s in snapshot["spans"]]
+        assert "pipeline.run" in roots
+
+    def test_every_timed_stage_has_a_span(self, traced_run):
+        """The span tree must cover ALL of timings_seconds — no blind spots."""
+        result, snapshot = traced_run
+        (run_root,) = [
+            s for s in snapshot["spans"] if s["name"] == "pipeline.run"
+        ]
+        child_names = {c["name"] for c in run_root.get("children", [])}
+        missing = {
+            f"pipeline.{stage}" for stage in result.timings_seconds
+        } - child_names
+        assert not missing, f"stages without spans: {sorted(missing)}"
+
+    def test_stage_spans_are_timed_and_nested(self, traced_run):
+        _result, snapshot = traced_run
+        (run_root,) = [
+            s for s in snapshot["spans"] if s["name"] == "pipeline.run"
+        ]
+        assert run_root["wall_s"] > 0
+        for child in run_root.get("children", []):
+            assert child["wall_s"] is not None and child["wall_s"] >= 0
+            assert child["cpu_s"] is not None
+
+    def test_run_span_annotated_with_output_counts(self, traced_run):
+        result, snapshot = traced_run
+        (run_root,) = [
+            s for s in snapshot["spans"] if s["name"] == "pipeline.run"
+        ]
+        meta = run_root["meta"]
+        assert meta["n_topics"] == len(result.topics)
+        assert meta["n_event_tweets"] == len(result.event_tweets)
+
+    def test_hot_loops_have_leaf_spans(self, traced_run):
+        _result, snapshot = traced_run
+
+        def names(nodes):
+            for node in nodes:
+                yield node["name"]
+                yield from names(node.get("children", []))
+
+        all_names = set(names(snapshot["spans"]))
+        assert "topics.nmf.fit" in all_names
+        assert "events.mabed.detect" in all_names
+        assert "events.mabed.selection" in all_names
+
+    def test_store_counters_recorded(self, traced_run):
+        _result, snapshot = traced_run
+        counters = snapshot["metrics"]["counters"]
+        assert counters["store.queries"]["value"] > 0
+
+    def test_nmf_objective_histogram_tracks_iterations(self, traced_run):
+        result, snapshot = traced_run
+        histogram = snapshot["metrics"]["histograms"]["topics.nmf.objective"]
+        assert histogram["count"] == result.nmf.n_iterations
+        # Multiplicative updates are monotonically non-increasing.
+        assert histogram["series"][0] >= histogram["series"][-1]
+
+    def test_snapshot_renders_via_report(self, traced_run):
+        _result, snapshot = traced_run
+        text = render_report(snapshot)
+        assert "pipeline.run" in text
+        assert "pipeline.topic_modeling" in text
+        assert "store.queries" in text
+
+
+class TestNetworkInstrumentation:
+    def test_fit_emits_span_and_history_histograms(self, enabled_obs):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(48, 5))
+        labels = rng.integers(0, 2, size=48)
+        Y = np.zeros((48, 2))
+        Y[np.arange(48), labels] = 1.0
+
+        model = Sequential(
+            [Dense(8, activation="relu"), Dense(2, activation="softmax")], seed=3
+        )
+        model.compile(optimizer="sgd", loss="categorical_crossentropy")
+        model.fit(X, Y, epochs=3, batch_size=16)
+        model.predict(X)
+
+        (fit_span,) = [
+            s for s in enabled_obs.roots if s.name == "nn.fit"
+        ]
+        assert fit_span.meta["epochs"] == 3
+        assert fit_span.meta["samples"] == 48
+
+        snapshot = enabled_obs.snapshot()
+        loss = snapshot["metrics"]["histograms"]["nn.history.loss"]
+        assert loss["count"] == 3
+        assert snapshot["metrics"]["counters"]["nn.predict_calls"]["value"] >= 1
+        assert snapshot["metrics"]["counters"]["nn.train_batches"]["value"] >= 9
+
+    def test_disabled_fit_records_nothing(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(16, 4))
+        Y = np.eye(2)[rng.integers(0, 2, size=16)]
+        model = Sequential([Dense(2, activation="softmax")], seed=3)
+        model.compile(optimizer="sgd", loss="categorical_crossentropy")
+        model.fit(X, Y, epochs=2, batch_size=8)
+        assert obs.get_registry().is_empty()
+
+
+class TestStoreInstrumentation:
+    def test_query_and_scan_counters(self, enabled_obs):
+        c = Collection("t")
+        c.insert_many([{"a": i} for i in range(10)])
+        c.find({"a": 3}).to_list()
+        counters = enabled_obs.snapshot()["metrics"]["counters"]
+        assert counters["store.inserts"]["value"] == 10
+        assert counters["store.queries"]["value"] >= 1
+        assert counters["store.full_scans"]["value"] >= 1
+
+    def test_index_scan_counter(self, enabled_obs):
+        c = Collection("t")
+        c.insert_many([{"a": i} for i in range(10)])
+        c.create_index("a")
+        c.find({"a": 3}).to_list()
+        counters = enabled_obs.snapshot()["metrics"]["counters"]
+        assert counters["store.index_builds"]["value"] == 1
+        assert counters["store.index_scans"]["value"] >= 1

@@ -1,0 +1,191 @@
+"""Rendering snapshots: load validation, the timing tree, and the report CLI."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.cli import main as obs_main
+from repro.obs.report import (
+    load_snapshot,
+    render_metrics,
+    render_report,
+    render_spans,
+)
+
+SNAPSHOT = {
+    "version": 1,
+    "spans": [
+        {
+            "name": "pipeline.run",
+            "wall_s": 2.0,
+            "cpu_s": 1.5,
+            "start_s": 0.0,
+            "meta": {"n_topics": 6},
+            "children": [
+                {
+                    "name": "pipeline.topic_modeling",
+                    "wall_s": 0.5,
+                    "cpu_s": 0.4,
+                    "start_s": 0.1,
+                },
+                {
+                    "name": "pipeline.twitter_event_detection",
+                    "wall_s": 1.0,
+                    "cpu_s": 0.9,
+                    "start_s": 0.6,
+                },
+            ],
+        }
+    ],
+    "metrics": {
+        "counters": {"store.queries": {"value": 42.0}},
+        "gauges": {"vocab": {"value": None}},
+        "histograms": {
+            "nn.history.loss": {
+                "count": 3,
+                "sum": 3.0,
+                "min": 0.5,
+                "max": 1.5,
+                "mean": 1.0,
+                "series": [1.5, 1.0, 0.5],
+                "truncated": False,
+            }
+        },
+    },
+}
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(SNAPSHOT), encoding="utf-8")
+    return str(path)
+
+
+class TestLoadSnapshot:
+    def test_round_trip(self, snapshot_file):
+        assert load_snapshot(snapshot_file) == SNAPSHOT
+
+    def test_missing_keys_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"spans": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not an obs snapshot"):
+            load_snapshot(str(bad))
+
+    def test_non_dict_rejected(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_snapshot(str(bad))
+
+
+class TestRenderSpans:
+    def test_tree_structure_and_percentages(self):
+        text = render_spans(SNAPSHOT)
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline.run")
+        assert any("├── pipeline.topic_modeling" in line for line in lines)
+        assert any("└── pipeline.twitter_event_detection" in line for line in lines)
+        assert " 25.0%" in text  # 0.5 / 2.0
+        assert " 50.0%" in text  # 1.0 / 2.0
+        assert "· n_topics=6" in text
+
+    def test_empty_snapshot(self):
+        assert render_spans({"spans": [], "metrics": {}}) == "(no spans recorded)"
+
+    def test_open_span_rendered_as_open(self):
+        snapshot = {
+            "spans": [{"name": "hung", "wall_s": None, "cpu_s": None}],
+            "metrics": {},
+        }
+        assert "open" in render_spans(snapshot)
+
+
+class TestRenderMetrics:
+    def test_all_three_tables(self):
+        text = render_metrics(SNAPSHOT)
+        assert "store.queries" in text and "42" in text
+        assert "unset" in text  # the None-valued gauge
+        assert "nn.history.loss" in text and "0.5" in text
+
+    def test_empty_metrics(self):
+        text = render_metrics({"spans": [], "metrics": {}})
+        assert text == "(no metrics recorded)"
+
+    def test_report_can_omit_metrics(self):
+        with_metrics = render_report(SNAPSHOT)
+        without = render_report(SNAPSHOT, include_metrics=False)
+        assert "counters:" in with_metrics
+        assert "counters:" not in without
+
+
+class TestReportCli:
+    def test_report_renders_tree(self, snapshot_file, capsys):
+        assert obs_main(["report", snapshot_file]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.run" in out
+        assert "store.queries" in out
+
+    def test_no_metrics_flag(self, snapshot_file, capsys):
+        assert obs_main(["report", snapshot_file, "--no-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.run" in out
+        assert "store.queries" not in out
+
+    def test_json_flag_reemits_snapshot(self, snapshot_file, capsys):
+        assert obs_main(["report", snapshot_file, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == SNAPSHOT
+
+    def test_missing_file_is_exit_1(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.json")]) == 1
+        assert "no snapshot" in capsys.readouterr().err
+
+    def test_invalid_json_is_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert obs_main(["report", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_wrong_shape_is_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "shape.json"
+        bad.write_text('{"hello": 1}', encoding="utf-8")
+        assert obs_main(["report", str(bad)]) == 1
+
+    def test_no_command_is_argparse_error(self):
+        with pytest.raises(SystemExit):
+            obs_main([])
+
+    def test_module_entry_point(self, snapshot_file):
+        import os
+        import subprocess
+        import sys
+
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "report", snapshot_file],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0
+        assert "pipeline.run" in proc.stdout
+
+
+def test_registry_save_renders(tmp_path, capsys):
+    """End to end: record → save → report."""
+    previous = obs.set_enabled(True)
+    obs.reset()
+    try:
+        with obs.span("stage"):
+            obs.counter("c").inc()
+        path = obs.get_registry().save(str(tmp_path / "live.json"))
+    finally:
+        obs.set_enabled(previous)
+        obs.reset()
+    assert obs_main(["report", path]) == 0
+    assert "stage" in capsys.readouterr().out

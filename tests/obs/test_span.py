@@ -1,0 +1,220 @@
+"""Span tracing, the REPRO_OBS toggle, and the registry lifecycle.
+
+Contains the acceptance check for the disabled fast path: with
+observability off, ``obs.span()`` hands back the shared ``NULL_SPAN``
+and the process-global registry records *nothing* — so leaving the
+instrumentation in shipped code costs one env lookup per call site.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_SPAN, Registry
+
+
+class TestToggle:
+    def test_disabled_by_default(self):
+        assert not obs.obs_enabled()
+
+    def test_set_enabled_returns_previous(self):
+        assert obs.set_enabled(True) is False
+        assert obs.obs_enabled()
+        assert obs.set_enabled(False) is True
+
+    def test_env_one_wins_over_programmatic_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert obs.obs_enabled()
+
+    def test_env_zero_wins_over_programmatic_on(self, monkeypatch):
+        obs.set_enabled(True)
+        for off in ("0", "false", "", "  FALSE "):
+            monkeypatch.setenv("REPRO_OBS", off)
+            assert not obs.obs_enabled(), repr(off)
+
+    def test_enabled_context_manager_restores(self):
+        with obs.enabled():
+            assert obs.obs_enabled()
+        assert not obs.obs_enabled()
+
+
+class TestDisabledFastPath:
+    """Acceptance: REPRO_OBS=0 adds no overhead — nothing is recorded."""
+
+    def test_span_is_shared_null_singleton(self):
+        assert obs.span("pipeline.run") is NULL_SPAN
+        assert obs.span("anything.else") is NULL_SPAN
+
+    def test_metrics_are_shared_null_singletons(self):
+        assert obs.counter("c") is NULL_COUNTER
+        assert obs.gauge("g") is NULL_GAUGE
+        assert obs.histogram("h") is NULL_HISTOGRAM
+
+    def test_disabled_span_records_nothing(self):
+        registry = obs.get_registry()
+        assert registry.is_empty()
+        with obs.span("work") as span:
+            span.annotate(rows=100)
+            obs.counter("inner").inc()
+            obs.histogram("inner.loss").observe(0.5)
+        assert span.wall_s is None
+        assert span.to_dict() == {}
+        assert registry.is_empty()
+        assert registry.snapshot()["spans"] == []
+
+    def test_null_span_reentrant(self):
+        # The shared instance must tolerate concurrent/nested use.
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        with obs.span("again"):
+            pass
+
+
+class TestSpanRecording:
+    def test_span_times_and_attaches_to_registry(self, enabled_obs):
+        with obs.span("stage") as span:
+            sum(range(1000))
+        assert span.wall_s is not None and span.wall_s >= 0.0
+        assert span.cpu_s is not None and span.cpu_s >= 0.0
+        assert span.start_s is not None
+        assert [s.name for s in enabled_obs.roots] == ["stage"]
+
+    def test_nesting_builds_a_tree(self, enabled_obs):
+        with obs.span("parent"):
+            with obs.span("child_a"):
+                pass
+            with obs.span("child_b"):
+                with obs.span("grandchild"):
+                    pass
+        (root,) = enabled_obs.roots
+        assert root.name == "parent"
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[1].children] == ["grandchild"]
+
+    def test_double_enter_raises(self, enabled_obs):
+        span = enabled_obs.span("once")
+        with span:
+            with pytest.raises(RuntimeError):
+                span.__enter__()
+
+    def test_exception_is_annotated_and_reraised(self, enabled_obs):
+        with pytest.raises(KeyError):
+            with obs.span("fails") as span:
+                raise KeyError("boom")
+        assert span.meta["error"] == "KeyError"
+        assert span.wall_s is not None  # still timed
+
+    def test_annotate_returns_self_and_merges(self, enabled_obs):
+        with obs.span("s") as span:
+            assert span.annotate(a=1) is span
+            span.annotate(b=2)
+        assert span.meta == {"a": 1, "b": 2}
+
+    def test_self_wall_excludes_children(self, enabled_obs):
+        with obs.span("parent") as parent:
+            with obs.span("child"):
+                sum(range(10000))
+        child = parent.children[0]
+        assert parent.self_wall_s is not None
+        assert parent.self_wall_s == pytest.approx(
+            parent.wall_s - child.wall_s, abs=1e-9
+        )
+
+    def test_to_dict_round_trips_through_json(self, enabled_obs):
+        with obs.span("root") as root:
+            root.annotate(n=3)
+            with obs.span("leaf"):
+                pass
+        data = json.loads(json.dumps(root.to_dict()))
+        assert data["name"] == "root"
+        assert data["meta"] == {"n": 3}
+        assert [c["name"] for c in data["children"]] == ["leaf"]
+
+    def test_threads_get_independent_stacks(self, enabled_obs):
+        def worker():
+            with obs.span("thread.work"):
+                pass
+
+        with obs.span("main.work"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        names = sorted(s.name for s in enabled_obs.roots)
+        # The thread's span is a separate root, NOT a child of main.work.
+        assert names == ["main.work", "thread.work"]
+        (main_span,) = [s for s in enabled_obs.roots if s.name == "main.work"]
+        assert main_span.children == []
+
+
+class TestRegistry:
+    def test_metrics_are_get_or_create_by_name(self, enabled_obs):
+        obs.counter("store.queries").inc()
+        obs.counter("store.queries").inc()
+        assert enabled_obs.counter("store.queries").value == 2.0
+
+    def test_snapshot_shape(self, enabled_obs):
+        with obs.span("stage"):
+            obs.counter("c").inc()
+            obs.gauge("g").set(1)
+            obs.histogram("h").observe(2.0)
+        snapshot = enabled_obs.snapshot()
+        assert snapshot["version"] == 1
+        assert [s["name"] for s in snapshot["spans"]] == ["stage"]
+        assert snapshot["metrics"]["counters"]["c"] == {"value": 1.0}
+        assert snapshot["metrics"]["gauges"]["g"] == {"value": 1.0}
+        assert snapshot["metrics"]["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self, enabled_obs):
+        with obs.span("stage"):
+            obs.counter("c").inc()
+        assert not enabled_obs.is_empty()
+        obs.reset()
+        assert enabled_obs.is_empty()
+        assert enabled_obs.snapshot()["spans"] == []
+
+    def test_save_writes_renderable_json(self, enabled_obs, tmp_path):
+        with obs.span("stage"):
+            obs.counter("c").inc()
+        path = str(tmp_path / "deep" / "run.json")
+        assert enabled_obs.save(path) == path
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert data["spans"][0]["name"] == "stage"
+
+    def test_iter_spans_covers_the_whole_tree(self, enabled_obs):
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        with obs.span("c"):
+            pass
+        assert sorted(s.name for s in enabled_obs.iter_spans()) == ["a", "b", "c"]
+
+    def test_current_span(self, enabled_obs):
+        assert enabled_obs.current_span() is None
+        with obs.span("outer"):
+            with obs.span("inner") as inner:
+                assert enabled_obs.current_span() is inner
+        assert enabled_obs.current_span() is None
+
+    def test_mis_nested_exit_recovers(self, enabled_obs):
+        outer = enabled_obs.span("outer")
+        inner = enabled_obs.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Exit out of order: outer first.  The stack must not corrupt
+        # subsequent spans.
+        outer.__exit__(None, None, None)
+        with obs.span("after") as after:
+            pass
+        assert after.wall_s is not None
+        assert [s.name for s in enabled_obs.roots] == ["outer", "after"]
+
+    def test_fresh_registry_is_isolated(self):
+        private = Registry()
+        with private.span("local"):
+            pass
+        assert [s.name for s in private.roots] == ["local"]
+        assert obs.get_registry().is_empty()

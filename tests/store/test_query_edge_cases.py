@@ -1,0 +1,137 @@
+"""Edge cases for Collection queries: empty collections, missing fields,
+compound filters, and index interaction.
+
+The pipeline restores snapshots through the store on every 2-hour cycle
+(§4.9), so degenerate inputs — a collection with nothing in it, filters
+on fields only some documents carry, `$and`/`$or` compounds mixing both —
+must behave like MongoDB rather than crash or silently match everything.
+"""
+
+import pytest
+
+from repro.store import Collection, QueryError
+
+
+@pytest.fixture
+def empty():
+    return Collection("empty")
+
+
+@pytest.fixture
+def sparse():
+    """Documents that do NOT all share the same fields."""
+    c = Collection("sparse")
+    c.insert_many(
+        [
+            {"_id": 1, "author": "a", "likes": 10, "lang": "en"},
+            {"_id": 2, "author": "b", "likes": 200},  # no lang
+            {"_id": 3, "author": "a", "retweets": 5, "lang": "fr"},  # no likes
+            {"_id": 4, "author": "c"},  # only author
+        ]
+    )
+    return c
+
+
+class TestEmptyCollection:
+    def test_find_returns_nothing(self, empty):
+        assert empty.find().to_list() == []
+        assert empty.find({"any": "thing"}).to_list() == []
+
+    def test_find_one_returns_none(self, empty):
+        assert empty.find_one() is None
+        assert empty.find_one({"a": 1}) is None
+
+    def test_counts_are_zero(self, empty):
+        assert len(empty) == 0
+        assert empty.count_documents() == 0
+        assert empty.count_documents({"a": {"$gt": 0}}) == 0
+
+    def test_updates_and_deletes_touch_nothing(self, empty):
+        assert empty.update_one({}, {"$set": {"a": 1}}) == 0
+        assert empty.update_many({}, {"$set": {"a": 1}}) == 0
+        assert empty.delete_one({}) == 0
+        assert empty.delete_many({}) == 0
+
+    def test_distinct_and_aggregate_are_empty(self, empty):
+        assert empty.distinct("author") == []
+        assert empty.aggregate([{"$match": {"a": 1}}]) == []
+
+    def test_cursor_chaining_on_empty(self, empty):
+        assert empty.find().sort("a").skip(3).limit(2).to_list() == []
+        assert empty.find().count() == 0
+
+    def test_index_on_empty_collection_still_works(self, empty):
+        empty.create_index("author")
+        assert empty.find({"author": "a"}).to_list() == []
+        empty.insert_one({"author": "a"})
+        assert empty.find({"author": "a"}).count() == 1
+
+
+class TestMissingFields:
+    def test_equality_skips_documents_without_field(self, sparse):
+        assert [d["_id"] for d in sparse.find({"lang": "en"})] == [1]
+
+    def test_exists_operator(self, sparse):
+        with_likes = {d["_id"] for d in sparse.find({"likes": {"$exists": True}})}
+        without = {d["_id"] for d in sparse.find({"likes": {"$exists": False}})}
+        assert with_likes == {1, 2}
+        assert without == {3, 4}
+        assert with_likes | without == {1, 2, 3, 4}
+
+    def test_ne_matches_missing_field(self, sparse):
+        # MongoDB semantics: $ne matches documents lacking the field.
+        ids = {d["_id"] for d in sparse.find({"lang": {"$ne": "en"}})}
+        assert ids == {2, 3, 4}
+
+    def test_comparison_on_missing_field_never_matches(self, sparse):
+        assert sparse.find({"likes": {"$gt": -1e9}}).count() == 2
+
+    def test_sort_places_missing_values_deterministically(self, sparse):
+        ascending = [d["_id"] for d in sparse.find().sort("likes")]
+        descending = [d["_id"] for d in sparse.find().sort("likes", -1)]
+        # Missing sorts before present on ascending, after on descending
+        # (ties keep insertion order — the sort is stable).
+        assert ascending == [3, 4, 1, 2]
+        assert descending == [2, 1, 3, 4]
+
+    def test_distinct_ignores_documents_without_field(self, sparse):
+        assert set(sparse.distinct("lang")) == {"en", "fr"}
+
+
+class TestCompoundFilters:
+    def test_implicit_and_of_two_fields(self, sparse):
+        assert [d["_id"] for d in sparse.find({"author": "a", "lang": "fr"})] == [3]
+
+    def test_explicit_and_with_range(self, sparse):
+        query = {"$and": [{"likes": {"$gte": 10}}, {"likes": {"$lt": 100}}]}
+        assert [d["_id"] for d in sparse.find(query)] == [1]
+
+    def test_or_across_missing_fields(self, sparse):
+        query = {"$or": [{"likes": {"$gt": 100}}, {"retweets": {"$exists": True}}]}
+        assert {d["_id"] for d in sparse.find(query)} == {2, 3}
+
+    def test_nested_and_or(self, sparse):
+        query = {
+            "$and": [
+                {"author": {"$in": ["a", "b"]}},
+                {"$or": [{"lang": "fr"}, {"likes": {"$gte": 200}}]},
+            ]
+        }
+        assert {d["_id"] for d in sparse.find(query)} == {2, 3}
+
+    def test_compound_filter_with_index_matches_full_scan(self, sparse):
+        query = {"author": "a", "likes": {"$exists": True}}
+        before = [d["_id"] for d in sparse.find(query)]
+        sparse.create_index("author")
+        after = [d["_id"] for d in sparse.find(query)]
+        assert before == after == [1]
+
+    def test_empty_and_or_or_raises(self, sparse):
+        with pytest.raises(QueryError):
+            sparse.find({"$and": []}).to_list()
+        with pytest.raises(QueryError):
+            sparse.find({"$or": []}).to_list()
+
+    def test_unknown_operator_raises(self, sparse):
+        with pytest.raises(QueryError):
+            sparse.find({"likes": {"$frobnicate": 1}}).to_list()
