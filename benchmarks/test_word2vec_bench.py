@@ -1,0 +1,73 @@
+"""Word2Vec trainer regression bench (ISSUE 3 acceptance).
+
+Asserts the batched trainer is ≥3x faster than the per-pair loop trainer
+on the seeded synthetic corpus, with final-epoch loss within 5%, and
+that neither ratio regressed more than 2x against the committed baseline
+(``benchmarks/baselines/word2vec_baseline.json``).  Also records the
+pipeline wall-clock on a small world so before/after timings of the
+parallelized preprocessing fan-outs live next to the trainer numbers.
+
+The rendered table lands in ``benchmarks/results/word2vec_bench.txt``,
+the raw record in ``benchmarks/results/word2vec_bench.json``, and the
+obs snapshot (span tree incl. ``embeddings.word2vec.train`` and the
+``parallel.map`` chunks) in ``benchmarks/results/obs/`` via conftest.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, bench_scale, emit  # noqa: E402
+from word2vec_microbench import (  # noqa: E402
+    check_against_baseline,
+    render,
+    run_microbench,
+)
+
+from repro import NewsDiffusionPipeline, build_world  # noqa: E402
+from repro.core.config import small_config  # noqa: E402
+from repro.datagen import WorldConfig  # noqa: E402
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "word2vec_baseline.json"
+)
+
+MIN_SPEEDUP = 3.0
+LOSS_BUDGET = 0.05
+
+
+def test_word2vec_batched_trainer_speedup_and_parity():
+    scale = bench_scale()
+    result = run_microbench(scale=scale)
+
+    # Pipeline wall-clock on a small world: the preprocessing /
+    # candidate-scan / dataset fan-outs now run through repro.parallel.
+    world = build_world(WorldConfig(n_articles=150, n_tweets=500, n_users=50, seed=5))
+    started = time.perf_counter()
+    NewsDiffusionPipeline(small_config()).run(world)
+    result["pipeline_small_world_seconds"] = time.perf_counter() - started
+
+    text = render(result) + (
+        f"\n  pipeline (150 articles / 500 tweets): "
+        f"{result['pipeline_small_world_seconds']:.2f}s"
+    )
+    emit("word2vec_bench", text)
+    with open(
+        os.path.join(RESULTS_DIR, "word2vec_bench.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"batched trainer only {result['speedup']:.2f}x faster than the loop "
+        f"trainer (need >= {MIN_SPEEDUP}x)\n{text}"
+    )
+    assert result["loss_gap"] <= LOSS_BUDGET, text
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check_against_baseline(result, baseline)
+    assert not failures, "\n".join(failures)

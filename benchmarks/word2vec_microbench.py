@@ -1,0 +1,192 @@
+"""Word2Vec micro-benchmark — loop vs batched trainer regression harness.
+
+Trains the same seeded Zipf corpus with both trainers
+(``trainer="loop"``, the sequential per-pair reference, and
+``trainer="batch"``, the vectorized kernel) and reports wall-clock,
+final-epoch losses, the speedup, and the relative loss gap.
+
+Used two ways:
+
+* ``benchmarks/test_word2vec_bench.py`` calls :func:`run_microbench`
+  inside the bench suite and commits the result JSON + obs snapshot
+  under ``benchmarks/results/``;
+* CI runs this file as a script at reduced scale with
+  ``--check benchmarks/baselines/word2vec_baseline.json`` and fails the
+  build when the measured speedup regresses more than 2x against the
+  committed baseline (speedups are machine-relative ratios, so the
+  check is stable across runner hardware) or loss parity breaks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/word2vec_microbench.py \
+        --scale 0.25 --check benchmarks/baselines/word2vec_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.embeddings import Word2Vec
+
+# Loss parity budget between the two trainers (ISSUE-3 acceptance: 5%).
+LOSS_PARITY_BUDGET = 0.05
+
+# A regression fails CI when the measured speedup falls below
+# baseline_speedup / MAX_REGRESSION.
+MAX_REGRESSION = 2.0
+
+
+def build_corpus(
+    n_sentences: int, vocab_size: int, sentence_len: int, seed: int
+) -> List[List[str]]:
+    """A seeded Zipf-distributed synthetic corpus (stable across runs)."""
+    rng = np.random.default_rng(seed)
+    vocab = np.array([f"w{i}" for i in range(vocab_size)])
+    probs = 1.0 / np.arange(1, vocab_size + 1) ** 1.1
+    probs /= probs.sum()
+    return [
+        list(rng.choice(vocab, size=sentence_len, p=probs))
+        for _ in range(n_sentences)
+    ]
+
+
+def time_trainer(
+    trainer: str,
+    corpus: List[List[str]],
+    dim: int,
+    epochs: int,
+    seed: int,
+    sg: bool = True,
+) -> Dict[str, float]:
+    """Train one configuration; returns wall seconds and final loss."""
+    model = Word2Vec(
+        vector_size=dim,
+        min_count=2,
+        epochs=epochs,
+        seed=seed,
+        sg=sg,
+        trainer=trainer,
+    )
+    started = time.perf_counter()
+    loss = model.train(corpus)
+    return {
+        "seconds": time.perf_counter() - started,
+        "final_loss": loss,
+        "vocabulary": len(model.index_to_word),
+    }
+
+
+def run_microbench(
+    scale: float = 1.0, dim: int = 100, epochs: int = 2, seed: int = 7
+) -> Dict[str, object]:
+    """Loop-vs-batch comparison at *scale*; returns the result record."""
+    n_sentences = max(50, int(800 * scale))
+    vocab_size = max(50, int(2000 * scale))
+    corpus = build_corpus(n_sentences, vocab_size, sentence_len=20, seed=seed)
+    loop = time_trainer("loop", corpus, dim, epochs, seed)
+    batch = time_trainer("batch", corpus, dim, epochs, seed)
+    loss_gap = abs(batch["final_loss"] - loop["final_loss"]) / max(
+        abs(loop["final_loss"]), 1e-12
+    )
+    return {
+        "bench": "word2vec_microbench",
+        "scale": scale,
+        "dim": dim,
+        "epochs": epochs,
+        "seed": seed,
+        "n_sentences": n_sentences,
+        "vocab_size": vocab_size,
+        "loop": loop,
+        "batch": batch,
+        "speedup": loop["seconds"] / max(batch["seconds"], 1e-12),
+        "loss_gap": loss_gap,
+    }
+
+
+def check_against_baseline(
+    result: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = MAX_REGRESSION,
+) -> List[str]:
+    """Regression failures of *result* vs the committed *baseline*.
+
+    Compares the machine-relative speedup ratio (not absolute seconds,
+    which vary across hardware) and the trainer loss parity.  Returns a
+    list of human-readable failure strings — empty means pass.
+    """
+    failures: List[str] = []
+    floor = float(baseline["speedup"]) / max_regression
+    if float(result["speedup"]) < floor:
+        failures.append(
+            f"speedup {result['speedup']:.2f}x regressed more than "
+            f"{max_regression:.1f}x against the committed baseline "
+            f"({baseline['speedup']:.2f}x; floor {floor:.2f}x)"
+        )
+    if float(result["loss_gap"]) > LOSS_PARITY_BUDGET:
+        failures.append(
+            f"batched trainer loss diverged {result['loss_gap']:.1%} from the "
+            f"loop trainer (budget {LOSS_PARITY_BUDGET:.0%})"
+        )
+    return failures
+
+
+def render(result: Dict[str, object]) -> str:
+    """Human-readable table of one microbench result."""
+    loop = result["loop"]
+    batch = result["batch"]
+    lines = [
+        "Word2Vec trainer micro-benchmark "
+        f"(scale={result['scale']}, dim={result['dim']}, "
+        f"epochs={result['epochs']}, {result['n_sentences']} sentences, "
+        f"vocab={loop['vocabulary']})",
+        f"  loop  : {loop['seconds']:8.3f}s  final loss {loop['final_loss']:.4f}",
+        f"  batch : {batch['seconds']:8.3f}s  final loss {batch['final_loss']:.4f}",
+        f"  speedup {result['speedup']:.2f}x, loss gap {result['loss_gap']:.2%}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dim", type=int, default=100)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", help="write the result JSON here")
+    parser.add_argument(
+        "--check",
+        help="baseline JSON to compare against; non-zero exit on regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_microbench(
+        scale=args.scale, dim=args.dim, epochs=args.epochs, seed=args.seed
+    )
+    print(render(result))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(result, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"baseline check ok (committed speedup {baseline['speedup']:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

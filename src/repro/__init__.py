@@ -25,6 +25,8 @@ Subpackages
     Synthetic news+Twitter world generator (the data substitute).
 ``repro.datasets``
     Table-2 encodings, metadata vector, the A1..D2 datasets.
+``repro.parallel``
+    Seeded, order-preserving thread/process maps for the fan-out stages.
 
 Quickstart
 ----------
@@ -42,10 +44,12 @@ from .core import (
     small_config,
 )
 from .datagen import World, WorldConfig, build_world
+from .parallel import parallel_map
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "parallel_map",
     "NewsDiffusionPipeline",
     "PipelineResult",
     "PipelineConfig",

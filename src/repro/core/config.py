@@ -52,7 +52,13 @@ class PipelineConfig:
     early_stopping_patience: int = 3
     seed: int = 42
 
+    # Parallel fan-outs (repro.parallel): 0 defers to the REPRO_WORKERS
+    # environment variable (default serial).
+    workers: int = 0
+
     def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = resolve from env)")
         if self.n_topics < 1:
             raise ValueError("n_topics must be >= 1")
         if not 0.0 <= self.trending_similarity_threshold <= 1.0:

@@ -17,7 +17,8 @@ from typing import Dict, List, Optional, Sequence
 
 from .. import obs
 from ..datagen import World
-from ..datasets import Dataset, EventTweet, build_all_datasets
+from ..datasets import VARIANT_NAMES, Dataset, EventTweet, build_all_datasets
+from ..parallel import parallel_map
 from ..embeddings import PretrainedEmbeddings
 from ..events import MABED, Event, TimestampedDocument
 from ..text import (
@@ -73,52 +74,72 @@ class NewsDiffusionPipeline:
 
     # -- corpora ---------------------------------------------------------------
 
+    def _map_docs(self, func, docs, span_name: str) -> List:
+        """Fan a per-document function out over ``config.workers`` workers.
+
+        Delegates to :func:`repro.parallel.parallel_map` with stable
+        chunking, so results (and therefore every downstream stage) are
+        identical whatever the worker count; ``workers=0`` defers to the
+        ``REPRO_WORKERS`` environment variable.
+        """
+        return parallel_map(
+            func,
+            docs,
+            workers=self.config.workers or None,
+            allow_process=False,
+            span_name=span_name,
+        )
+
     def preprocess_news_tm(self, world: World) -> List[List[str]]:
         """NewsTM corpus: article texts through the topic-modeling pipeline."""
-        return [
-            preprocess_for_topic_modeling(
+        return self._map_docs(
+            lambda doc: preprocess_for_topic_modeling(
                 f"{doc.get('title', '')}. {doc.get('text', '')}"
-            )
-            for doc in world.news.find()
-        ]
+            ),
+            list(world.news.find()),
+            "pipeline.parallel.news_tm",
+        )
 
     def preprocess_news_ed(self, world: World) -> List[TimestampedDocument]:
         """NewsED corpus for MABED (minimal preprocessing + timestamps)."""
-        return [
-            TimestampedDocument(
+        return self._map_docs(
+            lambda doc: TimestampedDocument(
                 tokens=preprocess_for_event_detection(
                     f"{doc.get('title', '')} {doc.get('text', '')}"
                 ),
                 created_at=doc["created_at"],
                 doc_id=doc["_id"],
-            )
-            for doc in world.news.find()
-        ]
+            ),
+            list(world.news.find()),
+            "pipeline.parallel.news_ed",
+        )
 
     def preprocess_twitter_ed(self, world: World) -> List[TimestampedDocument]:
         """TwitterED corpus for MABED."""
-        return [
-            TimestampedDocument(
+        return self._map_docs(
+            lambda doc: TimestampedDocument(
                 tokens=preprocess_for_event_detection(doc["text"]),
                 created_at=doc["created_at"],
                 doc_id=doc["_id"],
-            )
-            for doc in world.tweets.find()
-        ]
+            ),
+            list(world.tweets.find()),
+            "pipeline.parallel.twitter_ed",
+        )
 
     def tweet_records(self, world: World) -> List[TweetRecord]:
         """TwitterED tweets with the metadata the feature module needs."""
-        return [
-            TweetRecord(
+        return self._map_docs(
+            lambda doc: TweetRecord(
                 tokens=preprocess_for_event_detection(doc["text"]),
                 created_at=doc["created_at"],
                 author=doc["author"],
                 followers=int(doc["followers"]),
                 likes=int(doc["likes"]),
                 retweets=int(doc["retweets"]),
-            )
-            for doc in world.tweets.find()
-        ]
+            ),
+            list(world.tweets.find()),
+            "pipeline.parallel.tweet_records",
+        )
 
     # -- stages --------------------------------------------------------------------
 
@@ -144,6 +165,7 @@ class NewsDiffusionPipeline:
             n_related_words=self.config.n_related_words,
             theta=self.config.mabed_theta,
             stopword_filter=is_stopword,
+            workers=self.config.workers or None,
         )
         return detector.detect(news_ed, self.config.n_news_events)
 
@@ -157,6 +179,7 @@ class NewsDiffusionPipeline:
             n_related_words=self.config.n_related_words,
             theta=self.config.mabed_theta,
             stopword_filter=is_stopword,
+            workers=self.config.workers or None,
         )
         return detector.detect(twitter_ed, self.config.n_twitter_events)
 
@@ -279,7 +302,12 @@ class NewsDiffusionPipeline:
         datasets: Dict[str, Dataset] = {}
         if records:
             datasets = timed(
-                "dataset_building", build_all_datasets, records, embeddings
+                "dataset_building",
+                build_all_datasets,
+                records,
+                embeddings,
+                VARIANT_NAMES,
+                self.config.workers or None,
             )
 
         return PipelineResult(

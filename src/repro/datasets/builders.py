@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from ..embeddings import PretrainedEmbeddings, rnd_doc2vec, sw_doc2vec, swm_doc2vec
-from .encoding import encode_count, metadata_vector
+from ..parallel import parallel_map
+from .encoding import encode_count, encode_labels, metadata_vector
 
 VARIANT_NAMES = ("A1", "A2", "B1", "B2", "C1", "C2", "D1", "D2")
 
@@ -100,8 +101,15 @@ def build_dataset(
     records: Sequence[EventTweet],
     embeddings: PretrainedEmbeddings,
     variant: str,
+    workers: Optional[int] = None,
 ) -> Dataset:
-    """Encode *records* as one of the A1..D2 datasets."""
+    """Encode *records* as one of the A1..D2 datasets.
+
+    Per-record row construction (document embedding + metadata
+    concatenation) is embarrassingly parallel and fans out over
+    :func:`repro.parallel.parallel_map`; row order always matches the
+    input record order, whatever *workers* resolves to.
+    """
     if variant not in _VARIANT_SPEC:
         raise KeyError(
             f"unknown variant {variant!r}; expected one of {VARIANT_NAMES}"
@@ -110,14 +118,21 @@ def build_dataset(
         raise ValueError("cannot build a dataset from zero records")
     family, with_metadata, with_followers = _VARIANT_SPEC[variant]
 
-    rows: List[np.ndarray] = []
-    for record in records:
+    def encode_row(record: EventTweet) -> np.ndarray:
         parts = [_document_vector(record, embeddings, family)]
         if with_metadata:
             parts.append(metadata_vector(record.followers, record.created_at))
         if with_followers:
             parts.append(np.array([float(encode_count(record.followers))]))
-        rows.append(np.concatenate(parts))
+        return np.concatenate(parts)
+
+    rows = parallel_map(
+        encode_row,
+        records,
+        workers=workers,
+        allow_process=False,
+        span_name=f"datasets.build.{variant}",
+    )
 
     feature_names = [f"d2v_{i}" for i in range(embeddings.dim)]
     if with_metadata:
@@ -128,10 +143,8 @@ def build_dataset(
     return Dataset(
         name=variant,
         X=np.vstack(rows),
-        y_likes=np.array([encode_count(r.likes) for r in records], dtype=np.int64),
-        y_retweets=np.array(
-            [encode_count(r.retweets) for r in records], dtype=np.int64
-        ),
+        y_likes=encode_labels([r.likes for r in records]),
+        y_retweets=encode_labels([r.retweets for r in records]),
         feature_names=feature_names,
     )
 
@@ -140,6 +153,9 @@ def build_all_datasets(
     records: Sequence[EventTweet],
     embeddings: PretrainedEmbeddings,
     variants: Sequence[str] = VARIANT_NAMES,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dataset]:
     """All requested A1..D2 datasets over the same records."""
-    return {v: build_dataset(records, embeddings, v) for v in variants}
+    return {
+        v: build_dataset(records, embeddings, v, workers=workers) for v in variants
+    }

@@ -43,8 +43,16 @@ def encode_count(count: int) -> int:
 
 
 def encode_labels(counts: Sequence[int]) -> np.ndarray:
-    """Vectorized Table 2 encoding."""
-    return np.array([encode_count(int(c)) for c in counts], dtype=np.int64)
+    """Vectorized Table 2 encoding (one ``np.digitize`` over all counts).
+
+    Bin edges ``[LOW_EDGE, HIGH_EDGE + 1)`` reproduce
+    :func:`encode_count` exactly: ``count < 100 -> 0``,
+    ``100 <= count <= 1000 -> 1``, ``count > 1000 -> 2``.
+    """
+    values = np.asarray(counts, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise ValueError("counts cannot be negative")
+    return np.digitize(values, (LOW_EDGE, HIGH_EDGE + 1)).astype(np.int64)
 
 
 def author_bucket(followers: int) -> int:

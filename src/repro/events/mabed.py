@@ -23,6 +23,7 @@ from datetime import timedelta
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
+from ..parallel import parallel_map
 from .anomaly import anomaly_series, candidate_weight, max_anomaly_interval
 from .event import Event
 from .timeslice import SlicedCorpus, TimeSlicer, TimestampedDocument
@@ -47,6 +48,9 @@ class MABED:
         considered duplicates and merged.
     stopword_filter:
         Optional predicate; terms matching it are never main words.
+    workers:
+        Worker count for the per-term candidate scan (None defers to
+        ``REPRO_WORKERS``; results are order-stable either way).
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class MABED:
         sigma: float = 0.5,
         max_support_ratio: float = 0.25,
         stopword_filter=None,
+        workers: Optional[int] = None,
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must lie in [0, 1]")
@@ -72,6 +77,7 @@ class MABED:
         self.sigma = sigma
         self.max_support_ratio = max_support_ratio
         self.stopword_filter = stopword_filter
+        self.workers = workers
 
     # -- public API -----------------------------------------------------------
 
@@ -166,22 +172,39 @@ class MABED:
     def _candidate_events(
         self, sliced: SlicedCorpus
     ) -> List[Tuple[str, Tuple[int, int], float]]:
-        """(main_word, interval, magnitude) for every eligible term."""
-        out: List[Tuple[str, Tuple[int, int], float]] = []
+        """(main_word, interval, magnitude) for every eligible term.
+
+        The per-term anomaly scans are independent, so they fan out over
+        :func:`repro.parallel.parallel_map`, which preserves input order
+        — the stable magnitude sort therefore breaks ties exactly as the
+        sequential scan did, whatever the worker count.
+        """
         max_support = self.max_support_ratio * sliced.total_documents
-        for term in sliced.terms_with_min_support(self.min_term_support):
-            if self.stopword_filter is not None and self.stopword_filter(term):
-                continue
+        eligible = [
+            term
+            for term in sliced.terms_with_min_support(self.min_term_support)
+            if not (self.stopword_filter is not None and self.stopword_filter(term))
             # Terms present in a large share of all records are background
             # vocabulary, not events (MABED's spam/noise immunity, §3.3).
-            if sliced.term_total(term) > max_support:
-                continue
+            and sliced.term_total(term) <= max_support
+        ]
+
+        def scan(term: str) -> Optional[Tuple[str, Tuple[int, int], float]]:
             series = sliced.term_series(term)
             anomaly = anomaly_series(series, sliced.slice_totals)
             a, b, magnitude = max_anomaly_interval(anomaly)
             if magnitude <= 0:
-                continue
-            out.append((term, (a, b), magnitude))
+                return None
+            return (term, (a, b), magnitude)
+
+        scanned = parallel_map(
+            scan,
+            eligible,
+            workers=self.workers,
+            allow_process=False,
+            span_name="events.mabed.candidate_scan",
+        )
+        out = [item for item in scanned if item is not None]
         out.sort(key=lambda item: -item[2])
         return out
 

@@ -1,0 +1,197 @@
+"""``repro.parallel`` — seeded, order-preserving maps for the pipeline fan-outs.
+
+The pipeline's hot loops are embarrassingly parallel: the three corpus
+preprocessing passes, MABED's per-term candidate scan, and per-document
+SW/RND/SWM embedding construction all map one pure function over a list.
+This module gives them a single primitive:
+
+* :func:`parallel_map` — ``map`` with **stable contiguous chunking**
+  (results always return in input order, independent of worker count),
+  a worker pool that is serial / thread / process selectable, and one
+  ``repro.obs`` span per chunk so the timing tree shows where fan-out
+  time goes;
+* **seeded** variants: pass ``seed=`` and the function receives a
+  per-item ``np.random.Generator`` spawned from
+  ``SeedSequence(seed, spawn_key=(item_index,))`` — the stream depends
+  only on the item's position, never on chunking or worker count, so a
+  parallel run is bitwise identical to a serial one.
+
+Configuration: explicit arguments win, then the environment —
+``REPRO_WORKERS`` (int, default 1 = serial) and ``REPRO_PARALLEL_MODE``
+(``serial`` / ``thread`` / ``process``, default ``thread``).  Callers
+whose function closes over unpicklable state pass
+``allow_process=False`` and a requested process pool silently downgrades
+to threads.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from . import obs
+
+MODES = ("serial", "thread", "process")
+
+WORKERS_ENV = "REPRO_WORKERS"
+MODE_ENV = "REPRO_PARALLEL_MODE"
+
+
+def worker_count(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    Explicit *workers* wins; otherwise ``REPRO_WORKERS`` from the
+    environment; otherwise 1 (serial).  Values below 1 are an error so a
+    typo cannot silently disable a stage.
+    """
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return workers
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from exc
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
+    return value
+
+
+def resolve_mode(mode: Optional[str] = None, allow_process: bool = True) -> str:
+    """Resolve the pool mode (argument > ``REPRO_PARALLEL_MODE`` > thread).
+
+    With ``allow_process=False`` a requested ``process`` pool downgrades
+    to ``thread`` — used by callers whose mapped function closes over
+    unpicklable state (open stores, lambdas, bound methods).
+    """
+    resolved = mode or os.environ.get(MODE_ENV, "").strip() or "thread"
+    if resolved not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {resolved!r}")
+    if resolved == "process" and not allow_process:
+        return "thread"
+    return resolved
+
+
+def chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
+    """Split *items* into at most *n_chunks* contiguous, stable chunks.
+
+    Chunk sizes differ by at most one and depend only on
+    ``(len(items), n_chunks)`` — never on timing — so per-chunk obs
+    spans are comparable across runs.
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n = len(items)
+    n_chunks = max(1, min(n_chunks, n)) if n else 1
+    base, extra = divmod(n, n_chunks)
+    chunks: List[Sequence] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def item_rng(seed: int, index: int) -> np.random.Generator:
+    """The per-item generator of a seeded map.
+
+    Spawned as ``SeedSequence(seed, spawn_key=(index,))`` so it is a
+    function of the item's input position only: chunking and worker
+    count cannot change the stream an item sees.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    )
+
+
+def _run_chunk(
+    func: Callable,
+    chunk: Sequence,
+    start_index: int,
+    seed: Optional[int],
+    chunk_id: int,
+    span_name: str,
+) -> List[Any]:
+    """Map *func* over one chunk inside an obs span (runs in the worker)."""
+    with obs.span(f"{span_name}.chunk") as chunk_span:
+        if seed is None:
+            out = [func(item) for item in chunk]
+        else:
+            out = [
+                func(item, item_rng(seed, start_index + offset))
+                for offset, item in enumerate(chunk)
+            ]
+        chunk_span.annotate(chunk=chunk_id, items=len(chunk), start=start_index)
+    return out
+
+
+def parallel_map(
+    func: Callable,
+    items: Iterable,
+    *,
+    workers: Optional[int] = None,
+    mode: Optional[str] = None,
+    seed: Optional[int] = None,
+    allow_process: bool = True,
+    span_name: str = "parallel.map",
+) -> List[Any]:
+    """Order-preserving ``[func(x) for x in items]`` over a worker pool.
+
+    Results are returned in input order regardless of *workers* or
+    *mode*; with ``seed`` set, *func* is called as ``func(item, rng)``
+    with the :func:`item_rng` stream for the item's position, making
+    parallel runs bitwise identical to serial ones.  One obs span per
+    chunk (``<span_name>.chunk``) plus a root ``<span_name>`` span
+    record where fan-out time goes.
+    """
+    items = list(items)
+    n_workers = min(worker_count(workers), max(len(items), 1))
+    resolved_mode = resolve_mode(mode, allow_process=allow_process)
+    if n_workers <= 1:
+        resolved_mode = "serial"
+    chunks = chunked(items, n_workers)
+    starts = [0] * len(chunks)
+    for i in range(1, len(chunks)):
+        starts[i] = starts[i - 1] + len(chunks[i - 1])
+
+    with obs.span(span_name) as map_span:
+        if resolved_mode == "serial":
+            mapped = [
+                _run_chunk(func, chunk, starts[i], seed, i, span_name)
+                for i, chunk in enumerate(chunks)
+            ]
+        else:
+            pool_cls = (
+                ThreadPoolExecutor
+                if resolved_mode == "thread"
+                else ProcessPoolExecutor
+            )
+            with pool_cls(max_workers=n_workers) as pool:
+                mapped = list(
+                    pool.map(
+                        _run_chunk,
+                        [func] * len(chunks),
+                        chunks,
+                        starts,
+                        [seed] * len(chunks),
+                        range(len(chunks)),
+                        [span_name] * len(chunks),
+                    )
+                )
+        map_span.annotate(
+            items=len(items),
+            chunks=len(chunks),
+            workers=n_workers,
+            mode=resolved_mode,
+        )
+    out: List[Any] = []
+    for chunk_result in mapped:
+        out.extend(chunk_result)
+    return out

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..parallel import parallel_map
 from ..store import Collection
 from .lemmatizer import Lemmatizer
 from .ner import EntityRecognizer
@@ -70,6 +71,7 @@ def build_corpus(
     pipeline: str,
     text_field: str = "text",
     copy_fields: Iterable[str] = ("created_at", "author", "followers", "likes", "retweets"),
+    workers: Optional[int] = None,
 ) -> int:
     """Materialize a preprocessed corpus collection from a raw one.
 
@@ -77,6 +79,11 @@ def build_corpus(
     output document carries ``tokens`` plus the requested metadata fields,
     mirroring how the deployed system stores preprocessed corpora back into
     MongoDB.  Returns the number of documents written.
+
+    Tokenization fans out over :func:`repro.parallel.parallel_map`
+    (*workers* = None defers to ``REPRO_WORKERS``); writes stay serial
+    and in source order, so the target collection is identical whatever
+    the worker count.
     """
     if pipeline == "topic_modeling":
         func = preprocess_for_topic_modeling
@@ -85,16 +92,20 @@ def build_corpus(
     else:
         raise ValueError(f"unknown pipeline: {pipeline!r}")
 
-    count = 0
-    for doc in source.find():
-        text = doc.get(text_field, "")
+    docs = list(source.find())
+    token_lists = parallel_map(
+        func,
+        [doc.get(text_field, "") for doc in docs],
+        workers=workers,
+        span_name=f"text.build_corpus.{pipeline}",
+    )
+    for doc, tokens in zip(docs, token_lists):
         record: Dict[str, object] = {
             "source_id": doc["_id"],
-            "tokens": func(text),
+            "tokens": tokens,
         }
         for field in copy_fields:
             if field in doc:
                 record[field] = doc[field]
         target.insert_one(record)
-        count += 1
-    return count
+    return len(docs)

@@ -100,6 +100,70 @@ class TestSameSeedIsBitwiseIdentical:
             assert np.array_equal(dataset.y_retweets, twin.y_retweets), name
 
 
+class TestWord2VecStreams:
+    """Seed-stream separation inside Word2Vec (the PR-3 sampler fix).
+
+    ``W_in`` init draws from ``default_rng(seed)``, training from
+    ``seed + 1``, and the negative-sampling noise table from a spawned
+    child stream — previously the noise table reused the init stream,
+    correlating negative samples with initialization.
+    """
+
+    CORPUS = [["vote", "party", "poll", "vote"], ["party", "poll", "vote"]] * 20
+
+    def test_same_seed_is_bitwise_identical(self):
+        def run(trainer):
+            from repro.embeddings import Word2Vec
+
+            model = Word2Vec(
+                vector_size=8, min_count=1, epochs=2, seed=SEED, trainer=trainer
+            )
+            model.train(self.CORPUS)
+            return model
+
+        for trainer in ("batch", "loop"):
+            a, b = run(trainer), run(trainer)
+            assert np.array_equal(a.W_in, b.W_in), trainer
+            assert np.array_equal(a.W_out, b.W_out), trainer
+            assert np.array_equal(a._noise_table, b._noise_table), trainer
+
+    def test_noise_table_not_drawn_from_init_stream(self):
+        from repro.embeddings import Word2Vec
+
+        model = Word2Vec(vector_size=8, min_count=1, seed=SEED)
+        model.build_vocab(self.CORPUS)
+        freqs = np.array(
+            [model.word_counts[w] for w in model.index_to_word], dtype=np.float64
+        )
+        probs = freqs ** 0.75
+        probs /= probs.sum()
+        init_stream_table = np.random.default_rng(SEED).choice(
+            len(freqs), size=len(model._noise_table), p=probs
+        )
+        assert not np.array_equal(model._noise_table, init_stream_table)
+
+    def test_different_seed_diverges(self):
+        from repro.embeddings import Word2Vec
+
+        a = Word2Vec(vector_size=8, min_count=1, epochs=2, seed=SEED)
+        b = Word2Vec(vector_size=8, min_count=1, epochs=2, seed=SEED + 1)
+        a.train(self.CORPUS)
+        b.train(self.CORPUS)
+        assert not np.array_equal(a.W_in, b.W_in)
+
+
+class TestParallelWorkersInvariance:
+    """The pipeline must be bitwise identical at any worker count."""
+
+    def test_preprocessing_matches_serial(self):
+        world = _make_world()
+        serial = NewsDiffusionPipeline(_make_config()).preprocess_news_tm(world)
+        config = _make_config()
+        config.workers = 4
+        parallel = NewsDiffusionPipeline(config).preprocess_news_tm(world)
+        assert serial == parallel
+
+
 class TestDifferentSeedDiverges:
     def test_nmf_initialization_depends_on_seed(self):
         world = _make_world()

@@ -1,0 +1,146 @@
+"""Tests for repro.parallel — ordering, chunking, seeding, obs spans."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.parallel import (
+    MODE_ENV,
+    WORKERS_ENV,
+    chunked,
+    item_rng,
+    parallel_map,
+    resolve_mode,
+    worker_count,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestWorkerCount:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert worker_count(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert worker_count() == 6
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert worker_count() == 1
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError):
+            worker_count(0)
+        monkeypatch.setenv(WORKERS_ENV, "zero")
+        with pytest.raises(ValueError):
+            worker_count()
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ValueError):
+            worker_count()
+
+
+class TestResolveMode:
+    def test_default_and_env(self, monkeypatch):
+        monkeypatch.delenv(MODE_ENV, raising=False)
+        assert resolve_mode() == "thread"
+        monkeypatch.setenv(MODE_ENV, "process")
+        assert resolve_mode() == "process"
+
+    def test_process_downgrades_when_not_allowed(self):
+        assert resolve_mode("process", allow_process=False) == "thread"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            resolve_mode("fork-bomb")
+
+
+class TestChunked:
+    def test_stable_and_contiguous(self):
+        items = list(range(10))
+        chunks = chunked(items, 4)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_more_chunks_than_items(self):
+        assert [len(c) for c in chunked([1, 2], 5)] == [1, 1]
+
+    def test_empty(self):
+        assert chunked([], 3) == [[]]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(_square, range(17), workers=1) == [
+            i * i for i in range(17)
+        ]
+
+    def test_preserves_order_threaded(self):
+        assert parallel_map(_square, range(17), workers=4, mode="thread") == [
+            i * i for i in range(17)
+        ]
+
+    def test_preserves_order_process(self):
+        assert parallel_map(math.sqrt, range(9), workers=3, mode="process") == [
+            math.sqrt(i) for i in range(9)
+        ]
+
+    def test_closures_work_threaded(self):
+        offset = 10
+        out = parallel_map(
+            lambda x: x + offset, range(8), workers=3, allow_process=False
+        )
+        assert out == [x + 10 for x in range(8)]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_seeded_map_invariant_to_worker_count(self):
+        """The per-item stream depends on position only — never chunking."""
+
+        def draw(item, rng):
+            return (item, rng.random())
+
+        serial = parallel_map(draw, range(12), workers=1, seed=99)
+        threaded = parallel_map(draw, range(12), workers=5, mode="thread", seed=99)
+        assert serial == threaded
+
+    def test_item_rng_matches_spawn_key_contract(self):
+        expected = np.random.default_rng(
+            np.random.SeedSequence(entropy=4, spawn_key=(3,))
+        ).random()
+        assert item_rng(4, 3).random() == expected
+
+    def test_obs_spans_recorded_per_chunk(self):
+        obs.reset()
+        with obs.enabled():
+            parallel_map(
+                _square, range(10), workers=2, mode="thread", span_name="t.map"
+            )
+            names = [s.name for s in obs.get_registry().iter_spans()]
+        assert "t.map" in names
+        assert names.count("t.map.chunk") == 2
+        obs.reset()
+
+    def test_map_span_annotations(self):
+        obs.reset()
+        with obs.enabled():
+            parallel_map(_square, range(10), workers=2, mode="serial")
+            root = [
+                s
+                for s in obs.get_registry().iter_spans()
+                if s.name == "parallel.map"
+            ][0]
+        assert root.meta["items"] == 10
+        assert root.meta["workers"] == 2
+        assert root.meta["mode"] == "serial"
+        obs.reset()

@@ -36,6 +36,38 @@ class TestEncodeCount:
         assert labels.dtype == np.int64
 
 
+class TestEncodeLabelsBoundaries:
+    """Table 2 edges for every encoded quantity, through the digitize path."""
+
+    BOUNDARY_COUNTS = [99, 100, 1000, 1001]
+    EXPECTED = [0, 1, 1, 2]
+
+    @pytest.mark.parametrize("quantity", ["likes", "retweets", "followers"])
+    def test_bucket_edges(self, quantity):
+        """99→0, 100→1, 1000→1, 1001→2 for likes, retweets, and followers."""
+        labels = encode_labels(self.BOUNDARY_COUNTS)
+        assert list(labels) == self.EXPECTED, quantity
+        # The vectorized path must agree with the scalar reference.
+        assert [encode_count(c) for c in self.BOUNDARY_COUNTS] == list(labels)
+
+    def test_matches_scalar_encoding_broadly(self):
+        counts = list(range(0, 2000, 7)) + [10**6]
+        assert list(encode_labels(counts)) == [encode_count(c) for c in counts]
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            encode_labels([5, -1, 10])
+
+    def test_empty_input(self):
+        labels = encode_labels([])
+        assert labels.shape == (0,)
+        assert labels.dtype == np.int64
+
+    def test_accepts_ndarray(self):
+        labels = encode_labels(np.array([99, 100, 1000, 1001]))
+        assert list(labels) == self.EXPECTED
+
+
 class TestAuthorBuckets:
     def test_bucket_edges(self):
         assert author_bucket(0) == 0
