@@ -72,7 +72,21 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
         min_term_support=args.min_term_support,
         min_event_records=args.min_event_records,
         seed=args.seed,
+        retry_attempts=args.retry_attempts,
     )
+
+
+def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
+    """``run(**kwargs)`` for the ``--checkpoint-dir``/``--resume`` flags."""
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = getattr(args, "resume", False)
+    if resume and checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if resume:
+        return {"resume_from": checkpoint_dir}
+    if checkpoint_dir is not None:
+        return {"checkpoint_dir": checkpoint_dir}
+    return {}
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -118,7 +132,9 @@ def cmd_events(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """Handle the ``run`` subcommand."""
     world = _world_from_snapshot(args.data)
-    result = NewsDiffusionPipeline(_pipeline_config(args)).run(world)
+    result = NewsDiffusionPipeline(_pipeline_config(args)).run(
+        world, **_checkpoint_kwargs(args)
+    )
     print(result.summary())
     print("\ncorrelated pairs:")
     for pair in result.correlation.pairs:
@@ -129,7 +145,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_predict(args: argparse.Namespace) -> int:
     """Handle the ``predict`` subcommand."""
     world = _world_from_snapshot(args.data)
-    result = NewsDiffusionPipeline(_pipeline_config(args)).run(world)
+    result = NewsDiffusionPipeline(_pipeline_config(args)).run(
+        world, **_checkpoint_kwargs(args)
+    )
     if args.variant not in result.datasets:
         raise SystemExit(
             f"no dataset {args.variant!r}; pipeline produced "
@@ -159,6 +177,25 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--min-term-support", type=int, default=6)
     parser.add_argument("--min-event-records", type=int, default=8)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        help="max attempts per pipeline stage (repro.resilience retry policy)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="persist per-stage checkpoints under PATH as the run progresses "
+        "(see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoints in --checkpoint-dir, skipping "
+        "completed stages (stale checkpoints are invalidated)",
+    )
     parser.add_argument(
         "--trace",
         metavar="PATH",

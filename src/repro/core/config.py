@@ -11,6 +11,7 @@ records per event of interest (§4.7), and 300-d document embeddings
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -56,9 +57,23 @@ class PipelineConfig:
     # environment variable (default serial).
     workers: int = 0
 
+    # Resilience (repro.resilience): every pipeline stage runs under a
+    # RetryPolicy built from these knobs.  None of them can change stage
+    # outputs, so the checkpoint fingerprint excludes them.
+    retry_attempts: int = 3
+    retry_base_delay_s: float = 0.05
+    retry_max_delay_s: float = 2.0
+    stage_timeout_s: Optional[float] = None
+
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = resolve from env)")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.retry_base_delay_s < 0 or self.retry_max_delay_s < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.stage_timeout_s is not None and self.stage_timeout_s <= 0:
+            raise ValueError("stage_timeout_s must be positive or None")
         if self.n_topics < 1:
             raise ValueError("n_topics must be >= 1")
         if not 0.0 <= self.trending_similarity_threshold <= 1.0:

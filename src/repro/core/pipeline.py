@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from datetime import timedelta
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .. import obs
 from ..datagen import World
@@ -21,6 +21,8 @@ from ..datasets import VARIANT_NAMES, Dataset, EventTweet, build_all_datasets
 from ..parallel import parallel_map
 from ..embeddings import PretrainedEmbeddings
 from ..events import MABED, Event, TimestampedDocument
+from ..resilience import RetryPolicy, faults
+from ..resilience.checkpoint import CheckpointStore
 from ..text import (
     is_stopword,
     preprocess_for_event_detection,
@@ -66,11 +68,113 @@ class PipelineResult:
         return "\n".join(lines)
 
 
+#: Stage names in execution order; each runs inside a ``pipeline.<name>``
+#: obs span and (when checkpointing) owns one entry in the run directory.
+STAGES = (
+    "preprocess_news_tm",
+    "preprocess_news_ed",
+    "preprocess_twitter_ed",
+    "topic_modeling",
+    "news_event_detection",
+    "twitter_event_detection",
+    "embeddings",
+    "trending_news",
+    "correlation",
+    "tweet_records",
+    "feature_creation",
+    "dataset_building",
+)
+
+
+def world_key(world: World) -> str:
+    """Cheap content key of *world* mixed into checkpoint fingerprints.
+
+    Catches the deployment-loop failure mode where the same config runs
+    over a *grown* corpus: corpus sizes and the configured time range
+    change, so checkpoints from a previous cutoff are invalidated.
+    """
+    return (
+        f"news={len(world.news)};tweets={len(world.tweets)};"
+        f"start={world.config.start.isoformat()};"
+        f"days={world.config.duration_days}"
+    )
+
+
+def resilient_stage(
+    name: str,
+    func: Callable[[], Any],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    store: Optional[CheckpointStore] = None,
+    resume: bool = False,
+    timings: Optional[Dict[str, float]] = None,
+) -> Any:
+    """Run one pipeline stage with faults, retries, and checkpoints.
+
+    The stage executes inside a ``pipeline.<name>`` obs span annotated
+    with ``attempts`` and ``resumed``.  Order of concerns:
+
+    1. with *resume* and a completed checkpoint in *store*, the stored
+       output is loaded and the stage body never runs (``resumed=True``,
+       ``attempts=0``);
+    2. otherwise each attempt first fault-checks the ``pipeline.<name>``
+       site (:func:`repro.resilience.faults.inject`) and then calls
+       *func*; *policy* absorbs retryable failures with seeded backoff;
+    3. on success the output is checkpointed to *store* (when given)
+       before the span closes.
+    """
+    site = f"pipeline.{name}"
+    with obs.span(site) as stage_span:
+        started = time.perf_counter()
+        try:
+            if resume and store is not None and store.has(name):
+                value = store.load(name)
+                stage_span.annotate(attempts=0, resumed=True)
+                return value
+
+            attempts = [0]
+
+            def attempt() -> Any:
+                attempts[0] += 1
+                faults.inject(site)
+                return func()
+
+            def record_retry(n: int, exc: BaseException, delay: float) -> None:
+                obs.counter("resilience.retries").inc()
+                stage_span.annotate(
+                    fault=type(exc).__name__, retry_delay_s=round(delay, 6)
+                )
+
+            try:
+                if policy is None:
+                    value = attempt()
+                else:
+                    value = policy.call(attempt, site=site, on_retry=record_retry)
+            finally:
+                stage_span.annotate(attempts=attempts[0], resumed=False)
+            if store is not None:
+                store.save(name, value)
+            return value
+        finally:
+            if timings is not None:
+                timings[name] = time.perf_counter() - started
+
+
 class NewsDiffusionPipeline:
     """The deployed system of Figure 1, module by module."""
 
     def __init__(self, config: Optional[PipelineConfig] = None) -> None:
         self.config = config or PipelineConfig()
+
+    def retry_policy(self) -> RetryPolicy:
+        """The per-stage :class:`RetryPolicy` implied by the config."""
+        return RetryPolicy(
+            max_attempts=self.config.retry_attempts,
+            base_delay_s=self.config.retry_base_delay_s,
+            max_delay_s=self.config.retry_max_delay_s,
+            timeout_s=self.config.stage_timeout_s,
+            seed=self.config.seed,
+        )
 
     # -- corpora ---------------------------------------------------------------
 
@@ -226,47 +330,112 @@ class NewsDiffusionPipeline:
 
     # -- orchestration ----------------------------------------------------------------
 
-    def run(self, world: World) -> PipelineResult:
+    def _checkpoint_store(
+        self,
+        world: World,
+        checkpoint_dir: Optional[Union[str, CheckpointStore]],
+    ) -> Optional[CheckpointStore]:
+        if checkpoint_dir is None:
+            return None
+        if isinstance(checkpoint_dir, CheckpointStore):
+            return checkpoint_dir
+        return CheckpointStore(
+            checkpoint_dir, config=self.config, world_key=world_key(world)
+        )
+
+    def run(
+        self,
+        world: World,
+        *,
+        checkpoint_dir: Optional[Union[str, CheckpointStore]] = None,
+        resume_from: Optional[Union[str, CheckpointStore]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> PipelineResult:
         """Execute stages (1)–(5) of the architecture over *world*.
 
         Every stage runs inside an ``repro.obs`` span named
-        ``pipeline.<stage>`` (under a ``pipeline.run`` root), so an
-        enabled registry captures the per-stage breakdown the paper
-        reports only as totals; ``timings_seconds`` stays populated
-        either way for backwards compatibility.
-        """
-        with obs.span("pipeline.run") as run_span:
-            result = self._run_stages(world)
-        run_span.annotate(
-            n_topics=len(result.topics),
-            n_news_events=len(result.news_events),
-            n_twitter_events=len(result.twitter_events),
-            n_event_tweets=len(result.event_tweets),
-        )
-        return result
+        ``pipeline.<stage>`` (under a ``pipeline.run`` root) and under
+        the config's :class:`RetryPolicy`; ``timings_seconds`` stays
+        populated either way for backwards compatibility.
 
-    def _run_stages(self, world: World) -> PipelineResult:
+        *checkpoint_dir* persists every stage output to a
+        :class:`CheckpointStore` as the run progresses; *resume_from*
+        additionally loads completed stages from the directory instead
+        of recomputing them (stale checkpoints — different config or
+        world — are invalidated automatically).  Passing both is only
+        allowed when they name the same store.
+        """
+        if (
+            checkpoint_dir is not None
+            and resume_from is not None
+            and checkpoint_dir != resume_from
+        ):
+            raise ValueError(
+                "checkpoint_dir and resume_from must agree when both are given"
+            )
+        store = self._checkpoint_store(world, resume_from or checkpoint_dir)
+        resume = resume_from is not None
+        policy = retry_policy or self.retry_policy()
+        with obs.span("pipeline.run") as run_span:
+            run_span.annotate(resumed=resume)
+            result = self._run_stages(
+                world, run_span, store=store, resume=resume, policy=policy
+            )
+            run_span.annotate(
+                n_topics=len(result.topics),
+                n_news_events=len(result.news_events),
+                n_twitter_events=len(result.twitter_events),
+                n_event_tweets=len(result.event_tweets),
+            )
+            return result
+
+    def _run_stages(
+        self,
+        world: World,
+        run_span,
+        store: Optional[CheckpointStore] = None,
+        resume: bool = False,
+        policy: Optional[RetryPolicy] = None,
+    ) -> PipelineResult:
         timings: Dict[str, float] = {}
 
-        def timed(stage: str, func, *args):
-            with obs.span(f"pipeline.{stage}"):
-                started = time.perf_counter()
-                value = func(*args)
-                timings[stage] = time.perf_counter() - started
+        def staged(stage: str, func, *args):
+            """One resilient stage; annotates progress on the run span.
+
+            Progress counts are annotated as soon as each stage
+            completes, so a snapshot taken after a *failed* run still
+            carries every count the run got far enough to produce.
+            """
+            value = resilient_stage(
+                stage,
+                lambda: func(*args),
+                policy=policy,
+                store=store,
+                resume=resume,
+                timings=timings,
+            )
+            if stage == "topic_modeling":
+                run_span.annotate(n_topics=len(value.topics))
+            elif stage == "news_event_detection":
+                run_span.annotate(n_news_events=len(value))
+            elif stage == "twitter_event_detection":
+                run_span.annotate(n_twitter_events=len(value))
+            elif stage == "feature_creation":
+                run_span.annotate(n_event_tweets=len(value))
             return value
 
-        news_tm = timed("preprocess_news_tm", self.preprocess_news_tm, world)
-        news_ed = timed("preprocess_news_ed", self.preprocess_news_ed, world)
-        twitter_ed = timed(
+        news_tm = staged("preprocess_news_tm", self.preprocess_news_tm, world)
+        news_ed = staged("preprocess_news_ed", self.preprocess_news_ed, world)
+        twitter_ed = staged(
             "preprocess_twitter_ed", self.preprocess_twitter_ed, world
         )
 
-        nmf = timed("topic_modeling", self.extract_news_topics, news_tm)
-        news_events = timed("news_event_detection", self.detect_news_events, news_ed)
-        twitter_events = timed(
+        nmf = staged("topic_modeling", self.extract_news_topics, news_tm)
+        news_events = staged("news_event_detection", self.detect_news_events, news_ed)
+        twitter_events = staged(
             "twitter_event_detection", self.detect_twitter_events, twitter_ed
         )
-        embeddings = timed(
+        embeddings = staged(
             "embeddings", self.train_embeddings, news_ed, twitter_ed, news_tm
         )
 
@@ -274,7 +443,7 @@ class NewsDiffusionPipeline:
             embeddings,
             similarity_threshold=self.config.trending_similarity_threshold,
         )
-        trending = timed(
+        trending = staged(
             "trending_news", trending_module.extract, nmf.topics, news_events
         )
 
@@ -284,24 +453,25 @@ class NewsDiffusionPipeline:
             start_window=timedelta(days=self.config.start_window_days),
             start_slack=timedelta(days=self.config.start_slack_days),
         )
-        correlation = timed(
+        correlation = staged(
             "correlation", correlation_module.correlate, trending, twitter_events
         )
 
+        tweet_records = staged("tweet_records", self.tweet_records, world)
         feature_module = FeatureCreationModule(
             min_event_records=self.config.min_event_records,
             related_word_coverage=self.config.related_word_coverage,
         )
-        records = timed(
+        records = staged(
             "feature_creation",
             feature_module.extract,
             correlation.pairs,
-            self.tweet_records(world),
+            tweet_records,
         )
 
         datasets: Dict[str, Dataset] = {}
         if records:
-            datasets = timed(
+            datasets = staged(
                 "dataset_building",
                 build_all_datasets,
                 records,

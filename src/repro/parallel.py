@@ -33,6 +33,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from . import obs
+from .resilience.faults import inject
 
 MODES = ("serial", "thread", "process")
 
@@ -119,7 +120,15 @@ def _run_chunk(
     chunk_id: int,
     span_name: str,
 ) -> List[Any]:
-    """Map *func* over one chunk inside an obs span (runs in the worker)."""
+    """Map *func* over one chunk inside an obs span (runs in the worker).
+
+    Each chunk is a fault-injection site (``<span_name>.chunk<id>``):
+    an active :class:`repro.resilience.FaultPlan` can kill exactly this
+    chunk, which surfaces through the pool as the stage's failure and
+    exercises the stage-level retry path.  Per-site streams keep the
+    decision independent of worker count and thread timing.
+    """
+    inject(f"{span_name}.chunk{chunk_id}")
     with obs.span(f"{span_name}.chunk") as chunk_span:
         if seed is None:
             out = [func(item) for item in chunk]

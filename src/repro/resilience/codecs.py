@@ -1,0 +1,406 @@
+"""Stage-output codecs for the checkpoint store.
+
+Every pipeline stage output is serialized as a ``(meta, arrays)`` pair:
+*meta* is a JSON-able dict and *arrays* a name → ``np.ndarray`` mapping
+persisted as an ``.npz`` sidecar.  The split keeps the round trip
+**bitwise exact** — floats inside JSON survive via ``repr`` round-trip,
+``datetime`` via ``isoformat()``, and every numeric bulk payload (NMF
+factors, embedding matrices, dataset tensors) goes through NPZ, which
+preserves dtype and bits.  That exactness is load-bearing: the
+resilience acceptance tests assert a resumed run's ``PipelineResult``
+equals an uninterrupted one.
+
+Codecs are looked up by stage name (:data:`STAGE_CODECS`); unknown
+stages fail loudly rather than pickling silently.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..core.correlation import CorrelatedPair, CorrelationResult
+from ..core.features import TweetRecord
+from ..core.trending import TrendingNewsTopic
+from ..datasets import Dataset, EventTweet
+from ..embeddings import PretrainedEmbeddings
+from ..events import Event, TimestampedDocument
+from ..topics import NMFResult, Topic
+
+Arrays = Dict[str, np.ndarray]
+Encoded = Tuple[Dict[str, Any], Arrays]
+
+
+class CodecError(ValueError):
+    """Raised for unknown stages or malformed checkpoint payloads."""
+
+
+# -- shared scalar helpers ---------------------------------------------------------
+
+
+def _dt(value: datetime) -> str:
+    return value.isoformat()
+
+
+def _undt(value: str) -> datetime:
+    return datetime.fromisoformat(value)
+
+
+def _encode_event(event: Event) -> Dict[str, Any]:
+    return {
+        "main_word": event.main_word,
+        "related_words": [[w, float(x)] for w, x in event.related_words],
+        "start": _dt(event.start),
+        "end": _dt(event.end),
+        "magnitude": float(event.magnitude),
+        "slice_interval": list(event.slice_interval),
+        "support": int(event.support),
+    }
+
+
+def _decode_event(data: Dict[str, Any]) -> Event:
+    return Event(
+        main_word=data["main_word"],
+        related_words=[(w, float(x)) for w, x in data["related_words"]],
+        start=_undt(data["start"]),
+        end=_undt(data["end"]),
+        magnitude=float(data["magnitude"]),
+        slice_interval=tuple(data["slice_interval"]),
+        support=int(data["support"]),
+    )
+
+
+def _encode_topic(topic: Topic) -> Dict[str, Any]:
+    return {
+        "index": topic.index,
+        "terms": [[t, float(w)] for t, w in topic.terms],
+    }
+
+
+def _decode_topic(data: Dict[str, Any]) -> Topic:
+    return Topic(
+        index=int(data["index"]),
+        terms=[(t, float(w)) for t, w in data["terms"]],
+    )
+
+
+def _encode_trending(item: TrendingNewsTopic) -> Dict[str, Any]:
+    return {
+        "topic": _encode_topic(item.topic),
+        "event": _encode_event(item.event),
+        "similarity": float(item.similarity),
+    }
+
+
+def _decode_trending(data: Dict[str, Any]) -> TrendingNewsTopic:
+    return TrendingNewsTopic(
+        topic=_decode_topic(data["topic"]),
+        event=_decode_event(data["event"]),
+        similarity=float(data["similarity"]),
+    )
+
+
+# -- per-stage codecs --------------------------------------------------------------
+
+
+def _encode_token_docs(docs: List[List[str]]) -> Encoded:
+    return {"docs": [list(tokens) for tokens in docs]}, {}
+
+
+def _decode_token_docs(meta: Dict[str, Any], arrays: Arrays) -> List[List[str]]:
+    return [list(tokens) for tokens in meta["docs"]]
+
+
+def _encode_timestamped(docs: List[TimestampedDocument]) -> Encoded:
+    return (
+        {
+            "docs": [
+                {
+                    "tokens": list(d.tokens),
+                    "created_at": _dt(d.created_at),
+                    "doc_id": d.doc_id,
+                }
+                for d in docs
+            ]
+        },
+        {},
+    )
+
+
+def _decode_timestamped(
+    meta: Dict[str, Any], arrays: Arrays
+) -> List[TimestampedDocument]:
+    return [
+        TimestampedDocument(
+            tokens=list(d["tokens"]),
+            created_at=_undt(d["created_at"]),
+            doc_id=d["doc_id"],
+        )
+        for d in meta["docs"]
+    ]
+
+
+def _encode_tweet_records(records: List[TweetRecord]) -> Encoded:
+    return (
+        {
+            "records": [
+                {
+                    "tokens": list(r.tokens),
+                    "created_at": _dt(r.created_at),
+                    "author": r.author,
+                    "followers": int(r.followers),
+                    "likes": int(r.likes),
+                    "retweets": int(r.retweets),
+                }
+                for r in records
+            ]
+        },
+        {},
+    )
+
+
+def _decode_tweet_records(
+    meta: Dict[str, Any], arrays: Arrays
+) -> List[TweetRecord]:
+    return [
+        TweetRecord(
+            tokens=list(r["tokens"]),
+            created_at=_undt(r["created_at"]),
+            author=r["author"],
+            followers=int(r["followers"]),
+            likes=int(r["likes"]),
+            retweets=int(r["retweets"]),
+        )
+        for r in meta["records"]
+    ]
+
+
+def _encode_nmf(result: NMFResult) -> Encoded:
+    meta = {
+        "objective_history": [float(x) for x in result.objective_history],
+        "topics": [_encode_topic(t) for t in result.topics],
+    }
+    return meta, {"W": result.W, "H": result.H}
+
+
+def _decode_nmf(meta: Dict[str, Any], arrays: Arrays) -> NMFResult:
+    return NMFResult(
+        W=arrays["W"],
+        H=arrays["H"],
+        objective_history=[float(x) for x in meta["objective_history"]],
+        topics=[_decode_topic(t) for t in meta["topics"]],
+    )
+
+
+def _encode_events(events: List[Event]) -> Encoded:
+    return {"events": [_encode_event(e) for e in events]}, {}
+
+
+def _decode_events(meta: Dict[str, Any], arrays: Arrays) -> List[Event]:
+    return [_decode_event(e) for e in meta["events"]]
+
+
+def _encode_embeddings(embeddings: PretrainedEmbeddings) -> Encoded:
+    words = embeddings.words()
+    meta = {"words": words, "dim": embeddings.dim}
+    if not words:
+        return meta, {}
+    return meta, {"matrix": np.vstack([embeddings[w] for w in words])}
+
+
+def _decode_embeddings(
+    meta: Dict[str, Any], arrays: Arrays
+) -> PretrainedEmbeddings:
+    words = list(meta["words"])
+    dim = int(meta["dim"])
+    if not words:
+        return PretrainedEmbeddings({}, dim)
+    matrix = arrays["matrix"]
+    return PretrainedEmbeddings(
+        {word: matrix[i] for i, word in enumerate(words)}, dim
+    )
+
+
+def _encode_trending_list(items: List[TrendingNewsTopic]) -> Encoded:
+    return {"trending": [_encode_trending(t) for t in items]}, {}
+
+
+def _decode_trending_list(
+    meta: Dict[str, Any], arrays: Arrays
+) -> List[TrendingNewsTopic]:
+    return [_decode_trending(t) for t in meta["trending"]]
+
+
+def _encode_correlation(result: CorrelationResult) -> Encoded:
+    """Index-based encoding so decoded objects keep identity sharing.
+
+    ``CorrelationResult.pairs_for_event`` matches events by ``is``; the
+    encoder therefore stores each distinct trending topic / Twitter
+    event once and refers to it by index, and the decoder rebuilds the
+    same sharing graph.
+    """
+    trending: List[TrendingNewsTopic] = []
+    events: List[Event] = []
+    t_index: Dict[int, int] = {}
+    e_index: Dict[int, int] = {}
+
+    def t_ref(item: TrendingNewsTopic) -> int:
+        key = id(item)
+        if key not in t_index:
+            t_index[key] = len(trending)
+            trending.append(item)
+        return t_index[key]
+
+    def e_ref(item: Event) -> int:
+        key = id(item)
+        if key not in e_index:
+            e_index[key] = len(events)
+            events.append(item)
+        return e_index[key]
+
+    pairs = [
+        [t_ref(p.trending), e_ref(p.twitter_event), float(p.similarity)]
+        for p in result.pairs
+    ]
+    unrelated = [e_ref(e) for e in result.unrelated_twitter_events]
+    matched = [t_ref(t) for t in result.matched_trending]
+    unmatched = [t_ref(t) for t in result.unmatched_trending]
+    meta = {
+        "trending": [_encode_trending(t) for t in trending],
+        "events": [_encode_event(e) for e in events],
+        "pairs": pairs,
+        "unrelated": unrelated,
+        "matched": matched,
+        "unmatched": unmatched,
+    }
+    return meta, {}
+
+
+def _decode_correlation(
+    meta: Dict[str, Any], arrays: Arrays
+) -> CorrelationResult:
+    trending = [_decode_trending(t) for t in meta["trending"]]
+    events = [_decode_event(e) for e in meta["events"]]
+    pairs = [
+        CorrelatedPair(
+            trending=trending[t], twitter_event=events[e], similarity=float(s)
+        )
+        for t, e, s in meta["pairs"]
+    ]
+    return CorrelationResult(
+        pairs=pairs,
+        unrelated_twitter_events=[events[i] for i in meta["unrelated"]],
+        matched_trending=[trending[i] for i in meta["matched"]],
+        unmatched_trending=[trending[i] for i in meta["unmatched"]],
+    )
+
+
+def _encode_event_tweets(records: List[EventTweet]) -> Encoded:
+    return (
+        {
+            "records": [
+                {
+                    "tokens": list(r.tokens),
+                    "event_vocabulary": sorted(r.event_vocabulary),
+                    "magnitudes": {k: float(v) for k, v in r.magnitudes.items()},
+                    "author": r.author,
+                    "followers": int(r.followers),
+                    "likes": int(r.likes),
+                    "retweets": int(r.retweets),
+                    "created_at": _dt(r.created_at),
+                    "event_id": r.event_id,
+                }
+                for r in records
+            ]
+        },
+        {},
+    )
+
+
+def _decode_event_tweets(
+    meta: Dict[str, Any], arrays: Arrays
+) -> List[EventTweet]:
+    return [
+        EventTweet(
+            tokens=list(r["tokens"]),
+            event_vocabulary=set(r["event_vocabulary"]),
+            magnitudes={k: float(v) for k, v in r["magnitudes"].items()},
+            author=r["author"],
+            followers=int(r["followers"]),
+            likes=int(r["likes"]),
+            retweets=int(r["retweets"]),
+            created_at=_undt(r["created_at"]),
+            event_id=r["event_id"],
+        )
+        for r in meta["records"]
+    ]
+
+
+def _encode_datasets(datasets: Dict[str, Dataset]) -> Encoded:
+    meta = {
+        "datasets": {
+            name: {"feature_names": list(ds.feature_names)}
+            for name, ds in datasets.items()
+        },
+        "order": list(datasets.keys()),
+    }
+    arrays: Arrays = {}
+    for name, ds in datasets.items():
+        arrays[f"{name}__X"] = ds.X
+        arrays[f"{name}__y_likes"] = ds.y_likes
+        arrays[f"{name}__y_retweets"] = ds.y_retweets
+    return meta, arrays
+
+
+def _decode_datasets(meta: Dict[str, Any], arrays: Arrays) -> Dict[str, Dataset]:
+    out: Dict[str, Dataset] = {}
+    for name in meta["order"]:
+        out[name] = Dataset(
+            name=name,
+            X=arrays[f"{name}__X"],
+            y_likes=arrays[f"{name}__y_likes"],
+            y_retweets=arrays[f"{name}__y_retweets"],
+            feature_names=list(meta["datasets"][name]["feature_names"]),
+        )
+    return out
+
+
+#: stage name -> (encode, decode); names match ``pipeline.<stage>`` spans.
+STAGE_CODECS: Dict[str, Tuple[Callable[[Any], Encoded], Callable[..., Any]]] = {
+    "preprocess_news_tm": (_encode_token_docs, _decode_token_docs),
+    "preprocess_news_ed": (_encode_timestamped, _decode_timestamped),
+    "preprocess_twitter_ed": (_encode_timestamped, _decode_timestamped),
+    "tweet_records": (_encode_tweet_records, _decode_tweet_records),
+    "topic_modeling": (_encode_nmf, _decode_nmf),
+    "news_event_detection": (_encode_events, _decode_events),
+    "twitter_event_detection": (_encode_events, _decode_events),
+    "embeddings": (_encode_embeddings, _decode_embeddings),
+    "trending_news": (_encode_trending_list, _decode_trending_list),
+    "correlation": (_encode_correlation, _decode_correlation),
+    "feature_creation": (_encode_event_tweets, _decode_event_tweets),
+    "dataset_building": (_encode_datasets, _decode_datasets),
+}
+
+
+def encode_stage(stage: str, value: Any) -> Encoded:
+    """Serialize one stage output to a ``(meta, arrays)`` pair."""
+    try:
+        encode, _decode = STAGE_CODECS[stage]
+    except KeyError:
+        raise CodecError(
+            f"no codec for stage {stage!r}; known: {sorted(STAGE_CODECS)}"
+        ) from None
+    return encode(value)
+
+
+def decode_stage(stage: str, meta: Dict[str, Any], arrays: Arrays) -> Any:
+    """Rebuild one stage output from its serialized form."""
+    try:
+        _encode, decode = STAGE_CODECS[stage]
+    except KeyError:
+        raise CodecError(
+            f"no codec for stage {stage!r}; known: {sorted(STAGE_CODECS)}"
+        ) from None
+    return decode(meta, arrays)

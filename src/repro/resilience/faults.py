@@ -1,0 +1,318 @@
+"""Deterministic fault injection for the pipeline and deployment loop.
+
+The §4.9 deployment refreshes every two hours over live news/tweet
+feeds, and live feeds fail: a fetch times out, a worker dies, a stage
+OOMs.  This module is the test substrate for that reality — a
+:class:`FaultPlan` decides, deterministically, whether a given *site*
+(a named failure point such as ``pipeline.topic_modeling`` or
+``pipeline.parallel.news_tm.chunk0``) raises on this check.
+
+Determinism is the whole point: every site draws from its own
+``np.random.SeedSequence(seed, spawn_key=(spec_index, site_key))``
+stream and keeps a per-site check counter, so a plan triggers the same
+faults on the same checks no matter how threads interleave or how many
+workers a ``parallel_map`` fan-out uses.  Two fault kinds exist:
+
+* :class:`TransientFault` — retryable; a :class:`~repro.resilience.retry.RetryPolicy`
+  absorbs it and the run's results must be bitwise identical to a
+  fault-free run (asserted by ``tests/core/test_pipeline_resume.py``);
+* :class:`FatalFault` — never retried; kills the run so checkpoint
+  resume can be exercised.
+
+Plans come from code (:func:`install_plan` / :func:`overridden`) or the
+``REPRO_FAULTS`` environment variable (see :func:`plan_from_env` for the
+grammar); an installed plan always wins over the environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+KINDS = ("transient", "fatal")
+
+
+class FaultError(RuntimeError):
+    """Base class for injected faults (never raised by real code paths)."""
+
+    def __init__(self, site: str, check: int) -> None:
+        super().__init__(f"injected fault at {site!r} (check #{check})")
+        self.site = site
+        self.check = check
+
+
+class TransientFault(FaultError):
+    """A retryable injected fault (network blip, worker hiccup)."""
+
+
+class FatalFault(FaultError):
+    """A non-retryable injected fault (process kill, poison input)."""
+
+
+def _site_key(site: str) -> int:
+    """Stable 32-bit key for *site* (``hash()`` is salted per process)."""
+    digest = hashlib.sha256(site.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule of a :class:`FaultPlan`.
+
+    Attributes
+    ----------
+    sites:
+        ``fnmatch`` pattern the site name must match (case-sensitive).
+    rate:
+        Per-check trigger probability in [0, 1]; ``1.0`` always fires.
+    kind:
+        ``"transient"`` (retryable) or ``"fatal"``.
+    max_triggers:
+        Stop firing after this many triggers (None = unbounded).
+    after:
+        Let this many *matching* checks pass before arming — e.g.
+        ``after=1`` on ``deployment.cycle`` kills the second cycle.
+    """
+
+    sites: str = "pipeline.*"
+    rate: float = 1.0
+    kind: str = "transient"
+    max_triggers: Optional[int] = None
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ValueError("max_triggers must be >= 1 or None")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+
+
+@dataclass
+class FaultRecord:
+    """One fired fault, kept for test assertions and reports."""
+
+    site: str
+    kind: str
+    check: int
+    spec_index: int
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` rules with per-site streams.
+
+    Thread-safe: ``parallel_map`` worker chunks check concurrently, and
+    each ``(spec, site)`` pair owns an independent RNG stream plus check
+    counter, so trigger decisions are a pure function of the plan and
+    the per-site check number — never of thread timing.
+    """
+
+    def __init__(self, seed: int = 0, specs: Tuple[FaultSpec, ...] = ()) -> None:
+        self.seed = int(seed)
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._lock = threading.Lock()
+        self._streams: Dict[Tuple[int, str], np.random.Generator] = {}
+        self._checks: Dict[Tuple[int, str], int] = {}
+        self._triggers: Dict[int, int] = {}
+        self.records: List[FaultRecord] = []
+
+    def _stream(self, spec_index: int, site: str) -> np.random.Generator:
+        key = (spec_index, site)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(spec_index, _site_key(site))
+                )
+            )
+        return stream
+
+    def check(self, site: str) -> None:
+        """Raise an injected fault at *site* if any spec decides to fire."""
+        for index, spec in enumerate(self.specs):
+            if not fnmatchcase(site, spec.sites):
+                continue
+            with self._lock:
+                key = (index, site)
+                self._checks[key] = self._checks.get(key, 0) + 1
+                check = self._checks[key]
+                draw = float(self._stream(index, site).random())
+                if check <= spec.after:
+                    continue
+                fired = self._triggers.get(index, 0)
+                if spec.max_triggers is not None and fired >= spec.max_triggers:
+                    continue
+                if spec.rate < 1.0 and draw >= spec.rate:
+                    continue
+                self._triggers[index] = fired + 1
+                record = FaultRecord(
+                    site=site, kind=spec.kind, check=check, spec_index=index
+                )
+                self.records.append(record)
+            obs.counter(f"resilience.faults.{spec.kind}").inc()
+            exc = TransientFault if spec.kind == "transient" else FatalFault
+            raise exc(site, check)
+
+    def triggered(self, kind: Optional[str] = None) -> List[FaultRecord]:
+        """Fired faults so far, optionally filtered by kind."""
+        with self._lock:
+            records = list(self.records)
+        if kind is None:
+            return records
+        return [r for r in records if r.kind == kind]
+
+
+def parse_plan(raw: str) -> Optional[FaultPlan]:
+    """Parse a ``REPRO_FAULTS`` value into a :class:`FaultPlan`.
+
+    Grammar (whitespace-insensitive)::
+
+        REPRO_FAULTS=""            -> no plan
+        REPRO_FAULTS="0"           -> no plan (explicit off)
+        REPRO_FAULTS="7"           -> seed 7, one default spec
+                                      (sites=pipeline.*, rate=0.15, transient)
+        REPRO_FAULTS="seed=7;sites=pipeline.*;rate=0.25;kind=transient;max=3"
+        REPRO_FAULTS="seed=7;sites=pipeline.*;rate=1.0;kind=fatal;max=1;after=2
+                      |sites=parallel.*;rate=0.05"
+
+    ``|`` separates specs; ``seed=`` may appear in any segment and is
+    global to the plan.
+    """
+    raw = raw.strip()
+    if not raw or raw == "0":
+        return None
+    if raw.lstrip("-").isdigit():
+        return FaultPlan(seed=int(raw), specs=(FaultSpec(rate=0.15),))
+    seed = 0
+    specs: List[FaultSpec] = []
+    for segment in raw.split("|"):
+        fields: Dict[str, str] = {}
+        for part in segment.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"{FAULTS_ENV} segment {part!r} is not key=value"
+                )
+            key, _, value = part.partition("=")
+            fields[key.strip()] = value.strip()
+        if "seed" in fields:
+            seed = int(fields.pop("seed"))
+        if not fields:
+            continue
+        try:
+            spec = FaultSpec(
+                sites=fields.pop("sites", "pipeline.*"),
+                rate=float(fields.pop("rate", "1.0")),
+                kind=fields.pop("kind", "transient"),
+                max_triggers=(
+                    int(fields["max"]) if fields.get("max") else None
+                ),
+                after=int(fields.pop("after", "0")),
+            )
+        except ValueError as exc:
+            raise ValueError(f"invalid {FAULTS_ENV} value {raw!r}: {exc}") from exc
+        fields.pop("max", None)
+        if fields:
+            raise ValueError(
+                f"unknown {FAULTS_ENV} keys {sorted(fields)} in {raw!r}"
+            )
+        specs.append(spec)
+    if not specs:
+        specs = [FaultSpec(rate=0.15)]
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+_UNSET = object()
+_active: object = _UNSET
+_env_cache: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+_env_lock = threading.Lock()
+
+
+def install_plan(plan: Optional[FaultPlan]) -> object:
+    """Install *plan* as the process-wide plan (None = explicitly none).
+
+    An installed plan — including an explicit ``None`` — overrides
+    ``REPRO_FAULTS``.  Returns the previous value for restoration (pass
+    it back to :func:`restore_plan`).
+    """
+    global _active
+    previous = _active
+    _active = plan
+    return previous
+
+
+def restore_plan(previous: object) -> None:
+    """Undo an :func:`install_plan` using its return value."""
+    global _active
+    _active = previous
+
+
+class overridden:
+    """Context manager installing a plan for the duration of a block.
+
+    >>> with overridden(None):      # guarantee a fault-free region
+    ...     pass
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self._plan = plan
+        self._previous: object = _UNSET
+
+    def __enter__(self) -> Optional[FaultPlan]:
+        self._previous = install_plan(self._plan)
+        return self._plan
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        restore_plan(self._previous)
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan described by ``REPRO_FAULTS``, cached per raw value.
+
+    Caching keeps the plan object (and its trigger counters) stable for
+    the life of the process, so ``max_triggers`` bounds hold across many
+    ``inject`` calls; changing the variable mid-process builds a fresh
+    plan.
+    """
+    global _env_cache
+    raw = os.environ.get(FAULTS_ENV)
+    with _env_lock:
+        cached_raw, cached_plan = _env_cache
+        if raw == cached_raw:
+            return cached_plan
+        plan = parse_plan(raw) if raw is not None else None
+        _env_cache = (raw, plan)
+        return plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in force: the installed one, else ``REPRO_FAULTS``."""
+    if _active is not _UNSET:
+        return _active  # type: ignore[return-value]
+    return plan_from_env()
+
+
+def inject(site: str) -> None:
+    """Fault-check *site* against the active plan (no-op without one).
+
+    This is the single hook instrumented code calls; when no plan is
+    active it costs one global read (plus, lazily, one env lookup).
+    """
+    plan = active_plan()
+    if plan is not None:
+        plan.check(site)

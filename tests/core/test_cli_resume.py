@@ -1,0 +1,103 @@
+"""CLI coverage for the resilience flags: --checkpoint-dir / --resume /
+--retry-attempts."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--n-topics", "8",
+    "--news-events", "10",
+    "--twitter-events", "15",
+    "--embedding-dim", "32",
+    "--min-term-support", "4",
+    "--min-event-records", "3",
+    "--seed", "5",
+]
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("world"))
+    code = main(
+        [
+            "generate",
+            "--articles", "200",
+            "--tweets", "600",
+            "--users", "60",
+            "--seed", "5",
+            "--out", directory,
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_resilience_defaults(self):
+        args = build_parser().parse_args(["run", "--data", "x"])
+        assert args.retry_attempts == 3
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--data", "x",
+                "--retry-attempts", "5",
+                "--checkpoint-dir", "ckpt",
+                "--resume",
+            ]
+        )
+        assert args.retry_attempts == 5
+        assert args.checkpoint_dir == "ckpt"
+        assert args.resume is True
+
+
+class TestResumeFlow:
+    def test_resume_without_dir_is_an_error(self, snapshot):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["run", "--data", snapshot, "--resume"] + FAST)
+
+    def test_run_writes_checkpoints_then_resumes(
+        self, snapshot, tmp_path_factory, capsys
+    ):
+        ckpt = str(tmp_path_factory.mktemp("cli") / "run")
+        assert (
+            main(
+                ["run", "--data", snapshot, "--checkpoint-dir", ckpt] + FAST
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert os.path.exists(os.path.join(ckpt, "manifest.json"))
+        assert os.path.exists(
+            os.path.join(ckpt, "stages", "topic_modeling.json")
+        )
+        # The resumed invocation loads every stage from disk and must
+        # print the same counts.
+        assert (
+            main(
+                [
+                    "run",
+                    "--data", snapshot,
+                    "--checkpoint-dir", ckpt,
+                    "--resume",
+                ]
+                + FAST
+            )
+            == 0
+        )
+        second = capsys.readouterr().out
+
+        def counts_only(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("time[")
+            ]
+
+        assert counts_only(first) == counts_only(second)

@@ -1,0 +1,230 @@
+"""Acceptance tests for the resilience layer on the real pipeline.
+
+The ISSUE-level guarantees:
+
+* transient faults absorbed by the retry policy never change a run's
+  results — counts, factors, and dataset tensors stay **bitwise**
+  identical to a fault-free run;
+* a run killed by a fatal fault after stage *k*, re-run with
+  ``resume_from``, completes without re-executing stages 1..k (their
+  obs spans show ``resumed=True`` and zero attempts) and produces a
+  bitwise-identical ``PipelineResult``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NewsDiffusionPipeline, build_world, obs
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import STAGES
+from repro.datagen import WorldConfig
+from repro.resilience import FatalFault, FaultPlan, FaultSpec, faults
+
+KILL_STAGE = "correlation"
+KILLED_AFTER = STAGES[: STAGES.index(KILL_STAGE)]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(
+        WorldConfig(n_articles=200, n_tweets=700, n_users=60, seed=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(
+        n_topics=6,
+        nmf_max_iter=120,
+        n_news_events=8,
+        n_twitter_events=16,
+        embedding_dim=32,
+        min_term_support=3,
+        min_event_records=3,
+        seed=3,
+        retry_base_delay_s=0.0,  # retries must not slow the suite down
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(world, config):
+    """The ground truth: one uninterrupted, fault-free run."""
+    with faults.overridden(None):
+        return NewsDiffusionPipeline(config).run(world)
+
+
+def assert_bitwise_equal(result, reference):
+    """Strict equality over every product of a pipeline run."""
+    assert result.topics == reference.topics
+    assert np.array_equal(result.nmf.W, reference.nmf.W)
+    assert np.array_equal(result.nmf.H, reference.nmf.H)
+    assert result.news_events == reference.news_events
+    assert result.twitter_events == reference.twitter_events
+    assert result.trending == reference.trending
+    assert result.correlation.pairs == reference.correlation.pairs
+    assert (
+        result.correlation.unrelated_twitter_events
+        == reference.correlation.unrelated_twitter_events
+    )
+    assert result.event_tweets == reference.event_tweets
+    assert sorted(result.datasets) == sorted(reference.datasets)
+    for name, ds in reference.datasets.items():
+        assert np.array_equal(result.datasets[name].X, ds.X)
+        assert np.array_equal(result.datasets[name].y_likes, ds.y_likes)
+        assert np.array_equal(
+            result.datasets[name].y_retweets, ds.y_retweets
+        )
+        assert result.datasets[name].feature_names == ds.feature_names
+    assert result.embeddings.words() == reference.embeddings.words()
+    for word in reference.embeddings.words():
+        assert np.array_equal(
+            result.embeddings[word], reference.embeddings[word]
+        )
+
+
+class TestTransientFaultsAreInvisible:
+    def test_retried_run_is_bitwise_identical(self, world, config, baseline):
+        plan = FaultPlan(
+            seed=9,
+            specs=(
+                FaultSpec(sites="pipeline.*", rate=0.4, max_triggers=6),
+                FaultSpec(
+                    sites="pipeline.parallel.*.chunk*",
+                    rate=0.1,
+                    max_triggers=3,
+                ),
+            ),
+        )
+        with faults.overridden(plan):
+            result = NewsDiffusionPipeline(config).run(world)
+        # The chaos must actually have happened for this test to mean
+        # anything; plan seed 9 fires on this world (pinned by CI too).
+        assert plan.triggered("transient")
+        assert_bitwise_equal(result, baseline)
+
+    def test_exhausted_retries_still_fail(self, world, config):
+        """max_attempts transient faults in a row do surface."""
+        plan = FaultPlan(
+            seed=0,
+            specs=(FaultSpec(sites="pipeline.preprocess_news_tm", rate=1.0),),
+        )
+        from repro.resilience import RetryError
+
+        with faults.overridden(plan):
+            with pytest.raises(RetryError) as excinfo:
+                NewsDiffusionPipeline(config).run(world)
+        assert excinfo.value.site == "pipeline.preprocess_news_tm"
+        assert excinfo.value.attempts == config.retry_attempts
+
+
+class TestKillAndResume:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("resume") / "run")
+
+    @pytest.fixture(scope="class")
+    def killed(self, world, config, run_dir):
+        """A checkpointing run killed by a fatal fault at KILL_STAGE.
+
+        Yields ``(run_dir, completed)`` where *completed* is the stage
+        list recorded at kill time — the resumed run will append to the
+        same directory afterwards.
+        """
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec(
+                    sites=f"pipeline.{KILL_STAGE}",
+                    rate=1.0,
+                    kind="fatal",
+                    max_triggers=1,
+                ),
+            ),
+        )
+        with faults.overridden(plan):
+            with pytest.raises(FatalFault):
+                NewsDiffusionPipeline(config).run(
+                    world, checkpoint_dir=run_dir
+                )
+        from repro.core.pipeline import world_key
+        from repro.resilience.checkpoint import CheckpointStore
+
+        store = CheckpointStore(
+            run_dir, config=config, world_key=world_key(world)
+        )
+        return run_dir, tuple(store.completed())
+
+    @pytest.fixture(scope="class")
+    def resumed(self, world, config, killed):
+        """The resumed run, traced so each test can inspect its spans."""
+        previous = obs.set_enabled(True)
+        obs.reset()
+        try:
+            with faults.overridden(None):
+                result = NewsDiffusionPipeline(config).run(
+                    world, resume_from=killed[0]
+                )
+            snapshot = obs.get_registry().snapshot()
+        finally:
+            obs.set_enabled(previous)
+            obs.reset()
+        return result, snapshot
+
+    def _stage_spans(self, snapshot):
+        (run_root,) = [
+            s for s in snapshot["spans"] if s["name"] == "pipeline.run"
+        ]
+        return {
+            child["name"].split("pipeline.", 1)[1]: child
+            for child in run_root["children"]
+            if child["name"].split("pipeline.", 1)[1] in STAGES
+        }
+
+    def test_completed_stages_are_not_reexecuted(self, resumed):
+        _result, snapshot = resumed
+        spans = self._stage_spans(snapshot)
+        for stage in KILLED_AFTER:
+            meta = spans[stage]["meta"]
+            assert meta["resumed"] is True, stage
+            assert meta["attempts"] == 0, stage
+            # A resumed stage never runs its body, so no parallel_map
+            # (or any other) child spans may appear under it.
+            assert "children" not in spans[stage], stage
+
+    def test_remaining_stages_did_execute(self, resumed, baseline):
+        _result, snapshot = resumed
+        spans = self._stage_spans(snapshot)
+        executed = [s for s in STAGES if s not in KILLED_AFTER]
+        if not baseline.datasets:  # pragma: no cover - tiny-world guard
+            executed.remove("dataset_building")
+        for stage in executed:
+            meta = spans[stage]["meta"]
+            assert meta["resumed"] is False, stage
+            assert meta["attempts"] == 1, stage
+
+    def test_run_span_marks_resumption(self, resumed):
+        _result, snapshot = resumed
+        (run_root,) = [
+            s for s in snapshot["spans"] if s["name"] == "pipeline.run"
+        ]
+        assert run_root["meta"]["resumed"] is True
+
+    def test_resumed_result_is_bitwise_identical(self, resumed, baseline):
+        result, _snapshot = resumed
+        assert_bitwise_equal(result, baseline)
+
+    def test_killed_run_checkpointed_exactly_the_completed_stages(
+        self, killed
+    ):
+        _run_dir, completed = killed
+        assert completed == KILLED_AFTER
+
+
+class TestRunArgumentValidation:
+    def test_conflicting_dirs_rejected(self, world, config, tmp_path):
+        with pytest.raises(ValueError, match="must agree"):
+            NewsDiffusionPipeline(config).run(
+                world,
+                checkpoint_dir=str(tmp_path / "a"),
+                resume_from=str(tmp_path / "b"),
+            )

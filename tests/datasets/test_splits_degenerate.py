@@ -1,0 +1,94 @@
+"""Degenerate-input coverage for train/validation splitting.
+
+The deployment loop's early cycles produce exactly these shapes — one
+sample, every stratum a singleton, fractions that round to nothing —
+so the splitting contract on them is load-bearing for §4.9 (see
+``repro.core.deployment._safe_split``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import _safe_split
+from repro.datasets import train_validation_split
+
+
+class TestTrainValidationSplitDegenerate:
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_fewer_than_two_samples_raises(self, n):
+        with pytest.raises(ValueError, match="at least 2"):
+            train_validation_split(n)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.2, 1.5])
+    def test_fraction_outside_open_interval_raises(self, fraction):
+        with pytest.raises(ValueError, match="validation_fraction"):
+            train_validation_split(10, validation_fraction=fraction)
+
+    def test_stratify_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="stratify"):
+            train_validation_split(10, stratify=np.zeros(9))
+
+    def test_all_one_class_keeps_class_in_train(self):
+        labels = np.zeros(10, dtype=int)
+        split = train_validation_split(
+            10, validation_fraction=0.2, seed=0, stratify=labels
+        )
+        assert len(split.validation) == 2
+        assert len(split.train) == 8
+        combined = np.concatenate([split.train, split.validation])
+        assert sorted(combined) == list(range(10))
+
+    def test_all_singleton_classes_yield_empty_validation(self):
+        labels = np.arange(5)  # five classes, one member each
+        split = train_validation_split(
+            5, validation_fraction=0.2, seed=0, stratify=labels
+        )
+        assert len(split.validation) == 0
+        assert sorted(split.train) == list(range(5))
+
+    def test_singleton_class_never_lands_in_validation(self):
+        labels = np.array([0] * 9 + [1])  # class 1 is a singleton
+        split = train_validation_split(
+            10, validation_fraction=0.3, seed=0, stratify=labels
+        )
+        assert 1 in labels[split.train]
+        assert 1 not in labels[split.validation]
+
+    def test_tiny_fraction_still_validates_unstratified(self):
+        """max(1, round(...)) keeps validation non-empty without strata."""
+        split = train_validation_split(4, validation_fraction=0.01, seed=0)
+        assert len(split.validation) == 1
+        assert len(split.train) == 3
+
+    def test_two_samples_minimum_split(self):
+        split = train_validation_split(2, validation_fraction=0.5, seed=0)
+        assert len(split.validation) == 1
+        assert len(split.train) == 1
+
+
+class TestSafeSplit:
+    """The deployment wrapper must survive what the raw splitter rejects."""
+
+    def test_single_sample_trains_and_validates_on_itself(self):
+        split = _safe_split(1, validation_fraction=0.2, seed=0)
+        assert list(split.train) == [0]
+        assert list(split.validation) == [0]
+
+    def test_zero_samples_yield_empty_split(self):
+        split = _safe_split(0, validation_fraction=0.2, seed=0)
+        assert len(split.train) == 0
+        assert len(split.validation) == 0
+
+    def test_empty_validation_falls_back_to_train(self):
+        labels = np.arange(3)  # all strata singletons -> empty validation
+        split = _safe_split(
+            3, validation_fraction=0.2, seed=0, stratify=labels
+        )
+        assert sorted(split.train) == list(range(3))
+        assert np.array_equal(split.validation, split.train)
+
+    def test_normal_case_delegates_to_raw_splitter(self):
+        raw = train_validation_split(20, validation_fraction=0.25, seed=4)
+        safe = _safe_split(20, validation_fraction=0.25, seed=4)
+        assert np.array_equal(raw.train, safe.train)
+        assert np.array_equal(raw.validation, safe.validation)

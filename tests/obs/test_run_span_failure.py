@@ -1,0 +1,92 @@
+"""Regression: the ``pipeline.run`` span keeps its progress counts even
+when the run dies partway.
+
+``NewsDiffusionPipeline.run`` used to annotate the run span only after
+the ``with obs.span(...)`` block had exited, so a snapshot taken after a
+*failed* run carried no counts at all — and even successful runs raced
+the span's export.  The fix annotates incrementally inside the span as
+each stage completes; this test kills the pipeline mid-run and asserts
+the snapshot still tells the story so far.
+"""
+
+import pytest
+
+from repro import NewsDiffusionPipeline, build_world, obs
+from repro.core.config import PipelineConfig
+from repro.datagen import WorldConfig
+from repro.resilience import FatalFault, FaultPlan, FaultSpec, faults
+
+KILL_STAGE = "trending_news"
+
+
+@pytest.fixture(scope="module")
+def failed_run_snapshot():
+    """Snapshot of a run killed at KILL_STAGE (after the count-bearing
+    stages completed)."""
+    previous = obs.set_enabled(True)
+    obs.reset()
+    try:
+        world = build_world(
+            WorldConfig(n_articles=200, n_tweets=700, n_users=60, seed=13)
+        )
+        config = PipelineConfig(
+            n_topics=6,
+            nmf_max_iter=120,
+            n_news_events=8,
+            n_twitter_events=16,
+            embedding_dim=32,
+            min_term_support=3,
+            min_event_records=3,
+            seed=13,
+            retry_base_delay_s=0.0,
+        )
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    sites=f"pipeline.{KILL_STAGE}", rate=1.0, kind="fatal"
+                ),
+            ),
+        )
+        with faults.overridden(plan):
+            with pytest.raises(FatalFault):
+                NewsDiffusionPipeline(config).run(world)
+        snapshot = obs.get_registry().snapshot()
+    finally:
+        obs.set_enabled(previous)
+        obs.reset()
+    return snapshot
+
+
+def _run_root(snapshot):
+    (root,) = [s for s in snapshot["spans"] if s["name"] == "pipeline.run"]
+    return root
+
+
+class TestFailedRunSnapshot:
+    def test_counts_survive_the_crash(self, failed_run_snapshot):
+        meta = _run_root(failed_run_snapshot)["meta"]
+        assert meta["n_topics"] > 0
+        assert "n_news_events" in meta
+        assert "n_twitter_events" in meta
+
+    def test_unreached_counts_are_absent(self, failed_run_snapshot):
+        """feature_creation never ran, so its count must not appear."""
+        meta = _run_root(failed_run_snapshot)["meta"]
+        assert "n_event_tweets" not in meta
+
+    def test_error_and_resume_flag_recorded(self, failed_run_snapshot):
+        meta = _run_root(failed_run_snapshot)["meta"]
+        assert meta["error"] == "FatalFault"
+        assert meta["resumed"] is False
+
+    def test_failing_stage_span_is_annotated(self, failed_run_snapshot):
+        root = _run_root(failed_run_snapshot)
+        (stage,) = [
+            c
+            for c in root["children"]
+            if c["name"] == f"pipeline.{KILL_STAGE}"
+        ]
+        assert stage["meta"]["error"] == "FatalFault"
+        assert stage["meta"]["attempts"] == 1
+        assert stage["meta"]["resumed"] is False

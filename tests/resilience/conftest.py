@@ -1,0 +1,19 @@
+"""Shared fixtures for the resilience tests.
+
+The fault plan is process-global (installed plan + ``REPRO_FAULTS``
+env cache), so every test here runs with the environment scrubbed and
+the module state reset on both sides — no chaos may leak between tests
+or into the rest of the suite.
+"""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    """Scrub REPRO_FAULTS and reset installed-plan slot + env cache."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.setattr(faults, "_active", faults._UNSET)
+    monkeypatch.setattr(faults, "_env_cache", (None, None))

@@ -1,0 +1,284 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import threading
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FatalFault,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+    active_plan,
+    inject,
+    install_plan,
+    overridden,
+    parse_plan,
+    plan_from_env,
+    restore_plan,
+)
+
+
+class TestFaultSpecValidation:
+    def test_defaults(self):
+        spec = FaultSpec()
+        assert spec.sites == "pipeline.*"
+        assert spec.rate == 1.0
+        assert spec.kind == "transient"
+        assert spec.max_triggers is None
+        assert spec.after == 0
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_rate_bounds(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(rate=rate)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="flaky")
+
+    def test_max_triggers_positive(self):
+        with pytest.raises(ValueError, match="max_triggers"):
+            FaultSpec(max_triggers=0)
+
+    def test_after_non_negative(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(after=-1)
+
+
+class TestFaultPlanCheck:
+    def test_rate_one_always_fires_transient(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(rate=1.0),))
+        with pytest.raises(TransientFault) as excinfo:
+            plan.check("pipeline.topic_modeling")
+        assert excinfo.value.site == "pipeline.topic_modeling"
+        assert excinfo.value.check == 1
+
+    def test_fatal_kind_raises_fatal(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(rate=1.0, kind="fatal"),))
+        with pytest.raises(FatalFault):
+            plan.check("pipeline.correlation")
+
+    def test_non_matching_site_passes(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(sites="deployment.*"),))
+        plan.check("pipeline.topic_modeling")  # must not raise
+        assert plan.triggered() == []
+
+    def test_after_arms_late(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(rate=1.0, after=2),))
+        plan.check("pipeline.x")
+        plan.check("pipeline.x")
+        with pytest.raises(TransientFault) as excinfo:
+            plan.check("pipeline.x")
+        assert excinfo.value.check == 3
+
+    def test_after_counts_per_site(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(rate=1.0, after=1),))
+        plan.check("pipeline.a")  # check 1 at site a: armed after this
+        plan.check("pipeline.b")  # check 1 at site b: still disarmed
+        with pytest.raises(TransientFault):
+            plan.check("pipeline.a")
+
+    def test_max_triggers_bounds_firing(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(rate=1.0, max_triggers=2),))
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                plan.check("pipeline.x")
+        plan.check("pipeline.x")  # budget spent; never fires again
+        plan.check("pipeline.y")
+        assert len(plan.triggered()) == 2
+
+    def test_records_and_kind_filter(self):
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec(sites="pipeline.a", rate=1.0, max_triggers=1),
+                FaultSpec(sites="pipeline.b", rate=1.0, kind="fatal"),
+            ),
+        )
+        with pytest.raises(TransientFault):
+            plan.check("pipeline.a")
+        with pytest.raises(FatalFault):
+            plan.check("pipeline.b")
+        assert [r.kind for r in plan.triggered()] == ["transient", "fatal"]
+        assert [r.site for r in plan.triggered("fatal")] == ["pipeline.b"]
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(rate=0.0),))
+        for _ in range(50):
+            plan.check("pipeline.x")
+        assert plan.triggered() == []
+
+
+def _trigger_trace(plan, sites, checks_per_site):
+    """(site, check) tuples that fired, probing sites round-robin."""
+    fired = []
+    for check in range(1, checks_per_site + 1):
+        for site in sites:
+            try:
+                plan.check(site)
+            except TransientFault:
+                fired.append((site, check))
+    return fired
+
+
+class TestDeterminism:
+    SITES = [f"pipeline.stage{i}" for i in range(6)]
+
+    def test_same_seed_same_trace(self):
+        spec = FaultSpec(rate=0.3)
+        a = _trigger_trace(FaultPlan(seed=5, specs=(spec,)), self.SITES, 20)
+        b = _trigger_trace(FaultPlan(seed=5, specs=(spec,)), self.SITES, 20)
+        assert a == b
+        assert a  # rate 0.3 over 120 checks must fire at least once
+
+    def test_different_seed_different_trace(self):
+        spec = FaultSpec(rate=0.3)
+        a = _trigger_trace(FaultPlan(seed=5, specs=(spec,)), self.SITES, 20)
+        b = _trigger_trace(FaultPlan(seed=6, specs=(spec,)), self.SITES, 20)
+        assert a != b
+
+    def test_visit_order_does_not_change_per_site_decisions(self):
+        """Decisions are per-(site, check) — global interleaving is noise."""
+        spec = FaultSpec(rate=0.3)
+        forward = _trigger_trace(
+            FaultPlan(seed=5, specs=(spec,)), self.SITES, 20
+        )
+        backward = _trigger_trace(
+            FaultPlan(seed=5, specs=(spec,)), list(reversed(self.SITES)), 20
+        )
+        assert sorted(forward) == sorted(backward)
+
+    def test_thread_interleaving_does_not_change_decisions(self):
+        spec = FaultSpec(rate=0.4)
+        serial = FaultPlan(seed=9, specs=(spec,))
+        threaded = FaultPlan(seed=9, specs=(spec,))
+        for _ in range(30):
+            for site in self.SITES:
+                try:
+                    serial.check(site)
+                except TransientFault:
+                    pass
+
+        def worker(site):
+            for _ in range(30):
+                try:
+                    threaded.check(site)
+                except TransientFault:
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in self.SITES
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        key = lambda r: (r.site, r.check)  # noqa: E731
+        assert sorted(map(key, serial.triggered())) == sorted(
+            map(key, threaded.triggered())
+        )
+
+
+class TestParsePlan:
+    @pytest.mark.parametrize("raw", ["", "   ", "0"])
+    def test_off_values(self, raw):
+        assert parse_plan(raw) is None
+
+    def test_bare_seed(self):
+        plan = parse_plan("7")
+        assert plan.seed == 7
+        assert plan.specs == (FaultSpec(rate=0.15),)
+
+    def test_full_grammar(self):
+        plan = parse_plan(
+            "seed=7; sites=pipeline.*; rate=0.25; kind=transient; max=3"
+        )
+        assert plan.seed == 7
+        assert plan.specs == (
+            FaultSpec(sites="pipeline.*", rate=0.25, max_triggers=3),
+        )
+
+    def test_multiple_specs_and_global_seed(self):
+        plan = parse_plan(
+            "seed=3;sites=pipeline.*;rate=1.0;kind=fatal;max=1;after=2"
+            "|sites=pipeline.parallel.*;rate=0.05"
+        )
+        assert plan.seed == 3
+        assert plan.specs == (
+            FaultSpec(
+                sites="pipeline.*",
+                rate=1.0,
+                kind="fatal",
+                max_triggers=1,
+                after=2,
+            ),
+            FaultSpec(sites="pipeline.parallel.*", rate=0.05),
+        )
+
+    def test_seed_only_segment_gets_default_spec(self):
+        plan = parse_plan("seed=11")
+        assert plan.seed == 11
+        assert plan.specs == (FaultSpec(rate=0.15),)
+
+    def test_not_key_value_raises(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_plan("sites=pipeline.*;boom")
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            parse_plan("sites=pipeline.*;flavor=spicy")
+
+    def test_invalid_field_value_raises(self):
+        with pytest.raises(ValueError, match="invalid"):
+            parse_plan("rate=2.0")
+
+
+class TestActivePlanPrecedence:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+        inject("pipeline.anything")  # no-op without a plan
+
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "sites=pipeline.*;rate=1.0")
+        plan = active_plan()
+        assert plan is not None
+        with pytest.raises(TransientFault):
+            inject("pipeline.x")
+
+    def test_env_plan_cached_per_raw_value(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "sites=pipeline.*;rate=1.0;max=1")
+        first = plan_from_env()
+        assert plan_from_env() is first  # same object: counters persist
+        with pytest.raises(TransientFault):
+            inject("pipeline.x")
+        inject("pipeline.x")  # max=1 spent on the cached plan
+        monkeypatch.setenv(faults.FAULTS_ENV, "sites=pipeline.*;rate=1.0;max=2")
+        assert plan_from_env() is not first  # new raw value → fresh plan
+
+    def test_installed_plan_beats_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "sites=pipeline.*;rate=1.0")
+        mine = FaultPlan(seed=0, specs=(FaultSpec(sites="other.*"),))
+        previous = install_plan(mine)
+        try:
+            assert active_plan() is mine
+            inject("pipeline.x")  # env plan suppressed
+        finally:
+            restore_plan(previous)
+        assert active_plan() is not mine
+
+    def test_installed_none_suppresses_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "sites=pipeline.*;rate=1.0")
+        with overridden(None):
+            assert active_plan() is None
+            inject("pipeline.x")
+        with pytest.raises(TransientFault):
+            inject("pipeline.x")
+
+    def test_overridden_restores_on_exception(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(rate=1.0),))
+        with pytest.raises(RuntimeError, match="boom"):
+            with overridden(plan):
+                raise RuntimeError("boom")
+        assert active_plan() is None

@@ -1,0 +1,197 @@
+"""Unit tests for RetryPolicy: attempts, backoff, filters, timeouts."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import FatalFault, TransientFault
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    RetryError,
+    RetryPolicy,
+    StageTimeout,
+)
+
+
+def _flaky(failures, exc=TransientFault):
+    """A callable failing *failures* times before returning 'ok'."""
+    calls = [0]
+
+    def func():
+        calls[0] += 1
+        if calls[0] <= failures:
+            raise exc("site", calls[0])
+        return "ok"
+
+    func.calls = calls
+    return func
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.retryable == DEFAULT_RETRYABLE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": -1.0},
+            {"backoff": 0.5},
+            {"jitter": 1.5},
+            {"timeout_s": 0.0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def test_success_first_attempt(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        func = _flaky(0)
+        assert policy.call(func) == "ok"
+        assert func.calls[0] == 1
+
+    def test_transient_failures_absorbed(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        func = _flaky(2)
+        assert policy.call(func, sleep=lambda s: None) == "ok"
+        assert func.calls[0] == 3
+
+    def test_exhausted_attempts_raise_retry_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        func = _flaky(5)
+        with pytest.raises(RetryError) as excinfo:
+            policy.call(func, site="pipeline.x", sleep=lambda s: None)
+        assert excinfo.value.site == "pipeline.x"
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.last, TransientFault)
+        assert isinstance(excinfo.value.__cause__, TransientFault)
+        assert func.calls[0] == 2
+
+    def test_non_retryable_raises_raw_on_first_attempt(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        func = _flaky(5, exc=FatalFault)
+        with pytest.raises(FatalFault):
+            policy.call(func, sleep=lambda s: None)
+        assert func.calls[0] == 1
+
+    def test_value_error_not_retryable_by_default(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        calls = [0]
+
+        def func():
+            calls[0] += 1
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            policy.call(func)
+        assert calls[0] == 1
+
+    def test_custom_retryable_filter(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.0, retryable=(KeyError,)
+        )
+        func = _flaky(1, exc=lambda *a: KeyError("k"))
+        assert policy.call(func, sleep=lambda s: None) == "ok"
+
+    def test_single_attempt_policy_wraps_in_retry_error(self):
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(RetryError):
+            policy.call(_flaky(1))
+
+    def test_on_retry_fires_per_backoff(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0)
+        events = []
+        policy.call(
+            _flaky(2),
+            site="pipeline.x",
+            sleep=lambda s: None,
+            on_retry=lambda n, exc, d: events.append((n, type(exc).__name__, d)),
+        )
+        assert [(n, name) for n, name, _ in events] == [
+            (1, "TransientFault"),
+            (2, "TransientFault"),
+        ]
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff=2.0, max_delay_s=0.3, jitter=0.0
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.delay_s(a, rng) for a in (1, 2, 3, 4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.0, jitter=0.1)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert 0.9 <= policy.delay_s(1, rng) <= 1.1
+
+    def test_sleeps_are_deterministic_per_site_and_seed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.01, seed=5)
+
+        def observed():
+            slept = []
+            with pytest.raises(RetryError):
+                policy.call(_flaky(9), site="pipeline.x", sleep=slept.append)
+            return slept
+
+        first, second = observed(), observed()
+        assert first == second
+        assert len(first) == 3
+
+    def test_different_sites_jitter_differently(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.01, seed=5)
+
+        def observed(site):
+            slept = []
+            with pytest.raises(RetryError):
+                policy.call(_flaky(9), site=site, sleep=slept.append)
+            return slept
+
+        assert observed("pipeline.a") != observed("pipeline.b")
+
+
+class TestTimeout:
+    def test_hung_attempt_becomes_stage_timeout(self):
+        policy = RetryPolicy(
+            max_attempts=1, timeout_s=0.05, base_delay_s=0.0
+        )
+        with pytest.raises(RetryError) as excinfo:
+            policy.call(lambda: time.sleep(5.0), site="pipeline.slow")
+        assert isinstance(excinfo.value.last, StageTimeout)
+        assert excinfo.value.last.site == "pipeline.slow"
+
+    def test_timeout_is_retryable(self):
+        policy = RetryPolicy(max_attempts=2, timeout_s=0.05, base_delay_s=0.0)
+        calls = [0]
+
+        def slow_then_fast():
+            calls[0] += 1
+            if calls[0] == 1:
+                time.sleep(5.0)
+            return "ok"
+
+        assert policy.call(slow_then_fast, sleep=lambda s: None) == "ok"
+        assert calls[0] == 2
+
+    def test_fast_call_unaffected_by_timeout(self):
+        policy = RetryPolicy(max_attempts=1, timeout_s=5.0)
+        assert policy.call(lambda: 41 + 1) == 42
+
+    def test_timeout_call_propagates_result_exceptions(self):
+        policy = RetryPolicy(max_attempts=1, timeout_s=5.0)
+
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            policy.call(boom)
