@@ -1,0 +1,55 @@
+"""Serving micro-batching regression bench (ISSUE 5 acceptance).
+
+Asserts the batched serving configuration sustains ≥3x the throughput
+of the batch-size-1 configuration under closed-loop concurrent load,
+with zero request errors and a warm feature cache, and that the
+batched/single ratio regressed no more than 2x against the committed
+baseline (``benchmarks/baselines/serving_baseline.json``).
+
+The rendered table lands in ``benchmarks/results/serving_bench.txt``,
+the raw record in ``benchmarks/results/serving_bench.json``, and the
+obs snapshot (``serving.flush`` spans plus the serving counters and
+queue-depth/batch-size histograms) in ``benchmarks/results/obs/`` via
+conftest.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, emit  # noqa: E402
+from serving_loadgen import (  # noqa: E402
+    MIN_SPEEDUP,
+    check_against_baseline,
+    render,
+    run_loadgen,
+    smoke_failures,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "serving_baseline.json"
+)
+
+
+def test_serving_micro_batching_speedup():
+    result = run_loadgen(duration_s=1.5, reps=3)
+
+    emit("serving_bench", render(result))
+    with open(
+        os.path.join(RESULTS_DIR, "serving_bench.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    assert smoke_failures(result) == []
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"micro-batching speedup {result['speedup']:.2f}x fell below the "
+        f"{MIN_SPEEDUP:.0f}x acceptance floor (reps: {result['speedups']})"
+    )
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check_against_baseline(result, baseline)
+    assert failures == [], failures

@@ -27,6 +27,9 @@ Subpackages
     Table-2 encodings, metadata vector, the A1..D2 datasets.
 ``repro.parallel``
     Seeded, order-preserving thread/process maps for the fan-out stages.
+``repro.serving``
+    Online inference: model registry with hot-swap, micro-batching
+    scheduler, feature cache, stdlib HTTP endpoints (``repro serve``).
 
 Quickstart
 ----------

@@ -168,6 +168,62 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle the ``serve`` subcommand.
+
+    Loads a ``repro.serving`` artifact directory (exported by
+    ``DeploymentSimulator.run(serve=...)`` or
+    :func:`repro.serving.save_artifact`) and serves it over HTTP.
+    Artifact problems exit non-zero with a clean message — an operator
+    typo must not produce a traceback.
+    """
+    from .serving import (
+        ArtifactError,
+        ModelRegistry,
+        ServingConfig,
+        ServingServer,
+        ServingService,
+    )
+
+    try:
+        config = ServingConfig.from_env(
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+            max_queue=args.queue_size,
+            timeout_s=args.timeout_s,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid serving configuration: {exc}")
+    registry = ModelRegistry(retry_policy=config.retry_policy())
+    try:
+        version = registry.load(
+            args.artifact, expect_fingerprint=args.expect_fingerprint
+        )
+    except ArtifactError as exc:
+        raise SystemExit(f"cannot serve {args.artifact!r}: {exc}")
+    print(
+        f"loaded {version.network!r} on variant {version.variant} "
+        f"(v{version.version_id}, fingerprint {version.fingerprint[:12]}...)"
+    )
+    if args.check_only:
+        print("artifact OK (--check-only; not binding a server)")
+        return 0
+    service = ServingService(registry, config)
+    server = ServingServer(service, host=config.host, port=config.port)
+    host, port = server.address
+    print(f"serving on http://{host}:{port}  (POST /predict, /swap; GET /healthz, /metrics)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--data", required=True, help="snapshot directory")
     parser.add_argument("--n-topics", type=int, default=12)
@@ -242,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--epochs", type=int, default=40)
     predict.add_argument("--batch-size", type=int, default=256)
     predict.set_defaults(func=cmd_predict)
+
+    serve = sub.add_parser(
+        "serve", help="serve a trained artifact over HTTP (repro.serving)"
+    )
+    serve.add_argument(
+        "--artifact", required=True, help="serving artifact directory"
+    )
+    serve.add_argument("--host", default=None)
+    serve.add_argument("--port", type=int, default=None)
+    serve.add_argument("--max-batch-size", type=int, default=None)
+    serve.add_argument("--max-wait-ms", type=float, default=None)
+    serve.add_argument("--cache-size", type=int, default=None)
+    serve.add_argument("--queue-size", type=int, default=None)
+    serve.add_argument("--timeout-s", type=float, default=None)
+    serve.add_argument(
+        "--expect-fingerprint",
+        default=None,
+        help="refuse artifacts whose PipelineConfig fingerprint differs",
+    )
+    serve.add_argument(
+        "--check-only",
+        action="store_true",
+        help="validate the artifact and exit without binding a server",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

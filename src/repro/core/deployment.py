@@ -260,6 +260,57 @@ class DeploymentSimulator:
             state["weights"] = None
         return state
 
+    def _serve_dir(self, serve, checkpoint_dir: Optional[str]) -> Optional[str]:
+        """Resolve the ``serve`` argument of :meth:`run` to a directory.
+
+        ``serve=True`` exports under ``<checkpoint_dir>/artifact`` (and
+        therefore requires a checkpoint dir); a string is used as the
+        artifact directory itself; falsy disables the handoff.
+        """
+        if not serve:
+            return None
+        if isinstance(serve, str):
+            return serve
+        if checkpoint_dir is None:
+            raise ValueError(
+                "serve=True requires checkpoint_dir (or pass serve=<path>)"
+            )
+        return os.path.join(checkpoint_dir, "artifact")
+
+    def _export_artifact(
+        self,
+        serve_dir: str,
+        model,
+        embeddings,
+        cycle: int,
+        cutoff: datetime,
+        validation_accuracy: float,
+    ) -> None:
+        """Hand the freshly trained cycle model to the serving layer.
+
+        The export is a full :func:`repro.serving.save_artifact` — a
+        running ``repro serve`` process can hot-swap to it via
+        ``POST /swap`` as soon as the cycle completes (the paper's
+        2-hour refresh feeding the live scorer).
+        """
+        from ..serving.artifacts import save_artifact
+
+        save_artifact(
+            serve_dir,
+            model=model,
+            embeddings=embeddings,
+            variant=self.variant,
+            network=self.network,
+            config=self.config,
+            metadata={
+                "cycle": cycle,
+                "cutoff": cutoff.isoformat(),
+                "target": self.target,
+                "validation_accuracy": validation_accuracy,
+            },
+        )
+        obs.counter("serving.artifact_exports").inc()
+
     def run(
         self,
         world: World,
@@ -267,6 +318,7 @@ class DeploymentSimulator:
         start_fraction: float = 0.6,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        serve=False,
     ) -> DeploymentReport:
         """Simulate *n_cycles* refreshes starting at *start_fraction* of
         the world's timeline (the deployment begins with a backlog).
@@ -277,11 +329,16 @@ class DeploymentSimulator:
         unfinished cycle — warm-starting from the persisted weights —
         instead of replaying from cycle 0.  Stale state (different
         config, world, or simulator setup) is ignored, not trusted.
+
+        With *serve* (True, or an artifact directory path), every cycle
+        that trains a model also exports a ``repro.serving`` artifact —
+        the online half of §4.9 picks it up via hot-swap.
         """
         if n_cycles < 1:
             raise ValueError("n_cycles must be >= 1")
         if not 0.0 < start_fraction <= 1.0:
             raise ValueError("start_fraction must lie in (0, 1]")
+        serve_dir = self._serve_dir(serve, checkpoint_dir)
         pipeline = NewsDiffusionPipeline(self.config)
         report = DeploymentReport()
         total = world.config.end - world.config.start
@@ -348,6 +405,15 @@ class DeploymentSimulator:
                     val_accuracy = accuracy(labels[split.validation], val_pred)
                     n_epochs = history.epochs
                     trained = True
+                    if serve_dir is not None:
+                        self._export_artifact(
+                            serve_dir,
+                            model,
+                            result.embeddings,
+                            cycle,
+                            cutoff,
+                            val_accuracy,
+                        )
                 cycle_span.annotate(trained=trained, warm_start=warm)
 
                 report.cycles.append(

@@ -6,6 +6,9 @@ from .builders import (
     VARIANT_NAMES,
     build_all_datasets,
     build_dataset,
+    document_vector,
+    encode_record,
+    variant_spec,
 )
 from .encoding import (
     AUTHOR_BUCKET_EDGES,
@@ -27,6 +30,9 @@ __all__ = [
     "VARIANT_NAMES",
     "build_dataset",
     "build_all_datasets",
+    "document_vector",
+    "encode_record",
+    "variant_spec",
     "encode_count",
     "encode_labels",
     "author_bucket",

@@ -68,11 +68,17 @@ class Dataset:
         return self.X.shape[1]
 
 
-def _document_vector(
+def document_vector(
     record: EventTweet,
     embeddings: PretrainedEmbeddings,
     family: str,
 ) -> np.ndarray:
+    """§4.7 document embedding of *record* for one family (sw/rnd/swm).
+
+    Public because the serving layer (``repro.serving``) must encode
+    online requests through *exactly* this code path — bitwise parity
+    between offline datasets and served features depends on it.
+    """
     if family == "sw":
         return sw_doc2vec(record.tokens, embeddings, record.event_vocabulary)
     if family == "rnd":
@@ -97,6 +103,35 @@ _VARIANT_SPEC = {
 }
 
 
+def variant_spec(variant: str) -> tuple:
+    """``(family, with_metadata, with_followers)`` for an A1..D2 name."""
+    if variant not in _VARIANT_SPEC:
+        raise KeyError(
+            f"unknown variant {variant!r}; expected one of {VARIANT_NAMES}"
+        )
+    return _VARIANT_SPEC[variant]
+
+
+def encode_record(
+    record: EventTweet,
+    embeddings: PretrainedEmbeddings,
+    variant: str,
+) -> np.ndarray:
+    """One feature row of dataset *variant* for a single record.
+
+    This is the row constructor :func:`build_dataset` maps over every
+    record; the serving layer calls it per request so online features
+    are bitwise-identical to the offline dataset rows.
+    """
+    family, with_metadata, with_followers = variant_spec(variant)
+    parts = [document_vector(record, embeddings, family)]
+    if with_metadata:
+        parts.append(metadata_vector(record.followers, record.created_at))
+    if with_followers:
+        parts.append(np.array([float(encode_count(record.followers))]))
+    return np.concatenate(parts)
+
+
 def build_dataset(
     records: Sequence[EventTweet],
     embeddings: PretrainedEmbeddings,
@@ -110,21 +145,12 @@ def build_dataset(
     :func:`repro.parallel.parallel_map`; row order always matches the
     input record order, whatever *workers* resolves to.
     """
-    if variant not in _VARIANT_SPEC:
-        raise KeyError(
-            f"unknown variant {variant!r}; expected one of {VARIANT_NAMES}"
-        )
+    _family, with_metadata, with_followers = variant_spec(variant)
     if not records:
         raise ValueError("cannot build a dataset from zero records")
-    family, with_metadata, with_followers = _VARIANT_SPEC[variant]
 
     def encode_row(record: EventTweet) -> np.ndarray:
-        parts = [_document_vector(record, embeddings, family)]
-        if with_metadata:
-            parts.append(metadata_vector(record.followers, record.created_at))
-        if with_followers:
-            parts.append(np.array([float(encode_count(record.followers))]))
-        return np.concatenate(parts)
+        return encode_record(record, embeddings, variant)
 
     rows = parallel_map(
         encode_row,

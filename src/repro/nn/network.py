@@ -65,18 +65,54 @@ class Sequential:
 
     # -- forward / backward ------------------------------------------------------
 
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape for a per-sample *input_shape*."""
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = tuple(layer.output_shape(shape))
+        return shape
+
     @check_predict
-    def predict(self, X: np.ndarray, batch_size: int = 1024) -> np.ndarray:
-        """Forward pass in inference mode (dropout disabled)."""
+    def predict(
+        self,
+        X: np.ndarray,
+        batch_size: int = 1024,
+        pad_to: Optional[int] = None,
+    ) -> np.ndarray:
+        """Forward pass in inference mode (dropout disabled).
+
+        With ``pad_to=m`` every forward pass runs on exactly *m* rows:
+        each chunk of up to *m* samples is padded (repeating its last
+        row) to *m* before the layer stack and trimmed afterwards.  BLAS
+        matmul kernels differ by row count, so the same sample can
+        produce ULP-different outputs depending on how many neighbours
+        share its batch; a fixed shape makes ``predict`` bitwise
+        invariant to request batching — the serving layer relies on this
+        for online/offline parity (``batch_size`` is forced to *m*).
+        """
         X = np.asarray(X, dtype=np.float64)
         obs.counter("nn.predict_calls").inc()
         obs.counter("nn.predict_rows").inc(len(X))
+        if pad_to is not None:
+            if pad_to < 1:
+                raise ValueError("pad_to must be >= 1")
+            batch_size = pad_to
+        if len(X) == 0:
+            # Empty input: no forward pass, but the output must still
+            # carry the model's per-sample shape (e.g. (0, n_classes))
+            # so downstream concatenation/argmax code stays total.
+            return np.zeros((0,) + self.output_shape(X.shape[1:]))
         outputs = []
         for start in range(0, len(X), batch_size):
             batch = X[start:start + batch_size]
+            n_rows = len(batch)
+            if pad_to is not None and n_rows < pad_to:
+                batch = np.concatenate(
+                    [batch, np.repeat(batch[-1:], pad_to - n_rows, axis=0)]
+                )
             for layer in self.layers:
                 batch = layer.forward(batch, training=False)
-            outputs.append(batch)
+            outputs.append(batch[:n_rows])
         return np.concatenate(outputs, axis=0)
 
     def predict_classes(self, X: np.ndarray) -> np.ndarray:

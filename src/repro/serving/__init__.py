@@ -1,0 +1,69 @@
+"""``repro.serving`` — online inference for audience-interest models.
+
+The §4.9 system scores live tweets; this subsystem turns a trained
+pipeline artifact into that online service (see ``docs/serving.md``):
+
+* :class:`ModelRegistry` / :class:`ModelVersion` — load ``Sequential``
+  weights + frozen embeddings + config fingerprint from an artifact
+  directory, with atomic hot-swap that never drops in-flight requests;
+* :class:`BatchScheduler` — micro-batching dispatcher (flush on
+  ``max_batch_size`` or ``max_wait_ms``, bounded-queue backpressure,
+  per-request deadlines as typed :class:`ServingError`\\ s);
+* :class:`FeatureCache` — LRU cache keyed on (model version,
+  token-hash) for document vectors and metadata encodings;
+* :class:`ServingService` + :class:`ServingClient` (in-process) and
+  :class:`ServingServer` + :class:`HTTPServingClient` (stdlib
+  ``http.server`` JSON endpoints ``/predict`` ``/healthz`` ``/metrics``
+  ``/swap``), driven by ``python -m repro serve``.
+
+Responses are **bitwise-identical** to offline
+``Sequential.predict(X, batch_size=B, pad_to=B)`` outputs for the same
+tweets: features go through the exact dataset-builder code path and
+every forward pass runs at a fixed padded row count.
+"""
+
+from .artifacts import ServingArtifact, load_artifact, save_artifact
+from .cache import FeatureCache, LRUCache
+from .client import HTTPServingClient, ServingClient
+from .config import ServingConfig
+from .errors import (
+    ArtifactError,
+    BadRequest,
+    DeadlineExceeded,
+    ModelUnavailable,
+    QueueFull,
+    ServingError,
+    SwapError,
+)
+from .httpd import ServingServer
+from .registry import ModelRegistry, ModelVersion
+from .requests import DEFAULT_CREATED_AT, PredictRequest, PredictResponse
+from .scheduler import BatchScheduler, PendingRequest
+from .service import ServingService
+
+__all__ = [
+    "ArtifactError",
+    "BadRequest",
+    "BatchScheduler",
+    "DEFAULT_CREATED_AT",
+    "DeadlineExceeded",
+    "FeatureCache",
+    "HTTPServingClient",
+    "LRUCache",
+    "ModelRegistry",
+    "ModelUnavailable",
+    "ModelVersion",
+    "PendingRequest",
+    "PredictRequest",
+    "PredictResponse",
+    "QueueFull",
+    "ServingArtifact",
+    "ServingClient",
+    "ServingConfig",
+    "ServingError",
+    "ServingServer",
+    "ServingService",
+    "SwapError",
+    "load_artifact",
+    "save_artifact",
+]

@@ -1,0 +1,211 @@
+"""Serving artifacts: a trained model + frozen embeddings on disk.
+
+One artifact directory is the unit of deployment the
+:class:`~repro.serving.registry.ModelRegistry` loads and hot-swaps:
+
+    artifact/
+        artifact.json    metadata: network/variant names, dims, the
+                         PipelineConfig fingerprint, vocabulary order
+        weights.npz      Sequential parameters (``w0`` .. ``wN``)
+        embeddings.npz   the word-vector matrix, rows ordered like the
+                         vocabulary list in artifact.json
+
+All writes go through atomic temp-file + rename so a crashed export
+never leaves a half-written artifact that a registry could load.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.builders import variant_spec
+from ..embeddings import PretrainedEmbeddings
+from ..nn import Sequential, build_paper_network
+from ..resilience.checkpoint import atomic_write, config_fingerprint
+from .errors import ArtifactError
+
+ARTIFACT_VERSION = 1
+METADATA_FILE = "artifact.json"
+WEIGHTS_FILE = "weights.npz"
+EMBEDDINGS_FILE = "embeddings.npz"
+
+
+@dataclass
+class ServingArtifact:
+    """An in-memory, validated serving artifact."""
+
+    network: str
+    variant: str
+    input_dim: int
+    n_classes: int
+    embedding_dim: int
+    fingerprint: str
+    weights: List[np.ndarray]
+    words: List[str]
+    matrix: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def build_embeddings(self) -> PretrainedEmbeddings:
+        """Reconstruct the frozen embedding store."""
+        vectors = {w: self.matrix[i] for i, w in enumerate(self.words)}
+        return PretrainedEmbeddings(vectors, self.embedding_dim)
+
+    def build_model(self) -> Sequential:
+        """Rebuild the network architecture and load the weights."""
+        model = build_paper_network(
+            self.network, input_dim=self.input_dim, n_classes=self.n_classes
+        )
+        model.build((self.input_dim,))
+        try:
+            model.set_weights(self.weights)
+        except ValueError as exc:
+            raise ArtifactError(f"weights do not fit {self.network!r}: {exc}") from exc
+        return model
+
+
+def _npz_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialize arrays to npz bytes (for atomic single-write output)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def save_artifact(
+    directory: str,
+    model: Sequential,
+    embeddings: PretrainedEmbeddings,
+    variant: str,
+    network: str,
+    config=None,
+    fingerprint: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """Export *model* + *embeddings* as a loadable artifact directory.
+
+    The fingerprint binds the artifact to the pipeline configuration it
+    was trained under: pass the :class:`~repro.core.config.PipelineConfig`
+    as *config* (hashed via :func:`repro.resilience.config_fingerprint`)
+    or an explicit *fingerprint* string.
+    """
+    variant_spec(variant)  # validates the name early
+    if model._input_shape is None:
+        raise ArtifactError("cannot export an unbuilt model")
+    if fingerprint is None:
+        fingerprint = (
+            config_fingerprint(config) if config is not None else "unfingerprinted"
+        )
+    input_dim = int(model._input_shape[0])
+    n_classes = int(model.output_shape((input_dim,))[0])
+    words = sorted(embeddings.words())
+    matrix = (
+        np.vstack([embeddings[w] for w in words])
+        if words
+        else np.zeros((0, embeddings.dim))
+    )
+    os.makedirs(directory, exist_ok=True)
+    weights = model.get_weights()
+    atomic_write(
+        os.path.join(directory, WEIGHTS_FILE),
+        _npz_bytes({f"w{i}": w for i, w in enumerate(weights)}),
+    )
+    atomic_write(
+        os.path.join(directory, EMBEDDINGS_FILE), _npz_bytes({"matrix": matrix})
+    )
+    payload = {
+        "version": ARTIFACT_VERSION,
+        "network": network,
+        "variant": variant,
+        "input_dim": input_dim,
+        "n_classes": n_classes,
+        "embedding_dim": embeddings.dim,
+        "fingerprint": fingerprint,
+        "n_weights": len(weights),
+        "words": words,
+        "metadata": dict(metadata or {}),
+    }
+    # Metadata lands last: its presence marks the artifact complete.
+    atomic_write(
+        os.path.join(directory, METADATA_FILE),
+        (json.dumps(payload, indent=2, default=str) + "\n").encode("utf-8"),
+    )
+    return directory
+
+
+def load_artifact(directory: str) -> ServingArtifact:
+    """Load and validate an artifact directory.
+
+    Raises :class:`ArtifactError` (never a raw traceback type) for any
+    missing/corrupt/inconsistent state, so front-ends can turn it into
+    a clean operator-facing message.
+    """
+    meta_path = os.path.join(directory, METADATA_FILE)
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ArtifactError(
+            f"no serving artifact at {directory!r} (missing {METADATA_FILE})"
+        ) from None
+    except (json.JSONDecodeError, OSError) as exc:
+        raise ArtifactError(f"corrupt {METADATA_FILE} in {directory!r}: {exc}") from exc
+    if payload.get("version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"artifact version {payload.get('version')!r} unsupported "
+            f"(expected {ARTIFACT_VERSION})"
+        )
+    required = (
+        "network", "variant", "input_dim", "n_classes",
+        "embedding_dim", "fingerprint", "n_weights", "words",
+    )
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise ArtifactError(f"artifact metadata missing fields: {missing}")
+
+    def _load_npz(filename: str) -> Dict[str, np.ndarray]:
+        path = os.path.join(directory, filename)
+        try:
+            with np.load(path) as data:
+                return {name: data[name] for name in data.files}
+        except FileNotFoundError:
+            raise ArtifactError(f"artifact at {directory!r} missing {filename}") from None
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"corrupt {filename} in {directory!r}: {exc}") from exc
+
+    weight_arrays = _load_npz(WEIGHTS_FILE)
+    n_weights = int(payload["n_weights"])
+    try:
+        weights = [weight_arrays[f"w{i}"] for i in range(n_weights)]
+    except KeyError as exc:
+        raise ArtifactError(f"weights.npz missing entry {exc}") from exc
+    matrix = _load_npz(EMBEDDINGS_FILE).get("matrix")
+    if matrix is None:
+        raise ArtifactError(f"embeddings.npz in {directory!r} has no 'matrix' array")
+    words = list(payload["words"])
+    if matrix.shape != (len(words), int(payload["embedding_dim"])):
+        raise ArtifactError(
+            f"embedding matrix shape {matrix.shape} does not match "
+            f"{len(words)} words x {payload['embedding_dim']} dims"
+        )
+    artifact = ServingArtifact(
+        network=str(payload["network"]),
+        variant=str(payload["variant"]),
+        input_dim=int(payload["input_dim"]),
+        n_classes=int(payload["n_classes"]),
+        embedding_dim=int(payload["embedding_dim"]),
+        fingerprint=str(payload["fingerprint"]),
+        weights=weights,
+        words=words,
+        matrix=matrix,
+        metadata=dict(payload.get("metadata") or {}),
+    )
+    try:
+        variant_spec(artifact.variant)
+    except KeyError as exc:
+        raise ArtifactError(str(exc)) from exc
+    return artifact

@@ -1,0 +1,161 @@
+"""LRU feature cache: repeated tweets skip the embedding hot path.
+
+Two small caches sit in front of request encoding:
+
+* **document vectors**, keyed on ``(model_version, token-hash)`` — the
+  hash covers tokens, event vocabulary, magnitudes, *and* the embedding
+  family, so two requests share an entry only when their §4.7 document
+  embedding is provably identical.  The model version participates
+  because a hot-swap ships a new embedding matrix;
+* **metadata vectors**, keyed on ``(followers, weekday)`` — the only
+  inputs :func:`repro.datasets.metadata_vector` reads.
+
+Entries are immutable (arrays are handed out with the writable flag
+cleared), so cache hits are bitwise-identical replays, not recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from datetime import datetime
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..datasets import metadata_vector
+
+
+class LRUCache:
+    """A thread-safe bounded mapping with least-recently-used eviction.
+
+    ``capacity=0`` disables caching (every lookup misses) without
+    callers needing a separate code path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable):
+        """The cached value for *key*, or None; refreshes recency."""
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data[key] = value
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh *key*; evicts the LRU entry beyond capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
+        """Cached value for *key*, computing and inserting on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counts and current size."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+def _frozen(vector: np.ndarray) -> np.ndarray:
+    """Mark *vector* read-only so cached arrays cannot be mutated."""
+    vector = np.asarray(vector)
+    vector.setflags(write=False)
+    return vector
+
+
+class FeatureCache:
+    """The serving layer's two-tier feature cache (doc + metadata)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.documents = LRUCache(capacity)
+        self.metadata = LRUCache(min(capacity, 512) if capacity else 0)
+
+    @staticmethod
+    def document_key(
+        version_id: int,
+        family: str,
+        tokens: Tuple[str, ...],
+        vocabulary: Optional[Tuple[str, ...]],
+        magnitudes: Optional[Tuple[Tuple[str, float], ...]],
+    ) -> Tuple[int, str]:
+        """``(model_version, token-hash)`` key for one document vector."""
+        digest = hashlib.sha256()
+        digest.update(family.encode("utf-8"))
+        for token in tokens:
+            digest.update(b"\x00t" + token.encode("utf-8"))
+        for word in vocabulary if vocabulary is not None else ():
+            digest.update(b"\x00v" + word.encode("utf-8"))
+        for word, weight in magnitudes if magnitudes is not None else ():
+            digest.update(b"\x00m" + word.encode("utf-8") + repr(weight).encode())
+        return (version_id, digest.hexdigest())
+
+    def document_vector(
+        self,
+        key: Tuple[int, str],
+        compute: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        """Cached document vector for *key* (obs: serving.cache.*)."""
+        cached = self.documents.get(key)
+        if cached is not None:
+            obs.counter("serving.cache.hits").inc()
+            return cached
+        obs.counter("serving.cache.misses").inc()
+        vector = _frozen(compute())
+        self.documents.put(key, vector)
+        return vector
+
+    def metadata_vector(self, followers: int, created_at: datetime) -> np.ndarray:
+        """Cached §4.7 metadata vector (keyed on its true inputs)."""
+        key = (followers, created_at.weekday())
+        return self.metadata.get_or_compute(
+            key, lambda: _frozen(metadata_vector(followers, created_at))
+        )
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier cache statistics for ``/metrics``."""
+        return {
+            "documents": self.documents.stats(),
+            "metadata": self.metadata.stats(),
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Document-cache hit fraction (0.0 when untouched)."""
+        stats = self.documents.stats()
+        total = stats["hits"] + stats["misses"]
+        return stats["hits"] / total if total else 0.0

@@ -1,0 +1,149 @@
+"""Clients for the serving service: in-process and HTTP.
+
+:class:`ServingClient` drives a :class:`~repro.serving.service.ServingService`
+directly (no sockets) — the concurrency tests and the in-process load
+generator use it.  :class:`HTTPServingClient` speaks the JSON contract
+of :mod:`repro.serving.httpd` over ``urllib`` and is what the CI smoke
+job exercises end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from datetime import datetime
+from typing import Dict, Optional
+
+from .errors import (
+    ArtifactError,
+    BadRequest,
+    DeadlineExceeded,
+    ModelUnavailable,
+    QueueFull,
+    ServingError,
+    SwapError,
+)
+from .requests import PredictRequest, PredictResponse
+from .service import ServingService
+
+#: kind -> exception class, for rehydrating HTTP error bodies.
+_ERROR_KINDS = {
+    cls.__name__: cls
+    for cls in (
+        ServingError,
+        BadRequest,
+        QueueFull,
+        ModelUnavailable,
+        DeadlineExceeded,
+        SwapError,
+        ArtifactError,
+    )
+}
+
+
+class ServingClient:
+    """In-process client: the test-facing face of a service."""
+
+    def __init__(self, service: ServingService) -> None:
+        self.service = service
+
+    def predict(
+        self,
+        tokens,
+        followers: int = 0,
+        created_at: Optional[datetime] = None,
+        vocabulary=None,
+        magnitudes: Optional[Dict[str, float]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> PredictResponse:
+        """Score one tweet; blocks until its micro-batch completes."""
+        request = PredictRequest.build(
+            tokens,
+            followers=followers,
+            created_at=created_at,
+            vocabulary=vocabulary,
+            magnitudes=magnitudes,
+        )
+        return self.service.predict(request, timeout_s=timeout_s)
+
+    def healthz(self) -> dict:
+        """Service liveness + active model summary."""
+        return self.service.healthz()
+
+    def metrics(self) -> dict:
+        """Service metrics snapshot."""
+        return self.service.metrics()
+
+    def swap(self, artifact: str, expect_fingerprint: Optional[str] = None) -> dict:
+        """Hot-swap to the artifact at *artifact* (a directory path)."""
+        return self.service.swap(artifact, expect_fingerprint=expect_fingerprint)
+
+
+def _raise_from_body(status: int, body: bytes) -> None:
+    """Re-raise a typed ServingError from a JSON error body."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+        kind = payload.get("error", "ServingError")
+        message = payload.get("message", f"HTTP {status}")
+    except (ValueError, UnicodeDecodeError):
+        kind, message = "ServingError", f"HTTP {status}: {body[:200]!r}"
+    raise _ERROR_KINDS.get(kind, ServingError)(message)
+
+
+class HTTPServingClient:
+    """Minimal JSON/HTTP client for a :class:`ServingServer`."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            _raise_from_body(exc.code, exc.read())
+            raise  # unreachable; keeps type-checkers happy
+        except urllib.error.URLError as exc:
+            raise ModelUnavailable(f"server unreachable: {exc.reason}") from exc
+
+    def predict(
+        self,
+        tokens,
+        followers: int = 0,
+        created_at: Optional[str] = None,
+        vocabulary=None,
+        magnitudes: Optional[Dict[str, float]] = None,
+    ) -> dict:
+        """POST /predict; returns the JSON response body."""
+        payload: dict = {"tokens": list(tokens), "followers": followers}
+        if created_at is not None:
+            payload["created_at"] = created_at
+        if vocabulary is not None:
+            payload["vocabulary"] = list(vocabulary)
+        if magnitudes is not None:
+            payload["magnitudes"] = dict(magnitudes)
+        return self._call("POST", "/predict", payload)
+
+    def healthz(self) -> dict:
+        """GET /healthz."""
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """GET /metrics."""
+        return self._call("GET", "/metrics")
+
+    def swap(self, artifact: str, expect_fingerprint: Optional[str] = None) -> dict:
+        """POST /swap with the artifact directory path."""
+        payload: dict = {"artifact": artifact}
+        if expect_fingerprint is not None:
+            payload["expect_fingerprint"] = expect_fingerprint
+        return self._call("POST", "/swap", payload)

@@ -1,0 +1,94 @@
+"""Tuning knobs of the serving layer (constructor args + ``REPRO_SERVE_*``).
+
+Precedence per knob: explicit constructor/CLI value > environment
+variable > dataclass default.  ``docs/serving.md`` documents every env
+var.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..resilience import RetryPolicy
+
+#: Environment-variable prefix for every serving knob.
+ENV_PREFIX = "REPRO_SERVE_"
+
+
+def _env_value(name: str, cast, default):
+    """``REPRO_SERVE_<name>`` cast through *cast*, else *default*."""
+    raw = os.environ.get(ENV_PREFIX + name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {ENV_PREFIX + name}={raw!r}: expected {cast.__name__}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """All tunables of one serving service instance.
+
+    ``max_batch_size`` doubles as the fixed forward-pass row count
+    (``Sequential.predict(pad_to=...)``): every batch is padded to this
+    many rows so responses are bitwise-independent of how requests got
+    grouped into batches.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 5.0
+    max_queue: int = 256
+    cache_size: int = 4096
+    timeout_s: float = 5.0
+    host: str = "127.0.0.1"
+    port: int = 8321
+    retry_attempts: int = 3
+    retry_base_delay_s: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServingConfig":
+        """Config from ``REPRO_SERVE_*`` env vars, then *overrides*.
+
+        Override values of ``None`` mean "not given" and fall through
+        to the environment/default, so CLI flags plug in directly.
+        """
+        config = cls(
+            max_batch_size=_env_value("MAX_BATCH", int, cls.max_batch_size),
+            max_wait_ms=_env_value("MAX_WAIT_MS", float, cls.max_wait_ms),
+            max_queue=_env_value("QUEUE", int, cls.max_queue),
+            cache_size=_env_value("CACHE", int, cls.cache_size),
+            timeout_s=_env_value("TIMEOUT_S", float, cls.timeout_s),
+            host=_env_value("HOST", str, cls.host),
+            port=_env_value("PORT", int, cls.port),
+        )
+        supplied = {k: v for k, v in overrides.items() if v is not None}
+        return replace(config, **supplied) if supplied else config
+
+    def retry_policy(self, timeout_s: Optional[float] = None) -> RetryPolicy:
+        """The :class:`RetryPolicy` guarding swap/load operations."""
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_delay_s=self.retry_base_delay_s,
+            timeout_s=timeout_s,
+            seed=self.seed,
+        )

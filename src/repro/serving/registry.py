@@ -1,0 +1,173 @@
+"""Model registry: versioned, hot-swappable serving models.
+
+A :class:`ModelVersion` is one immutable, ready-to-serve unit — built
+network, frozen embeddings, variant spec — identified by a monotonically
+increasing integer.  :class:`ModelRegistry` owns the *active* pointer;
+:meth:`ModelRegistry.swap` fully loads and validates a candidate before
+an atomic pointer flip, so in-flight batches keep the version object
+they resolved and no request ever observes a half-loaded model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Union
+
+from .. import obs
+from ..resilience import RetryPolicy, faults
+from .artifacts import ServingArtifact, load_artifact
+from .errors import ArtifactError, ModelUnavailable, SwapError
+
+
+class ModelVersion:
+    """One published model version (immutable once constructed)."""
+
+    def __init__(self, version_id: int, artifact: ServingArtifact) -> None:
+        from ..datasets.builders import variant_spec
+
+        self.version_id = version_id
+        self.artifact = artifact
+        self.variant = artifact.variant
+        self.network = artifact.network
+        self.input_dim = artifact.input_dim
+        self.n_classes = artifact.n_classes
+        self.fingerprint = artifact.fingerprint
+        self.family, self.with_metadata, self.with_followers = variant_spec(
+            artifact.variant
+        )
+        self.model = artifact.build_model()
+        self.embeddings = artifact.build_embeddings()
+
+    def predict(self, X, pad_to: Optional[int] = None):
+        """Forward pass through this version's network.
+
+        *pad_to* fixes the BLAS row count (see ``Sequential.predict``)
+        so online micro-batches reproduce offline outputs bitwise.
+        """
+        return self.model.predict(X, batch_size=pad_to or 1024, pad_to=pad_to)
+
+    def describe(self) -> dict:
+        """JSON-able summary for ``/healthz`` and swap results."""
+        return {
+            "version": self.version_id,
+            "network": self.network,
+            "variant": self.variant,
+            "input_dim": self.input_dim,
+            "n_classes": self.n_classes,
+            "fingerprint": self.fingerprint,
+            "vocabulary_size": len(self.embeddings),
+            "metadata": dict(self.artifact.metadata),
+        }
+
+
+ArtifactSource = Union[str, ServingArtifact]
+
+
+class ModelRegistry:
+    """Loads artifacts and atomically publishes model versions."""
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
+        self._lock = threading.RLock()
+        self._active: Optional[ModelVersion] = None
+        self._history: List[ModelVersion] = []
+        self._next_id = 1
+        self.retry_policy = retry_policy
+
+    def _load(
+        self, source: ArtifactSource, site: str = "serving.registry.load"
+    ) -> ServingArtifact:
+        """Resolve *source* into a validated artifact (with retries).
+
+        *site* names the fault-injection/retry site so chaos plans can
+        target initial loads and hot-swaps independently.
+        """
+
+        def attempt() -> ServingArtifact:
+            faults.inject(site)
+            if isinstance(source, ServingArtifact):
+                return source
+            return load_artifact(source)
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.call(attempt, site=site)
+
+    def _check_fingerprint(
+        self, artifact: ServingArtifact, expect_fingerprint: Optional[str]
+    ) -> None:
+        if (
+            expect_fingerprint is not None
+            and artifact.fingerprint != expect_fingerprint
+        ):
+            raise ArtifactError(
+                f"fingerprint mismatch: artifact carries "
+                f"{artifact.fingerprint[:12]}..., expected "
+                f"{expect_fingerprint[:12]}... — the artifact was trained "
+                f"under a different pipeline configuration"
+            )
+
+    def load(
+        self,
+        source: ArtifactSource,
+        expect_fingerprint: Optional[str] = None,
+    ) -> ModelVersion:
+        """Load *source* and publish it as the active version."""
+        artifact = self._load(source)
+        self._check_fingerprint(artifact, expect_fingerprint)
+        with self._lock:
+            version = ModelVersion(self._next_id, artifact)
+            self._next_id += 1
+            self._active = version
+            self._history.append(version)
+        obs.counter("serving.versions_published").inc()
+        return version
+
+    def swap(
+        self,
+        source: ArtifactSource,
+        expect_fingerprint: Optional[str] = None,
+    ) -> ModelVersion:
+        """Hot-swap to a new version without dropping in-flight work.
+
+        The candidate is loaded, built, and compatibility-checked
+        entirely off to the side; only then does the active pointer
+        flip (a single reference assignment under the lock).  Batches
+        that already resolved the old version keep serving from it —
+        the old :class:`ModelVersion` object stays alive in history.
+        """
+        active = self.active()
+        try:
+            artifact = self._load(source, site="serving.swap")
+            self._check_fingerprint(artifact, expect_fingerprint)
+        except ArtifactError as exc:
+            obs.counter("serving.swap_failures").inc()
+            raise SwapError(f"swap rejected: {exc}") from exc
+        for attr in ("variant", "network", "input_dim", "n_classes"):
+            expected = getattr(active, attr)
+            actual = getattr(artifact, attr)
+            if expected != actual:
+                obs.counter("serving.swap_failures").inc()
+                raise SwapError(
+                    f"swap rejected: candidate {attr} {actual!r} does not "
+                    f"match the serving setup {expected!r}"
+                )
+        with self._lock:
+            version = ModelVersion(self._next_id, artifact)
+            self._next_id += 1
+            self._active = version
+            self._history.append(version)
+        obs.counter("serving.swaps").inc()
+        obs.counter("serving.versions_published").inc()
+        return version
+
+    def active(self) -> ModelVersion:
+        """The currently published version (raises when none is)."""
+        with self._lock:
+            if self._active is None:
+                raise ModelUnavailable("no model version has been published")
+            return self._active
+
+    def versions(self) -> List[dict]:
+        """Summaries of every version ever published, oldest first."""
+        with self._lock:
+            return [v.describe() for v in self._history]

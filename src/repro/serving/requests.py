@@ -1,0 +1,113 @@
+"""Request/response dataclasses shared by every serving front-end.
+
+A :class:`PredictRequest` is the online analogue of one offline
+:class:`~repro.datasets.EventTweet` row: the scheduler encodes it with
+the *same* :func:`repro.datasets.encode_record` path the dataset
+builders use, which is what makes served probabilities bitwise-equal to
+offline ``Sequential.predict`` outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets import EventTweet
+from .errors import BadRequest
+
+#: created_at used when a request does not carry one (a Monday, so the
+#: day-of-week feature is exactly 0.0).  Fixed — never "now" — to keep
+#: replayed request streams deterministic.
+DEFAULT_CREATED_AT = datetime(2021, 1, 4)
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One tweet to score for audience interest."""
+
+    tokens: Tuple[str, ...]
+    followers: int = 0
+    created_at: datetime = DEFAULT_CREATED_AT
+    vocabulary: Optional[Tuple[str, ...]] = None
+    magnitudes: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    @classmethod
+    def build(
+        cls,
+        tokens,
+        followers: int = 0,
+        created_at: Optional[datetime] = None,
+        vocabulary=None,
+        magnitudes: Optional[Dict[str, float]] = None,
+    ) -> "PredictRequest":
+        """Validate and normalise loose inputs into a hashable request."""
+        if tokens is None or isinstance(tokens, (str, bytes)):
+            raise BadRequest("tokens must be a sequence of strings")
+        token_tuple = tuple(str(t) for t in tokens)
+        try:
+            followers = int(followers)
+        except (TypeError, ValueError):
+            raise BadRequest(f"followers must be an integer, got {followers!r}") from None
+        if followers < 0:
+            raise BadRequest("followers cannot be negative")
+        if isinstance(created_at, str):
+            try:
+                created_at = datetime.fromisoformat(created_at)
+            except ValueError:
+                raise BadRequest(
+                    f"created_at must be ISO-8601, got {created_at!r}"
+                ) from None
+        return cls(
+            tokens=token_tuple,
+            followers=followers,
+            created_at=created_at if created_at is not None else DEFAULT_CREATED_AT,
+            vocabulary=None if vocabulary is None
+            else tuple(sorted({str(w) for w in vocabulary})),
+            magnitudes=None if magnitudes is None
+            else tuple(sorted((str(k), float(v)) for k, v in dict(magnitudes).items())),
+        )
+
+    def to_record(self) -> EventTweet:
+        """The offline :class:`EventTweet` this request encodes as.
+
+        The vocabulary defaults to the request's own tokens (every term
+        participates), mirroring how an event's vocabulary always
+        contains the terms it was detected from.
+        """
+        vocabulary = set(self.vocabulary if self.vocabulary is not None else self.tokens)
+        return EventTweet(
+            tokens=list(self.tokens),
+            event_vocabulary=vocabulary,
+            magnitudes=dict(self.magnitudes or ()),
+            author="<online>",
+            followers=self.followers,
+            likes=0,
+            retweets=0,
+            created_at=self.created_at,
+        )
+
+
+@dataclass
+class PredictResponse:
+    """The scored result for one :class:`PredictRequest`."""
+
+    probabilities: List[float]
+    label: int
+    model_version: int
+    fingerprint: str
+    batch_rows: int
+    cached: bool = False
+    latency_ms: float = 0.0
+
+    def to_json(self) -> dict:
+        """JSON-able body for the HTTP front-end."""
+        return {
+            "probabilities": list(self.probabilities),
+            "label": self.label,
+            "model_version": self.model_version,
+            "fingerprint": self.fingerprint,
+            "batch_rows": self.batch_rows,
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+        }

@@ -1,0 +1,196 @@
+"""The serving service: registry + feature cache + batch scheduler.
+
+One :class:`ServingService` owns the whole online path:
+
+    request -> BatchScheduler queue -> [flush] -> resolve active version
+            -> encode rows (FeatureCache) -> one padded forward pass
+            -> per-request PredictResponse
+
+The active :class:`~repro.serving.registry.ModelVersion` is resolved
+**once per flush**, so a hot-swap lands between batches: every request
+in a batch is answered by exactly one version, and in-flight batches
+finish on the version they started with.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import obs
+from ..datasets.builders import document_vector
+from ..datasets.encoding import encode_count
+from .cache import FeatureCache
+from .config import ServingConfig
+from .errors import BadRequest, ServingError
+from .registry import ModelRegistry, ModelVersion
+from .requests import PredictRequest, PredictResponse
+from .scheduler import BatchScheduler
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile of *values* (0.0 for an empty series)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class ServingService:
+    """Online audience-interest prediction over a model registry."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServingConfig()
+        self.cache = FeatureCache(self.config.cache_size)
+        self.scheduler = BatchScheduler(
+            self._run_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+        )
+        self._stats_lock = threading.Lock()
+        self._responses = 0
+        self._errors = 0
+        self._swaps = 0
+        self._latencies: "deque[float]" = deque(maxlen=4096)
+
+    # -- the batched hot path ------------------------------------------------
+
+    def _encode(self, request: PredictRequest, version: ModelVersion) -> np.ndarray:
+        """One feature row, bitwise-equal to the offline dataset row.
+
+        Document vectors go through the per-version LRU cache; the
+        metadata/followers tail is tiny and recomputed [cached by
+        ``(followers, weekday)``] exactly like
+        :func:`repro.datasets.encode_record` builds it.
+        """
+        record = request.to_record()
+        key = self.cache.document_key(
+            version.version_id,
+            version.family,
+            request.tokens,
+            request.vocabulary,
+            request.magnitudes,
+        )
+        parts = [
+            self.cache.document_vector(
+                key,
+                lambda: document_vector(record, version.embeddings, version.family),
+            )
+        ]
+        if version.with_metadata:
+            parts.append(
+                self.cache.metadata_vector(record.followers, record.created_at)
+            )
+        if version.with_followers:
+            parts.append(np.array([float(encode_count(record.followers))]))
+        row = np.concatenate(parts)
+        if row.shape[0] != version.input_dim:
+            raise BadRequest(
+                f"request encodes to {row.shape[0]} features but the model "
+                f"expects {version.input_dim} (wrong embedding dimension?)"
+            )
+        return row
+
+    def _run_batch(
+        self, requests: Sequence[PredictRequest]
+    ) -> List[PredictResponse]:
+        """Encode + score one micro-batch with a single forward pass."""
+        version = self.registry.active()  # resolved once per flush
+        with obs.span("serving.flush") as flush_span:
+            rows = [self._encode(request, version) for request in requests]
+            X = (
+                np.vstack(rows)
+                if rows
+                else np.zeros((0, version.input_dim))
+            )
+            probabilities = version.predict(X, pad_to=self.config.max_batch_size)
+            flush_span.annotate(
+                rows=len(requests), model_version=version.version_id
+            )
+        labels = (
+            np.argmax(probabilities, axis=1)
+            if len(probabilities)
+            else np.zeros(0, dtype=int)
+        )
+        return [
+            PredictResponse(
+                probabilities=probabilities[i].tolist(),
+                label=int(labels[i]),
+                model_version=version.version_id,
+                fingerprint=version.fingerprint,
+                batch_rows=len(requests),
+            )
+            for i in range(len(requests))
+        ]
+
+    # -- public API ----------------------------------------------------------
+
+    def predict(
+        self, request: PredictRequest, timeout_s: Optional[float] = None
+    ) -> PredictResponse:
+        """Score one request, blocking until its batch completes."""
+        timeout = timeout_s if timeout_s is not None else self.config.timeout_s
+        try:
+            response = self.scheduler.predict(request, timeout_s=timeout)
+        except ServingError:
+            with self._stats_lock:
+                self._errors += 1
+            obs.counter("serving.errors").inc()
+            raise
+        with self._stats_lock:
+            self._responses += 1
+            self._latencies.append(response.latency_ms)
+        obs.counter("serving.responses").inc()
+        obs.histogram("serving.latency_ms").observe(response.latency_ms)
+        return response
+
+    def swap(self, source, expect_fingerprint: Optional[str] = None) -> dict:
+        """Hot-swap the registry to a new artifact; returns its summary."""
+        version = self.registry.swap(source, expect_fingerprint=expect_fingerprint)
+        with self._stats_lock:
+            self._swaps += 1
+        return version.describe()
+
+    def healthz(self) -> dict:
+        """Liveness + active-model summary for ``/healthz``."""
+        active = self.registry.active()
+        return {"status": "ok", "model": active.describe()}
+
+    def metrics(self) -> Dict[str, object]:
+        """Counters, cache stats, and latency percentiles for ``/metrics``."""
+        with self._stats_lock:
+            latencies = list(self._latencies)
+            responses = self._responses
+            errors = self._errors
+            swaps = self._swaps
+        return {
+            "responses": responses,
+            "errors": errors,
+            "swaps": swaps,
+            "scheduler": self.scheduler.stats(),
+            "cache": self.cache.stats(),
+            "cache_hit_rate": self.cache.hit_rate,
+            "latency_ms": {
+                "p50": _percentile(latencies, 50),
+                "p95": _percentile(latencies, 95),
+                "p99": _percentile(latencies, 99),
+            },
+        }
+
+    def close(self) -> None:
+        """Drain the scheduler and stop the worker thread."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "ServingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,104 @@
+"""OOV hardening of serve-time document vectors (§4.7 variants).
+
+A live tweet can consist entirely of tokens the pretrained model has
+never seen.  Every averaged document embedding must then return a
+deterministic zero vector — never a NaN from a 0/0 mean and never a
+``RuntimeWarning`` — because the serving layer feeds the result
+straight into a forward pass.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.datasets import EventTweet, encode_record
+from repro.embeddings import (
+    PretrainedEmbeddings,
+    rnd_doc2vec,
+    sif_doc2vec,
+    sw_doc2vec,
+    swm_doc2vec,
+)
+from repro.serving import DEFAULT_CREATED_AT
+
+EMB = PretrainedEmbeddings.deterministic(["known", "word"], dim=16)
+OOV_TOKENS = ["zorp", "blick", "fnord"]
+
+
+def _assert_clean_zero(vector, dim=16):
+    assert vector.shape == (dim,)
+    assert np.array_equal(vector, np.zeros(dim))
+    assert not np.isnan(vector).any()
+
+
+class TestZeroInVocabTokens:
+    @pytest.mark.parametrize(
+        "encode",
+        [
+            lambda t: sw_doc2vec(t, EMB),
+            lambda t: swm_doc2vec(t, EMB, {"zorp": 2.0}),
+            lambda t: sif_doc2vec(t, EMB, {"zorp": 3}, total_terms=10),
+        ],
+        ids=["sw", "swm", "sif"],
+    )
+    def test_all_oov_is_zero_without_warnings(self, encode):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a 0/0 mean would raise here
+            _assert_clean_zero(encode(OOV_TOKENS))
+
+    def test_all_oov_is_deterministic(self):
+        assert np.array_equal(sw_doc2vec(OOV_TOKENS, EMB), sw_doc2vec(OOV_TOKENS, EMB))
+
+    def test_vocabulary_filter_can_empty_the_document(self):
+        """Known tokens all outside the event vocabulary -> zero too."""
+        _assert_clean_zero(sw_doc2vec(["known", "word"], EMB, {"other"}))
+
+    def test_rnd_variant_stays_finite_on_oov(self):
+        """RND deliberately fills OOV gaps with hash vectors — not zero,
+        but still deterministic and finite."""
+        first = rnd_doc2vec(OOV_TOKENS, EMB)
+        second = rnd_doc2vec(OOV_TOKENS, EMB)
+        assert np.array_equal(first, second)
+        assert np.isfinite(first).all()
+        assert np.abs(first).sum() > 0
+
+
+class TestEmptyDocuments:
+    @pytest.mark.parametrize(
+        "encode",
+        [
+            lambda t: sw_doc2vec(t, EMB),
+            lambda t: rnd_doc2vec(t, EMB),
+            lambda t: swm_doc2vec(t, EMB, {}),
+            lambda t: sif_doc2vec(t, EMB, {}, total_terms=1),
+        ],
+        ids=["sw", "rnd", "swm", "sif"],
+    )
+    def test_empty_token_list_is_zero(self, encode):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _assert_clean_zero(encode([]))
+
+
+class TestServeTimeRows:
+    """The full serve-time row stays finite for hostile token sets."""
+
+    @pytest.mark.parametrize("variant", ["A2", "B2", "C2", "D2"])
+    def test_encode_record_all_oov(self, variant):
+        record = EventTweet(
+            tokens=list(OOV_TOKENS),
+            event_vocabulary=set(OOV_TOKENS),
+            magnitudes={},
+            author="nobody",
+            followers=120,
+            likes=0,
+            retweets=0,
+            created_at=DEFAULT_CREATED_AT,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            row = encode_record(record, EMB, variant)
+        assert np.isfinite(row).all()
+        if variant != "B2":  # RND fills gaps; the others must zero them
+            assert np.array_equal(row[: EMB.dim], np.zeros(EMB.dim))

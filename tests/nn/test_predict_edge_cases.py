@@ -1,0 +1,93 @@
+"""Edge cases of ``Sequential.predict``: empty input and padded batches.
+
+The serving dispatcher flushes whatever the queue holds — sometimes
+nothing (every request in the batch expired) — so ``predict`` on a
+``(0, d)`` input must return ``(0, n_classes)`` instead of dying inside
+batch slicing.  The ``pad_to`` option must make outputs bitwise
+invariant to how rows were grouped into batches (BLAS kernels differ by
+row count), which is what serving's online/offline parity stands on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Sequential, build_paper_network
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    model = build_paper_network("MLP 1", input_dim=40, seed=11)
+    model.build((40,))
+    return model
+
+
+class TestEmptyPredict:
+    def test_empty_input_returns_empty_n_classes(self, mlp):
+        out = mlp.predict(np.zeros((0, 40)))
+        assert out.shape == (0, 3)
+
+    def test_empty_input_with_pad_to(self, mlp):
+        out = mlp.predict(np.zeros((0, 40)), pad_to=32)
+        assert out.shape == (0, 3)
+
+    def test_empty_input_cnn(self):
+        model = build_paper_network("CNN 1", input_dim=40, seed=11)
+        model.build((40,))
+        out = model.predict(np.zeros((0, 40)))
+        assert out.shape == (0, 3)
+
+    def test_empty_predict_classes(self, mlp):
+        labels = mlp.predict_classes(np.zeros((0, 40)))
+        assert labels.shape == (0,)
+
+    def test_empty_output_is_concatenable(self, mlp):
+        """The regression that motivated the fix: downstream vstack."""
+        empty = mlp.predict(np.zeros((0, 40)))
+        full = mlp.predict(np.ones((2, 40)))
+        assert np.concatenate([empty, full]).shape == (2, 3)
+
+
+class TestPadTo:
+    def test_pad_to_matches_unpadded_shape(self, mlp):
+        X = np.random.default_rng(0).normal(size=(50, 40))
+        out = mlp.predict(X, pad_to=32)
+        assert out.shape == (50, 3)
+
+    def test_pad_to_is_partition_invariant(self, mlp):
+        """Rows produce bitwise-identical outputs however they are
+        chunked, because every forward pass runs at exactly ``pad_to``
+        rows."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(37, 40))
+        reference = mlp.predict(X, pad_to=16)
+        # one row at a time
+        singles = np.vstack([mlp.predict(X[i:i + 1], pad_to=16) for i in range(len(X))])
+        assert np.array_equal(reference, singles)
+        # ragged partitions
+        pieces = [X[:5], X[5:6], X[6:20], X[20:]]
+        ragged = np.vstack([mlp.predict(p, pad_to=16) for p in pieces])
+        assert np.array_equal(reference, ragged)
+
+    def test_pad_to_position_independent(self, mlp):
+        """A row's output does not depend on its neighbours or slot."""
+        rng = np.random.default_rng(2)
+        row = rng.normal(size=(1, 40))
+        junk = rng.normal(size=(15, 40))
+        alone = mlp.predict(row, pad_to=16)
+        batch = mlp.predict(np.vstack([junk[:7], row, junk[7:]]), pad_to=16)
+        assert np.array_equal(alone[0], batch[7])
+
+    def test_pad_to_rejects_nonpositive(self, mlp):
+        with pytest.raises(ValueError, match="pad_to"):
+            mlp.predict(np.zeros((2, 40)), pad_to=0)
+
+    def test_default_path_unchanged(self, mlp):
+        """Without pad_to, predict behaves exactly as before."""
+        X = np.random.default_rng(3).normal(size=(8, 40))
+        assert np.allclose(mlp.predict(X), mlp.predict(X, batch_size=3), atol=1e-12)
+
+
+class TestOutputShape:
+    def test_output_shape_chains_layers(self):
+        model = Sequential([Dense(7, activation="relu"), Dense(4)], seed=0)
+        assert model.output_shape((12,)) == (4,)

@@ -1,0 +1,114 @@
+"""Concurrency guarantees of the obs layer (ISSUE 5 satellite).
+
+The serving subsystem hammers counters/histograms/spans from HTTP
+handler threads plus the batcher thread, so the registry's promises are
+load-bearing: metric totals must be exact under contention, and span
+stacks are thread-local — a span opened on one thread must never adopt
+a parent (or children) from another thread.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import obs
+
+N_THREADS = 8
+N_ITERATIONS = 400
+
+
+def _run_threads(target):
+    """Run *target(thread_index)* on N_THREADS threads, gate-started."""
+    gate = threading.Barrier(N_THREADS)
+    errors = []
+
+    def wrapped(index):
+        try:
+            gate.wait()
+            target(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced in the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+class TestMetricContention:
+    def test_counter_totals_exact(self, enabled_obs):
+        def hammer(index):
+            for _ in range(N_ITERATIONS):
+                obs.counter("ts.shared").inc()
+                obs.counter(f"ts.per_thread.{index}").inc(2)
+
+        _run_threads(hammer)
+        counters = enabled_obs.snapshot()["metrics"]["counters"]
+        assert counters["ts.shared"]["value"] == N_THREADS * N_ITERATIONS
+        for index in range(N_THREADS):
+            assert counters[f"ts.per_thread.{index}"]["value"] == 2 * N_ITERATIONS
+
+    def test_histogram_count_and_sum_exact(self, enabled_obs):
+        def hammer(index):
+            for i in range(N_ITERATIONS):
+                obs.histogram("ts.values").observe(float(index))
+
+        _run_threads(hammer)
+        hist = enabled_obs.snapshot()["metrics"]["histograms"]["ts.values"]
+        assert hist["count"] == N_THREADS * N_ITERATIONS
+        expected_sum = N_ITERATIONS * sum(range(N_THREADS))
+        assert hist["sum"] == expected_sum
+        # The bounded series holds exactly the first max_samples values.
+        assert len(hist["series"]) <= 4096
+        assert hist["truncated"] == (N_THREADS * N_ITERATIONS > 4096)
+
+    def test_gauge_last_write_wins_not_corrupt(self, enabled_obs):
+        def hammer(index):
+            for _ in range(N_ITERATIONS):
+                obs.gauge("ts.gauge").set(float(index))
+
+        _run_threads(hammer)
+        value = enabled_obs.snapshot()["metrics"]["gauges"]["ts.gauge"]["value"]
+        assert value in {float(i) for i in range(N_THREADS)}
+
+
+class TestSpanStackIsolation:
+    def test_nested_spans_never_cross_threads(self, enabled_obs):
+        """Each thread nests outer(i) > inner(i); a cross-thread parent
+        leak would show as an inner span under the wrong outer, or as a
+        root inner span."""
+
+        def hammer(index):
+            for repeat in range(40):
+                with obs.span(f"outer.{index}"):
+                    with obs.span(f"inner.{index}") as inner:
+                        inner.annotate(thread=index, repeat=repeat)
+
+        _run_threads(hammer)
+        roots = enabled_obs.snapshot()["spans"]
+        assert len(roots) == N_THREADS * 40
+        for root in roots:
+            assert root["name"].startswith("outer."), root["name"]
+            index = root["name"].split(".")[1]
+            children = root.get("children", [])
+            assert len(children) == 1
+            child = children[0]
+            assert child["name"] == f"inner.{index}"
+            assert str(child["meta"]["thread"]) == index
+            assert child.get("children", []) == []
+
+    def test_span_timings_sane_under_contention(self, enabled_obs):
+        def hammer(index):
+            for _ in range(60):
+                with obs.span(f"work.{index}"):
+                    np.dot(np.ones(64), np.ones(64))
+
+        _run_threads(hammer)
+        roots = enabled_obs.snapshot()["spans"]
+        assert len(roots) == N_THREADS * 60
+        for root in roots:
+            assert root["wall_s"] >= 0.0

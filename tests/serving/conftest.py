@@ -1,0 +1,88 @@
+"""Shared fixtures for the serving tests.
+
+Builds one tiny-but-real setup per session: deterministic embeddings,
+a batch of event-tweet records, an A2 dataset, and two trained model
+versions exported as artifact directories (v2 = v1 trained further, so
+their outputs differ while their shapes stay swap-compatible).
+"""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.config import small_config
+from repro.datasets import EventTweet, build_dataset
+from repro.embeddings import PretrainedEmbeddings
+from repro.nn import build_paper_network, one_hot
+from repro.serving import save_artifact
+
+DIM = 24
+N_RECORDS = 160
+WORDS = [f"term{i}" for i in range(100)]
+
+
+@pytest.fixture(scope="session")
+def serving_embeddings():
+    return PretrainedEmbeddings.deterministic(WORDS, dim=DIM)
+
+
+@pytest.fixture(scope="session")
+def serving_records():
+    rng = np.random.default_rng(31)
+    base = datetime(2021, 2, 1)
+    records = []
+    for i in range(N_RECORDS):
+        tokens = [WORDS[j] for j in rng.integers(0, len(WORDS), size=7)]
+        records.append(
+            EventTweet(
+                tokens=tokens,
+                event_vocabulary=set(tokens),
+                magnitudes={},
+                author=f"user{i % 9}",
+                followers=int(rng.integers(0, 4000)),
+                likes=int(rng.integers(0, 2500)),
+                retweets=int(rng.integers(0, 400)),
+                created_at=base + timedelta(hours=i),
+            )
+        )
+    return records
+
+
+@pytest.fixture(scope="session")
+def serving_dataset(serving_records, serving_embeddings):
+    return build_dataset(serving_records, serving_embeddings, "A2")
+
+
+@pytest.fixture(scope="session")
+def trained_models(serving_dataset):
+    """(model_v1, model_v2): same architecture, different weights."""
+    Y = one_hot(serving_dataset.y_likes, 3)
+    v1 = build_paper_network("MLP 1", input_dim=serving_dataset.n_features, seed=5)
+    v1.fit(serving_dataset.X, Y, epochs=2, batch_size=64, track_accuracy=False)
+    v2 = build_paper_network("MLP 1", input_dim=serving_dataset.n_features, seed=5)
+    v2.set_weights(v1.get_weights())
+    v2.fit(serving_dataset.X, Y, epochs=3, batch_size=64, track_accuracy=False)
+    return v1, v2
+
+
+@pytest.fixture(scope="session")
+def artifact_dirs(tmp_path_factory, trained_models, serving_embeddings):
+    """(dir_v1, dir_v2): exported artifacts for the two models."""
+    v1, v2 = trained_models
+    root = tmp_path_factory.mktemp("serving-artifacts")
+    config = small_config()
+    dirs = []
+    for name, model in (("v1", v1), ("v2", v2)):
+        directory = str(root / name)
+        save_artifact(
+            directory,
+            model,
+            serving_embeddings,
+            "A2",
+            "MLP 1",
+            config=config,
+            metadata={"stage": name},
+        )
+        dirs.append(directory)
+    return tuple(dirs)

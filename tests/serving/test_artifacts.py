@@ -1,0 +1,87 @@
+"""Artifact save/load round-trips and validation failures."""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.serving import ArtifactError, load_artifact, save_artifact
+
+
+class TestRoundTrip:
+    def test_weights_bitwise(self, artifact_dirs, trained_models):
+        artifact = load_artifact(artifact_dirs[0])
+        for saved, original in zip(artifact.weights, trained_models[0].get_weights()):
+            assert np.array_equal(saved, original)
+
+    def test_embeddings_bitwise(self, artifact_dirs, serving_embeddings):
+        artifact = load_artifact(artifact_dirs[0])
+        rebuilt = artifact.build_embeddings()
+        assert sorted(rebuilt.words()) == sorted(serving_embeddings.words())
+        for word in serving_embeddings.words():
+            assert np.array_equal(rebuilt[word], serving_embeddings[word])
+
+    def test_rebuilt_model_predicts_identically(
+        self, artifact_dirs, trained_models, serving_dataset
+    ):
+        rebuilt = load_artifact(artifact_dirs[0]).build_model()
+        expected = trained_models[0].predict(serving_dataset.X, batch_size=32, pad_to=32)
+        actual = rebuilt.predict(serving_dataset.X, batch_size=32, pad_to=32)
+        assert np.array_equal(expected, actual)
+
+    def test_metadata_survives(self, artifact_dirs):
+        assert load_artifact(artifact_dirs[0]).metadata["stage"] == "v1"
+        assert load_artifact(artifact_dirs[1]).metadata["stage"] == "v2"
+
+    def test_fingerprint_recorded(self, artifact_dirs):
+        artifact = load_artifact(artifact_dirs[0])
+        assert len(artifact.fingerprint) == 64  # sha256 hex
+
+
+class TestValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no serving artifact"):
+            load_artifact(str(tmp_path / "absent"))
+
+    def test_corrupt_json(self, artifact_dirs, tmp_path):
+        broken = str(tmp_path / "broken")
+        shutil.copytree(artifact_dirs[0], broken)
+        with open(os.path.join(broken, "artifact.json"), "w") as handle:
+            handle.write("{oops")
+        with pytest.raises(ArtifactError, match="corrupt artifact.json"):
+            load_artifact(broken)
+
+    def test_missing_weights_file(self, artifact_dirs, tmp_path):
+        broken = str(tmp_path / "noweights")
+        shutil.copytree(artifact_dirs[0], broken)
+        os.unlink(os.path.join(broken, "weights.npz"))
+        with pytest.raises(ArtifactError, match="missing weights.npz"):
+            load_artifact(broken)
+
+    def test_embedding_shape_mismatch(self, artifact_dirs, tmp_path):
+        broken = str(tmp_path / "badmatrix")
+        shutil.copytree(artifact_dirs[0], broken)
+        np.savez(os.path.join(broken, "embeddings.npz"), matrix=np.zeros((3, 2)))
+        with pytest.raises(ArtifactError, match="does not match"):
+            load_artifact(broken)
+
+    def test_unknown_variant_rejected(self, artifact_dirs, tmp_path):
+        broken = str(tmp_path / "badvariant")
+        shutil.copytree(artifact_dirs[0], broken)
+        meta_path = os.path.join(broken, "artifact.json")
+        meta = json.load(open(meta_path))
+        meta["variant"] = "Z9"
+        json.dump(meta, open(meta_path, "w"))
+        with pytest.raises(ArtifactError, match="unknown variant"):
+            load_artifact(broken)
+
+    def test_unbuilt_model_rejected_on_save(self, serving_embeddings, tmp_path):
+        from repro.nn import Dense, Sequential
+
+        model = Sequential([Dense(3, activation="softmax")])
+        with pytest.raises(ArtifactError, match="unbuilt"):
+            save_artifact(
+                str(tmp_path / "x"), model, serving_embeddings, "A2", "MLP 1"
+            )

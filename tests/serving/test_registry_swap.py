@@ -1,0 +1,137 @@
+"""ModelRegistry publish/swap semantics, including under contention."""
+
+import json
+import os
+import shutil
+import threading
+
+import numpy as np
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy, overridden
+from repro.serving import (
+    ModelRegistry,
+    ModelUnavailable,
+    SwapError,
+    load_artifact,
+)
+
+
+class TestPublish:
+    def test_empty_registry_raises_typed_error(self):
+        with pytest.raises(ModelUnavailable):
+            ModelRegistry().active()
+
+    def test_load_publishes_version_one(self, artifact_dirs):
+        registry = ModelRegistry()
+        version = registry.load(artifact_dirs[0])
+        assert version.version_id == 1
+        assert registry.active() is version
+
+    def test_version_ids_increment(self, artifact_dirs):
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        v2 = registry.swap(artifact_dirs[1])
+        assert v2.version_id == 2
+        assert [v["version"] for v in registry.versions()] == [1, 2]
+
+    def test_expect_fingerprint_enforced_on_load(self, artifact_dirs):
+        from repro.serving import ArtifactError
+
+        registry = ModelRegistry()
+        with pytest.raises(ArtifactError, match="fingerprint mismatch"):
+            registry.load(artifact_dirs[0], expect_fingerprint="f" * 64)
+
+
+class TestSwap:
+    def test_swap_changes_predictions(self, artifact_dirs, serving_dataset):
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        before = registry.active().predict(serving_dataset.X[:8], pad_to=8)
+        registry.swap(artifact_dirs[1])
+        after = registry.active().predict(serving_dataset.X[:8], pad_to=8)
+        assert not np.array_equal(before, after)
+
+    def test_old_version_object_survives_swap(self, artifact_dirs, serving_dataset):
+        """In-flight batches keep the version they resolved."""
+        registry = ModelRegistry()
+        old = registry.load(artifact_dirs[0])
+        expected = old.predict(serving_dataset.X[:4], pad_to=8)
+        registry.swap(artifact_dirs[1])
+        assert np.array_equal(old.predict(serving_dataset.X[:4], pad_to=8), expected)
+
+    def test_incompatible_candidate_rejected(self, artifact_dirs, tmp_path):
+        incompatible = str(tmp_path / "other-variant")
+        shutil.copytree(artifact_dirs[1], incompatible)
+        meta_path = os.path.join(incompatible, "artifact.json")
+        meta = json.load(open(meta_path))
+        meta["variant"] = "B2"  # same dims, different encoding family
+        json.dump(meta, open(meta_path, "w"))
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        with pytest.raises(SwapError, match="variant"):
+            registry.swap(incompatible)
+        assert registry.active().version_id == 1  # active untouched
+
+    def test_corrupt_candidate_rejected_as_swap_error(self, artifact_dirs, tmp_path):
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        with pytest.raises(SwapError, match="swap rejected"):
+            registry.swap(str(tmp_path / "missing"))
+        assert registry.active().version_id == 1
+
+    def test_fingerprint_mismatch_rejected_on_swap(self, artifact_dirs):
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        with pytest.raises(SwapError, match="fingerprint"):
+            registry.swap(artifact_dirs[1], expect_fingerprint="0" * 64)
+
+    def test_swap_accepts_preloaded_artifact(self, artifact_dirs):
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        artifact = load_artifact(artifact_dirs[1])
+        assert registry.swap(artifact).version_id == 2
+
+
+class TestSwapRetries:
+    def test_transient_load_fault_is_retried(self, artifact_dirs):
+        """A chaos-injected transient fault at the swap site is absorbed
+        by the registry's retry policy."""
+        plan = FaultPlan(
+            seed=13,
+            specs=(FaultSpec(sites="serving.swap", rate=1.0, max_triggers=1),),
+        )
+        registry = ModelRegistry(
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0, seed=1)
+        )
+        registry.load(artifact_dirs[0])
+        with overridden(plan):
+            version = registry.swap(artifact_dirs[1])
+        assert version.version_id == 2
+
+
+class TestSwapAtomicity:
+    def test_readers_never_observe_partial_state(self, artifact_dirs):
+        """Hammer active() while another thread swaps repeatedly: every
+        read returns a fully formed version, never None/errors."""
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                version = registry.active()
+                if version.model is None or version.embeddings is None:
+                    failures.append("partial version observed")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for i in range(6):
+            registry.swap(artifact_dirs[i % 2])
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert registry.active().version_id == 7

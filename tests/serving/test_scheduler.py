@@ -1,0 +1,204 @@
+"""BatchScheduler unit tests against a scripted runner."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import (
+    BatchScheduler,
+    DeadlineExceeded,
+    ModelUnavailable,
+    PredictRequest,
+    PredictResponse,
+    QueueFull,
+    ServingError,
+)
+
+
+def _request(i):
+    return PredictRequest.build([f"tok{i}"])
+
+
+def _echo_runner(requests):
+    """One response per request, labelled with its token index."""
+    return [
+        PredictResponse(
+            probabilities=[1.0, 0.0, 0.0],
+            label=0,
+            model_version=1,
+            fingerprint=request.tokens[0],
+            batch_rows=len(requests),
+        )
+        for request in requests
+    ]
+
+
+class TestBatching:
+    def test_single_request_round_trips(self):
+        scheduler = BatchScheduler(_echo_runner, max_batch_size=4, max_wait_ms=1)
+        response = scheduler.predict(_request(7), timeout_s=5.0)
+        assert response.fingerprint == "tok7"
+        scheduler.close()
+
+    def test_order_preserved_within_batches(self):
+        scheduler = BatchScheduler(_echo_runner, max_batch_size=8, max_wait_ms=20)
+        pendings = [scheduler.submit(_request(i), timeout_s=5.0) for i in range(20)]
+        responses = [p.wait(5.0) for p in pendings]
+        assert [r.fingerprint for r in responses] == [f"tok{i}" for i in range(20)]
+        scheduler.close()
+
+    def test_batches_respect_max_batch_size(self):
+        seen = []
+
+        def runner(requests):
+            seen.append(len(requests))
+            return _echo_runner(requests)
+
+        scheduler = BatchScheduler(runner, max_batch_size=4, max_wait_ms=50)
+        pendings = [scheduler.submit(_request(i), timeout_s=5.0) for i in range(10)]
+        for p in pendings:
+            p.wait(5.0)
+        scheduler.close()
+        assert max(seen) <= 4
+        assert sum(seen) == 10
+
+    def test_micro_batching_coalesces_concurrent_submitters(self):
+        """Many threads submitting at once -> fewer flushes than requests."""
+        scheduler = BatchScheduler(_echo_runner, max_batch_size=16, max_wait_ms=25)
+        barrier = threading.Barrier(12)
+        results = []
+
+        def client(i):
+            barrier.wait()
+            results.append(scheduler.predict(_request(i), timeout_s=5.0))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        scheduler.close()
+        assert len(results) == 12
+        assert scheduler.batches < 12
+        assert scheduler.mean_batch_size > 1.0
+
+    def test_max_wait_flushes_partial_batch(self):
+        scheduler = BatchScheduler(_echo_runner, max_batch_size=64, max_wait_ms=10)
+        started = time.perf_counter()
+        scheduler.predict(_request(0), timeout_s=5.0)
+        elapsed = time.perf_counter() - started
+        scheduler.close()
+        assert elapsed < 2.0  # did not wait for 63 more requests
+
+
+class TestBackpressureAndDeadlines:
+    def test_queue_full_raises_typed_error(self):
+        release = threading.Event()
+
+        def slow_runner(requests):
+            release.wait(5.0)
+            return _echo_runner(requests)
+
+        scheduler = BatchScheduler(
+            slow_runner, max_batch_size=1, max_wait_ms=0, max_queue=2
+        )
+        first = scheduler.submit(_request(0), timeout_s=5.0)  # occupies worker
+        time.sleep(0.05)
+        scheduler.submit(_request(1), timeout_s=5.0)
+        scheduler.submit(_request(2), timeout_s=5.0)
+        with pytest.raises(QueueFull):
+            scheduler.submit(_request(3), timeout_s=5.0)
+        assert scheduler.rejected == 1
+        release.set()
+        first.wait(5.0)
+        scheduler.close()
+
+    def test_expired_deadline_surfaces_typed_error(self):
+        release = threading.Event()
+
+        def slow_runner(requests):
+            release.wait(5.0)
+            return _echo_runner(requests)
+
+        scheduler = BatchScheduler(
+            slow_runner, max_batch_size=1, max_wait_ms=0, max_queue=8
+        )
+        scheduler.submit(_request(0), timeout_s=5.0)  # occupies the worker
+        time.sleep(0.05)
+        doomed = scheduler.submit(_request(1), timeout_s=0.01)  # expires queued
+        time.sleep(0.05)  # let the deadline lapse while the worker is busy
+        release.set()
+        with pytest.raises(DeadlineExceeded):
+            doomed.wait(5.0)
+        assert scheduler.expired == 1
+        scheduler.close()
+
+    def test_wait_timeout_raises_deadline(self):
+        hold = threading.Event()
+
+        def stuck_runner(requests):
+            hold.wait(5.0)
+            return _echo_runner(requests)
+
+        scheduler = BatchScheduler(stuck_runner, max_batch_size=1, max_wait_ms=0)
+        pending = scheduler.submit(_request(0))
+        with pytest.raises(DeadlineExceeded):
+            pending.wait(0.05)
+        hold.set()
+        scheduler.close()
+
+
+class TestRunnerFailures:
+    def test_runner_exception_fails_whole_batch_but_not_worker(self):
+        calls = []
+
+        def flaky_runner(requests):
+            calls.append(len(requests))
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return _echo_runner(requests)
+
+        scheduler = BatchScheduler(flaky_runner, max_batch_size=4, max_wait_ms=5)
+        with pytest.raises(ServingError, match="batch runner failed"):
+            scheduler.predict(_request(0), timeout_s=5.0)
+        # the worker survived and serves the next batch
+        assert scheduler.predict(_request(1), timeout_s=5.0).fingerprint == "tok1"
+        scheduler.close()
+
+    def test_runner_count_mismatch_detected(self):
+        def broken_runner(requests):
+            return []
+
+        scheduler = BatchScheduler(broken_runner, max_batch_size=4, max_wait_ms=1)
+        with pytest.raises(ServingError, match="responses"):
+            scheduler.predict(_request(0), timeout_s=5.0)
+        scheduler.close()
+
+
+class TestLifecycle:
+    def test_close_drains_pending_work(self):
+        scheduler = BatchScheduler(_echo_runner, max_batch_size=4, max_wait_ms=50)
+        pendings = [scheduler.submit(_request(i), timeout_s=5.0) for i in range(6)]
+        scheduler.close()
+        for i, pending in enumerate(pendings):
+            assert pending.wait(1.0).fingerprint == f"tok{i}"
+
+    def test_submit_after_close_raises(self):
+        scheduler = BatchScheduler(_echo_runner)
+        scheduler.close()
+        with pytest.raises(ModelUnavailable):
+            scheduler.submit(_request(0))
+
+    def test_close_is_idempotent(self):
+        scheduler = BatchScheduler(_echo_runner)
+        scheduler.close()
+        scheduler.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(_echo_runner, max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(_echo_runner, max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            BatchScheduler(_echo_runner, max_queue=0)
