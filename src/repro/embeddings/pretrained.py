@@ -69,7 +69,7 @@ class PretrainedEmbeddings:
         salt: int = 0,
     ) -> "PretrainedEmbeddings":
         """Hash-seeded vectors for *words* (unit norm, reproducible)."""
-        return cls({w: hash_vector(w, dim, salt) for w in set(words)}, dim)
+        return cls({w: hash_vector(w, dim, salt) for w in sorted(set(words))}, dim)
 
     @classmethod
     def from_word2vec(cls, model: Word2Vec) -> "PretrainedEmbeddings":

@@ -7,8 +7,10 @@ mutated from instrumented hot paths; a parallel set of no-op twins
 disabled so the instrumented call sites stay branch-free and cheap.
 
 Threading: each mutation is a handful of attribute updates guarded by a
-lock shared with the owning registry, so concurrent stages (e.g. a
-threaded benchmark harness) cannot corrupt the totals.
+lock shared with the owning registry (declared via ``@guarded_by``, with
+``@lock_alias`` filing the shared lock under the registry's canonical
+name), so concurrent stages (e.g. a threaded benchmark harness) cannot
+corrupt the totals.
 """
 
 from __future__ import annotations
@@ -16,7 +18,11 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, List, Optional
 
+from ..tools.annotations import guarded_by, lock_alias
 
+
+@lock_alias("_lock", "Registry._lock")
+@guarded_by("_lock", "value")
 class Counter:
     """A monotonically increasing count (queries served, batches trained)."""
 
@@ -36,12 +42,16 @@ class Counter:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation."""
-        return {"value": self.value}
+        with self._lock:
+            return {"value": self.value}
 
     def __repr__(self) -> str:
-        return f"Counter({self.name!r}, value={self.value})"
+        with self._lock:
+            return f"Counter({self.name!r}, value={self.value})"
 
 
+@lock_alias("_lock", "Registry._lock")
+@guarded_by("_lock", "value")
 class Gauge:
     """A point-in-time value that can move both ways (vocab size, queue depth)."""
 
@@ -64,12 +74,16 @@ class Gauge:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation."""
-        return {"value": self.value}
+        with self._lock:
+            return {"value": self.value}
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name!r}, value={self.value})"
+        with self._lock:
+            return f"Gauge({self.name!r}, value={self.value})"
 
 
+@lock_alias("_lock", "Registry._lock")
+@guarded_by("_lock", "count", "total", "min", "max", "series")
 class Histogram:
     """A stream of observations with summary stats and a bounded series.
 
@@ -112,27 +126,31 @@ class Histogram:
     @property
     def mean(self) -> Optional[float]:
         """Arithmetic mean of all observations, or None when empty."""
-        return self.total / self.count if self.count else None
+        with self._lock:
+            return self.total / self.count if self.count else None
 
     @property
     def truncated(self) -> bool:
         """True when the raw series stopped growing at ``max_samples``."""
-        return self.count > len(self.series)
+        with self._lock:
+            return self.count > len(self.series)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (summary + bounded raw series)."""
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "series": list(self.series),
-            "truncated": self.truncated,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "series": list(self.series),
+                "truncated": self.truncated,
+            }
 
     def __repr__(self) -> str:
-        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean})"
+        with self._lock:
+            return f"Histogram({self.name!r}, count={self.count}, mean={self.mean})"
 
 
 class _NullCounter:

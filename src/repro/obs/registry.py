@@ -37,6 +37,7 @@ from .metrics import (
     _NullGauge,
     _NullHistogram,
 )
+from ..tools.annotations import guarded_by
 from .span import NULL_SPAN, Span, _NullSpan
 
 _DEFAULT_ENABLED = False
@@ -82,13 +83,16 @@ class enabled:
         set_enabled(bool(self._previous))
 
 
+@guarded_by("_lock", "_counters", "_gauges", "_histograms", "_roots")
 class Registry:
     """Process-global home of every span tree and named metric.
 
     Metrics are get-or-create by name; span trees grow from the
     per-thread active-span stack.  ``snapshot()`` exports everything as
     a JSON-able dict consumed by ``python -m repro.obs report`` and the
-    benchmark harness.
+    benchmark harness.  (``_local`` and ``_epoch`` are deliberately not
+    ``@guarded_by``: the former is thread-local by construction and the
+    latter is a write-once timestamp read by spans without the lock.)
     """
 
     def __init__(self) -> None:

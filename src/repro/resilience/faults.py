@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
+from ..tools.annotations import guarded_by
 
 FAULTS_ENV = "REPRO_FAULTS"
 
@@ -111,6 +112,7 @@ class FaultRecord:
     spec_index: int
 
 
+@guarded_by("_lock", "_streams", "_checks", "_triggers", "records")
 class FaultPlan:
     """A seeded set of :class:`FaultSpec` rules with per-site streams.
 
@@ -129,7 +131,8 @@ class FaultPlan:
         self._triggers: Dict[int, int] = {}
         self.records: List[FaultRecord] = []
 
-    def _stream(self, spec_index: int, site: str) -> np.random.Generator:
+    def _stream_locked(self, spec_index: int, site: str) -> np.random.Generator:
+        # Caller holds self._lock (a plain, non-reentrant Lock).
         key = (spec_index, site)
         stream = self._streams.get(key)
         if stream is None:
@@ -149,7 +152,7 @@ class FaultPlan:
                 key = (index, site)
                 self._checks[key] = self._checks.get(key, 0) + 1
                 check = self._checks[key]
-                draw = float(self._stream(index, site).random())
+                draw = float(self._stream_locked(index, site).random())
                 if check <= spec.after:
                     continue
                 fired = self._triggers.get(index, 0)

@@ -26,8 +26,10 @@ import numpy as np
 
 from .. import obs
 from ..datasets import metadata_vector
+from ..tools.annotations import guarded_by
 
 
+@guarded_by("_lock", "_data", "hits", "misses", "evictions")
 class LRUCache:
     """A thread-safe bounded mapping with least-recently-used eviction.
 
@@ -46,7 +48,8 @@ class LRUCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable):
         """The cached value for *key*, or None; refreshes recency."""

@@ -15,6 +15,7 @@ from typing import List, Optional, Union
 
 from .. import obs
 from ..resilience import RetryPolicy, faults
+from ..tools.annotations import guarded_by
 from .artifacts import ServingArtifact, load_artifact
 from .errors import ArtifactError, ModelUnavailable, SwapError
 
@@ -63,6 +64,7 @@ class ModelVersion:
 ArtifactSource = Union[str, ServingArtifact]
 
 
+@guarded_by("_lock", "_active", "_history", "_next_id")
 class ModelRegistry:
     """Loads artifacts and atomically publishes model versions."""
 

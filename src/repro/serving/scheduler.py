@@ -20,6 +20,7 @@ from collections import deque
 from typing import Callable, List, Optional, Sequence
 
 from .. import obs
+from ..tools.annotations import guarded_by
 from .errors import DeadlineExceeded, ModelUnavailable, QueueFull, ServingError
 from .requests import PredictRequest, PredictResponse
 
@@ -69,8 +70,23 @@ class PendingRequest:
         return self.deadline is not None and now >= self.deadline
 
 
+@guarded_by(
+    "_cond",
+    "_queue",
+    "_closed",
+    "batches",
+    "batched_rows",
+    "submitted",
+    "rejected",
+    "expired",
+)
 class BatchScheduler:
-    """Queues requests and flushes micro-batches through a runner."""
+    """Queues requests and flushes micro-batches through a runner.
+
+    All mutable state is guarded by ``_cond`` (a condition over an
+    RLock, so the stats helpers can nest); the worker thread and any
+    number of submitters synchronise on it.
+    """
 
     def __init__(
         self,
@@ -169,17 +185,20 @@ class BatchScheduler:
         """Expire overdue requests, run the rest, deliver results."""
         now = time.perf_counter()
         live: List[PendingRequest] = []
+        expired_now = 0
         for pending in batch:
             if pending.expired(now):
-                self.expired += 1
+                expired_now += 1
                 obs.counter("serving.timeouts").inc()
                 pending.fail(
                     DeadlineExceeded("deadline expired while queued for a batch")
                 )
             else:
                 live.append(pending)
-        self.batches += 1
-        self.batched_rows += len(live)
+        with self._cond:
+            self.expired += expired_now
+            self.batches += 1
+            self.batched_rows += len(live)
         obs.counter("serving.batches").inc()
         obs.histogram("serving.batch_size").observe(len(live))
         try:
@@ -218,21 +237,21 @@ class BatchScheduler:
     @property
     def mean_batch_size(self) -> float:
         """Average realised batch size across all flushes so far."""
-        return self.batched_rows / self.batches if self.batches else 0.0
+        with self._cond:
+            return self.batched_rows / self.batches if self.batches else 0.0
 
     def stats(self) -> dict:
-        """Scheduler counters for ``/metrics``."""
+        """Scheduler counters for ``/metrics`` (one consistent snapshot)."""
         with self._cond:
-            depth = len(self._queue)
-        return {
-            "submitted": self.submitted,
-            "rejected": self.rejected,
-            "expired": self.expired,
-            "batches": self.batches,
-            "batched_rows": self.batched_rows,
-            "mean_batch_size": self.mean_batch_size,
-            "queue_depth": depth,
-        }
+            return {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "batches": self.batches,
+                "batched_rows": self.batched_rows,
+                "mean_batch_size": self.mean_batch_size,
+                "queue_depth": len(self._queue),
+            }
 
     def close(self) -> None:
         """Stop accepting work, drain the queue, join the worker."""

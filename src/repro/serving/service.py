@@ -23,6 +23,7 @@ import numpy as np
 from .. import obs
 from ..datasets.builders import document_vector
 from ..datasets.encoding import encode_count
+from ..tools.annotations import guarded_by
 from .cache import FeatureCache
 from .config import ServingConfig
 from .errors import BadRequest, ServingError
@@ -38,6 +39,7 @@ def _percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
+@guarded_by("_stats_lock", "_responses", "_errors", "_swaps", "_latencies")
 class ServingService:
     """Online audience-interest prediction over a model registry."""
 

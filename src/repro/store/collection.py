@@ -2,13 +2,20 @@
 
 This is the storage surface the reproduction's pipeline modules talk to
 (§4.1–§4.2 of the paper store raw and preprocessed corpora in MongoDB).
+
+Thread-safety: every operation that touches the document map, the
+indexes, or the id counter runs under the collection's RLock (declared
+via ``@guarded_by``), so concurrent pipeline stages — and the ROADMAP's
+upcoming sharded engine — can share a collection.  Cursors materialise
+their snapshot under the lock at consumption time; the returned copies
+are private to the caller.
 """
 
 from __future__ import annotations
 
 import copy
-import itertools
 import json
+import threading
 from typing import (
     Any,
     Callable,
@@ -22,6 +29,7 @@ from typing import (
 )
 
 from .. import obs
+from ..tools.annotations import guarded_by
 from .errors import DuplicateKeyError, QueryError, ValidationError
 from .index import HashIndex, plan_index_lookup
 from .query import apply_update, get_path, matches, project, sort_documents, _MISSING
@@ -84,6 +92,7 @@ class Cursor:
         return len(self._materialize())
 
 
+@guarded_by("_lock", "_docs", "_indexes", "_next_id")
 class Collection:
     """An in-memory document collection with Mongo-flavoured operations.
 
@@ -98,24 +107,27 @@ class Collection:
         validator: Optional[Callable[[Dict[str, Any]], bool]] = None,
     ) -> None:
         self.name = name
+        self._lock = threading.RLock()
         self._docs: Dict[Any, Dict[str, Any]] = {}
         self._indexes: Dict[str, HashIndex] = {}
-        self._id_counter = itertools.count(1)
+        self._next_id = 1
         self._validator = validator
 
     # -- basic properties -------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._docs)
+        with self._lock:
+            return len(self._docs)
 
     def __repr__(self) -> str:
         return f"Collection({self.name!r}, {len(self)} docs)"
 
     def count_documents(self, query: Optional[Dict[str, Any]] = None) -> int:
         """Count documents matching *query* (all when None)."""
-        if not query:
-            return len(self._docs)
-        return sum(1 for _ in self._iter_matching(query))
+        with self._lock:
+            if not query:
+                return len(self._docs)
+            return sum(1 for _ in self._iter_matching_locked(query))
 
     # -- writes ------------------------------------------------------------
 
@@ -130,14 +142,16 @@ class Collection:
         if not isinstance(document, dict):
             raise QueryError("documents must be dicts")
         doc = copy.deepcopy(document)
-        if "_id" not in doc:
-            doc["_id"] = next(self._id_counter)
-        if doc["_id"] in self._docs:
-            raise DuplicateKeyError(doc["_id"])
-        self._validate(doc)
-        self._docs[doc["_id"]] = doc
-        for index in self._indexes.values():
-            index.add(doc["_id"], doc)
+        with self._lock:
+            if "_id" not in doc:
+                doc["_id"] = self._next_id
+                self._next_id += 1
+            if doc["_id"] in self._docs:
+                raise DuplicateKeyError(doc["_id"])
+            self._validate(doc)
+            self._docs[doc["_id"]] = doc
+            for index in self._indexes.values():
+                index.add(doc["_id"], doc)
         obs.counter("store.inserts").inc()
         return doc["_id"]
 
@@ -147,55 +161,61 @@ class Collection:
 
     def replace_one(self, query: Dict[str, Any], replacement: Dict[str, Any]) -> int:
         """Replace the first match wholesale; returns 1 if replaced, else 0."""
-        for doc in self._iter_matching(query):
-            doc_id = doc["_id"]
-            new_doc = copy.deepcopy(replacement)
-            new_doc["_id"] = doc_id
-            self._validate(new_doc)
-            self._docs[doc_id] = new_doc
-            for index in self._indexes.values():
-                index.update(doc_id, new_doc)
-            return 1
-        return 0
+        with self._lock:
+            for doc in self._iter_matching_locked(query):
+                doc_id = doc["_id"]
+                new_doc = copy.deepcopy(replacement)
+                new_doc["_id"] = doc_id
+                self._validate(new_doc)
+                self._docs[doc_id] = new_doc
+                for index in self._indexes.values():
+                    index.update(doc_id, new_doc)
+                return 1
+            return 0
 
     def update_one(self, query: Dict[str, Any], update: Dict[str, Any]) -> int:
         """Apply *update* to the first matching document; returns count."""
-        for doc in self._iter_matching(query):
-            apply_update(doc, update)
-            self._validate(doc)
-            for index in self._indexes.values():
-                index.update(doc["_id"], doc)
-            obs.counter("store.updates").inc()
-            return 1
-        return 0
+        with self._lock:
+            for doc in self._iter_matching_locked(query):
+                apply_update(doc, update)
+                self._validate(doc)
+                for index in self._indexes.values():
+                    index.update(doc["_id"], doc)
+                obs.counter("store.updates").inc()
+                return 1
+            return 0
 
     def update_many(self, query: Dict[str, Any], update: Dict[str, Any]) -> int:
         """Apply *update* to every matching document; returns count."""
         count = 0
-        for doc in list(self._iter_matching(query)):
-            apply_update(doc, update)
-            self._validate(doc)
-            for index in self._indexes.values():
-                index.update(doc["_id"], doc)
-            count += 1
+        with self._lock:
+            for doc in list(self._iter_matching_locked(query)):
+                apply_update(doc, update)
+                self._validate(doc)
+                for index in self._indexes.values():
+                    index.update(doc["_id"], doc)
+                count += 1
         obs.counter("store.updates").inc(count)
         return count
 
     def delete_one(self, query: Dict[str, Any]) -> int:
         """Delete the first match; returns the number deleted (0 or 1)."""
-        for doc in self._iter_matching(query):
-            self._remove(doc["_id"])
-            return 1
-        return 0
+        with self._lock:
+            for doc in self._iter_matching_locked(query):
+                self._remove_locked(doc["_id"])
+                return 1
+            return 0
 
     def delete_many(self, query: Dict[str, Any]) -> int:
         """Delete every match; returns the number deleted."""
-        ids = [doc["_id"] for doc in self._iter_matching(query)]
-        for doc_id in ids:
-            self._remove(doc_id)
+        with self._lock:
+            ids = [doc["_id"] for doc in self._iter_matching_locked(query)]
+            for doc_id in ids:
+                self._remove_locked(doc_id)
         return len(ids)
 
-    def _remove(self, doc_id: Any) -> None:
+    def _remove_locked(self, doc_id: Any) -> None:
+        # Caller holds self._lock.
         self._docs.pop(doc_id, None)
         for index in self._indexes.values():
             index.remove(doc_id)
@@ -203,8 +223,8 @@ class Collection:
 
     # -- reads -------------------------------------------------------------
 
-    def _iter_matching(self, query: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
-        """Yield *live* matching documents (internal use only)."""
+    def _iter_matching_locked(self, query: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Yield *live* matching documents (caller holds ``_lock``)."""
         candidate_ids = plan_index_lookup(query, self._indexes) if query else None
         if candidate_ids is not None:
             obs.counter("store.index_scans").inc()
@@ -228,8 +248,12 @@ class Collection:
         obs.counter("store.queries").inc()
 
         def producer() -> Iterable[Dict[str, Any]]:
-            for doc in self._iter_matching(query):
-                yield project(copy.deepcopy(doc), projection)
+            # Snapshot under the lock; the copies are private to the cursor.
+            with self._lock:
+                return [
+                    project(copy.deepcopy(doc), projection)
+                    for doc in self._iter_matching_locked(query)
+                ]
 
         return Cursor(producer)
 
@@ -246,14 +270,15 @@ class Collection:
     def distinct(self, field: str, query: Optional[Dict[str, Any]] = None) -> List[Any]:
         """Distinct values of *field* across matching documents."""
         seen: List[Any] = []
-        for doc in self._iter_matching(query or {}):
-            value = get_path(doc, field)
-            if value is _MISSING:
-                continue
-            values = value if isinstance(value, list) else [value]
-            for v in values:
-                if v not in seen:
-                    seen.append(v)
+        with self._lock:
+            for doc in self._iter_matching_locked(query or {}):
+                value = get_path(doc, field)
+                if value is _MISSING:
+                    continue
+                values = value if isinstance(value, list) else [value]
+                for v in values:
+                    if v not in seen:
+                        seen.append(v)
         return seen
 
     # -- indexes -----------------------------------------------------------
@@ -261,18 +286,21 @@ class Collection:
     def create_index(self, field: str) -> str:
         """Create (or refresh) a hash index on a dotted *field* path."""
         index = HashIndex(field)
-        index.rebuild(self._docs)
-        self._indexes[field] = index
+        with self._lock:
+            index.rebuild(self._docs)
+            self._indexes[field] = index
         obs.counter("store.index_builds").inc()
         return field
 
     def drop_index(self, field: str) -> None:
         """Remove the index on *field* if present."""
-        self._indexes.pop(field, None)
+        with self._lock:
+            self._indexes.pop(field, None)
 
     def list_indexes(self) -> List[str]:
         """Names of the indexed fields."""
-        return list(self._indexes.keys())
+        with self._lock:
+            return list(self._indexes.keys())
 
     # -- aggregation -------------------------------------------------------
 
@@ -285,7 +313,10 @@ class Collection:
         ``$last``), ``$unwind``, ``$count``.
         """
         obs.counter("store.aggregates").inc()
-        docs: List[Dict[str, Any]] = [copy.deepcopy(d) for d in self._docs.values()]
+        with self._lock:
+            docs: List[Dict[str, Any]] = [
+                copy.deepcopy(d) for d in self._docs.values()
+            ]
         for stage in pipeline:
             if len(stage) != 1:
                 raise QueryError("each pipeline stage must have exactly one key")
@@ -388,10 +419,12 @@ class Collection:
 
     def dump_jsonl(self, path: str) -> int:
         """Write every document as one JSON line; returns the count."""
+        with self._lock:
+            lines = [json.dumps(doc, default=str) for doc in self._docs.values()]
         with open(path, "w", encoding="utf-8") as handle:
-            for doc in self._docs.values():
-                handle.write(json.dumps(doc, default=str) + "\n")
-        return len(self._docs)
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
 
     def load_jsonl(self, path: str) -> int:
         """Load documents from a JSONL file; returns the count inserted."""

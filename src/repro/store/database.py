@@ -9,12 +9,15 @@ to persist generated corpora between runs.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, Dict, List, Optional
 
+from ..tools.annotations import guarded_by
 from .collection import Collection
 from .errors import CollectionNotFound
 
 
+@guarded_by("_lock", "_collections")
 class Database:
     """A named set of collections.
 
@@ -29,13 +32,15 @@ class Database:
 
     def __init__(self, name: str = "repro") -> None:
         self.name = name
+        self._lock = threading.RLock()
         self._collections: Dict[str, Collection] = {}
 
     def __getitem__(self, name: str) -> Collection:
         return self.collection(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._collections
+        with self._lock:
+            return name in self._collections
 
     def collection(
         self,
@@ -43,31 +48,37 @@ class Database:
         validator: Optional[Callable[[dict], bool]] = None,
     ) -> Collection:
         """Get or create the collection called *name*."""
-        if name not in self._collections:
-            self._collections[name] = Collection(name, validator=validator)
-        return self._collections[name]
+        with self._lock:
+            if name not in self._collections:
+                self._collections[name] = Collection(name, validator=validator)
+            return self._collections[name]
 
     def list_collections(self) -> List[str]:
         """Sorted names of the existing collections."""
-        return sorted(self._collections.keys())
+        with self._lock:
+            return sorted(self._collections.keys())
 
     def drop_collection(self, name: str) -> None:
         """Delete a collection and its documents if it exists."""
-        if name not in self._collections:
-            raise CollectionNotFound(name)
-        del self._collections[name]
+        with self._lock:
+            if name not in self._collections:
+                raise CollectionNotFound(name)
+            del self._collections[name]
 
     def drop_all(self) -> None:
         """Delete every collection."""
-        self._collections.clear()
+        with self._lock:
+            self._collections.clear()
 
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self, directory: str) -> Dict[str, int]:
         """Dump every collection to ``<directory>/<collection>.jsonl``."""
         os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            collections = list(self._collections.items())
         counts: Dict[str, int] = {}
-        for name, coll in self._collections.items():
+        for name, coll in collections:
             counts[name] = coll.dump_jsonl(os.path.join(directory, f"{name}.jsonl"))
         return counts
 
@@ -87,4 +98,6 @@ class Database:
 
     def stats(self) -> Dict[str, int]:
         """Document counts by collection."""
-        return {name: len(coll) for name, coll in self._collections.items()}
+        with self._lock:
+            collections = list(self._collections.items())
+        return {name: len(coll) for name, coll in collections}

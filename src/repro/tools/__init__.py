@@ -1,6 +1,16 @@
 """Developer tooling that ships with the reproduction.
 
-Currently a single subpackage: :mod:`repro.tools.staticcheck`, the
-project-aware static analyzer that gates every PR (see
-``docs/static_analysis.md``).
+Three pieces:
+
+* :mod:`repro.tools.staticcheck` — the project-aware static analyzer
+  that gates every PR, including the concurrency suite
+  (``--concurrency``: lock discipline, lock-order graph,
+  nondeterminism);
+* :mod:`repro.tools.annotations` — the ``@guarded_by`` / ``@lock_alias``
+  declarations the concurrency rules check against;
+* :mod:`repro.tools.lockwitness` — the opt-in runtime validator that
+  records real lock-acquisition orders under pytest and cross-checks
+  them against the static lock-order graph.
+
+See ``docs/static_analysis.md``.
 """

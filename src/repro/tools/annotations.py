@@ -1,0 +1,147 @@
+"""Lightweight concurrency annotations: ``@guarded_by`` and ``@lock_alias``.
+
+These decorators declare the lock discipline of a class so that both the
+static analyzer (``repro.tools.staticcheck`` rule ``lock-discipline``)
+and the runtime lock-witness validator (``repro.tools.lockwitness``) can
+check it:
+
+* :func:`guarded_by` states that a set of instance fields must only be
+  read or written while ``self.<lock>`` is held::
+
+      @guarded_by("_lock", "_active", "_history", "_next_id")
+      class ModelRegistry: ...
+
+  The analyzer then flags any ``self._active`` access outside a
+  ``with self._lock:`` block (``__init__`` and ``*_locked`` helper
+  methods, whose callers must already hold the lock, are exempt).
+
+* :func:`lock_alias` states that ``self.<attr>`` may actually be a lock
+  owned by another class (e.g. ``repro.obs`` metrics share the owning
+  registry's ``RLock``), so the static lock-order graph and the runtime
+  witness agree on one canonical name for it::
+
+      @lock_alias("_lock", "Registry._lock")
+      @guarded_by("_lock", "value")
+      class Counter: ...
+
+The equivalent declarative form — a class-level ``GUARDED_BY`` dict
+mapping field name to lock attribute — is also understood by the
+analyzer for code that cannot import this module::
+
+    class Worker:
+        GUARDED_BY = {"_queue": "_cond"}
+
+At runtime the decorators are nearly free: they record the declarations
+on the class and, only while :mod:`repro.tools.lockwitness` is enabled,
+wrap the declared lock attributes of each new instance in a witness
+proxy that records real acquisition orders.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+from typing import Any, Callable, Dict, Type, TypeVar
+
+_T = TypeVar("_T")
+
+#: Class attribute holding the field -> lock-attribute mapping.
+GUARDED_BY_ATTR = "__guarded_by__"
+#: Class attribute holding the lock-attribute -> canonical-name mapping.
+LOCK_ALIASES_ATTR = "__lock_aliases__"
+_WRAPPED_FLAG = "__lockwitness_instrumented__"
+
+
+def guarded_fields(cls: type) -> Dict[str, str]:
+    """The declared field -> lock-attribute mapping of *cls* (may be empty)."""
+    declared: Dict[str, str] = {}
+    declared.update(getattr(cls, "GUARDED_BY", None) or {})
+    declared.update(getattr(cls, GUARDED_BY_ATTR, None) or {})
+    return declared
+
+
+def lock_aliases(cls: type) -> Dict[str, str]:
+    """The declared lock-attribute -> canonical-name mapping of *cls*."""
+    return dict(getattr(cls, LOCK_ALIASES_ATTR, None) or {})
+
+
+def canonical_lock_name(cls: type, attr: str) -> str:
+    """Canonical graph label for ``self.<attr>`` on instances of *cls*."""
+    return lock_aliases(cls).get(attr, f"{cls.__name__}.{attr}")
+
+
+def _instrument_init(cls: Type[_T]) -> None:
+    """Wrap ``cls.__init__`` so new instances get witness-proxied locks.
+
+    Idempotent per class: stacked ``guarded_by`` decorators instrument
+    only once.  The wrapper is a no-op unless the lock witness is
+    enabled at construction time.
+    """
+    if cls.__dict__.get(_WRAPPED_FLAG):
+        return
+    original_init = cls.__init__
+
+    @functools.wraps(original_init)
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        original_init(self, *args, **kwargs)
+        # Don't import lockwitness just to learn it is off: the module can
+        # only say "enabled" if it was already imported (set_default), the
+        # env opts in, or we are under pytest.  Importing it here as a side
+        # effect also breaks `python -m repro.tools.lockwitness` (runpy
+        # warns when the target lands in sys.modules during package import).
+        if "repro.tools.lockwitness" not in sys.modules and not (
+            os.environ.get("REPRO_LOCKWITNESS")
+            or os.environ.get("PYTEST_CURRENT_TEST")
+        ):
+            return
+        from . import lockwitness
+
+        if lockwitness.enabled():
+            lockwitness.wrap_instance_locks(self, type(self))
+
+    cls.__init__ = __init__  # type: ignore[method-assign]
+    setattr(cls, _WRAPPED_FLAG, True)
+
+
+def guarded_by(lock: str, *fields: str) -> Callable[[Type[_T]], Type[_T]]:
+    """Class decorator: *fields* must only be accessed under ``self.<lock>``.
+
+    Stackable — apply once per lock when a class shards its state across
+    several locks.  Raises :class:`ValueError` when no fields are named,
+    which almost always means the lock and field arguments were swapped.
+    """
+    if not fields:
+        raise ValueError("guarded_by(lock, *fields) requires at least one field")
+
+    def decorate(cls: Type[_T]) -> Type[_T]:
+        declared = dict(getattr(cls, GUARDED_BY_ATTR, None) or {})
+        for name in fields:
+            declared[name] = lock
+        setattr(cls, GUARDED_BY_ATTR, declared)
+        _instrument_init(cls)
+        return cls
+
+    return decorate
+
+
+def lock_alias(attr: str, canonical: str) -> Callable[[Type[_T]], Type[_T]]:
+    """Class decorator: ``self.<attr>`` is the lock known as *canonical*.
+
+    *canonical* is a ``ClassName.attr`` label — the name the lock-order
+    graph and the runtime witness file the lock under.  Use it whenever
+    a lock object is handed in from the class that owns it, so shared
+    locks collapse to one graph node instead of one per holder class.
+    """
+    if "." not in canonical:
+        raise ValueError(
+            f"canonical lock name {canonical!r} must look like 'ClassName.attr'"
+        )
+
+    def decorate(cls: Type[_T]) -> Type[_T]:
+        aliases = dict(getattr(cls, LOCK_ALIASES_ATTR, None) or {})
+        aliases[attr] = canonical
+        setattr(cls, LOCK_ALIASES_ATTR, aliases)
+        return cls
+
+    return decorate

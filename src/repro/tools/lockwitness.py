@@ -1,0 +1,328 @@
+"""Runtime lock-witness validator: observed lock orders vs. the static graph.
+
+The static ``lock-order`` rule in ``repro.tools.staticcheck`` builds an
+acquisition-order digraph from the source tree.  A static model can
+silently drift from reality, so this module records the orders that
+*actually* happen while the test suite runs and cross-checks them:
+
+* :func:`enabled` mirrors ``repro.nn.contracts``: ``REPRO_LOCKWITNESS=1``
+  force-enables, ``REPRO_LOCKWITNESS=0`` force-disables, and when the
+  variable is unset the witness is on under pytest (detected via
+  ``PYTEST_CURRENT_TEST``) or when :func:`set_default` flipped it on;
+* classes decorated with :func:`repro.tools.annotations.guarded_by` get
+  their declared lock attributes wrapped in a :class:`WitnessLock`
+  proxy at construction time (see :func:`wrap_instance_locks`);
+* every acquisition made while another witnessed lock is held records a
+  directed edge ``held -> acquired`` under the canonical lock names of
+  :func:`repro.tools.annotations.canonical_lock_name`;
+* :func:`verify_against_static` asserts every observed edge exists in
+  the static graph — an observed order the analyzer cannot see means
+  the static model (or an annotation) is stale and must be fixed.
+
+The CLI closes the loop in CI::
+
+    REPRO_LOCKWITNESS=1 REPRO_LOCKWITNESS_OUT=/tmp/witness.json pytest -q
+    python -m repro.tools.lockwitness /tmp/witness.json --static src
+
+Reverse orders observed at runtime (``A -> B`` and ``B -> A``) are
+reported as conflicts — an actual deadlock hazard — independent of the
+static graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+ENV = "REPRO_LOCKWITNESS"
+OUT_ENV = "REPRO_LOCKWITNESS_OUT"
+
+_DEFAULT_ENABLED = False
+
+
+def enabled() -> bool:
+    """Resolve the witness on/off state (environment wins over default)."""
+    flag = os.environ.get(ENV)
+    if flag is not None:
+        return flag.strip().lower() not in ("0", "false", "")
+    if "PYTEST_CURRENT_TEST" in os.environ:
+        return True
+    return _DEFAULT_ENABLED
+
+
+def set_default(value: bool) -> bool:
+    """Set the programmatic default used when ``REPRO_LOCKWITNESS`` is unset.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _DEFAULT_ENABLED
+    previous = _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(value)
+    return previous
+
+
+class Witness:
+    """Process-global recorder of witnessed lock-acquisition orders."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # internal, never itself witnessed
+        self._held = threading.local()
+        self.edges: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self.conflicts: List[str] = []
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _call_site(self) -> str:
+        """``file:line`` of the instrumented acquisition, best effort."""
+        frame = sys._getframe(3) if hasattr(sys, "_getframe") else None
+        if frame is None:
+            return "<unknown>"
+        return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+    def record_acquire(self, label: str) -> None:
+        """Note that *label* was acquired by the calling thread."""
+        stack = self._stack()
+        held = [h for h in stack if h != label]
+        if held:
+            site = self._call_site()
+            with self._lock:
+                for h in dict.fromkeys(held):
+                    entry = self.edges.get((h, label))
+                    if entry is None:
+                        self.edges[(h, label)] = {"site": site, "count": 1}
+                        if (label, h) in self.edges:
+                            self.conflicts.append(
+                                f"opposite acquisition orders observed: "
+                                f"{h} -> {label} (at {site}) and "
+                                f"{label} -> {h} (at "
+                                f"{self.edges[(label, h)]['site']})"
+                            )
+                    else:
+                        entry["count"] += 1
+        stack.append(label)
+
+    def record_release(self, label: str) -> None:
+        """Note that *label* was released by the calling thread."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == label:
+                del stack[index]
+                return
+
+    def observed_edges(self) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """A snapshot of every recorded ``held -> acquired`` edge."""
+        with self._lock:
+            return {pair: dict(info) for pair, info in self.edges.items()}
+
+    def reset(self) -> None:
+        """Drop every recorded edge and conflict (held stacks survive)."""
+        with self._lock:
+            self.edges.clear()
+            del self.conflicts[:]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able export consumed by the CLI cross-check."""
+        with self._lock:
+            return {
+                "version": 1,
+                "edges": [
+                    {
+                        "from": a,
+                        "to": b,
+                        "site": info["site"],
+                        "count": info["count"],
+                    }
+                    for (a, b), info in sorted(self.edges.items())
+                ],
+                "conflicts": list(self.conflicts),
+            }
+
+    def save(self, path: str) -> str:
+        """Write the JSON export to *path*; returns the path."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+        return path
+
+
+_WITNESS = Witness()
+
+
+def get_witness() -> Witness:
+    """The process-global :class:`Witness`."""
+    return _WITNESS
+
+
+def reset() -> None:
+    """Clear the process-global witness."""
+    _WITNESS.reset()
+
+
+class WitnessLock:
+    """A transparent proxy around a lock/RLock/Condition that records orders.
+
+    Mutual exclusion is untouched — every operation delegates to the
+    wrapped primitive — but ``acquire``/``__enter__`` push the lock's
+    canonical label onto a per-thread held stack and record an edge for
+    each distinct label already held.  ``Condition.wait`` releases and
+    re-acquires the underlying lock internally; the witness deliberately
+    keeps the label held across a wait (the waiter still *logically*
+    owns the region), a documented imprecision.
+    """
+
+    __slots__ = ("label", "wrapped", "_witness")
+
+    def __init__(self, label: str, wrapped: Any, witness: Optional[Witness] = None) -> None:
+        self.label = label
+        self.wrapped = wrapped
+        self._witness = witness or _WITNESS
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        """Acquire the wrapped lock; record the order on success."""
+        acquired = bool(self.wrapped.acquire(*args, **kwargs))
+        if acquired:
+            self._witness.record_acquire(self.label)
+        return acquired
+
+    def release(self, *args: Any, **kwargs: Any) -> None:
+        """Release the wrapped lock and pop the held-stack entry."""
+        self.wrapped.release(*args, **kwargs)
+        self._witness.record_release(self.label)
+
+    def __enter__(self) -> Any:
+        result = self.wrapped.__enter__()
+        self._witness.record_acquire(self.label)
+        return result
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> Any:
+        out = self.wrapped.__exit__(exc_type, exc, tb)
+        self._witness.record_release(self.label)
+        return out
+
+    def __getattr__(self, name: str) -> Any:
+        # wait/notify/notify_all/locked/... delegate untouched.
+        return getattr(self.wrapped, name)
+
+    def __repr__(self) -> str:
+        return f"WitnessLock({self.label!r}, {self.wrapped!r})"
+
+
+def wrap_instance_locks(obj: Any, cls: Optional[type] = None) -> None:
+    """Replace *obj*'s declared lock attributes with witness proxies.
+
+    Idempotent: attributes that are already :class:`WitnessLock`s (e.g.
+    a shared lock wrapped by its owning class) are left alone, so the
+    first wrapper — the owner — decides the canonical label.
+    """
+    from .annotations import canonical_lock_name, guarded_fields, lock_aliases
+
+    owner = cls or type(obj)
+    attrs = set(guarded_fields(owner).values()) | set(lock_aliases(owner))
+    for attr in sorted(attrs):
+        current = getattr(obj, attr, None)
+        if current is None or isinstance(current, WitnessLock):
+            continue
+        setattr(obj, attr, WitnessLock(canonical_lock_name(owner, attr), current))
+
+
+def verify_against_static(
+    observed: Dict[Tuple[str, str], Dict[str, Any]],
+    static_paths: Sequence[str],
+) -> List[str]:
+    """Cross-check *observed* runtime edges against the static graph.
+
+    Returns human-readable mismatch messages — empty means every
+    observed acquisition order is explained by the static model.
+    """
+    from .staticcheck.concurrency import build_lock_graph
+
+    graph = build_lock_graph(static_paths)
+    mismatches: List[str] = []
+    for (a, b), info in sorted(observed.items()):
+        if a == b:
+            continue
+        if not graph.has_edge(a, b):
+            mismatches.append(
+                f"runtime acquired {b} while holding {a} (at {info['site']}, "
+                f"seen {info['count']}x) but the static lock-order graph has "
+                f"no such edge — annotate the code path or fix the analyzer"
+            )
+    return mismatches
+
+
+def _load_observed(path: str) -> Tuple[Dict[Tuple[str, str], Dict[str, Any]], List[str]]:
+    """Parse a witness JSON export into (edges, conflicts)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    edges: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for entry in payload.get("edges", ()):
+        edges[(entry["from"], entry["to"])] = {
+            "site": entry.get("site", "<unknown>"),
+            "count": entry.get("count", 1),
+        }
+    return edges, list(payload.get("conflicts", ()))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: cross-check a witness export against the static lock graph."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lockwitness",
+        description=(
+            "Validate observed lock-acquisition orders against the static "
+            "lock-order graph extracted by repro.tools.staticcheck."
+        ),
+    )
+    parser.add_argument(
+        "observed",
+        nargs="?",
+        help=f"witness JSON export (written via {OUT_ENV} under pytest)",
+    )
+    parser.add_argument(
+        "--static",
+        default="src",
+        metavar="PATH",
+        help="source tree for the static graph (default: src)",
+    )
+    parser.add_argument(
+        "--dump-static",
+        action="store_true",
+        help="print the static lock-order edges and exit",
+    )
+    options = parser.parse_args(argv)
+
+    from .staticcheck.concurrency import build_lock_graph
+
+    graph = build_lock_graph([options.static])
+    if options.dump_static:
+        for (a, b), sites in sorted(graph.edges.items()):
+            print(f"{a} -> {b}    [{sites[0]}]")
+        return 0
+    if not options.observed:
+        parser.error("observed JSON path required unless --dump-static")
+    edges, conflicts = _load_observed(options.observed)
+    failures = list(conflicts)
+    failures.extend(verify_against_static(edges, [options.static]))
+    for message in failures:
+        print(f"lockwitness: {message}", file=sys.stderr)
+    checked = len([1 for (a, b) in edges if a != b])
+    print(
+        f"lockwitness: {checked} observed edge(s) checked against "
+        f"{len(graph.edges)} static edge(s); "
+        f"{len(failures)} problem(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,21 +10,30 @@ or from the shell::
 
     python -m repro.tools.staticcheck src
 
+The concurrency suite (``--concurrency``: lock-discipline, lock-order,
+nondeterminism) lives in :mod:`repro.tools.staticcheck.concurrency`; its
+static lock-order graph is exposed as :func:`build_lock_graph` for the
+runtime validator in :mod:`repro.tools.lockwitness`.
+
 Rules, suppression syntax (``# staticcheck: disable=<rule>``), and the
 CI wiring are documented in ``docs/static_analysis.md``.
 """
 
 from . import rules  # noqa: F401  (import registers the built-in rules)
-from .cli import main
+from .cli import CONCURRENCY_RULES, main
+from .concurrency import LockGraph, build_lock_graph
 from .core import RULES, Analyzer, Rule, SourceFile, Violation, analyze_paths, register
 
 __all__ = [
     "Analyzer",
+    "CONCURRENCY_RULES",
+    "LockGraph",
     "RULES",
     "Rule",
     "SourceFile",
     "Violation",
     "analyze_paths",
+    "build_lock_graph",
     "main",
     "register",
 ]

@@ -2,6 +2,8 @@
 
 Exit status is 0 when the tree is clean, 1 when violations were found,
 and 2 on usage errors — so the command slots directly into CI.
+Diagnostics (file counts, missing-path and suppression warnings) go to
+stderr; stdout carries only violations, so a clean run is silent there.
 """
 
 from __future__ import annotations
@@ -13,6 +15,9 @@ from typing import List, Optional, Sequence
 
 from . import rules as _rules  # noqa: F401  (import registers the rules)
 from .core import RULES, Analyzer
+
+#: The rules run by ``--concurrency`` (the CI concurrency gate).
+CONCURRENCY_RULES = ("lock-discipline", "lock-order", "nondeterminism")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to skip for this run",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "run only the concurrency rules "
+            f"({', '.join(CONCURRENCY_RULES)})"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
@@ -60,17 +73,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     disabled: List[str] = [
         part.strip() for part in options.disable.split(",") if part.strip()
     ]
+    if options.concurrency:
+        disabled.extend(
+            rule_id for rule_id in RULES if rule_id not in CONCURRENCY_RULES
+        )
+        disabled = sorted(set(disabled))
     try:
         analyzer = Analyzer(disabled=disabled)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    try:
-        violations = analyzer.run(options.paths)
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    violations = analyzer.run(options.paths)
+    for missing in analyzer.missing_paths:
+        print(
+            f"warning: path does not exist, skipping: {missing}",
+            file=sys.stderr,
+        )
+    for warning in sorted(set(analyzer.warnings)):
+        print(f"warning: {warning}", file=sys.stderr)
     if options.format == "json":
         print(json.dumps([violation.as_dict() for violation in violations], indent=2))
     else:
@@ -78,4 +99,5 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(violation.format())
         if violations:
             print(f"{len(violations)} violation(s) found", file=sys.stderr)
+    print(f"{analyzer.files_checked} file(s) checked", file=sys.stderr)
     return 1 if violations else 0

@@ -1,0 +1,805 @@
+"""Concurrency rules: lock discipline, lock ordering, and nondeterminism.
+
+Three rules extend the analyzer for the concurrent subsystems
+(``repro.serving``, ``repro.store``, ``repro.obs``, ``repro.parallel``):
+
+``lock-discipline``
+    Fields declared via ``@guarded_by("lock", "field", ...)`` (see
+    :mod:`repro.tools.annotations`) or a class-level ``GUARDED_BY`` dict
+    must only be accessed inside a ``with self.<lock>:`` block.
+    ``__init__`` is exempt (no concurrent access before construction
+    completes), as are ``*_locked`` helper methods — whose *call sites*
+    must in turn hold one of the class's locks.
+
+``lock-order``
+    Every nested lock acquisition in the project — lexical ``with``
+    nesting plus calls made while a lock is held, resolved through a
+    conservative project call graph — contributes a directed edge to
+    the acquisition-order graph.  A cycle in that graph is a potential
+    deadlock and fails the build with the full path rendered.  Locks
+    shared across classes collapse onto one node via ``@lock_alias``.
+    The same graph backs the runtime validator
+    (:mod:`repro.tools.lockwitness`) through :func:`build_lock_graph`.
+
+``nondeterminism``
+    Result-affecting code (``repro/core``, ``repro/nn``,
+    ``repro/embeddings``) must not read wall-clock time
+    (``datetime.now()`` and friends) or iterate unordered sets (whose
+    order is hash-seed dependent); wrap set iteration in ``sorted()``.
+    RNG misuse is covered by the stricter project-wide ``determinism``
+    rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import Project, Rule, SourceFile, Violation, iter_python_files, register
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: threading factory tails recognised as lock constructors, mapped to
+#: whether the resulting primitive is reentrant.
+_LOCK_FACTORIES: Dict[str, bool] = {
+    "Lock": False,
+    "RLock": True,
+    "Condition": True,  # backed by an RLock unless one is passed in
+    "Semaphore": False,
+    "BoundedSemaphore": False,
+}
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _decorator_call(node: ast.expr, name: str) -> Optional[ast.Call]:
+    """The decorator as a Call when it is ``name(...)``, else None."""
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func) or ""
+        if dotted.split(".")[-1] == name:
+            return node
+    return None
+
+
+def _str_args(call: ast.Call) -> Optional[List[str]]:
+    """The call's positional args when all are string literals, else None."""
+    out: List[str] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            out.append(arg.value)
+        else:
+            return None
+    return out
+
+
+@dataclass
+class _ClassInfo:
+    """Everything the concurrency rules know about one class."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    guard_map: Dict[str, str] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+    lock_attrs: Dict[str, bool] = field(default_factory=dict)  # attr -> reentrant
+    attr_ctors: Dict[str, str] = field(default_factory=dict)  # self.x = Ctor(...)
+    methods: Dict[str, ast.AST] = field(default_factory=dict)
+
+    def canonical(self, attr: str) -> str:
+        """Graph label for ``self.<attr>`` (alias-aware)."""
+        return self.aliases.get(attr, f"{self.name}.{attr}")
+
+
+def _collect_class(source: SourceFile, node: ast.ClassDef) -> _ClassInfo:
+    """Extract guard declarations, lock attrs, and methods from a class."""
+    info = _ClassInfo(name=node.name, path=source.path, node=node)
+    for decorator in node.decorator_list:
+        call = _decorator_call(decorator, "guarded_by")
+        if call is not None:
+            args = _str_args(call)
+            if args and len(args) >= 2:
+                for guarded in args[1:]:
+                    info.guard_map[guarded] = args[0]
+        call = _decorator_call(decorator, "lock_alias")
+        if call is not None:
+            args = _str_args(call)
+            if args and len(args) == 2:
+                info.aliases[args[0]] = args[1]
+    for statement in node.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and statement.targets[0].id == "GUARDED_BY"
+            and isinstance(statement.value, ast.Dict)
+        ):
+            for key, value in zip(statement.value.keys, statement.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    info.guard_map[key.value] = value.value
+        elif isinstance(statement, _FUNCTION_NODES):
+            info.methods[statement.name] = statement
+            _collect_self_assignments(statement, info)
+    return info
+
+
+def _collect_self_assignments(func: ast.AST, info: _ClassInfo) -> None:
+    """Record ``self.x = threading.Lock()`` / ``self.x = Ctor(...)`` facts."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            for value in ast.walk(node.value):
+                if isinstance(value, ast.Call):
+                    dotted = _dotted(value.func) or ""
+                    tail = dotted.split(".")[-1]
+                    if tail in _LOCK_FACTORIES:
+                        info.lock_attrs[target.attr] = _LOCK_FACTORIES[tail]
+                    elif isinstance(node.value, ast.Call) and dotted:
+                        info.attr_ctors.setdefault(target.attr, tail)
+                    break
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+
+@register
+class LockDisciplineRule(Rule):
+    """``@guarded_by`` fields must be accessed under their declared lock."""
+
+    id = "lock-discipline"
+    description = (
+        "fields declared @guarded_by('lock', ...) may only be accessed "
+        "inside `with self.<lock>:` (init and *_locked helpers exempt; "
+        "calls to *_locked helpers must hold a class lock)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Check every annotated class in the file."""
+        violations: List[Violation] = []
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = _collect_class(source, node)
+                if info.guard_map:
+                    violations.extend(self._check_class(source, info))
+        return iter(violations)
+
+    def _check_class(self, source: SourceFile, info: _ClassInfo) -> List[Violation]:
+        """Walk each non-exempt method with a lexical held-lock set."""
+        lock_names = set(info.guard_map.values()) | set(info.lock_attrs)
+        violations: List[Violation] = []
+        for name, method in info.methods.items():
+            if name == "__init__" or name.endswith("_locked"):
+                continue
+            self._walk(source, info, lock_names, method, frozenset(), violations)
+        return violations
+
+    def _walk(
+        self,
+        source: SourceFile,
+        info: _ClassInfo,
+        lock_names: Set[str],
+        node: ast.AST,
+        held: "frozenset[str]",
+        violations: List[Violation],
+    ) -> None:
+        """Recurse over *node*'s children tracking the held-lock set."""
+        for child in ast.iter_child_nodes(node):
+            self._visit(source, info, lock_names, child, held, violations)
+
+    def _visit(
+        self,
+        source: SourceFile,
+        info: _ClassInfo,
+        lock_names: Set[str],
+        child: ast.AST,
+        held: "frozenset[str]",
+        violations: List[Violation],
+    ) -> None:
+        """Check one node (it may itself be a ``with``) and recurse."""
+        if isinstance(child, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in child.items:
+                self._visit(
+                    source, info, lock_names, item.context_expr, held, violations
+                )
+                attr = self._self_attr(item.context_expr)
+                if attr is not None and attr in lock_names:
+                    acquired.add(attr)
+            inner = held | acquired
+            for body_node in child.body:
+                self._visit(source, info, lock_names, body_node, inner, violations)
+            return
+        attr = self._self_attr(child)
+        if attr is not None and attr in info.guard_map:
+            required = info.guard_map[attr]
+            if required not in held:
+                violations.append(
+                    self.violation(
+                        source,
+                        child,
+                        f"field {attr!r} is guarded by 'self.{required}' "
+                        f"but accessed without holding it",
+                    )
+                )
+        if isinstance(child, ast.Call):
+            callee = self._self_attr(child.func)
+            if (
+                callee is not None
+                and callee.endswith("_locked")
+                and not held
+            ):
+                violations.append(
+                    self.violation(
+                        source,
+                        child,
+                        f"call to locked-context helper {callee!r} without "
+                        f"holding any of the class's locks",
+                    )
+                )
+        self._walk(source, info, lock_names, child, held, violations)
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        """``x`` when *node* is exactly ``self.x``, else None."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LockGraph:
+    """The project's lock acquisition-order digraph."""
+
+    edges: Dict[Tuple[str, str], List[str]] = field(default_factory=dict)
+    self_deadlocks: List[Tuple[str, str]] = field(default_factory=list)  # (label, site)
+
+    def add(self, held: str, acquired: str, site: str) -> None:
+        """Record that *acquired* was taken while *held* was held at *site*."""
+        if held == acquired:
+            return
+        self.edges.setdefault((held, acquired), []).append(site)
+
+    def has_edge(self, held: str, acquired: str) -> bool:
+        """True when the graph contains the ``held -> acquired`` edge."""
+        return (held, acquired) in self.edges
+
+    def nodes(self) -> List[str]:
+        """Sorted lock labels appearing in any edge."""
+        names: Set[str] = set()
+        for a, b in self.edges:
+            names.add(a)
+            names.add(b)
+        return sorted(names)
+
+    def successors(self, label: str) -> List[str]:
+        """Sorted direct successors of *label*."""
+        return sorted({b for (a, b) in self.edges if a == label})
+
+    def cycles(self) -> List[List[str]]:
+        """Deterministic list of acquisition-order cycles (as label paths).
+
+        Each cycle is reported once, rooted at its smallest label, as
+        ``[a, b, ..., a]``.
+        """
+        found: List[List[str]] = []
+        seen_keys: Set[Tuple[str, ...]] = set()
+        for start in self.nodes():
+            stack: List[Tuple[str, List[str]]] = [(start, [start])]
+            while stack:
+                label, path = stack.pop()
+                for succ in self.successors(label):
+                    if succ == start and len(path) >= 1:
+                        cycle = path + [start]
+                        key = tuple(sorted(set(cycle)))
+                        if min(cycle) == start and key not in seen_keys:
+                            seen_keys.add(key)
+                            found.append(cycle)
+                    elif succ not in path and succ > start:
+                        stack.append((succ, path + [succ]))
+        return found
+
+    def render(self) -> str:
+        """Human-readable edge listing for the ``--concurrency`` report."""
+        if not self.edges:
+            return "lock-order graph: no nested acquisitions found"
+        lines = ["lock-order graph (acquired-while-held):"]
+        for (a, b), sites in sorted(self.edges.items()):
+            lines.append(f"  {a} -> {b}")
+            for site in sorted(set(sites))[:3]:
+                lines.append(f"      at {site}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _FuncRecord:
+    """Per-function facts feeding the project lock graph."""
+
+    key: Tuple[str, str]  # (class name or "", function name)
+    path: str
+    direct: List[Tuple[str, int]] = field(default_factory=list)
+    nested: List[Tuple[str, str, int]] = field(default_factory=list)
+    held_calls: List[Tuple[Tuple[str, ...], List[Tuple[str, str]], int]] = field(
+        default_factory=list
+    )
+    callees: List[List[Tuple[str, str]]] = field(default_factory=list)
+    self_nested: List[Tuple[str, int]] = field(default_factory=list)  # non-reentrant
+
+
+class _ProjectModel:
+    """Project-wide lock model: classes, functions, and the order graph."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.classes: Dict[str, _ClassInfo] = {}
+        self.module_funcs: Dict[str, List[Tuple[Tuple[str, str], str]]] = {}
+        self.functions: Dict[Tuple[str, str], _FuncRecord] = {}
+        self._file_imports: Dict[str, Dict[str, str]] = {}
+        self._module_vars: Dict[str, Dict[str, str]] = {}
+        self._module_locks: Dict[str, Dict[str, Tuple[str, bool]]] = {}
+        for source in files:
+            self._index_file(source)
+        for source in files:
+            self._walk_file(source)
+        self._acq_cache: Dict[Tuple[str, str], Set[str]] = {}
+        self.graph = LockGraph()
+        self._build_graph()
+
+    # -- indexing -----------------------------------------------------------
+
+    def _index_file(self, source: SourceFile) -> None:
+        """First pass: classes, module functions, imports, module vars."""
+        imports: Dict[str, str] = {}
+        module_vars: Dict[str, str] = {}
+        module_locks: Dict[str, Tuple[str, bool]] = {}
+        stem = Path(source.path).stem
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = _collect_class(source, node)
+                self.classes.setdefault(node.name, info)
+            elif isinstance(node, _FUNCTION_NODES):
+                key = ("", f"{source.path}::{node.name}")
+                self.module_funcs.setdefault(node.name, []).append((key, source.path))
+                self.functions[key] = _FuncRecord(key=key, path=source.path)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level > 0 or (node.module or "").startswith("repro"):
+                    for alias in node.names:
+                        imports[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro"):
+                        imports[alias.asname or alias.name] = alias.name.split(".")[-1]
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(node.value, ast.Call):
+                    dotted = _dotted(node.value.func) or ""
+                    tail = dotted.split(".")[-1]
+                    if tail in _LOCK_FACTORIES:
+                        module_locks[target.id] = (
+                            f"{stem}.{target.id}",
+                            _LOCK_FACTORIES[tail],
+                        )
+                    elif tail:
+                        module_vars[target.id] = tail
+        self._file_imports[source.path] = imports
+        self._module_vars[source.path] = module_vars
+        self._module_locks[source.path] = module_locks
+
+    # -- per-function walking ------------------------------------------------
+
+    def _walk_file(self, source: SourceFile) -> None:
+        """Second pass: record acquisitions and held calls per function."""
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = self.classes[node.name]
+                for name, method in info.methods.items():
+                    key = (info.name, name)
+                    record = _FuncRecord(key=key, path=source.path)
+                    self.functions[key] = record
+                    self._walk_func(source, info, method, record, ())
+            elif isinstance(node, _FUNCTION_NODES):
+                key = ("", f"{source.path}::{node.name}")
+                record = self.functions[key]
+                self._walk_func(source, None, node, record, ())
+
+    def _lock_label(
+        self, source: SourceFile, info: Optional[_ClassInfo], expr: ast.expr
+    ) -> Optional[Tuple[str, bool]]:
+        """(canonical label, reentrant) for a with-item expression, or None."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+        ):
+            root, attr = expr.value.id, expr.attr
+            if root == "self" and info is not None:
+                if attr in info.lock_attrs:
+                    return info.canonical(attr), info.lock_attrs[attr]
+                if attr in info.aliases or attr in set(info.guard_map.values()):
+                    return info.canonical(attr), True
+                return None
+            var_ctor = self._module_vars.get(source.path, {}).get(root)
+            if var_ctor and var_ctor in self.classes:
+                owner = self.classes[var_ctor]
+                if attr in owner.lock_attrs:
+                    return owner.canonical(attr), owner.lock_attrs[attr]
+        elif isinstance(expr, ast.Name):
+            entry = self._module_locks.get(source.path, {}).get(expr.id)
+            if entry is not None:
+                return entry
+        return None
+
+    def _walk_func(
+        self,
+        source: SourceFile,
+        info: Optional[_ClassInfo],
+        node: ast.AST,
+        record: _FuncRecord,
+        held: Tuple[str, ...],
+    ) -> None:
+        """Recurse over *node*'s children tracking held canonical labels."""
+        for child in ast.iter_child_nodes(node):
+            self._visit_node(source, info, child, record, held)
+
+    def _visit_node(
+        self,
+        source: SourceFile,
+        info: Optional[_ClassInfo],
+        child: ast.AST,
+        record: _FuncRecord,
+        held: Tuple[str, ...],
+    ) -> None:
+        """Record one node (it may itself be a ``with``) and recurse."""
+        if isinstance(child, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in child.items:
+                self._visit_node(source, info, item.context_expr, record, held)
+                resolved = self._lock_label(source, info, item.context_expr)
+                if resolved is None:
+                    continue
+                label, reentrant = resolved
+                record.direct.append((label, child.lineno))
+                for h in held:
+                    if h == label:
+                        if not reentrant:
+                            record.self_nested.append((label, child.lineno))
+                    else:
+                        record.nested.append((h, label, child.lineno))
+                acquired.append(label)
+            inner = held + tuple(a for a in acquired if a not in held)
+            for body_node in child.body:
+                self._visit_node(source, info, body_node, record, inner)
+            return
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function may run outside the lock scope: walk its
+            # body with nothing held so it cannot fabricate edges.
+            self._walk_func(source, info, child, record, ())
+            return
+        if isinstance(child, ast.Call):
+            candidates = self._resolve_call(source, info, child)
+            if candidates:
+                record.callees.append(candidates)
+                if held:
+                    record.held_calls.append((held, candidates, child.lineno))
+        self._walk_func(source, info, child, record, held)
+
+    # -- call resolution -----------------------------------------------------
+
+    def _resolve_call(
+        self, source: SourceFile, info: Optional[_ClassInfo], call: ast.Call
+    ) -> List[Tuple[str, str]]:
+        """Candidate (class, function) keys a call may dispatch to.
+
+        Deliberately conservative: unresolvable receivers contribute no
+        candidates (the runtime lock witness exists to catch what the
+        static model misses).
+        """
+        func = call.func
+        out: List[Tuple[str, str]] = []
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.classes and "__init__" in self.classes[name].methods:
+                out.append((name, "__init__"))
+            else:
+                out.extend(self._module_func_candidates(source, name, name))
+        elif isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                root = receiver.id
+                if root == "self" and info is not None:
+                    if method in info.methods:
+                        out.append((info.name, method))
+                elif root in self._module_vars.get(source.path, {}):
+                    ctor = self._module_vars[source.path][root]
+                    if ctor in self.classes and method in self.classes[ctor].methods:
+                        out.append((ctor, method))
+                elif root in self._file_imports.get(source.path, {}):
+                    tail = self._file_imports[source.path][root]
+                    out.extend(self._module_func_candidates(source, method, tail))
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and info is not None
+            ):
+                ctor = info.attr_ctors.get(receiver.attr)
+                if ctor in self.classes and method in self.classes[ctor].methods:
+                    out.append((ctor, method))
+            elif isinstance(receiver, ast.Call):
+                # Chained call (`obs.counter(...).inc()`): the receiver's
+                # type is unknown, so over-approximate across lock-holding
+                # classes that define the method.
+                for class_name, class_info in self.classes.items():
+                    if class_info.lock_attrs and method in class_info.methods:
+                        out.append((class_name, method))
+        return out
+
+    def _module_func_candidates(
+        self, source: SourceFile, func_name: str, module_hint: str
+    ) -> List[Tuple[str, str]]:
+        """Module-level functions named *func_name* plausibly in *module_hint*."""
+        out: List[Tuple[str, str]] = []
+        for key, path in self.module_funcs.get(func_name, ()):  # noqa: B020
+            parts = Path(path).parts
+            stem = Path(path).stem
+            if (
+                path == source.path
+                or module_hint in parts
+                or stem == module_hint
+                or (self._file_imports.get(source.path, {}).get(func_name) == func_name
+                    and module_hint == func_name)
+            ):
+                out.append(key)
+        return out
+
+    # -- transitive acquisition summaries -----------------------------------
+
+    def _acquired_during(
+        self, key: Tuple[str, str], visiting: Optional[Set[Tuple[str, str]]] = None
+    ) -> Set[str]:
+        """Every lock label a call to *key* may acquire (transitively)."""
+        cached = self._acq_cache.get(key)
+        if cached is not None:
+            return cached
+        visiting = visiting if visiting is not None else set()
+        if key in visiting:
+            return set()
+        visiting.add(key)
+        record = self.functions.get(key)
+        acquired: Set[str] = set()
+        if record is not None:
+            acquired.update(label for label, _ in record.direct)
+            for candidates in record.callees:
+                for callee in candidates:
+                    acquired.update(self._acquired_during(callee, visiting))
+        visiting.discard(key)
+        self._acq_cache[key] = acquired
+        return acquired
+
+    # -- graph construction --------------------------------------------------
+
+    def _build_graph(self) -> None:
+        """Combine lexical nesting and held calls into the order graph."""
+        for record in self.functions.values():
+            name = record.key[1] if not record.key[0] else ".".join(record.key)
+            for held, label, lineno in record.nested:
+                self.graph.add(held, label, f"{record.path}:{lineno} in {name}")
+            for held_labels, candidates, lineno in record.held_calls:
+                targets: Set[str] = set()
+                for callee in candidates:
+                    targets.update(self._acquired_during(callee))
+                for h in held_labels:
+                    for target in targets:
+                        self.graph.add(
+                            h, target, f"{record.path}:{lineno} in {name} (via call)"
+                        )
+            for label, lineno in record.self_nested:
+                self.graph.self_deadlocks.append(
+                    (label, f"{record.path}:{lineno} in {name}")
+                )
+
+
+def build_model(files: Sequence[SourceFile]) -> _ProjectModel:
+    """Build the project lock model from parsed sources."""
+    return _ProjectModel(files)
+
+
+def build_lock_graph(paths: Sequence[str]) -> LockGraph:
+    """The static acquisition-order graph for the Python files in *paths*.
+
+    Unparseable files are skipped (the analyzer proper reports them).
+    """
+    files: List[SourceFile] = []
+    for file_path in iter_python_files(paths):
+        try:
+            files.append(
+                SourceFile(str(file_path), file_path.read_text(encoding="utf-8"))
+            )
+        except SyntaxError:
+            continue
+    return _ProjectModel(files).graph
+
+
+@register
+class LockOrderRule(Rule):
+    """The project-wide lock acquisition order must be acyclic."""
+
+    id = "lock-order"
+    description = (
+        "nested lock acquisitions (lexical and via calls) must form an "
+        "acyclic order; cycles are potential deadlocks"
+    )
+
+    def __init__(self) -> None:
+        self.graph: Optional[LockGraph] = None
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        """Build the graph over every scanned file and report cycles."""
+        model = build_model(project.files)
+        self.graph = model.graph
+        violations: List[Violation] = []
+        for cycle in model.graph.cycles():
+            steps = []
+            anchor: Tuple[str, int] = ("<project>", 1)
+            for a, b in zip(cycle, cycle[1:]):
+                sites = model.graph.edges.get((a, b), ["<unknown>"])
+                steps.append(f"{a} -> {b} [{sites[0]}]")
+                if anchor[0] == "<project>":
+                    location = sites[0].split(" in ")[0]
+                    path, _, line = location.rpartition(":")
+                    if path and line.isdigit():
+                        anchor = (path, int(line))
+            violations.append(
+                Violation(
+                    path=anchor[0],
+                    line=anchor[1],
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        "lock-order cycle (potential deadlock): "
+                        + "; ".join(steps)
+                    ),
+                )
+            )
+        for label, site in model.graph.self_deadlocks:
+            location = site.split(" in ")[0]
+            path, _, line = location.rpartition(":")
+            violations.append(
+                Violation(
+                    path=path or "<project>",
+                    line=int(line) if line.isdigit() else 1,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"non-reentrant lock {label} re-acquired while already "
+                        f"held ({site}): guaranteed self-deadlock"
+                    ),
+                )
+            )
+        return iter(violations)
+
+
+# ---------------------------------------------------------------------------
+# nondeterminism
+# ---------------------------------------------------------------------------
+
+
+@register
+class NondeterminismRule(Rule):
+    """Clock reads and unordered-set iteration in result-affecting code."""
+
+    id = "nondeterminism"
+    description = (
+        "result-affecting paths (core, nn, embeddings) must not read "
+        "datetime.now()/utcnow()/today() or iterate unordered sets "
+        "(hash-order dependent); wrap set iteration in sorted()"
+    )
+
+    _SCOPED_DIRS = {"core", "nn", "embeddings"}
+    _CLOCK_TAILS = {
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+    _SEQUENCING = {"list", "tuple", "enumerate"}
+
+    def _in_scope(self, path: str) -> bool:
+        """True when *path* lies in a result-affecting subtree."""
+        parts = Path(path).parts
+        return "repro" in parts and bool(self._SCOPED_DIRS.intersection(parts))
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Scan one in-scope file for clock reads and set iteration."""
+        if not self._in_scope(source.path):
+            return iter(())
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                violations.extend(self._check_call(source, node))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                violations.extend(self._check_iter(source, node.iter))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    violations.extend(self._check_iter(source, generator.iter))
+        return iter(violations)
+
+    def _check_call(self, source: SourceFile, call: ast.Call) -> Iterator[Violation]:
+        """Clock reads, plus ``list(set(...))``-style order materialisation."""
+        dotted = _dotted(call.func)
+        if dotted is not None:
+            tail = tuple(dotted.split(".")[-2:])
+            if len(tail) == 2 and tail in self._CLOCK_TAILS:
+                yield self.violation(
+                    source,
+                    call,
+                    f"wall-clock read ({dotted}()) makes results depend on "
+                    "run time; thread timestamps through the data instead",
+                )
+        if (
+            isinstance(call.func, ast.Name)
+            and call.func.id in self._SEQUENCING
+            and call.args
+            and self._is_set_expr(call.args[0])
+        ):
+            yield self.violation(
+                source,
+                call,
+                f"{call.func.id}() over an unordered set is hash-order "
+                "dependent; wrap the set in sorted(...)",
+            )
+
+    def _check_iter(self, source: SourceFile, iter_expr: ast.expr) -> Iterator[Violation]:
+        """Flag direct iteration over a set expression."""
+        if self._is_set_expr(iter_expr):
+            yield self.violation(
+                source,
+                iter_expr,
+                "iteration over an unordered set is hash-order dependent; "
+                "wrap it in sorted(...)",
+            )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        """True for set literals, set comprehensions, and set()/frozenset()."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func) or ""
+            return dotted.split(".")[-1] in ("set", "frozenset")
+        return False

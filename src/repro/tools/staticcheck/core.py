@@ -18,10 +18,12 @@ the CLI's ``--list-rules`` and ``--disable`` options operate on.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 _SUPPRESS_RE = re.compile(r"#\s*staticcheck:\s*disable=([A-Za-z0-9_,\- ]+)")
 
@@ -51,6 +53,20 @@ class Violation:
         }
 
 
+@dataclass
+class SuppressionComment:
+    """One ``# staticcheck: disable=...`` comment and the lines it covers.
+
+    ``used`` accumulates the rule names that actually matched a finding,
+    so unused (stale) suppressions can be reported after analysis.
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    covers: Tuple[int, ...]
+    used: Set[str] = field(default_factory=set)
+
+
 class SourceFile:
     """A parsed Python source file with suppression metadata."""
 
@@ -59,33 +75,64 @@ class SourceFile:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
+        self.suppression_comments: List[SuppressionComment] = []
         self.suppressions = self._parse_suppressions()
 
     def _parse_suppressions(self) -> Dict[int, Set[str]]:
         """Map line number -> rule names suppressed on that line.
 
-        A trailing comment suppresses its own line; a comment that is the
-        whole line suppresses the next line as well, so either style works::
-
-            x = risky()  # staticcheck: disable=determinism
-            # staticcheck: disable=determinism
-            x = risky()
+        Only genuine ``COMMENT`` tokens count (text that merely looks
+        like a suppression inside a string/docstring does not).  A
+        trailing comment suppresses its own line; a comment that is the
+        whole line suppresses the next line as well, so either style
+        works — trailing ``disable=`` on the offending line, or the same
+        comment alone on the line directly above it.
         """
         suppressed: Dict[int, Set[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
+        for lineno, comment_text in self._iter_comments():
+            match = _SUPPRESS_RE.search(comment_text)
             if not match:
                 continue
             rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            covers = [lineno]
             suppressed.setdefault(lineno, set()).update(rules)
+            line = self.lines[lineno - 1] if lineno <= len(self.lines) else ""
             if line.lstrip().startswith("#"):
                 suppressed.setdefault(lineno + 1, set()).update(rules)
+                covers.append(lineno + 1)
+            self.suppression_comments.append(
+                SuppressionComment(
+                    line=lineno,
+                    rules=tuple(sorted(rules)),
+                    covers=tuple(covers),
+                )
+            )
         return suppressed
+
+    def _iter_comments(self) -> Iterator[Tuple[int, str]]:
+        """(line, text) for every comment token in the file."""
+        reader = io.StringIO(self.text).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except (tokenize.TokenError, IndentationError):
+            # ast.parse accepted the file, so this should be unreachable;
+            # fall back to having no suppressions rather than crashing.
+            return
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         """True when *rule* (or ``all``) is disabled on *line*."""
         active = self.suppressions.get(line, ())
         return rule in active or "all" in active
+
+    def mark_suppressed(self, line: int, rule: str) -> None:
+        """Record that a finding for *rule* on *line* was suppressed."""
+        for comment in self.suppression_comments:
+            if line in comment.covers and (
+                rule in comment.rules or "all" in comment.rules
+            ):
+                comment.used.add(rule)
 
 
 @dataclass
@@ -140,13 +187,39 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     return rule_cls
 
 
-def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
-    """Expand files/directories into a sorted stream of ``.py`` paths."""
+@register
+class SuppressionStaleRule(Rule):
+    """Suppression comments must match a finding.
+
+    This class is a registry placeholder (so the rule can be listed and
+    ``--disable``\\ d); the findings themselves are computed by the
+    :class:`Analyzer`, which is the only component that knows which
+    suppressions were consumed during filtering.
+    """
+
+    id = "suppression-stale"
+    description = (
+        "every `# staticcheck: disable=<rule>` comment must suppress at "
+        "least one actual finding; stale comments hide future regressions"
+    )
+
+
+def iter_python_files(
+    paths: Sequence[str], missing: Optional[List[str]] = None
+) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` paths.
+
+    Nonexistent paths are skipped (and appended to *missing* when a
+    collector list is given) so that an empty or mistyped path produces
+    an explicit "0 files checked" outcome instead of a crash.
+    """
     seen: Set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if not path.exists():
-            raise FileNotFoundError(f"no such file or directory: {raw}")
+            if missing is not None:
+                missing.append(raw)
+            continue
         if path.is_dir():
             candidates: Iterable[Path] = sorted(path.rglob("*.py"))
         elif path.suffix == ".py":
@@ -163,21 +236,25 @@ class Analyzer:
     """Runs a set of rules over a set of paths."""
 
     def __init__(self, disabled: Optional[Iterable[str]] = None) -> None:
-        disabled_set = set(disabled or ())
-        unknown = disabled_set - RULES.keys()
+        self.disabled: Set[str] = set(disabled or ())
+        unknown = self.disabled - RULES.keys()
         if unknown:
             raise KeyError(f"unknown rule(s): {', '.join(sorted(unknown))}")
         self.rules: List[Rule] = [
             cls() for rule_id, cls in sorted(RULES.items())
-            if rule_id not in disabled_set
+            if rule_id not in self.disabled
         ]
         self.parse_errors: List[Violation] = []
+        self.files_checked = 0
+        self.missing_paths: List[str] = []
+        self.warnings: List[str] = []
 
     def run(self, paths: Sequence[str]) -> List[Violation]:
-        """Analyze *paths* and return sorted, unsuppressed violations."""
+        """Analyze *paths* and return stably sorted, unsuppressed violations."""
         project = Project()
         violations: List[Violation] = []
-        for file_path in iter_python_files(paths):
+        for file_path in iter_python_files(paths, missing=self.missing_paths):
+            self.files_checked += 1
             text = file_path.read_text(encoding="utf-8")
             try:
                 source = SourceFile(str(file_path), text)
@@ -199,14 +276,60 @@ class Analyzer:
             violations.extend(rule.finalize(project))
 
         by_path = {source.path: source for source in project.files}
-        kept = [
-            violation
-            for violation in violations
-            if violation.path not in by_path
-            or not by_path[violation.path].is_suppressed(violation.line, violation.rule)
-        ]
+        kept: List[Violation] = []
+        for violation in violations:
+            source_for = by_path.get(violation.path)
+            if source_for is not None and source_for.is_suppressed(
+                violation.line, violation.rule
+            ):
+                source_for.mark_suppressed(violation.line, violation.rule)
+                continue
+            kept.append(violation)
         kept.extend(self.parse_errors)
-        return sorted(set(kept))
+        kept.extend(self._suppression_findings(project))
+        return sorted(
+            set(kept),
+            key=lambda v: (v.path, v.line, v.rule, v.col, v.message),
+        )
+
+    def _suppression_findings(self, project: Project) -> List[Violation]:
+        """Stale-suppression violations plus unknown-rule-name warnings.
+
+        A suppression is stale when its rule never matched a finding it
+        could hide.  Rules disabled for this run are skipped (they could
+        not have fired), and unknown rule names become warnings rather
+        than violations so a typo cannot silently disable anything.
+        """
+        findings: List[Violation] = []
+        report_stale = "suppression-stale" not in self.disabled
+        for source in project.files:
+            for comment in source.suppression_comments:
+                for rule in comment.rules:
+                    if rule != "all" and rule not in RULES:
+                        self.warnings.append(
+                            f"{source.path}:{comment.line}: unknown rule "
+                            f"{rule!r} in suppression comment (known rules: "
+                            f"{', '.join(sorted(RULES))})"
+                        )
+                        continue
+                    if rule != "all" and rule in self.disabled:
+                        continue
+                    if report_stale and rule not in comment.used and not (
+                        rule == "all" and comment.used
+                    ):
+                        findings.append(
+                            Violation(
+                                path=source.path,
+                                line=comment.line,
+                                col=1,
+                                rule="suppression-stale",
+                                message=(
+                                    f"suppression for rule {rule!r} matches no "
+                                    "finding; remove the stale comment"
+                                ),
+                            )
+                        )
+        return findings
 
 
 def analyze_paths(

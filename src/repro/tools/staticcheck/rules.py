@@ -1,6 +1,10 @@
 """The project-specific rules enforced by ``repro.tools.staticcheck``.
 
-Five rules ship with the analyzer (see ``docs/static_analysis.md``):
+Five general rules live in this module (see ``docs/static_analysis.md``);
+the concurrency suite (``lock-discipline``, ``lock-order``,
+``nondeterminism``) lives in :mod:`repro.tools.staticcheck.concurrency`
+and is registered by the import at the bottom of this file, and the
+``suppression-stale`` placeholder is registered by the core itself.
 
 ``determinism``
     Algorithm code must draw randomness from an injected, explicitly
@@ -569,3 +573,7 @@ class DocstringRule(Rule):
             for name, violation in self._pending
             if name not in self._documented_methods
         )
+
+
+# Importing the module registers the concurrency rules alongside these.
+from . import concurrency as _concurrency  # noqa: E402,F401

@@ -2,13 +2,36 @@
 
 The pipeline run is session-scoped because it takes a few seconds; the
 integration tests all inspect the same result object.
+
+The lock-witness validator (:mod:`repro.tools.lockwitness`) is armed for
+the whole test session: every ``@guarded_by``-annotated class wraps its
+locks on construction, so the suite doubles as a runtime probe of the
+statically derived lock-order graph.  Set ``REPRO_LOCKWITNESS_OUT`` to a
+path to export the observed edges at session end (CI cross-checks them
+with ``python -m repro.tools.lockwitness <out> --static src``).
 """
+
+import os
 
 import pytest
 
-from repro import NewsDiffusionPipeline, build_world
+from repro import NewsDiffusionPipeline, build_world, obs
 from repro.core.config import PipelineConfig
 from repro.datagen import WorldConfig
+from repro.tools import lockwitness
+
+# Arm the witness before any guarded class is instantiated.  The obs
+# registry is a module global created at import time, so it is wrapped
+# explicitly here (its lock is shared with every Counter/Gauge/Histogram,
+# and wrapping the owner first keeps the canonical "Registry._lock" label).
+lockwitness.set_default(True)
+lockwitness.wrap_instance_locks(obs.get_registry())
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = os.environ.get(lockwitness.OUT_ENV)
+    if out:
+        lockwitness.get_witness().save(out)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,37 @@
+"""Fixture: a ``@guarded_by`` class with unguarded field accesses."""
+
+import threading
+
+from repro.tools.annotations import guarded_by
+
+
+@guarded_by("_lock", "count", "series")
+class Tally:
+    """Counts events; ``count`` and ``series`` are guarded by ``_lock``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.series = []
+
+    def bump(self):
+        """Correct: mutates both guarded fields under the lock."""
+        with self._lock:
+            self.count += 1
+            self.series.append(self.count)
+
+    def sloppy_read(self):
+        """Wrong: reads a guarded field without the lock."""
+        return self.count
+
+    def sloppy_write(self, values):
+        """Wrong: writes a guarded field without the lock."""
+        self.series = list(values)
+
+    def helper_call(self):
+        """Wrong: calls a ``*_locked`` helper while holding nothing."""
+        return self._snapshot_locked()
+
+    def _snapshot_locked(self):
+        """Caller must hold ``_lock`` (exempt from the rule itself)."""
+        return (self.count, list(self.series))

@@ -1,0 +1,36 @@
+"""Fixture: inconsistent nesting orders forming a deadlock cycle."""
+
+import threading
+
+
+class Pair:
+    """Owns two locks and nests them in both directions."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        """Acquires ``_a`` then ``_b``."""
+        with self._a:
+            with self._b:
+                return True
+
+    def backward(self):
+        """Acquires ``_b`` then ``_a`` — the reversed order."""
+        with self._b:
+            with self._a:
+                return True
+
+
+class Selfish:
+    """Re-acquires its own non-reentrant lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def oops(self):
+        """Nests the plain Lock inside itself: guaranteed self-deadlock."""
+        with self._lock:
+            with self._lock:
+                return True

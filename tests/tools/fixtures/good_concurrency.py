@@ -1,0 +1,31 @@
+"""Fixture: disciplined guarded access and a one-directional lock order."""
+
+import threading
+
+from repro.tools.annotations import guarded_by
+
+
+@guarded_by("_lock", "total")
+class Ledger:
+    """Every guarded access holds ``_lock``; nesting is consistent."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inner = threading.Lock()
+        self.total = 0
+
+    def add(self, amount):
+        """Mutates ``total`` under ``_lock`` (``_inner`` always nests inside)."""
+        with self._lock:
+            self.total += amount
+            with self._inner:
+                return self.total
+
+    def read(self):
+        """Reads ``total`` through the locked helper, lock held."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self):
+        """Caller holds ``_lock``."""
+        return self.total

@@ -1,0 +1,16 @@
+"""Fixture on a result-affecting path: clock reads and set iteration."""
+
+from datetime import datetime
+
+
+def stamp():
+    """Reads the wall clock (result depends on run time)."""
+    return datetime.now()
+
+
+def materialise(words):
+    """Iterates a set comprehension, then materialises another set."""
+    out = []
+    for word in {w.lower() for w in words}:
+        out.append(word)
+    return list(set(out))

@@ -1,0 +1,88 @@
+"""CLI behaviour: empty/missing paths, stable JSON ordering, diagnostics."""
+
+import json
+
+from repro.tools.staticcheck.cli import main
+
+
+class TestMissingAndEmptyPaths:
+    def test_nonexistent_path_exits_zero_with_explicit_message(self, capsys):
+        assert main(["does/not/exist"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "warning: path does not exist, skipping: does/not/exist" in captured.err
+        assert "0 file(s) checked" in captured.err
+
+    def test_empty_directory_reports_zero_files(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 file(s) checked" in captured.err
+
+    def test_mixed_missing_and_real_paths_still_check_the_real_ones(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "ok.py").write_text('"""Doc."""\n')
+        assert main([str(tmp_path / "nope"), str(tmp_path / "ok.py")]) == 0
+        captured = capsys.readouterr()
+        assert "warning: path does not exist" in captured.err
+        assert "1 file(s) checked" in captured.err
+
+    def test_files_checked_count_is_accurate(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text('"""Doc."""\n')
+        (tmp_path / "b.py").write_text('"""Doc."""\n')
+        assert main([str(tmp_path)]) == 0
+        assert "2 file(s) checked" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_is_stably_sorted_by_file_then_line(self, tmp_path, capsys):
+        first = tmp_path / "a.py"
+        second = tmp_path / "b.py"
+        first.write_text(
+            '"""Doc."""\n'
+            "\n"
+            "\n"
+            "def beta(x=[]):\n"
+            '    """Doc."""\n'
+            "    return x\n"
+            "\n"
+            "\n"
+            "def alpha(y={}):\n"
+            '    """Doc."""\n'
+            "    return y\n"
+        )
+        second.write_text(
+            '"""Doc."""\n'
+            "\n"
+            "\n"
+            "def gamma(z=[]):\n"
+            '    """Doc."""\n'
+            "    return z\n"
+        )
+        # Paths handed over in reverse order: output must still be sorted.
+        assert main(["--format", "json", str(second), str(first)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [(entry["path"], entry["line"]) for entry in payload] == [
+            (str(first), 4),
+            (str(first), 9),
+            (str(second), 4),
+        ]
+        assert all(entry["rule"] == "mutable-default" for entry in payload)
+
+    def test_json_only_on_stdout_diagnostics_on_stderr(self, tmp_path, capsys):
+        assert main(["--format", "json", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == []
+        assert "0 file(s) checked" in captured.err
+
+
+class TestTextOutput:
+    def test_violation_count_summary_goes_to_stderr(self, tmp_path, capsys):
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text('"""Doc."""\n\n\ndef f(x=[]):\n    """Doc."""\n    return x\n')
+        assert main([str(snippet)]) == 1
+        captured = capsys.readouterr()
+        assert "mutable-default" in captured.out
+        assert "1 violation(s) found" in captured.err
+        assert "1 file(s) checked" in captured.err

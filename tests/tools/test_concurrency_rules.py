@@ -1,0 +1,166 @@
+"""Concurrency-rule tests: lock discipline, lock ordering, nondeterminism.
+
+Like ``test_rules.py``, each test pins exact rule IDs and line numbers
+against the fixture snippets so rule behaviour cannot drift silently.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.annotations import (
+    canonical_lock_name,
+    guarded_by,
+    guarded_fields,
+    lock_alias,
+    lock_aliases,
+)
+from repro.tools.staticcheck import analyze_paths, build_lock_graph
+from repro.tools.staticcheck.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rule_lines(violations, rule):
+    """(line, ...) tuple of the findings for one rule, sorted."""
+    return tuple(sorted(v.line for v in violations if v.rule == rule))
+
+
+class TestLockDiscipline:
+    def test_bad_fixture_exact_lines(self):
+        violations = analyze_paths([str(FIXTURES / "bad_lock_discipline.py")])
+        assert {v.rule for v in violations} == {"lock-discipline"}
+        assert rule_lines(violations, "lock-discipline") == (25, 29, 33)
+
+    def test_messages_name_the_field_and_lock(self):
+        violations = analyze_paths([str(FIXTURES / "bad_lock_discipline.py")])
+        by_line = {v.line: v.message for v in violations}
+        assert "'count'" in by_line[25] and "self._lock" in by_line[25]
+        assert "'series'" in by_line[29]
+        assert "_snapshot_locked" in by_line[33]
+
+    def test_good_fixture_is_clean(self):
+        assert analyze_paths([str(FIXTURES / "good_concurrency.py")]) == []
+
+
+class TestLockOrder:
+    def test_cycle_and_self_deadlock_reported(self):
+        violations = analyze_paths([str(FIXTURES / "bad_lock_order.py")])
+        assert {v.rule for v in violations} == {"lock-order"}
+        cycles = [v for v in violations if "cycle" in v.message]
+        deadlocks = [v for v in violations if "self-deadlock" in v.message]
+        assert len(cycles) == 1 and len(deadlocks) == 1
+        assert "Pair._a -> Pair._b" in cycles[0].message
+        assert "Pair._b -> Pair._a" in cycles[0].message
+        assert "Selfish._lock" in deadlocks[0].message
+
+    def test_cycle_sites_point_at_the_acquisitions(self):
+        violations = analyze_paths([str(FIXTURES / "bad_lock_order.py")])
+        cycle = next(v for v in violations if "cycle" in v.message)
+        assert "bad_lock_order.py:16 in Pair.forward" in cycle.message
+        assert "bad_lock_order.py:22 in Pair.backward" in cycle.message
+
+    def test_graph_edges_and_cycles(self):
+        graph = build_lock_graph([str(FIXTURES / "bad_lock_order.py")])
+        assert sorted(graph.edges) == [
+            ("Pair._a", "Pair._b"),
+            ("Pair._b", "Pair._a"),
+        ]
+        assert graph.cycles() == [["Pair._a", "Pair._b", "Pair._a"]]
+        assert graph.has_edge("Pair._a", "Pair._b")
+        assert not graph.has_edge("Pair._a", "Selfish._lock")
+
+    def test_render_lists_edges_with_sites(self):
+        graph = build_lock_graph([str(FIXTURES / "bad_lock_order.py")])
+        rendered = graph.render()
+        assert "Pair._a -> Pair._b" in rendered
+        assert "bad_lock_order.py" in rendered
+
+    def test_good_fixture_graph_is_one_directional(self):
+        graph = build_lock_graph([str(FIXTURES / "good_concurrency.py")])
+        assert sorted(graph.edges) == [("Ledger._lock", "Ledger._inner")]
+        assert graph.cycles() == []
+        assert graph.self_deadlocks == []
+
+    def test_src_tree_graph_is_acyclic(self):
+        graph = build_lock_graph(["src/repro"])
+        assert graph.cycles() == []
+        assert graph.self_deadlocks == []
+
+
+class TestNondeterminism:
+    def test_bad_fixture_exact_lines(self):
+        fixture = FIXTURES / "repro" / "core" / "bad_nondeterminism.py"
+        violations = analyze_paths([str(fixture)])
+        assert {v.rule for v in violations} == {"nondeterminism"}
+        assert rule_lines(violations, "nondeterminism") == (8, 14, 16)
+
+    def test_messages_explain_the_hazard(self):
+        fixture = FIXTURES / "repro" / "core" / "bad_nondeterminism.py"
+        by_line = {v.line: v.message for v in analyze_paths([str(fixture)])}
+        assert "wall-clock read (datetime.now())" in by_line[8]
+        assert "hash-order dependent" in by_line[14]
+        assert "list() over an unordered set" in by_line[16]
+
+    def test_out_of_scope_paths_are_ignored(self, tmp_path):
+        snippet = tmp_path / "clock.py"
+        snippet.write_text(
+            '"""Doc."""\n'
+            "from datetime import datetime\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            '    """Doc."""\n'
+            "    return datetime.now()\n"
+        )
+        assert analyze_paths([str(snippet)]) == []
+
+
+class TestAnnotations:
+    def test_guarded_by_requires_fields(self):
+        with pytest.raises(ValueError):
+            guarded_by("_lock")
+
+    def test_guard_map_aliases_and_canonical_names(self):
+        @lock_alias("_lock", "Shared._lock")
+        @guarded_by("_lock", "a", "b")
+        class Demo:
+            pass
+
+        assert guarded_fields(Demo) == {"a": "_lock", "b": "_lock"}
+        assert lock_aliases(Demo) == {"_lock": "Shared._lock"}
+        assert canonical_lock_name(Demo, "_lock") == "Shared._lock"
+        assert canonical_lock_name(Demo, "_other") == "Demo._other"
+
+    def test_guarded_by_stacks_per_lock(self):
+        @guarded_by("_b_lock", "beta")
+        @guarded_by("_a_lock", "alpha")
+        class Sharded:
+            pass
+
+        assert guarded_fields(Sharded) == {
+            "alpha": "_a_lock",
+            "beta": "_b_lock",
+        }
+
+    def test_declarative_guarded_by_dict_is_understood(self):
+        class Worker:
+            GUARDED_BY = {"_queue": "_cond"}
+
+        assert guarded_fields(Worker) == {"_queue": "_cond"}
+
+    def test_lock_alias_requires_dotted_canonical(self):
+        with pytest.raises(ValueError):
+            lock_alias("_lock", "flat")
+
+
+class TestConcurrencyGate:
+    def test_concurrency_flag_runs_only_concurrency_rules(self, capsys):
+        assert main(["--concurrency", str(FIXTURES / "bad_determinism.py")]) == 0
+        capsys.readouterr()
+        assert main(["--concurrency", str(FIXTURES / "bad_lock_discipline.py")]) == 1
+        assert "lock-discipline" in capsys.readouterr().out
+
+    def test_src_tree_passes_the_concurrency_gate(self, capsys):
+        assert main(["--concurrency", "src"]) == 0
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,130 @@
+"""Runtime lock-witness tests: recording, conflicts, and the static cross-check.
+
+Deliberately bad acquisition orders are always recorded into a private
+:class:`Witness` instance — never the process-global one — so the
+session-wide export (``REPRO_LOCKWITNESS_OUT``) that CI cross-checks
+against the static graph stays clean.
+"""
+
+import threading
+from pathlib import Path
+
+from repro.tools import lockwitness
+from repro.tools.annotations import guarded_by
+from repro.tools.lockwitness import Witness, WitnessLock, verify_against_static
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOOD = str(FIXTURES / "good_concurrency.py")
+
+
+def test_nested_acquisition_records_an_edge():
+    witness = Witness()
+    outer = WitnessLock("A._lock", threading.Lock(), witness)
+    inner = WitnessLock("B._lock", threading.Lock(), witness)
+    with outer:
+        with inner:
+            pass
+    edges = witness.observed_edges()
+    assert ("A._lock", "B._lock") in edges
+    assert edges[("A._lock", "B._lock")]["count"] == 1
+    assert witness.conflicts == []
+
+
+def test_reverse_orders_flag_a_conflict():
+    witness = Witness()
+    a = WitnessLock("A._lock", threading.Lock(), witness)
+    b = WitnessLock("B._lock", threading.Lock(), witness)
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert len(witness.conflicts) == 1
+    assert "opposite acquisition orders" in witness.conflicts[0]
+
+
+def test_mutual_exclusion_is_preserved():
+    lock = WitnessLock("X._lock", threading.Lock(), Witness())
+    assert lock.acquire()
+    assert not lock.acquire(blocking=False)
+    lock.release()
+
+
+def test_condition_methods_delegate_through_the_proxy():
+    witness = Witness()
+    cond = WitnessLock("X._cond", threading.Condition(), witness)
+    with cond:
+        cond.notify_all()  # delegated via __getattr__
+    assert witness.observed_edges() == {}
+
+
+def test_verify_against_static_accepts_known_edges():
+    observed = {("Ledger._lock", "Ledger._inner"): {"site": "here", "count": 3}}
+    assert verify_against_static(observed, [GOOD]) == []
+
+
+def test_verify_against_static_reports_unknown_edges():
+    observed = {("Ledger._inner", "Ledger._lock"): {"site": "here", "count": 1}}
+    mismatches = verify_against_static(observed, [GOOD])
+    assert len(mismatches) == 1
+    assert "no such edge" in mismatches[0]
+
+
+def test_guarded_by_construction_wraps_declared_locks():
+    @guarded_by("_lock", "value")
+    class Demo:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0
+
+    demo = Demo()  # the witness is enabled for the whole test session
+    assert isinstance(demo._lock, WitnessLock)
+    assert demo._lock.label == "Demo._lock"
+    underlying = demo._lock.wrapped
+    lockwitness.wrap_instance_locks(demo)  # idempotent: owner label wins
+    assert demo._lock.wrapped is underlying
+
+
+def test_enabled_resolution(monkeypatch):
+    monkeypatch.setenv(lockwitness.ENV, "0")
+    assert not lockwitness.enabled()
+    monkeypatch.setenv(lockwitness.ENV, "1")
+    assert lockwitness.enabled()
+    monkeypatch.delenv(lockwitness.ENV)
+    assert lockwitness.enabled()  # pytest detection via PYTEST_CURRENT_TEST
+
+
+def test_cli_passes_for_an_explained_export(tmp_path, capsys):
+    witness = Witness()
+    outer = WitnessLock("Ledger._lock", threading.Lock(), witness)
+    inner = WitnessLock("Ledger._inner", threading.Lock(), witness)
+    with outer:
+        with inner:
+            pass
+    export = tmp_path / "witness.json"
+    witness.save(str(export))
+    assert lockwitness.main([str(export), "--static", GOOD]) == 0
+    assert "0 problem(s)" in capsys.readouterr().out
+
+
+def test_cli_fails_for_an_unexplained_export(tmp_path, capsys):
+    witness = Witness()
+    outer = WitnessLock("Ledger._inner", threading.Lock(), witness)
+    inner = WitnessLock("Ledger._lock", threading.Lock(), witness)
+    with outer:
+        with inner:
+            pass
+    export = tmp_path / "witness.json"
+    witness.save(str(export))
+    assert lockwitness.main([str(export), "--static", GOOD]) == 1
+    captured = capsys.readouterr()
+    assert "no such edge" in captured.err
+    assert "1 problem(s)" in captured.out
+
+
+def test_full_suite_witness_is_consistent_with_src_graph():
+    """The live session's observed edges must all exist in the static graph."""
+    observed = lockwitness.get_witness().observed_edges()
+    assert lockwitness.get_witness().conflicts == []
+    assert verify_against_static(observed, ["src/repro"]) == []

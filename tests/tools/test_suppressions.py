@@ -1,0 +1,99 @@
+"""Suppression edge cases: multi-rule comments, unknown names, staleness."""
+
+from repro.tools.staticcheck import analyze_paths
+from repro.tools.staticcheck import rules as _rules  # noqa: F401  (register)
+from repro.tools.staticcheck.cli import main
+from repro.tools.staticcheck.core import Analyzer
+
+
+def test_multi_rule_comment_suppresses_every_listed_rule(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        "def helper(x=[]):  # staticcheck: disable=mutable-default,docstring\n"
+        "    return x\n"
+    )
+    assert analyze_paths([str(snippet)]) == []
+
+
+def test_multi_rule_comment_reports_only_the_stale_half(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        '"""Doc."""\n'
+        "import numpy as np\n"
+        "x = np.random.rand(2)  # staticcheck: disable=determinism,broad-except\n"
+    )
+    violations = analyze_paths([str(snippet)])
+    assert [(v.rule, v.line) for v in violations] == [("suppression-stale", 3)]
+    assert "'broad-except'" in violations[0].message
+
+
+def test_unknown_rule_name_warns_and_does_not_suppress(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        '"""Doc."""\n'
+        "import numpy as np\n"
+        "x = np.random.rand(2)  # staticcheck: disable=determinsm\n"
+    )
+    analyzer = Analyzer()
+    violations = analyzer.run([str(snippet)])
+    assert [v.rule for v in violations] == ["determinism"]
+    assert len(analyzer.warnings) == 1
+    assert "unknown rule 'determinsm'" in analyzer.warnings[0]
+    assert "known rules:" in analyzer.warnings[0]
+
+
+def test_unknown_rule_warning_reaches_cli_stderr(tmp_path, capsys):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        '"""Doc."""\n'
+        "import numpy as np\n"
+        "x = np.random.rand(2)  # staticcheck: disable=determinsm\n"
+    )
+    assert main([str(snippet)]) == 1
+    captured = capsys.readouterr()
+    assert "warning:" in captured.err and "determinsm" in captured.err
+
+
+def test_stale_suppression_is_reported(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text('"""Doc."""\nx = 1  # staticcheck: disable=determinism\n')
+    violations = analyze_paths([str(snippet)])
+    assert [(v.rule, v.line) for v in violations] == [("suppression-stale", 2)]
+    assert "matches no finding" in violations[0].message
+
+
+def test_stale_disable_all_is_reported(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text('"""Doc."""\nx = 1  # staticcheck: disable=all\n')
+    violations = analyze_paths([str(snippet)])
+    assert [v.rule for v in violations] == ["suppression-stale"]
+
+
+def test_disable_all_that_matches_anything_is_not_stale(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        '"""Doc."""\n'
+        "import numpy as np\n"
+        "y = np.random.rand(2)  # staticcheck: disable=all\n"
+    )
+    assert analyze_paths([str(snippet)]) == []
+
+
+def test_stale_is_skipped_for_rules_disabled_this_run(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text('"""Doc."""\nx = 1  # staticcheck: disable=determinism\n')
+    assert analyze_paths([str(snippet)], disabled=["determinism"]) == []
+
+
+def test_stale_rule_itself_can_be_disabled(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text('"""Doc."""\nx = 1  # staticcheck: disable=determinism\n')
+    assert analyze_paths([str(snippet)], disabled=["suppression-stale"]) == []
+
+
+def test_suppression_text_inside_a_string_is_ignored(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        '"""Doc."""\nTEXT = "# staticcheck: disable=determinism"\n'
+    )
+    assert analyze_paths([str(snippet)]) == []
