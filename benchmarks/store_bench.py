@@ -1,0 +1,226 @@
+"""Sharded store benchmark — insert/query throughput and ``$text`` gating.
+
+Loads a seeded synthetic corpus (1M documents at ``--scale 1.0``) into a
+:class:`repro.store.ShardedCollection` and measures:
+
+* bulk insert throughput (docs/s);
+* field-index vs full-scan equality queries (speedup ratio);
+* ``$text`` search through the inverted index vs the scan-mode text
+  predicate over the *same* engine and documents (speedup ratio — the
+  ISSUE-7 acceptance gate requires ≥10x at the 1M-doc scale).
+
+Used two ways:
+
+* ``benchmarks/test_store_bench.py`` runs it inside the bench suite and
+  commits the rendered table + JSON under ``benchmarks/results/``;
+* CI runs this file as a script at reduced scale with
+  ``--check benchmarks/baselines/store_baseline.json`` and fails the
+  build when either speedup ratio regresses more than 2x against the
+  committed baseline (ratios are machine-relative, so the check is
+  stable across runner hardware).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/store_bench.py \
+        --scale 0.1 --check benchmarks/baselines/store_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.store import ShardedCollection
+
+# CI fails when a measured speedup drops below baseline / MAX_REGRESSION.
+MAX_REGRESSION = 2.0
+
+# ISSUE-7 acceptance: inverted-index $text must beat the scan by >= 10x
+# at full scale.  Reduced-scale runs scale the floor down (smaller
+# corpora shrink the scan's disadvantage).
+MIN_TEXT_SPEEDUP_FULL_SCALE = 10.0
+
+TOPICS = [f"topic{i}" for i in range(40)]
+QUERY_TERMS = ["brexit", "tariff", "huawei", "iran", "derby"]
+
+
+def build_corpus(n_docs: int, seed: int) -> List[Dict[str, object]]:
+    """A seeded corpus whose text field mixes rare and common tokens."""
+    rng = random.Random(seed)
+    common = [f"w{i}" for i in range(800)]
+    vocabulary = common + QUERY_TERMS
+    return [
+        {
+            "topic": rng.choice(TOPICS),
+            "score": rng.randint(0, 100),
+            "text": " ".join(rng.choices(vocabulary, k=12)),
+        }
+        for _ in range(n_docs)
+    ]
+
+
+def _time_queries(coll: ShardedCollection, queries: List[dict], repeat: int) -> float:
+    """Mean seconds per ``count_documents`` call over *queries*."""
+    started = time.perf_counter()
+    for _ in range(repeat):
+        for query in queries:
+            coll.count_documents(query)
+    return (time.perf_counter() - started) / (repeat * len(queries))
+
+
+def run_store_bench(
+    scale: float = 1.0, shards: int = 8, seed: int = 7
+) -> Dict[str, object]:
+    """Insert + query the corpus at *scale*; returns the result record."""
+    n_docs = max(5000, int(1_000_000 * scale))
+    corpus = build_corpus(n_docs, seed)
+    coll = ShardedCollection("bench", shard_count=shards)
+
+    started = time.perf_counter()
+    coll.insert_many(corpus)
+    insert_seconds = time.perf_counter() - started
+
+    text_queries = [{"$text": term} for term in QUERY_TERMS]
+    field_queries = [{"topic": topic} for topic in TOPICS[:5]]
+
+    # Field queries: full scan first, then through the hash index.
+    field_scan_s = _time_queries(coll, field_queries, repeat=2)
+    coll.create_index("topic")
+    field_index_s = _time_queries(coll, field_queries, repeat=10)
+
+    # $text: inverted index vs scan mode over the same engine + documents.
+    started = time.perf_counter()
+    coll.create_text_index("text")
+    text_build_seconds = time.perf_counter() - started
+    text_index_s = _time_queries(coll, text_queries, repeat=10)
+    index_hits = [coll.count_documents(q) for q in text_queries]
+
+    coll.declare_text_fields("text")  # same fields, no posting lists
+    text_scan_s = _time_queries(coll, text_queries, repeat=2)
+    scan_hits = [coll.count_documents(q) for q in text_queries]
+
+    if index_hits != scan_hits:  # both paths must agree before we time them
+        raise AssertionError(
+            f"index/scan disagree on hit counts: {index_hits} != {scan_hits}"
+        )
+
+    return {
+        "bench": "store_bench",
+        "scale": scale,
+        "shards": shards,
+        "seed": seed,
+        "n_docs": n_docs,
+        "insert_seconds": insert_seconds,
+        "insert_docs_per_s": n_docs / max(insert_seconds, 1e-12),
+        "text_index_build_seconds": text_build_seconds,
+        "field_scan_ms": field_scan_s * 1000,
+        "field_index_ms": field_index_s * 1000,
+        "field_speedup": field_scan_s / max(field_index_s, 1e-12),
+        "text_scan_ms": text_scan_s * 1000,
+        "text_index_ms": text_index_s * 1000,
+        "text_speedup": text_scan_s / max(text_index_s, 1e-12),
+        "text_hits": index_hits,
+    }
+
+
+def min_text_speedup(scale: float) -> float:
+    """The $text gate at *scale*: 10x at full scale, proportionally less
+    below (a 100x-smaller corpus gives the scan a 100x head start), with
+    a floor of 2x so even smoke runs prove the index is engaged."""
+    return max(2.0, MIN_TEXT_SPEEDUP_FULL_SCALE * min(1.0, scale))
+
+
+def check_against_baseline(
+    result: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = MAX_REGRESSION,
+) -> List[str]:
+    """Regression failures of *result* vs the committed *baseline*.
+
+    Compares the machine-relative speedup ratios, never absolute
+    seconds.  Returns human-readable failure strings — empty means pass.
+    """
+    failures: List[str] = []
+    for key in ("text_speedup", "field_speedup"):
+        floor = float(baseline[key]) / max_regression
+        # A way-smaller corpus than the baseline's legitimately shrinks
+        # scan-vs-index ratios; rescale the floor accordingly.
+        scale_ratio = float(result["scale"]) / max(float(baseline["scale"]), 1e-12)
+        floor *= min(1.0, scale_ratio)
+        if float(result[key]) < floor:
+            failures.append(
+                f"{key} {result[key]:.1f}x regressed more than "
+                f"{max_regression:.1f}x against the committed baseline "
+                f"({baseline[key]:.1f}x at scale {baseline['scale']}; "
+                f"floor {floor:.1f}x at scale {result['scale']})"
+            )
+    gate = min_text_speedup(float(result["scale"]))
+    if float(result["text_speedup"]) < gate:
+        failures.append(
+            f"$text via inverted index only {result['text_speedup']:.1f}x "
+            f"faster than the scan (need >= {gate:.1f}x at scale "
+            f"{result['scale']})"
+        )
+    return failures
+
+
+def render(result: Dict[str, object]) -> str:
+    """Human-readable table of one store bench result."""
+    lines = [
+        "Sharded store benchmark "
+        f"(scale={result['scale']}, {result['n_docs']:,} docs, "
+        f"{result['shards']} shards)",
+        f"  insert      : {result['insert_seconds']:8.2f}s  "
+        f"({result['insert_docs_per_s']:,.0f} docs/s)",
+        f"  field query : scan {result['field_scan_ms']:8.2f}ms  "
+        f"index {result['field_index_ms']:8.3f}ms  "
+        f"({result['field_speedup']:.0f}x)",
+        f"  $text query : scan {result['text_scan_ms']:8.2f}ms  "
+        f"index {result['text_index_ms']:8.3f}ms  "
+        f"({result['text_speedup']:.0f}x)",
+        f"  text index built in {result['text_index_build_seconds']:.2f}s; "
+        f"hits per term {result['text_hits']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", help="write the result JSON here")
+    parser.add_argument(
+        "--check",
+        help="baseline JSON to compare against; non-zero exit on regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_store_bench(scale=args.scale, shards=args.shards, seed=args.seed)
+    print(render(result))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(result, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"baseline check ok (committed $text speedup "
+            f"{baseline['text_speedup']:.0f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Sharded store bench gate (ISSUE 7 acceptance).
+
+Asserts ``$text`` through the inverted index beats the scan-mode text
+predicate by ≥10x at full scale (1M documents) and that neither speedup
+ratio regressed more than 2x against the committed baseline
+(``benchmarks/baselines/store_baseline.json``).  The rendered table
+lands in ``benchmarks/results/store_bench.txt`` and the raw record in
+``benchmarks/results/store_bench.json``.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, bench_scale, emit  # noqa: E402
+from store_bench import (  # noqa: E402
+    check_against_baseline,
+    min_text_speedup,
+    render,
+    run_store_bench,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "store_baseline.json"
+)
+
+
+def test_store_insert_query_throughput_and_text_gate():
+    scale = bench_scale()
+    result = run_store_bench(scale=scale)
+
+    text = render(result)
+    emit("store_bench", text)
+    with open(
+        os.path.join(RESULTS_DIR, "store_bench.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    gate = min_text_speedup(scale)
+    assert result["text_speedup"] >= gate, (
+        f"$text via the inverted index is only {result['text_speedup']:.1f}x "
+        f"faster than the scan (need >= {gate:.1f}x at scale {scale})\n{text}"
+    )
+    assert result["field_speedup"] >= 2.0, text
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check_against_baseline(result, baseline)
+    assert not failures, "\n".join(failures)

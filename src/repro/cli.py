@@ -28,10 +28,10 @@ from .datagen import UserPopulation, World, WorldConfig, build_world
 from .store import Database
 
 
-def _world_from_snapshot(directory: str) -> World:
+def _world_from_snapshot(directory: str, store_shards: Optional[int] = None) -> World:
     from .store import CollectionNotFound
 
-    database = Database("news_diffusion")
+    database = Database("news_diffusion", shard_count=store_shards)
     try:
         database.restore(directory)
     except CollectionNotFound:
@@ -55,7 +55,7 @@ def _world_from_snapshot(directory: str) -> World:
                     {"_id": doc["_id"]},
                     {"$set": {"created_at": datetime.fromisoformat(created)}},
                 )
-    config = WorldConfig()
+    config = WorldConfig(store_shards=store_shards)
     return World(
         config=config,
         database=database,
@@ -97,6 +97,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
             n_tweets=args.tweets,
             n_users=args.users,
             seed=args.seed,
+            store_shards=args.store_shards,
         )
     )
     counts = world.database.snapshot(args.out)
@@ -106,7 +107,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_topics(args: argparse.Namespace) -> int:
     """Handle the ``topics`` subcommand."""
-    world = _world_from_snapshot(args.data)
+    world = _world_from_snapshot(args.data, store_shards=args.store_shards)
     pipeline = NewsDiffusionPipeline(_pipeline_config(args))
     nmf = pipeline.extract_news_topics(pipeline.preprocess_news_tm(world))
     for topic in nmf.topics:
@@ -116,7 +117,7 @@ def cmd_topics(args: argparse.Namespace) -> int:
 
 def cmd_events(args: argparse.Namespace) -> int:
     """Handle the ``events`` subcommand."""
-    world = _world_from_snapshot(args.data)
+    world = _world_from_snapshot(args.data, store_shards=args.store_shards)
     pipeline = NewsDiffusionPipeline(_pipeline_config(args))
     if args.medium == "news":
         events = pipeline.detect_news_events(pipeline.preprocess_news_ed(world))
@@ -131,7 +132,7 @@ def cmd_events(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Handle the ``run`` subcommand."""
-    world = _world_from_snapshot(args.data)
+    world = _world_from_snapshot(args.data, store_shards=args.store_shards)
     result = NewsDiffusionPipeline(_pipeline_config(args)).run(
         world, **_checkpoint_kwargs(args)
     )
@@ -144,7 +145,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_predict(args: argparse.Namespace) -> int:
     """Handle the ``predict`` subcommand."""
-    world = _world_from_snapshot(args.data)
+    world = _world_from_snapshot(args.data, store_shards=args.store_shards)
     result = NewsDiffusionPipeline(_pipeline_config(args)).run(
         world, **_checkpoint_kwargs(args)
     )
@@ -234,6 +235,12 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--min-event-records", type=int, default=8)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--store-shards",
+        type=int,
+        default=None,
+        help="shard count for the document store (default: REPRO_STORE_SHARDS or 4)",
+    )
+    parser.add_argument(
         "--retry-attempts",
         type=int,
         default=3,
@@ -274,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--tweets", type=int, default=3000)
     gen.add_argument("--users", type=int, default=200)
     gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument(
+        "--store-shards",
+        type=int,
+        default=None,
+        help="shard count for the generated world's store",
+    )
     gen.add_argument("--out", required=True, help="snapshot directory")
     gen.set_defaults(func=cmd_generate)
 

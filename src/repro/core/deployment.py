@@ -159,7 +159,9 @@ def _cycle_from_json(data: dict) -> CycleReport:
 
 def _visible_world(world: World, cutoff: datetime) -> World:
     """The sub-world of documents created up to *cutoff*."""
-    database = Database("visible")
+    # Inherit the source world's shard count so refresh cycles exercise
+    # the same partitioning as the full corpus.
+    database = Database("visible", shard_count=world.database.shard_count)
     for name in ("news", "tweets"):
         source = world.database[name]
         for doc in source.find({"created_at": {"$lte": cutoff}}):

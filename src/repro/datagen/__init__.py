@@ -59,7 +59,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
     """
     config = config or WorldConfig()
     population = UserPopulation(config)
-    database = Database("news_diffusion")
+    database = Database("news_diffusion", shard_count=config.store_shards)
     database["news"].insert_many(NewsGenerator(config).generate())
     database["tweets"].insert_many(
         TwitterGenerator(config, population).generate()

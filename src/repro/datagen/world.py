@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -253,10 +253,15 @@ class WorldConfig:
     influencer_fraction: float = 0.05
     seed: int = 42
     topics: List[TopicSpec] = field(default_factory=default_topics)
+    # Shard count of the world's document store; None defers to
+    # REPRO_STORE_SHARDS / the engine default.
+    store_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration_days < 1:
             raise ValueError("duration_days must be >= 1")
+        if self.store_shards is not None and self.store_shards < 1:
+            raise ValueError("store_shards must be >= 1")
         if self.n_users < 2:
             raise ValueError("n_users must be >= 2")
         if not 0.0 < self.influencer_fraction < 1.0:

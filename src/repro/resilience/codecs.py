@@ -48,6 +48,61 @@ def _undt(value: str) -> datetime:
     return datetime.fromisoformat(value)
 
 
+# -- document value codec ----------------------------------------------------------
+#
+# The store's WAL and shard checkpoints persist raw documents as JSON.
+# Plain ``json.dumps(..., default=str)`` is lossy (datetimes come back as
+# strings), so documents go through this tagged encoding instead: the
+# round trip is exact for every JSON-able value plus ``datetime``, which
+# is what the recovery tests assert bitwise equality on.
+
+_DT_TAG = "__dt__"
+_PAIRS_TAG = "__pairs__"
+
+
+def encode_json_value(value: Any) -> Any:
+    """Encode a store document value into a JSON-able form.
+
+    ``datetime`` becomes ``{"__dt__": isoformat}``; dicts whose keys are
+    non-strings or collide with the tag namespace are escaped as a
+    ``{"__pairs__": [[key, value], ...]}`` list so decoding is
+    unambiguous.  Tuples flatten to lists (as any JSON round trip does).
+    """
+    if isinstance(value, datetime):
+        return {_DT_TAG: _dt(value)}
+    if isinstance(value, dict):
+        plain = all(
+            isinstance(k, str) and not k.startswith("__") for k in value
+        )
+        if plain:
+            return {k: encode_json_value(v) for k, v in value.items()}
+        return {
+            _PAIRS_TAG: [
+                [encode_json_value(k), encode_json_value(v)]
+                for k, v in value.items()
+            ]
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode_json_value(v) for v in value]
+    return value
+
+
+def decode_json_value(value: Any) -> Any:
+    """Invert :func:`encode_json_value`."""
+    if isinstance(value, dict):
+        if set(value) == {_DT_TAG}:
+            return _undt(value[_DT_TAG])
+        if set(value) == {_PAIRS_TAG}:
+            return {
+                decode_json_value(k): decode_json_value(v)
+                for k, v in value[_PAIRS_TAG]
+            }
+        return {k: decode_json_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_json_value(v) for v in value]
+    return value
+
+
 def _encode_event(event: Event) -> Dict[str, Any]:
     return {
         "main_word": event.main_word,

@@ -3,8 +3,20 @@
 The paper (§4.1) stores collected news articles and tweets, the three
 preprocessed corpora, and detected events in MongoDB.  This package gives
 the pipeline the same surface in-process: collections of dict documents,
-Mongo-style queries/updates, secondary hash indexes, a small aggregation
-pipeline, and JSONL persistence.
+Mongo-style queries/updates (including ``$text`` search), secondary hash
+indexes and an inverted text index, a small aggregation pipeline, and
+JSONL persistence.
+
+Two engines share that surface:
+
+:class:`Collection`
+    The legacy single-lock engine — one dict, one RLock.  Kept as the
+    differential-testing reference (``tests/store/test_differential.py``).
+:class:`ShardedCollection`
+    The sharded engine — hash-partitioned shards with per-shard locks,
+    optional per-shard write-ahead logs with checkpoint/compaction, and
+    a query planner (see ``docs/store.md``).  :class:`Database` hands
+    out sharded collections.
 """
 
 from .collection import Collection, Cursor
@@ -15,22 +27,47 @@ from .errors import (
     QueryError,
     StoreError,
     ValidationError,
+    WALError,
 )
-from .index import HashIndex
-from .query import apply_update, matches, project, sort_documents
+from .index import HashIndex, InvertedIndex
+from .planner import QueryPlan, plan_query
+from .query import (
+    TextQuery,
+    apply_update,
+    matches,
+    parse_text_query,
+    project,
+    sort_documents,
+    tokenize,
+)
+
+# Imported last: shard.py depends on collection/planner/index above.
+from .shard import ShardedCollection, default_shard_count, shard_index
+from .wal import ShardWAL
 
 __all__ = [
     "Collection",
+    "ShardedCollection",
     "Cursor",
     "Database",
     "HashIndex",
+    "InvertedIndex",
+    "ShardWAL",
+    "QueryPlan",
+    "TextQuery",
     "StoreError",
     "DuplicateKeyError",
     "QueryError",
     "CollectionNotFound",
     "ValidationError",
+    "WALError",
     "matches",
     "apply_update",
     "project",
     "sort_documents",
+    "tokenize",
+    "parse_text_query",
+    "plan_query",
+    "shard_index",
+    "default_shard_count",
 ]

@@ -1,0 +1,139 @@
+"""Aggregation pipeline evaluation, shared by both store engines.
+
+Extracted from :class:`~repro.store.Collection` so the legacy single-lock
+collection and the sharded engine (:class:`~repro.store.ShardedCollection`)
+run byte-identical aggregation code over their snapshots — a load-bearing
+property for the differential harness, which replays the same pipelines
+against both engines and asserts equal output.
+
+Supported stages: ``$match``, ``$project``, ``$sort``, ``$skip``,
+``$limit``, ``$unwind``, ``$count``, ``$group`` (accumulators ``$sum``,
+``$avg``, ``$min``, ``$max``, ``$count``, ``$push``, ``$addToSet``,
+``$first``, ``$last``).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Sequence
+
+from .errors import QueryError
+from .query import get_path, matches, project, sort_documents, _MISSING
+
+
+def resolve_expr(doc: Dict[str, Any], expr: Any) -> Any:
+    """Resolve a ``$field`` path expression against *doc* (else literal)."""
+    if isinstance(expr, str) and expr.startswith("$"):
+        value = get_path(doc, expr[1:])
+        return None if value is _MISSING else value
+    return expr
+
+
+def group_documents(
+    docs: List[Dict[str, Any]], spec: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Evaluate one ``$group`` stage over *docs*."""
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id expression")
+    id_expr = spec["_id"]
+    groups: Dict[Any, List[Dict[str, Any]]] = {}
+    order: List[Any] = []
+    for doc in docs:
+        key = resolve_expr(doc, id_expr)
+        hashable = repr(key) if isinstance(key, (list, dict)) else key
+        if hashable not in groups:
+            groups[hashable] = []
+            order.append((hashable, key))
+        groups[hashable].append(doc)
+    out: List[Dict[str, Any]] = []
+    for hashable, key in order:
+        members = groups[hashable]
+        row: Dict[str, Any] = {"_id": key}
+        for field, acc in spec.items():
+            if field == "_id":
+                continue
+            if not isinstance(acc, dict) or len(acc) != 1:
+                raise QueryError(f"bad accumulator for {field!r}")
+            acc_op, acc_expr = next(iter(acc.items()))
+            values = [resolve_expr(m, acc_expr) for m in members]
+            numeric = [
+                v
+                for v in values
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            if acc_op == "$sum":
+                row[field] = sum(numeric)
+            elif acc_op == "$avg":
+                row[field] = sum(numeric) / len(numeric) if numeric else None
+            elif acc_op == "$min":
+                row[field] = min(numeric) if numeric else None
+            elif acc_op == "$max":
+                row[field] = max(numeric) if numeric else None
+            elif acc_op == "$count":
+                row[field] = len(members)
+            elif acc_op == "$push":
+                row[field] = values
+            elif acc_op == "$addToSet":
+                unique: List[Any] = []
+                for v in values:
+                    if v not in unique:
+                        unique.append(v)
+                row[field] = unique
+            elif acc_op == "$first":
+                row[field] = values[0] if values else None
+            elif acc_op == "$last":
+                row[field] = values[-1] if values else None
+            else:
+                raise QueryError(f"unknown accumulator: {acc_op}")
+        out.append(row)
+    return out
+
+
+def run_pipeline(
+    docs: List[Dict[str, Any]], pipeline: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Run an aggregation *pipeline* over a private snapshot of documents.
+
+    *docs* must already be copies owned by the caller — stages mutate and
+    replace them freely.
+    """
+    for stage in pipeline:
+        if len(stage) != 1:
+            raise QueryError("each pipeline stage must have exactly one key")
+        op, spec = next(iter(stage.items()))
+        if op == "$match":
+            docs = [d for d in docs if matches(d, spec)]
+        elif op == "$project":
+            docs = [project(d, spec) for d in docs]
+        elif op == "$sort":
+            docs = sort_documents(docs, list(spec.items()))
+        elif op == "$skip":
+            docs = docs[int(spec):]
+        elif op == "$limit":
+            docs = docs[: int(spec)]
+        elif op == "$unwind":
+            field = (
+                spec.lstrip("$")
+                if isinstance(spec, str)
+                else spec["path"].lstrip("$")
+            )
+            unwound: List[Dict[str, Any]] = []
+            for d in docs:
+                value = get_path(d, field)
+                if isinstance(value, list):
+                    for item in value:
+                        clone = copy.deepcopy(d)
+                        parts = field.split(".")
+                        target = clone
+                        for part in parts[:-1]:
+                            target = target[part]
+                        target[parts[-1]] = item
+                        unwound.append(clone)
+            docs = unwound
+        elif op == "$count":
+            docs = [{str(spec): len(docs)}]
+        elif op == "$group":
+            docs = group_documents(docs, spec)
+        else:
+            raise QueryError(f"unsupported aggregation stage: {op}")
+    return docs

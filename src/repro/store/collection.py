@@ -28,11 +28,23 @@ from typing import (
     Tuple,
 )
 
+import os
+
 from .. import obs
 from ..tools.annotations import guarded_by
+from .aggregate import run_pipeline
 from .errors import DuplicateKeyError, QueryError, ValidationError
-from .index import HashIndex, plan_index_lookup
-from .query import apply_update, get_path, matches, project, sort_documents, _MISSING
+from .index import HashIndex, InvertedIndex, plan_index_lookup
+from .query import (
+    apply_update,
+    get_path,
+    matches,
+    project,
+    sort_documents,
+    split_text_query,
+    text_matches,
+    _MISSING,
+)
 
 
 class Cursor:
@@ -92,7 +104,18 @@ class Cursor:
         return len(self._materialize())
 
 
-@guarded_by("_lock", "_docs", "_indexes", "_next_id")
+@guarded_by(
+    "_lock",
+    "_docs",
+    "_indexes",
+    "_next_id",
+    "_seq_by_id",
+    "_next_seq",
+    "_inverted",
+    "_text_fields",
+    "_version",
+    "_dumped",
+)
 class Collection:
     """An in-memory document collection with Mongo-flavoured operations.
 
@@ -112,6 +135,16 @@ class Collection:
         self._indexes: Dict[str, HashIndex] = {}
         self._next_id = 1
         self._validator = validator
+        # Global insertion-sequence numbers: the result-order contract
+        # shared with the sharded engine (index scans replay documents in
+        # insertion order, not in hash-bucket order).
+        self._seq_by_id: Dict[Any, int] = {}
+        self._next_seq = 0
+        self._inverted: Optional[InvertedIndex] = None
+        self._text_fields: Tuple[str, ...] = ()
+        # Mutation version + last-dumped versions, for dirty-tracked dumps.
+        self._version = 0
+        self._dumped: Dict[str, int] = {}
 
     # -- basic properties -------------------------------------------------
 
@@ -150,8 +183,13 @@ class Collection:
                 raise DuplicateKeyError(doc["_id"])
             self._validate(doc)
             self._docs[doc["_id"]] = doc
+            self._seq_by_id[doc["_id"]] = self._next_seq
+            self._next_seq += 1
             for index in self._indexes.values():
                 index.add(doc["_id"], doc)
+            if self._inverted is not None:
+                self._inverted.add(doc["_id"], doc)
+            self._version += 1
         obs.counter("store.inserts").inc()
         return doc["_id"]
 
@@ -170,6 +208,9 @@ class Collection:
                 self._docs[doc_id] = new_doc
                 for index in self._indexes.values():
                     index.update(doc_id, new_doc)
+                if self._inverted is not None:
+                    self._inverted.update(doc_id, new_doc)
+                self._version += 1
                 return 1
             return 0
 
@@ -181,6 +222,9 @@ class Collection:
                 self._validate(doc)
                 for index in self._indexes.values():
                     index.update(doc["_id"], doc)
+                if self._inverted is not None:
+                    self._inverted.update(doc["_id"], doc)
+                self._version += 1
                 obs.counter("store.updates").inc()
                 return 1
             return 0
@@ -194,7 +238,11 @@ class Collection:
                 self._validate(doc)
                 for index in self._indexes.values():
                     index.update(doc["_id"], doc)
+                if self._inverted is not None:
+                    self._inverted.update(doc["_id"], doc)
                 count += 1
+            if count:
+                self._version += 1
         obs.counter("store.updates").inc(count)
         return count
 
@@ -217,26 +265,48 @@ class Collection:
     def _remove_locked(self, doc_id: Any) -> None:
         # Caller holds self._lock.
         self._docs.pop(doc_id, None)
+        self._seq_by_id.pop(doc_id, None)
         for index in self._indexes.values():
             index.remove(doc_id)
+        if self._inverted is not None:
+            self._inverted.remove(doc_id)
+        self._version += 1
         obs.counter("store.deletes").inc()
 
     # -- reads -------------------------------------------------------------
 
     def _iter_matching_locked(self, query: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
-        """Yield *live* matching documents (caller holds ``_lock``)."""
-        candidate_ids = plan_index_lookup(query, self._indexes) if query else None
+        """Yield *live* matching documents in insertion order (lock held)."""
+        text, residual = split_text_query(query)
+        if text is not None and not self._text_fields:
+            raise QueryError(
+                "$text requires text fields (create_text_index / "
+                "declare_text_fields)"
+            )
+        text_resolved = False
+        candidate_ids = None
+        if text is not None and self._inverted is not None:
+            candidate_ids = self._inverted.lookup(text.terms, text.mode)
+            text_resolved = True
+        elif residual:
+            candidate_ids = plan_index_lookup(residual, self._indexes)
         if candidate_ids is not None:
             obs.counter("store.index_scans").inc()
-            pool: Iterable[Dict[str, Any]] = (
-                self._docs[i] for i in candidate_ids if i in self._docs
-            )
+            # Candidate sets come back in hash order; replay them in
+            # insertion order so indexed and unindexed queries agree.
+            live = [i for i in candidate_ids if i in self._docs]
+            live.sort(key=lambda i: self._seq_by_id[i])
+            pool: Iterable[Dict[str, Any]] = (self._docs[i] for i in live)
         else:
             obs.counter("store.full_scans").inc()
             pool = self._docs.values()
         for doc in pool:
-            if matches(doc, query):
-                yield doc
+            if residual and not matches(doc, residual):
+                continue
+            if text is not None and not text_resolved:
+                if not text_matches(doc, self._text_fields, text):
+                    continue
+            yield doc
 
     def find(
         self,
@@ -302,6 +372,32 @@ class Collection:
         with self._lock:
             return list(self._indexes.keys())
 
+    def create_text_index(self, *fields: str) -> Tuple[str, ...]:
+        """Build an inverted index over *fields* to serve ``$text`` queries."""
+        if not fields:
+            raise QueryError("create_text_index requires at least one field")
+        inverted = InvertedIndex(fields)
+        with self._lock:
+            inverted.rebuild(self._docs)
+            self._inverted = inverted
+            self._text_fields = tuple(fields)
+        obs.counter("store.index_builds").inc()
+        return tuple(fields)
+
+    def declare_text_fields(self, *fields: str) -> Tuple[str, ...]:
+        """Declare ``$text`` fields WITHOUT an inverted index (scan mode)."""
+        if not fields:
+            raise QueryError("declare_text_fields requires at least one field")
+        with self._lock:
+            self._text_fields = tuple(fields)
+            self._inverted = None
+        return tuple(fields)
+
+    def text_fields(self) -> Tuple[str, ...]:
+        """The declared ``$text`` fields (empty when none)."""
+        with self._lock:
+            return self._text_fields
+
     # -- aggregation -------------------------------------------------------
 
     def aggregate(self, pipeline: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -317,114 +413,40 @@ class Collection:
             docs: List[Dict[str, Any]] = [
                 copy.deepcopy(d) for d in self._docs.values()
             ]
-        for stage in pipeline:
-            if len(stage) != 1:
-                raise QueryError("each pipeline stage must have exactly one key")
-            op, spec = next(iter(stage.items()))
-            if op == "$match":
-                docs = [d for d in docs if matches(d, spec)]
-            elif op == "$project":
-                docs = [project(d, spec) for d in docs]
-            elif op == "$sort":
-                docs = sort_documents(docs, list(spec.items()))
-            elif op == "$skip":
-                docs = docs[int(spec):]
-            elif op == "$limit":
-                docs = docs[: int(spec)]
-            elif op == "$unwind":
-                field = spec.lstrip("$") if isinstance(spec, str) else spec["path"].lstrip("$")
-                unwound: List[Dict[str, Any]] = []
-                for d in docs:
-                    value = get_path(d, field)
-                    if isinstance(value, list):
-                        for item in value:
-                            clone = copy.deepcopy(d)
-                            parts = field.split(".")
-                            target = clone
-                            for part in parts[:-1]:
-                                target = target[part]
-                            target[parts[-1]] = item
-                            unwound.append(clone)
-                docs = unwound
-            elif op == "$count":
-                docs = [{str(spec): len(docs)}]
-            elif op == "$group":
-                docs = self._group(docs, spec)
-            else:
-                raise QueryError(f"unsupported aggregation stage: {op}")
-        return docs
-
-    @staticmethod
-    def _resolve(doc: Dict[str, Any], expr: Any) -> Any:
-        if isinstance(expr, str) and expr.startswith("$"):
-            value = get_path(doc, expr[1:])
-            return None if value is _MISSING else value
-        return expr
-
-    def _group(
-        self, docs: List[Dict[str, Any]], spec: Dict[str, Any]
-    ) -> List[Dict[str, Any]]:
-        if "_id" not in spec:
-            raise QueryError("$group requires an _id expression")
-        id_expr = spec["_id"]
-        groups: Dict[Any, List[Dict[str, Any]]] = {}
-        order: List[Any] = []
-        for doc in docs:
-            key = self._resolve(doc, id_expr)
-            hashable = repr(key) if isinstance(key, (list, dict)) else key
-            if hashable not in groups:
-                groups[hashable] = []
-                order.append((hashable, key))
-            groups[hashable].append(doc)
-        out: List[Dict[str, Any]] = []
-        for hashable, key in order:
-            members = groups[hashable]
-            row: Dict[str, Any] = {"_id": key}
-            for field, acc in spec.items():
-                if field == "_id":
-                    continue
-                if not isinstance(acc, dict) or len(acc) != 1:
-                    raise QueryError(f"bad accumulator for {field!r}")
-                acc_op, acc_expr = next(iter(acc.items()))
-                values = [self._resolve(m, acc_expr) for m in members]
-                numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
-                if acc_op == "$sum":
-                    row[field] = sum(numeric)
-                elif acc_op == "$avg":
-                    row[field] = sum(numeric) / len(numeric) if numeric else None
-                elif acc_op == "$min":
-                    row[field] = min(numeric) if numeric else None
-                elif acc_op == "$max":
-                    row[field] = max(numeric) if numeric else None
-                elif acc_op == "$count":
-                    row[field] = len(members)
-                elif acc_op == "$push":
-                    row[field] = values
-                elif acc_op == "$addToSet":
-                    unique: List[Any] = []
-                    for v in values:
-                        if v not in unique:
-                            unique.append(v)
-                    row[field] = unique
-                elif acc_op == "$first":
-                    row[field] = values[0] if values else None
-                elif acc_op == "$last":
-                    row[field] = values[-1] if values else None
-                else:
-                    raise QueryError(f"unknown accumulator: {acc_op}")
-            out.append(row)
-        return out
+        return run_pipeline(docs, pipeline)
 
     # -- persistence --------------------------------------------------------
 
     def dump_jsonl(self, path: str) -> int:
-        """Write every document as one JSON line; returns the count."""
+        """Write every document as one JSON line; returns the count.
+
+        Dirty-tracked: an unchanged collection dumped twice to the same
+        path rewrites nothing (``store.dump.skipped`` vs
+        ``store.dump.written`` count the two outcomes).
+        """
+        key = os.path.abspath(path)
         with self._lock:
-            lines = [json.dumps(doc, default=str) for doc in self._docs.values()]
+            version = self._version
+            if self._dumped.get(key) == version and os.path.exists(path):
+                skipped = True
+                lines = []
+                count = len(self._docs)
+            else:
+                skipped = False
+                lines = [
+                    json.dumps(doc, default=str) for doc in self._docs.values()
+                ]
+                count = len(lines)
+        if skipped:
+            obs.counter("store.dump.skipped").inc()
+            return count
         with open(path, "w", encoding="utf-8") as handle:
             for line in lines:
                 handle.write(line + "\n")
-        return len(lines)
+        with self._lock:
+            self._dumped[key] = version
+        obs.counter("store.dump.written").inc()
+        return count
 
     def load_jsonl(self, path: str) -> int:
         """Load documents from a JSONL file; returns the count inserted."""

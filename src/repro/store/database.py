@@ -1,9 +1,15 @@
 """Database object grouping named collections, with disk snapshots.
 
 Stands in for the MongoDB instance in the paper's architecture (§4.1).
-A :class:`Database` is a namespace of :class:`~repro.store.Collection`
-objects plus whole-database JSONL snapshot/restore, which the examples use
-to persist generated corpora between runs.
+A :class:`Database` is a namespace of sharded collections
+(:class:`~repro.store.ShardedCollection`) plus whole-database JSONL
+snapshot/restore, which the examples use to persist generated corpora
+between runs.
+
+Sharding: every collection is hash-partitioned across ``shard_count``
+shards (``REPRO_STORE_SHARDS`` or 4 when unspecified).  With *wal_dir*
+set, each collection keeps a write-ahead log plus checkpoints under
+``<wal_dir>/<collection>/`` and recovers acknowledged writes on reopen.
 """
 
 from __future__ import annotations
@@ -13,8 +19,8 @@ import threading
 from typing import Callable, Dict, List, Optional
 
 from ..tools.annotations import guarded_by
-from .collection import Collection
 from .errors import CollectionNotFound
+from .shard import ShardedCollection, default_shard_count
 
 
 @guarded_by("_lock", "_collections")
@@ -30,12 +36,21 @@ class Database:
     ['tweets']
     """
 
-    def __init__(self, name: str = "repro") -> None:
+    def __init__(
+        self,
+        name: str = "repro",
+        shard_count: Optional[int] = None,
+        wal_dir: Optional[str] = None,
+    ) -> None:
         self.name = name
+        self.shard_count = (
+            shard_count if shard_count is not None else default_shard_count()
+        )
+        self.wal_dir = wal_dir
         self._lock = threading.RLock()
-        self._collections: Dict[str, Collection] = {}
+        self._collections: Dict[str, ShardedCollection] = {}
 
-    def __getitem__(self, name: str) -> Collection:
+    def __getitem__(self, name: str) -> ShardedCollection:
         return self.collection(name)
 
     def __contains__(self, name: str) -> bool:
@@ -46,11 +61,18 @@ class Database:
         self,
         name: str,
         validator: Optional[Callable[[dict], bool]] = None,
-    ) -> Collection:
+    ) -> ShardedCollection:
         """Get or create the collection called *name*."""
         with self._lock:
             if name not in self._collections:
-                self._collections[name] = Collection(name, validator=validator)
+                self._collections[name] = ShardedCollection(
+                    name,
+                    shard_count=self.shard_count,
+                    validator=validator,
+                    wal_dir=(
+                        os.path.join(self.wal_dir, name) if self.wal_dir else None
+                    ),
+                )
             return self._collections[name]
 
     def list_collections(self) -> List[str]:
@@ -63,12 +85,31 @@ class Database:
         with self._lock:
             if name not in self._collections:
                 raise CollectionNotFound(name)
+            self._collections[name].close()
             del self._collections[name]
 
     def drop_all(self) -> None:
         """Delete every collection."""
         with self._lock:
+            collections = list(self._collections.values())
             self._collections.clear()
+        for coll in collections:
+            coll.close()
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Checkpoint every durable collection; shard counts by name."""
+        with self._lock:
+            collections = list(self._collections.items())
+        return {name: coll.checkpoint() for name, coll in collections}
+
+    def close(self) -> None:
+        """Release every collection's WAL file handles."""
+        with self._lock:
+            collections = list(self._collections.values())
+        for coll in collections:
+            coll.close()
 
     # -- snapshots -----------------------------------------------------------
 

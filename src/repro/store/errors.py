@@ -35,3 +35,12 @@ class CollectionNotFound(StoreError):
 
 class ValidationError(StoreError):
     """Raised when a document violates a collection's validator."""
+
+
+class WALError(StoreError):
+    """Raised for unrecoverable write-ahead-log or checkpoint corruption.
+
+    A torn WAL *tail* is expected after a crash and silently discarded;
+    this error covers what recovery cannot paper over — a corrupt shard
+    checkpoint, or an engine manifest that disagrees with the caller.
+    """

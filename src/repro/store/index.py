@@ -1,17 +1,24 @@
-"""Secondary hash indexes for the embedded document store.
+"""Secondary indexes for the embedded document store.
 
 The paper's pipeline repeatedly looks tweets and articles up by exact field
 values (author handle, time-slice id, event id).  A hash index turns those
 equality scans into O(1) bucket lookups, which matters once the synthetic
 corpora reach tens of thousands of documents.
+
+:class:`InvertedIndex` is the term-level counterpart for ``$text``
+queries: it maps every token appearing in the declared text fields to the
+set of documents containing it, so AND/OR term searches resolve by
+posting-list intersection/union instead of tokenizing the whole corpus
+per query (the Elasticsearch half of the related ``db_handler.py`` split,
+folded into this engine).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
-from .query import get_path, _MISSING
+from .query import get_path, tokenize, _MISSING
 
 
 def _hashable(value: Any) -> Any:
@@ -84,6 +91,88 @@ class HashIndex:
         """Re-index from scratch from a {doc_id: document} mapping."""
         self._buckets.clear()
         self._keys_by_doc.clear()
+        for doc_id, document in documents.items():
+            self.add(doc_id, document)
+
+
+class InvertedIndex:
+    """Term → document-id postings over one or more text fields.
+
+    Indexed values are strings (tokenized) or lists of strings (each
+    element tokenized); other types contribute no terms.  Lookup
+    semantics mirror :func:`repro.store.query.text_matches`: ``"all"``
+    intersects the per-term postings, ``"any"`` unions them.
+    """
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        self.fields = tuple(fields)
+        self._postings: Dict[str, Set[Any]] = defaultdict(set)
+        self._terms_by_doc: Dict[Any, List[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._terms_by_doc)
+
+    def _terms_for(self, document: Dict[str, Any]) -> List[str]:
+        terms: Set[str] = set()
+        for field in self.fields:
+            value = get_path(document, field)
+            if value is _MISSING:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                if isinstance(item, str):
+                    terms.update(tokenize(item))
+        return sorted(terms)
+
+    def add(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        """Index *document* under *doc_id*."""
+        terms = self._terms_for(document)
+        self._terms_by_doc[doc_id] = terms
+        for term in terms:
+            self._postings[term].add(doc_id)
+
+    def remove(self, doc_id: Any) -> None:
+        """Drop *doc_id* from every posting list it appears in."""
+        for term in self._terms_by_doc.pop(doc_id, []):
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.discard(doc_id)
+                if not postings:
+                    del self._postings[term]
+
+    def update(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        self.remove(doc_id)
+        self.add(doc_id, document)
+
+    def lookup(self, terms: Sequence[str], mode: str = "all") -> Set[Any]:
+        """Document ids matching *terms* under ``"all"``/``"any"`` semantics.
+
+        No terms match no documents (an empty search selects nothing,
+        deterministically, in both modes).
+        """
+        if not terms:
+            return set()
+        postings = [self._postings.get(term, frozenset()) for term in terms]
+        if mode == "any":
+            out: Set[Any] = set()
+            for p in postings:
+                out |= p
+            return out
+        out = set(postings[0])
+        for p in postings[1:]:
+            out &= p
+            if not out:
+                break
+        return out
+
+    def distinct_terms(self) -> List[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._postings.keys())
+
+    def rebuild(self, documents: Dict[Any, Dict[str, Any]]) -> None:
+        """Re-index from scratch from a {doc_id: document} mapping."""
+        self._postings.clear()
+        self._terms_by_doc.clear()
         for doc_id, document in documents.items():
             self.add(doc_id, document)
 

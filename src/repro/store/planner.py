@@ -1,0 +1,126 @@
+"""Query planner for the sharded store engine.
+
+Given a query and what the engine has indexed, :func:`plan_query` picks
+one of four access paths (cheapest first):
+
+``id_lookup``
+    Top-level ``_id`` equality — route to the owning shard and fetch the
+    document by key, skipping every other shard entirely.
+``text_index``
+    A ``$text`` search with an inverted index built — resolve candidates
+    by posting-list intersection/union, then verify the residual filter.
+``field_index``
+    A top-level equality/``$in`` condition on a hash-indexed field —
+    per-shard bucket lookup, then verify the full filter.
+``scan``
+    Everything else — per-shard sequence-ordered scan.
+
+Every planning decision increments an ``repro.obs`` counter
+(``store.plan.<kind>``) so a workload's plan mix is visible in any obs
+snapshot.  Planning is pure with respect to the store: execution happens
+inside the shards (see :mod:`repro.store.shard`), which re-verify the
+predicate against live documents, so a stale plan is never unsafe — at
+worst it degrades to a scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from .. import obs
+from .errors import QueryError
+from .query import TextQuery, split_text_query
+
+PLAN_ID_LOOKUP = "id_lookup"
+PLAN_TEXT_INDEX = "text_index"
+PLAN_FIELD_INDEX = "field_index"
+PLAN_SCAN = "scan"
+
+PLAN_KINDS = (PLAN_ID_LOOKUP, PLAN_TEXT_INDEX, PLAN_FIELD_INDEX, PLAN_SCAN)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One planned access path for a query.
+
+    ``residual`` is the filter with ``$text`` stripped — always verified
+    by the full matcher against every candidate.  ``text`` (when present)
+    is verified via the text predicate unless the plan kind is
+    ``text_index``, where the posting lists are exact by construction.
+    """
+
+    kind: str
+    residual: Dict[str, Any]
+    text: Optional[TextQuery] = None
+    id_value: Any = None
+    has_id: bool = False
+
+
+def _id_equality(residual: Dict[str, Any]) -> Tuple[bool, Any]:
+    """Detect a top-level ``_id`` equality (plain or ``{"$eq": v}``)."""
+    if "_id" not in residual:
+        return False, None
+    condition = residual["_id"]
+    if isinstance(condition, dict):
+        if set(condition) == {"$eq"}:
+            return True, condition["$eq"]
+        return False, None
+    return True, condition
+
+
+def _field_index_eligible(
+    residual: Dict[str, Any], indexed_fields: Sequence[str]
+) -> bool:
+    """True when :func:`repro.store.index.plan_index_lookup` can narrow."""
+    for fname, condition in residual.items():
+        if fname.startswith("$") or fname not in indexed_fields:
+            continue
+        if isinstance(condition, dict):
+            if set(condition) == {"$eq"}:
+                return True
+            if set(condition) == {"$in"} and isinstance(
+                condition["$in"], (list, tuple, set)
+            ):
+                return True
+        else:
+            return True
+    return False
+
+
+def plan_query(
+    query: Optional[Dict[str, Any]],
+    *,
+    indexed_fields: Sequence[str],
+    text_fields: Sequence[str],
+    text_indexed: bool,
+) -> QueryPlan:
+    """Choose an access path for *query* and record it in ``store.plan.*``.
+
+    Raises :class:`~repro.store.errors.QueryError` when the query uses
+    ``$text`` but the collection declared no text fields — the engine has
+    nothing to search over, and silently matching nothing would hide the
+    configuration error.
+    """
+    text, residual = split_text_query(dict(query or {}))
+    if text is not None and not text_fields:
+        raise QueryError(
+            "$text requires text fields (create_text_index / declare_text_fields)"
+        )
+    has_id, id_value = _id_equality(residual)
+    if has_id:
+        kind = PLAN_ID_LOOKUP
+    elif text is not None and text_indexed:
+        kind = PLAN_TEXT_INDEX
+    elif _field_index_eligible(residual, indexed_fields):
+        kind = PLAN_FIELD_INDEX
+    else:
+        kind = PLAN_SCAN
+    obs.counter(f"store.plan.{kind}").inc()
+    return QueryPlan(
+        kind=kind,
+        residual=residual,
+        text=text,
+        id_value=id_value,
+        has_id=has_id,
+    )

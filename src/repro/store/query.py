@@ -25,11 +25,101 @@ elements, as in MongoDB.
 from __future__ import annotations
 
 import re
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import QueryError
 
 _MISSING = object()
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens of *text*, in order of appearance.
+
+    The single tokenizer shared by ``$text`` matching and the inverted
+    index (:class:`repro.store.index.InvertedIndex`), so an index lookup
+    and a full-scan text predicate always agree on which documents a
+    search hits.
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class TextQuery:
+    """A parsed ``$text`` search: deduplicated terms plus AND/OR mode."""
+
+    terms: Tuple[str, ...]
+    mode: str  # "all" (AND) or "any" (OR)
+
+
+def parse_text_query(spec: Any) -> TextQuery:
+    """Parse the value of a top-level ``$text`` operator.
+
+    Accepted forms::
+
+        {"$text": "brexit vote"}                              # AND terms
+        {"$text": {"$search": "brexit vote"}}                 # AND terms
+        {"$text": {"$search": "brexit vote", "$mode": "any"}} # OR terms
+    """
+    if isinstance(spec, str):
+        search, mode = spec, "all"
+    elif isinstance(spec, dict):
+        unknown = set(spec) - {"$search", "$mode"}
+        if unknown or "$search" not in spec:
+            raise QueryError(
+                "$text requires {'$search': <str>[, '$mode': 'all'|'any']}"
+            )
+        search = spec["$search"]
+        mode = spec.get("$mode", "all")
+    else:
+        raise QueryError("$text requires a string or a {'$search': ...} dict")
+    if not isinstance(search, str):
+        raise QueryError("$search must be a string")
+    if mode not in ("all", "any"):
+        raise QueryError(f"$mode must be 'all' or 'any', got {mode!r}")
+    return TextQuery(terms=tuple(dict.fromkeys(tokenize(search))), mode=mode)
+
+
+def split_text_query(
+    query: Dict[str, Any],
+) -> Tuple[Optional[TextQuery], Dict[str, Any]]:
+    """Split a query into its parsed ``$text`` part and the residual filter.
+
+    ``$text`` is only legal at the top level (as in MongoDB); the residual
+    is what :func:`matches` understands.  The input is not mutated.
+    """
+    if "$text" not in query:
+        return None, query
+    residual = {k: v for k, v in query.items() if k != "$text"}
+    return parse_text_query(query["$text"]), residual
+
+
+def text_matches(
+    document: Dict[str, Any], fields: Sequence[str], text: TextQuery
+) -> bool:
+    """Full-scan ``$text`` predicate over the declared text *fields*.
+
+    Reference semantics for the inverted index: a document matches when
+    the union of tokens across its text fields contains all (``"all"``)
+    or at least one (``"any"``) of the search terms.  An empty search
+    matches nothing.
+    """
+    if not text.terms:
+        return False
+    tokens: set = set()
+    for field in fields:
+        value = get_path(document, field)
+        if value is _MISSING:
+            continue
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            if isinstance(item, str):
+                tokens.update(tokenize(item))
+    if text.mode == "any":
+        return any(term in tokens for term in text.terms)
+    return all(term in tokens for term in text.terms)
 
 _TYPE_NAMES = {
     "double": float,

@@ -1,0 +1,223 @@
+"""Differential harness: sharded engine vs the legacy reference engine.
+
+A seeded generator produces a randomized sequence of store operations
+(inserts, updates, deletes, queries, ``$text`` searches, aggregations)
+and replays it against a legacy :class:`repro.store.Collection` and a
+:class:`repro.store.ShardedCollection` side by side.  After every
+read — and over the complete final state — the two engines must return
+**bitwise-equal** results (``==`` over fully materialized documents, in
+the same order), for every seed and shard count.
+
+This is the behavioral contract that lets the rest of the codebase swap
+engines without caring: anything the harness cannot distinguish, the
+pipeline cannot distinguish either.
+"""
+
+import random
+
+import pytest
+
+from repro.store import Collection, ShardedCollection
+
+SEEDS = [7, 21, 1337]
+SHARD_COUNTS = [1, 4, 16]
+
+FIELDS = ["topic", "source", "score", "likes"]
+TOPICS = ["brexit", "tariffs", "huawei", "iran", "derby"]
+SOURCES = ["bbc", "cnn", "reuters", "ap"]
+WORDS = [
+    "brexit", "vote", "tariff", "trade", "ban", "phone", "oil", "race",
+    "horse", "minister", "deal", "market", "protest", "summit", "launch",
+]
+
+
+class OpGenerator:
+    """Seeded generator of randomized store operations."""
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.known_ids = []
+
+    def document(self):
+        rng = self.rng
+        doc = {
+            "topic": rng.choice(TOPICS),
+            "source": rng.choice(SOURCES),
+            "score": rng.randint(0, 100),
+            "likes": rng.randint(0, 50),
+            "text": " ".join(rng.choices(WORDS, k=rng.randint(3, 8))),
+        }
+        if rng.random() < 0.3:
+            doc["meta"] = {"lang": rng.choice(["en", "fr"]), "day": rng.randint(1, 30)}
+        return doc
+
+    def filter(self):
+        rng = self.rng
+        kind = rng.randrange(6)
+        if kind == 0 and self.known_ids:
+            return {"_id": rng.choice(self.known_ids)}
+        if kind == 1:
+            return {"topic": rng.choice(TOPICS)}
+        if kind == 2:
+            return {"score": {"$gte": rng.randint(0, 100)}}
+        if kind == 3:
+            return {
+                "$or": [
+                    {"source": rng.choice(SOURCES)},
+                    {"likes": {"$lt": rng.randint(0, 50)}},
+                ]
+            }
+        if kind == 4:
+            terms = " ".join(rng.choices(WORDS, k=rng.randint(1, 3)))
+            mode = rng.choice(["all", "any"])
+            return {"$text": {"$search": terms, "$mode": mode}}
+        return {
+            "topic": {"$in": rng.choices(TOPICS, k=2)},
+            "score": {"$lt": rng.randint(10, 100)},
+        }
+
+    def update(self):
+        rng = self.rng
+        kind = rng.randrange(4)
+        if kind == 0:
+            return {"$set": {"score": rng.randint(0, 100)}}
+        if kind == 1:
+            return {"$inc": {"likes": rng.randint(-5, 5)}}
+        if kind == 2:
+            return {"$set": {"text": " ".join(rng.choices(WORDS, k=4))}}
+        return {"$unset": {"meta": ""}, "$max": {"score": rng.randint(0, 100)}}
+
+    def next_op(self):
+        """One (name, payload) operation; inserts dominate early on."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35 or not self.known_ids:
+            return ("insert", self.document())
+        if roll < 0.45:
+            return ("update_one", (self.filter(), self.update()))
+        if roll < 0.52:
+            return ("update_many", (self.filter(), self.update()))
+        if roll < 0.60:
+            return ("delete_one", (self.filter(),))
+        if roll < 0.65:
+            return ("delete_many", (self.filter(),))
+        if roll < 0.80:
+            return ("find", (self.filter(),))
+        if roll < 0.88:
+            return ("count", (self.filter(),))
+        if roll < 0.94:
+            return ("distinct", (rng.choice(FIELDS), self.filter()))
+        return ("aggregate", None)
+
+
+def _aggregate_pipeline(rng):
+    return [
+        {"$match": {"score": {"$gte": rng.randint(0, 60)}}},
+        {"$group": {
+            "_id": "$topic",
+            "n": {"$count": {}},
+            "avg_score": {"$avg": "$score"},
+            "likes": {"$sum": "$likes"},
+        }},
+        {"$sort": {"_id": 1}},
+    ]
+
+
+def _apply(engine, name, payload, rng_clone):
+    """Run one op against *engine*, returning a comparable result value."""
+    if name == "insert":
+        return engine.insert_one(payload)
+    if name == "update_one":
+        return engine.update_one(*payload)
+    if name == "update_many":
+        return engine.update_many(*payload)
+    if name == "delete_one":
+        return engine.delete_one(*payload)
+    if name == "delete_many":
+        return engine.delete_many(*payload)
+    if name == "find":
+        return list(engine.find(*payload))
+    if name == "count":
+        return engine.count_documents(*payload)
+    if name == "distinct":
+        return engine.distinct(*payload)
+    if name == "aggregate":
+        return engine.aggregate(_aggregate_pipeline(rng_clone))
+    raise AssertionError(f"unknown op {name}")
+
+
+def _full_state(engine):
+    return list(engine.find({}))
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_differential_replay(seed, shard_count):
+    """800 seeded ops; every read bitwise-equal across engines."""
+    gen = OpGenerator(seed)
+    legacy = Collection("ref")
+    sharded = ShardedCollection("dut", shard_count=shard_count)
+    legacy.declare_text_fields("text")
+    sharded.declare_text_fields("text")
+
+    for step in range(800):
+        # Index state changes mid-sequence exercise plan transitions.
+        if step == 200:
+            legacy.create_index("topic")
+            sharded.create_index("topic")
+        if step == 400:
+            legacy.create_text_index("text")
+            sharded.create_text_index("text")
+
+        name, payload = gen.next_op()
+        agg_seed = gen.rng.randint(0, 10**9)
+        got_legacy = _apply(legacy, name, payload, random.Random(agg_seed))
+        got_sharded = _apply(sharded, name, payload, random.Random(agg_seed))
+        assert got_legacy == got_sharded, (
+            f"seed={seed} shards={shard_count} step={step} op={name}: "
+            f"{got_legacy!r} != {got_sharded!r}"
+        )
+        if name == "insert":
+            gen.known_ids.append(got_legacy)
+
+    assert _full_state(legacy) == _full_state(sharded)
+    assert len(legacy) == len(sharded)
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+def test_differential_projection_sort_skip_limit(shard_count):
+    """Cursor chaining behaves identically on both engines."""
+    rng = random.Random(99)
+    legacy = Collection("ref")
+    sharded = ShardedCollection("dut", shard_count=shard_count)
+    for _ in range(120):
+        doc = {"a": rng.randint(0, 10), "b": rng.randint(0, 10)}
+        legacy.insert_one(doc)
+        sharded.insert_one(doc)
+    for _ in range(25):
+        query = {"a": {"$gte": rng.randint(0, 10)}}
+        skip, limit = rng.randint(0, 5), rng.randint(1, 20)
+        left = list(
+            legacy.find(query, {"b": 0}).sort("b", -1).skip(skip).limit(limit)
+        )
+        right = list(
+            sharded.find(query, {"b": 0}).sort("b", -1).skip(skip).limit(limit)
+        )
+        assert left == right
+
+
+def test_differential_explicit_mixed_id_types():
+    """Custom string/int ids route consistently and stay comparable."""
+    legacy = Collection("ref")
+    sharded = ShardedCollection("dut", shard_count=4)
+    docs = [
+        {"_id": "alpha", "v": 1},
+        {"_id": 17, "v": 2},
+        {"_id": "beta", "v": 3},
+        {"v": 4},  # auto id continues past explicit ints
+    ]
+    for doc in docs:
+        assert legacy.insert_one(dict(doc)) == sharded.insert_one(dict(doc))
+    assert list(legacy.find({})) == list(sharded.find({}))
+    assert legacy.delete_one({"_id": 17}) == sharded.delete_one({"_id": 17})
+    assert list(legacy.find({})) == list(sharded.find({}))

@@ -1,0 +1,107 @@
+"""Regression: ``dump_jsonl`` must not rewrite an unchanged collection.
+
+``Database.snapshot`` dumps every collection on every deployment cycle;
+before dirty tracking, an unchanged 1M-doc corpus was re-serialized each
+time.  Both engines now version their contents and skip the write when
+nothing changed since the last dump to the same path — proven here by
+planting a sentinel in the dump file and checking the engine leaves it
+alone, plus the ``store.dump.skipped`` / ``store.dump.written`` counters.
+"""
+
+import pytest
+
+from repro import obs
+from repro.store import Collection, Database, ShardedCollection
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    previous = obs.set_enabled(True)
+    obs.get_registry().reset()
+    yield
+    obs.set_enabled(previous)
+
+
+def _dump_counts():
+    counters = obs.get_registry().snapshot()["metrics"]["counters"]
+    return (
+        counters.get("store.dump.written", {}).get("value", 0),
+        counters.get("store.dump.skipped", {}).get("value", 0),
+    )
+
+
+@pytest.mark.parametrize(
+    "make",
+    [lambda: Collection("c"), lambda: ShardedCollection("c", shard_count=4)],
+    ids=["legacy", "sharded"],
+)
+def test_unchanged_dump_is_skipped(tmp_path, make):
+    coll = make()
+    coll.insert_many([{"n": i} for i in range(10)])
+    path = str(tmp_path / "dump.jsonl")
+
+    assert coll.dump_jsonl(path) == 10
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("SENTINEL\n")
+
+    # Unchanged collection: the dump must be a no-op, sentinel intact.
+    assert coll.dump_jsonl(path) == 10
+    with open(path, "r", encoding="utf-8") as handle:
+        assert handle.read().endswith("SENTINEL\n"), "unchanged dump rewrote the file"
+
+    # Any mutation dirties the collection: next dump rewrites.
+    coll.update_one({"n": 3}, {"$set": {"n": 300}})
+    assert coll.dump_jsonl(path) == 10
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    assert "SENTINEL" not in content
+    assert '"n": 300' in content
+
+    written, skipped = _dump_counts()
+    assert written == 2 and skipped == 1
+
+
+@pytest.mark.parametrize(
+    "make",
+    [lambda: Collection("c"), lambda: ShardedCollection("c", shard_count=2)],
+    ids=["legacy", "sharded"],
+)
+def test_deleted_dump_file_is_recreated(tmp_path, make):
+    """A clean version but missing file still triggers a write."""
+    import os
+
+    coll = make()
+    coll.insert_one({"n": 1})
+    path = str(tmp_path / "dump.jsonl")
+    coll.dump_jsonl(path)
+    os.unlink(path)
+    assert coll.dump_jsonl(path) == 1
+    assert os.path.exists(path)
+
+
+def test_dump_tracks_paths_independently(tmp_path):
+    """Dumping to a second path writes even when the first was clean."""
+    coll = ShardedCollection("c", shard_count=2)
+    coll.insert_many([{"n": i} for i in range(4)])
+    first = str(tmp_path / "a.jsonl")
+    second = str(tmp_path / "b.jsonl")
+    coll.dump_jsonl(first)
+    coll.dump_jsonl(first)  # skipped
+    coll.dump_jsonl(second)  # must write despite clean version
+    with open(second, "r", encoding="utf-8") as handle:
+        assert len(handle.readlines()) == 4
+    written, skipped = _dump_counts()
+    assert written == 2 and skipped == 1
+
+
+def test_database_snapshot_skips_clean_collections(tmp_path):
+    """Second snapshot of an untouched database writes nothing."""
+    db = Database("snap", shard_count=2)
+    db["a"].insert_many([{"x": i} for i in range(5)])
+    db["b"].insert_one({"y": 1})
+    out = str(tmp_path / "snap")
+    assert db.snapshot(out) == {"a": 5, "b": 1}
+    obs.get_registry().reset()
+    assert db.snapshot(out) == {"a": 5, "b": 1}
+    written, skipped = _dump_counts()
+    assert written == 0 and skipped == 2

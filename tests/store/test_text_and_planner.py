@@ -1,0 +1,228 @@
+"""Unit tests for the new engine modules: ``$text``, planner, WAL, routing."""
+
+import pytest
+
+from repro import obs
+from repro.store import (
+    InvertedIndex,
+    QueryError,
+    ShardedCollection,
+    parse_text_query,
+    plan_query,
+    shard_index,
+    tokenize,
+)
+from repro.store.query import split_text_query, text_matches
+from repro.store.wal import ShardWAL, _parse_frame
+
+
+# -- tokenizer / $text parsing ---------------------------------------------
+
+
+def test_tokenize_lowercases_and_splits_punctuation():
+    assert tokenize("Brexit: the U.K.'s 2nd vote!") == [
+        "brexit", "the", "u", "k", "s", "2nd", "vote",
+    ]
+
+
+def test_parse_text_query_forms():
+    assert parse_text_query("Brexit vote").terms == ("brexit", "vote")
+    assert parse_text_query("Brexit vote").mode == "all"
+    spec = parse_text_query({"$search": "a b a", "$mode": "any"})
+    assert spec.terms == ("a", "b")  # deduplicated, order kept
+    assert spec.mode == "any"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        42,
+        {"$mode": "any"},
+        {"$search": 7},
+        {"$search": "x", "$mode": "some"},
+        {"$search": "x", "$extra": 1},
+    ],
+)
+def test_parse_text_query_rejects(bad):
+    with pytest.raises(QueryError):
+        parse_text_query(bad)
+
+
+def test_split_text_query_preserves_input():
+    query = {"$text": "brexit", "topic": "uk"}
+    text, residual = split_text_query(query)
+    assert text.terms == ("brexit",)
+    assert residual == {"topic": "uk"}
+    assert query == {"$text": "brexit", "topic": "uk"}  # not mutated
+
+
+def test_text_matches_unions_fields_and_lists():
+    doc = {"title": "Brexit deal", "tags": ["vote", "uk"]}
+    assert text_matches(doc, ["title", "tags"], parse_text_query("brexit vote"))
+    assert not text_matches(doc, ["title"], parse_text_query("brexit vote"))
+    assert text_matches(
+        doc, ["title"], parse_text_query({"$search": "brexit vote", "$mode": "any"})
+    )
+    assert not text_matches(doc, ["title"], parse_text_query("!!!"))
+
+
+# -- inverted index ---------------------------------------------------------
+
+
+def test_inverted_index_lifecycle():
+    index = InvertedIndex(["text"])
+    index.add(1, {"text": "brexit vote today"})
+    index.add(2, {"text": "derby race"})
+    assert index.lookup(("brexit",), "all") == {1}
+    assert index.lookup(("brexit", "derby"), "any") == {1, 2}
+    assert index.lookup(("brexit", "derby"), "all") == set()
+    index.update(1, {"text": "derby only now"})
+    assert index.lookup(("brexit",), "all") == set()
+    assert index.lookup(("derby",), "all") == {1, 2}
+    index.remove(2)
+    assert index.lookup(("derby",), "all") == {1}
+    assert index.lookup((), "all") == set()
+
+
+# -- planner ----------------------------------------------------------------
+
+
+def _plan(query, **kw):
+    defaults = dict(indexed_fields=(), text_fields=(), text_indexed=False)
+    defaults.update(kw)
+    return plan_query(query, **defaults)
+
+
+def test_planner_prefers_id_lookup():
+    plan = _plan({"_id": 5, "topic": "uk"}, indexed_fields=("topic",))
+    assert plan.kind == "id_lookup" and plan.id_value == 5
+
+
+def test_planner_text_index_only_when_built():
+    scan = _plan({"$text": "brexit"}, text_fields=("text",), text_indexed=False)
+    assert scan.kind == "scan" and scan.text is not None
+    indexed = _plan({"$text": "brexit"}, text_fields=("text",), text_indexed=True)
+    assert indexed.kind == "text_index"
+
+
+def test_planner_field_index_and_scan():
+    assert _plan({"topic": "uk"}, indexed_fields=("topic",)).kind == "field_index"
+    assert _plan({"topic": {"$in": ["uk"]}}, indexed_fields=("topic",)).kind == (
+        "field_index"
+    )
+    assert _plan({"topic": {"$gte": 3}}, indexed_fields=("topic",)).kind == "scan"
+    assert _plan({"other": "x"}, indexed_fields=("topic",)).kind == "scan"
+    assert _plan(None).kind == "scan"
+
+
+def test_planner_rejects_text_without_fields():
+    with pytest.raises(QueryError):
+        _plan({"$text": "brexit"})
+
+
+def test_planner_counts_decisions():
+    previous = obs.set_enabled(True)
+    obs.get_registry().reset()
+    try:
+        _plan({"_id": 1})
+        _plan({"x": 2})
+        counters = obs.get_registry().snapshot()["metrics"]["counters"]
+        assert counters["store.plan.id_lookup"]["value"] == 1
+        assert counters["store.plan.scan"]["value"] == 1
+    finally:
+        obs.set_enabled(previous)
+
+
+# -- WAL --------------------------------------------------------------------
+
+
+def test_wal_append_replay_roundtrip(tmp_path):
+    wal = ShardWAL(str(tmp_path / "wal.log"))
+    records = [{"lsn": i, "op": "put", "id": i, "seq": i} for i in range(5)]
+    for record in records:
+        wal.append(record)
+    wal.close()
+    assert wal.replay() == records
+    assert not wal.torn_tail
+
+
+def test_wal_replay_stops_at_torn_frame(tmp_path):
+    wal = ShardWAL(str(tmp_path / "wal.log"))
+    wal.append({"lsn": 1, "op": "put"})
+    wal.append_torn({"lsn": 2, "op": "put"})
+    wal.close()
+    replayed = wal.replay()
+    assert [r["lsn"] for r in replayed] == [1]
+    assert wal.torn_tail
+
+
+def test_wal_rejects_flipped_bits(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = ShardWAL(path)
+    wal.append({"lsn": 1, "v": "aaaa"})
+    wal.append({"lsn": 2, "v": "bbbb"})
+    wal.close()
+    with open(path, "rb") as handle:
+        data = handle.read()
+    corrupted = data.replace(b"aaaa", b"aaba")
+    with open(path, "wb") as handle:
+        handle.write(corrupted)
+    assert wal.replay() == []  # first frame bad -> everything after unreachable
+    assert wal.torn_tail
+
+
+def test_wal_compact_keeps_only_post_watermark(tmp_path):
+    wal = ShardWAL(str(tmp_path / "wal.log"))
+    for i in range(1, 7):
+        wal.append({"lsn": i})
+    assert wal.compact(keep_after_lsn=4) == 2
+    assert [r["lsn"] for r in wal.replay()] == [5, 6]
+    size = wal.size_bytes()
+    assert 0 < size < 100
+
+
+def test_parse_frame_rejects_garbage():
+    assert _parse_frame(b"") is None
+    assert _parse_frame(b"short") is None
+    assert _parse_frame(b"zzzzzzzz {}") is None
+    assert _parse_frame(b"00000000 {}") is None  # wrong crc
+    assert _parse_frame(b'11111111 "not a dict"') is None
+
+
+# -- routing ----------------------------------------------------------------
+
+
+def test_shard_index_is_stable_and_bounded():
+    for count in (1, 4, 16):
+        for doc_id in (0, 1, True, 1.0, "one", "x" * 100, 10**12):
+            idx = shard_index(doc_id, count)
+            assert 0 <= idx < count
+            assert idx == shard_index(doc_id, count)  # deterministic
+
+
+def test_shard_index_equal_dict_keys_route_together():
+    # 1 == 1.0 == True as dict keys; they must share a shard or
+    # duplicate-id detection breaks.
+    for count in (2, 4, 16):
+        assert (
+            shard_index(1, count)
+            == shard_index(1.0, count)
+            == shard_index(True, count)
+        )
+
+
+def test_duplicate_id_detected_across_type_aliases():
+    coll = ShardedCollection("dup", shard_count=8)
+    coll.insert_one({"_id": 1, "v": "int"})
+    from repro.store import DuplicateKeyError
+
+    with pytest.raises(DuplicateKeyError):
+        coll.insert_one({"_id": True, "v": "bool"})
+
+
+def test_shards_spread_documents():
+    coll = ShardedCollection("spread", shard_count=4)
+    coll.insert_many([{"n": i} for i in range(200)])
+    counts = [shard.doc_count() for shard in coll._shards]
+    assert sum(counts) == 200
+    assert all(c > 10 for c in counts), f"pathological routing: {counts}"

@@ -1,0 +1,213 @@
+"""Crash-recovery harness: kill the engine at every WAL/checkpoint site.
+
+Each test drives a durable :class:`repro.store.ShardedCollection` with a
+seeded workload while a fatal fault (via :mod:`repro.resilience.faults`)
+is armed at one injection site.  A shadow legacy
+:class:`repro.store.Collection` receives exactly the operations the
+sharded engine *acknowledged* (returned from without raising) — the
+oracle for what a crash is allowed to lose.  After the "crash", the
+store is reopened from disk and must equal the oracle bitwise, in
+insertion order: nothing acknowledged lost, nothing unacknowledged
+resurrected, torn WAL tails discarded.
+
+The workload seed honours ``REPRO_STORE_FAULT_SEED`` so CI can sweep the
+same kill points under several pinned seeds (the ``store-recovery-smoke``
+job runs 3, 7, and 11).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.resilience import faults
+from repro.store import Collection, ShardedCollection
+
+WORKLOAD_SEED = int(os.environ.get("REPRO_STORE_FAULT_SEED", "3"))
+
+WAL_SITES = ["store.wal.append.*", "store.wal.torn.*"]
+CHECKPOINT_SITES = [
+    "store.checkpoint.begin.*",
+    "store.checkpoint.snapshot.*",
+    "store.checkpoint.swap.*",
+    "store.wal.compact.*",
+]
+
+WORDS = ["brexit", "tariff", "huawei", "iran", "derby", "vote", "deal"]
+
+
+def _ops(seed, steps):
+    """The deterministic op script for one workload run."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.55:
+            ops.append(
+                (
+                    "insert",
+                    {
+                        "k": rng.randint(0, 10**6),
+                        "topic": rng.choice(WORDS),
+                        "text": " ".join(rng.choices(WORDS, k=4)),
+                    },
+                )
+            )
+        elif roll < 0.75:
+            ops.append(
+                (
+                    "update",
+                    (
+                        {"topic": rng.choice(WORDS)},
+                        {"$inc": {"k": 1}, "$set": {"touched": True}},
+                    ),
+                )
+            )
+        elif roll < 0.9:
+            ops.append(("delete", ({"topic": rng.choice(WORDS)},)))
+        else:
+            ops.append(("checkpoint", None))
+    return ops
+
+
+def _run_until_crash(store, oracle, ops):
+    """Apply *ops* to both engines; stop at the injected crash.
+
+    Returns True when a fault fired.  The oracle only sees an op after
+    the sharded engine acknowledged it, so at return the oracle holds
+    exactly the acknowledged prefix.
+    """
+    for name, payload in ops:
+        try:
+            if name == "insert":
+                store.insert_one(dict(payload))
+            elif name == "update":
+                store.update_one(*payload)
+            elif name == "delete":
+                store.delete_one(*payload)
+            else:
+                store.checkpoint()
+        except faults.FaultError:
+            return True
+        if name == "insert":
+            oracle.insert_one(dict(payload))
+        elif name == "update":
+            oracle.update_one(*payload)
+        elif name == "delete":
+            oracle.delete_one(*payload)
+    return False
+
+
+def _crash_and_recover(tmp_path, site, after, shard_count=4, steps=160):
+    wal_dir = str(tmp_path / "wal")
+    plan = faults.FaultPlan(
+        seed=1,
+        specs=(
+            faults.FaultSpec(
+                sites=site, rate=1.0, kind="fatal", max_triggers=1, after=after
+            ),
+        ),
+    )
+    oracle = Collection("oracle")
+    ops = _ops(WORKLOAD_SEED, steps)
+    with faults.overridden(plan):
+        store = ShardedCollection(
+            "dut", shard_count=shard_count, wal_dir=wal_dir, checkpoint_every=12
+        )
+        try:
+            crashed = _run_until_crash(store, oracle, ops)
+        finally:
+            store.close()
+    assert crashed, f"fault at {site!r} (after={after}) never fired"
+    assert plan.triggered(kind="fatal"), "expected a fatal fault record"
+    # "Reboot": recover from disk with no faults armed.
+    recovered = ShardedCollection("dut", wal_dir=wal_dir)
+    try:
+        assert recovered.shard_count == shard_count
+        assert list(recovered.find({})) == list(oracle.find({})), (
+            f"recovered state diverges from acknowledged prefix "
+            f"(site={site}, after={after})"
+        )
+        assert len(recovered) == len(oracle)
+    finally:
+        recovered.close()
+    return wal_dir
+
+
+@pytest.mark.parametrize("after", [0, 7, 23])
+@pytest.mark.parametrize("site", WAL_SITES)
+def test_recovers_acked_prefix_after_wal_crash(tmp_path, site, after):
+    """A crash at (or mid-) WAL append loses only the unacked op."""
+    _crash_and_recover(tmp_path, site, after)
+
+
+@pytest.mark.parametrize("after", [0, 2])
+@pytest.mark.parametrize("site", CHECKPOINT_SITES)
+def test_recovers_acked_prefix_after_checkpoint_crash(tmp_path, site, after):
+    """A crash in any checkpoint phase never loses acknowledged writes."""
+    _crash_and_recover(tmp_path, site, after)
+
+
+def test_torn_tail_is_discarded_on_disk(tmp_path):
+    """The torn kill point leaves a physically unparseable last frame."""
+    from repro.store.wal import _parse_frame
+
+    wal_dir = _crash_and_recover(tmp_path, "store.wal.torn.*", after=5)
+    torn_lines = 0
+    for entry in sorted(os.listdir(wal_dir)):
+        wal_path = os.path.join(wal_dir, entry, "wal.log")
+        if not os.path.isfile(wal_path):
+            continue
+        with open(wal_path, "rb") as handle:
+            lines = [line for line in handle.read().split(b"\n") if line]
+        for i, line in enumerate(lines):
+            if _parse_frame(line) is None:
+                torn_lines += 1
+                assert i == len(lines) - 1, "tear must be the final frame"
+    assert torn_lines == 1
+
+
+def test_recovery_is_idempotent(tmp_path):
+    """Recover → write nothing → recover again: identical state."""
+    wal_dir = _crash_and_recover(tmp_path, "store.wal.append.*", after=40)
+    first = ShardedCollection("dut", wal_dir=wal_dir)
+    state_one = list(first.find({}))
+    first.close()
+    second = ShardedCollection("dut", wal_dir=wal_dir)
+    state_two = list(second.find({}))
+    second.close()
+    assert state_one == state_two
+
+
+def test_recovered_store_accepts_new_writes(tmp_path):
+    """Auto-id allocation survives recovery (no duplicate _id reuse)."""
+    wal_dir = str(tmp_path / "wal")
+    store = ShardedCollection("dut", shard_count=2, wal_dir=wal_dir)
+    ids = store.insert_many([{"n": i} for i in range(10)])
+    store.delete_one({"n": 9})
+    store.close()
+    recovered = ShardedCollection("dut", wal_dir=wal_dir)
+    new_id = recovered.insert_one({"n": 99})
+    assert new_id not in ids, "recovered engine reissued a used _id"
+    assert recovered.count_documents({}) == 10
+    recovered.close()
+
+
+def test_corrupt_checkpoint_refuses_to_open(tmp_path):
+    """A damaged checkpoint is an error, not silent data loss."""
+    from repro.store import WALError
+
+    wal_dir = str(tmp_path / "wal")
+    store = ShardedCollection("dut", shard_count=2, wal_dir=wal_dir)
+    store.insert_many([{"n": i} for i in range(8)])
+    store.checkpoint()
+    store.close()
+    # Smash one shard's checkpoint file.
+    for entry in sorted(os.listdir(wal_dir)):
+        ckpt = os.path.join(wal_dir, entry, "checkpoint.json")
+        if os.path.isfile(ckpt):
+            with open(ckpt, "wb") as handle:
+                handle.write(b'{"version": 1, "docs": [[')
+            break
+    with pytest.raises(WALError):
+        ShardedCollection("dut", wal_dir=wal_dir)
