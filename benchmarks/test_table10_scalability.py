@@ -14,6 +14,7 @@ MLP epoch time grows much more slowly (the paper's "MLP flat, CNN
 linear" contrast).
 """
 
+import os
 import time
 
 import numpy as np
@@ -28,14 +29,28 @@ DOC2VEC_SIZES = (300, 308)
 MAX_EPOCHS = 200  # the paper allows 500; early stopping fires well below
 
 
+def event_scale() -> float:
+    """Multiplier on the event-count sweep alone.
+
+    ``REPRO_TABLE10_EVENT_SCALE=10`` walks the sweep at 10x the default
+    event counts ({300, 1500, 3000} events, i.e. 3,000-30,000 training
+    records) without inflating the synthetic world the way
+    ``REPRO_BENCH_SCALE`` does — that is the re-run the fused training
+    kernels made affordable (results committed under
+    ``benchmarks/results/table10_scalability_10x.txt``).
+    """
+    return float(os.environ.get("REPRO_TABLE10_EVENT_SCALE", "1.0"))
+
+
 def event_counts():
     """Event counts in the paper's 1:5:10 ratio, scaled to the bench.
 
     The paper sweeps {500, 2500, 5000}; the default bench scale uses
     {30, 150, 300} (x10 tweets each) so the sweep finishes in minutes —
-    raise REPRO_BENCH_SCALE to walk toward the paper's sizes.
+    raise REPRO_BENCH_SCALE (or the event-only REPRO_TABLE10_EVENT_SCALE)
+    to walk toward the paper's sizes.
     """
-    scale = bench_scale()
+    scale = bench_scale() * event_scale()
     return tuple(max(5, int(n * scale)) for n in (30, 150, 300))
 
 
@@ -129,7 +144,8 @@ def test_table10_scalability(benchmark, result, config):
                 if r["dim"] == dim and r["network"] == network
             ]
             lines.append(f"  {network}: " + "  ".join(series))
-    emit("table10_scalability", "\n".join(lines))
+    suffix = "" if event_scale() == 1.0 else f"_{event_scale():g}x"
+    emit(f"table10_scalability{suffix}", "\n".join(lines))
 
     # Shape 1: early stopping fires well inside the epoch budget for every
     # configuration (the paper's runs also never exhaust their 500-epoch
@@ -144,15 +160,28 @@ def test_table10_scalability(benchmark, result, config):
 
     # Shape 2: CNN epoch time grows with the number of events; the growth
     # factor exceeds the MLP's (paper: CNN linear, MLP ~flat).
-    def growth(network_kind, dim):
+    def per_count_ms(network_kind, dim):
         series = [
             r["ms_epoch"]
             for r in rows
             if network_kind in r["network"] and r["dim"] == dim
         ]
         # Mean over the two optimizer variants per (events, dim) cell.
-        per_count = np.array(series).reshape(len(event_counts()), 2).mean(axis=1)
+        return np.array(series).reshape(len(event_counts()), 2).mean(axis=1)
+
+    def growth(network_kind, dim):
+        per_count = per_count_ms(network_kind, dim)
         return per_count[-1] / max(per_count[0], 1e-9)
 
     assert growth("CNN", 300) > 1.5
-    assert growth("CNN", 300) > growth("MLP", 300)
+    if event_scale() == 1.0:
+        assert growth("CNN", 300) > growth("MLP", 300)
+    else:
+        # At 10x event counts (3,000-30,000 records, fixed batch 5,000) the
+        # per-batch GEMM dominates both architectures, so MLP ms/epoch turns
+        # linear in corpus size too — the paper's "MLP flat" contrast is a
+        # small-corpus fixed-overhead artifact that does not survive scale.
+        # What does survive is the absolute cost gap §5.7 attributes to "the
+        # complexity of the convolution layer": CNN epochs stay several
+        # times more expensive at every sweep point.
+        assert per_count_ms("CNN", 300)[-1] > 5.0 * per_count_ms("MLP", 300)[-1]

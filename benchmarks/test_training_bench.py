@@ -1,0 +1,79 @@
+"""Training fast-path regression bench (ISSUE 8 acceptance).
+
+Asserts the fused float32 training path is ≥3x faster than the float64
+per-layer-dispatch baseline on the Table 8/9 suite total (the four §5.6
+networks at Table-8 scale), that float32 final losses stay within the
+parity budget of the float64 reference, that neither ratio regressed
+more than 2x against the committed baseline
+(``benchmarks/baselines/training_baseline.json``), and that the
+data-parallel ``fit`` is bitwise worker-count invariant in float64.
+
+The rendered table lands in ``benchmarks/results/training_bench.txt``,
+the raw record in ``benchmarks/results/training_bench.json``, and the
+obs snapshot in ``benchmarks/results/obs/`` via conftest.
+"""
+
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, bench_scale, emit  # noqa: E402
+from training_bench import (  # noqa: E402
+    LOSS_PARITY_BUDGET,
+    check_against_baseline,
+    make_dataset,
+    render,
+    run_microbench,
+)
+
+from repro.nn import build_paper_network  # noqa: E402
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "training_baseline.json"
+)
+
+MIN_SPEEDUP = 3.0
+
+
+def test_training_fast_path_speedup_and_parity():
+    scale = bench_scale()
+    result = run_microbench(scale=scale)
+
+    text = render(result)
+    emit("training_bench", text)
+    with open(
+        os.path.join(RESULTS_DIR, "training_bench.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    # ISSUE-8 acceptance: ≥3x on the Table 8/9 suite total.  The MLPs
+    # alone bottom out near the sgemm/dgemm throughput ratio of the
+    # host (~2x on narrow single-core machines), while the CNNs gain
+    # another ~1.5x from the pooling/im2col kernel fixes — the suite
+    # total is what a full Table 8/9 reproduction actually waits on.
+    assert result["speedup"] >= MIN_SPEEDUP, render(result)
+    assert result["worst_loss_gap"] <= LOSS_PARITY_BUDGET, render(result)
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check_against_baseline(result, baseline)
+    assert not failures, "\n".join(failures)
+
+
+def test_data_parallel_fit_is_worker_count_invariant():
+    """workers ∈ {1, 2, 4} produce bitwise-identical float64 models."""
+    X, Y = make_dataset(512, seed=11)
+    outputs = []
+    for workers in (1, 2, 4):
+        model = build_paper_network("MLP 1", input_dim=X.shape[1], seed=3)
+        model.fit(
+            X, Y, epochs=2, batch_size=128, shuffle=False, workers=workers
+        )
+        outputs.append(model.predict(X))
+    assert np.array_equal(outputs[0], outputs[1])
+    assert np.array_equal(outputs[0], outputs[2])

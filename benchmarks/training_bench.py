@@ -1,0 +1,274 @@
+"""Training micro-benchmark — legacy float64 dispatch vs fused float32 path.
+
+Trains the four §5.6 paper configurations (MLP 1/2, CNN 1/2) at Table
+8/9 scale twice each:
+
+* **ref** — ``REPRO_NN_FUSED=0`` float64: the per-layer allocating
+  dispatch that predates the fused kernels, kept verbatim in the code
+  as the bitwise reference;
+* **fast** — fused/buffered kernels with the opt-in float32 compute
+  path (``dtype="float32"``).
+
+Reports the per-network and suite-total epoch times, the speedup, and
+the float32-vs-float64 final-loss gap (the two precisions are
+tolerance-comparable, never bitwise).
+
+Used two ways:
+
+* ``benchmarks/test_training_bench.py`` runs :func:`run_microbench` in
+  the bench suite, asserts the ≥3x suite-total gate, and commits the
+  result JSON under ``benchmarks/results/``;
+* CI runs this file as a script at reduced scale with
+  ``--check benchmarks/baselines/training_baseline.json`` and fails the
+  build when the measured speedup regresses more than 2x against the
+  committed baseline (speedups are machine-relative ratios, so the
+  check is stable across runner hardware) or float32 loss parity breaks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/training_bench.py \
+        --scale 0.25 --check benchmarks/baselines/training_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn import build_paper_network
+from repro.nn.dtypes import FUSED_ENV
+
+#: The four Table 8/9 configurations timed by the bench.
+NETWORKS = ("MLP 1", "MLP 2", "CNN 1", "CNN 2")
+
+#: Table 8/9 feature width: 300-d document embedding + topic metadata.
+INPUT_DIM = 308
+
+#: §5.6 trains with three audience-interest classes.
+N_CLASSES = 3
+
+#: float32 final-loss budget vs the float64 reference (relative).
+LOSS_PARITY_BUDGET = 0.10
+
+#: A regression fails CI when a measured speedup falls below
+#: baseline_speedup / MAX_REGRESSION.
+MAX_REGRESSION = 2.0
+
+
+def make_dataset(n_events: int, seed: int, dim: int = INPUT_DIM):
+    """A seeded, learnable synthetic Table-8-style dataset.
+
+    Labels come from a hidden random linear map over the features so the
+    losses actually decrease and the float32/float64 loss-parity check
+    compares converging trajectories, not noise floors.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_events, dim))
+    hidden = rng.normal(size=(dim, N_CLASSES)) / np.sqrt(dim)
+    labels = np.argmax(X @ hidden + 0.3 * rng.normal(size=(n_events, N_CLASSES)), axis=1)
+    Y = np.zeros((n_events, N_CLASSES))
+    Y[np.arange(n_events), labels] = 1.0
+    return X, Y
+
+
+def time_network(
+    name: str,
+    X: np.ndarray,
+    Y: np.ndarray,
+    epochs: int,
+    batch_size: int,
+    seed: int,
+    fused: bool,
+    dtype: Optional[str],
+) -> Dict[str, float]:
+    """Train one configuration; returns its median epoch time and final loss.
+
+    ``epoch_ms`` is the median over epochs after the first (the first
+    epoch pays one-off buffer allocation and BLAS warm-up), with
+    ``track_accuracy=False`` so it measures training alone.
+    """
+    previous = os.environ.get(FUSED_ENV)
+    os.environ[FUSED_ENV] = "1" if fused else "0"
+    try:
+        model = build_paper_network(
+            name, input_dim=X.shape[1], n_classes=Y.shape[1], seed=seed, dtype=dtype
+        )
+        history = model.fit(
+            X.astype(model.dtype),
+            Y.astype(model.dtype),
+            epochs=epochs,
+            batch_size=batch_size,
+            shuffle=False,
+            track_accuracy=False,
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(FUSED_ENV, None)
+        else:
+            os.environ[FUSED_ENV] = previous
+    series = history.metrics["epoch_ms"]
+    steady = series[1:] if len(series) > 1 else series
+    return {
+        "epoch_ms": float(np.median(steady)),
+        "final_loss": float(history.metrics["loss"][-1]),
+    }
+
+
+def run_microbench(
+    scale: float = 1.0,
+    epochs: int = 5,
+    batch_size: int = 256,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Ref-vs-fast comparison over the four networks at *scale*."""
+    n_events = max(2 * batch_size, int(2048 * scale))
+    X, Y = make_dataset(n_events, seed=seed)
+    networks: Dict[str, Dict[str, float]] = {}
+    total_ref = 0.0
+    total_fast = 0.0
+    worst_loss_gap = 0.0
+    for name in NETWORKS:
+        ref = time_network(
+            name, X, Y, epochs, batch_size, seed, fused=False, dtype=None
+        )
+        fast = time_network(
+            name, X, Y, epochs, batch_size, seed, fused=True, dtype="float32"
+        )
+        loss_gap = abs(fast["final_loss"] - ref["final_loss"]) / max(
+            abs(ref["final_loss"]), 1e-12
+        )
+        networks[name] = {
+            "ref_epoch_ms": ref["epoch_ms"],
+            "fast_epoch_ms": fast["epoch_ms"],
+            "speedup": ref["epoch_ms"] / max(fast["epoch_ms"], 1e-9),
+            "ref_final_loss": ref["final_loss"],
+            "fast_final_loss": fast["final_loss"],
+            "loss_gap": loss_gap,
+        }
+        total_ref += ref["epoch_ms"]
+        total_fast += fast["epoch_ms"]
+        worst_loss_gap = max(worst_loss_gap, loss_gap)
+    return {
+        "bench": "training_bench",
+        "scale": scale,
+        "n_events": n_events,
+        "input_dim": INPUT_DIM,
+        "epochs": epochs,
+        "batch_size": batch_size,
+        "seed": seed,
+        "networks": networks,
+        "total_ref_epoch_ms": total_ref,
+        "total_fast_epoch_ms": total_fast,
+        "speedup": total_ref / max(total_fast, 1e-9),
+        "worst_loss_gap": worst_loss_gap,
+    }
+
+
+def check_against_baseline(
+    result: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = MAX_REGRESSION,
+) -> List[str]:
+    """Regression failures of *result* vs the committed *baseline*.
+
+    Compares machine-relative speedup ratios (not absolute epoch times,
+    which vary across hardware) — the suite total plus each network —
+    and the float32 loss parity.  Returns a list of human-readable
+    failure strings; empty means pass.
+    """
+    failures: List[str] = []
+    floor = float(baseline["speedup"]) / max_regression
+    if float(result["speedup"]) < floor:
+        failures.append(
+            f"suite speedup {result['speedup']:.2f}x regressed more than "
+            f"{max_regression:.1f}x against the committed baseline "
+            f"({baseline['speedup']:.2f}x; floor {floor:.2f}x)"
+        )
+    for name, record in result["networks"].items():
+        base = baseline["networks"].get(name)
+        if base is None:
+            continue
+        net_floor = float(base["speedup"]) / max_regression
+        if float(record["speedup"]) < net_floor:
+            failures.append(
+                f"{name} speedup {record['speedup']:.2f}x regressed more "
+                f"than {max_regression:.1f}x against the committed baseline "
+                f"({base['speedup']:.2f}x; floor {net_floor:.2f}x)"
+            )
+    if float(result["worst_loss_gap"]) > LOSS_PARITY_BUDGET:
+        failures.append(
+            f"float32 final loss diverged {result['worst_loss_gap']:.1%} "
+            f"from the float64 reference (budget {LOSS_PARITY_BUDGET:.0%})"
+        )
+    return failures
+
+
+def render(result: Dict[str, object]) -> str:
+    """Human-readable table of one training-bench result."""
+    lines = [
+        "Training path micro-benchmark "
+        f"(scale={result['scale']}, {result['n_events']} events x "
+        f"{result['input_dim']} features, batch={result['batch_size']}, "
+        f"epochs={result['epochs']})",
+        "  ref = float64 legacy per-layer dispatch (REPRO_NN_FUSED=0); "
+        "fast = fused float32",
+    ]
+    for name, record in result["networks"].items():
+        lines.append(
+            f"  {name:6s}: ref {record['ref_epoch_ms']:8.1f}ms/epoch  "
+            f"fast {record['fast_epoch_ms']:8.1f}ms/epoch  "
+            f"speedup {record['speedup']:.2f}x  "
+            f"loss gap {record['loss_gap']:.2%}"
+        )
+    lines.append(
+        f"  total : ref {result['total_ref_epoch_ms']:8.1f}ms  "
+        f"fast {result['total_fast_epoch_ms']:8.1f}ms  "
+        f"speedup {result['speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", help="write the result JSON here")
+    parser.add_argument(
+        "--check",
+        help="baseline JSON to compare against; non-zero exit on regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_microbench(
+        scale=args.scale,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    print(render(result))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(result, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"baseline check ok (committed speedup {baseline['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

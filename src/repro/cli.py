@@ -73,6 +73,7 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
         min_event_records=args.min_event_records,
         seed=args.seed,
         retry_attempts=args.retry_attempts,
+        nn_dtype=getattr(args, "nn_dtype", None),
     )
 
 
@@ -155,7 +156,10 @@ def cmd_predict(args: argparse.Namespace) -> int:
             f"{sorted(result.datasets) or 'none'}"
         )
     predictor = AudienceInterestPredictor(
-        max_epochs=args.epochs, batch_size=args.batch_size, seed=args.seed
+        max_epochs=args.epochs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        dtype=getattr(args, "nn_dtype", None),
     )
     outcome = predictor.train(
         result.datasets[args.variant], args.network, target=args.target
@@ -265,6 +269,13 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="enable repro.obs tracing and write the snapshot JSON to PATH "
         "(render with `python -m repro.obs report PATH`)",
+    )
+    parser.add_argument(
+        "--nn-dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="NN compute dtype (default: REPRO_NN_DTYPE or float64; float32 "
+        "is the opt-in raw-speed training path, see docs/performance.md)",
     )
 
 

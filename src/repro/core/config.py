@@ -53,6 +53,11 @@ class PipelineConfig:
     early_stopping_patience: int = 3
     seed: int = 42
 
+    # NN compute dtype: None defers to REPRO_NN_DTYPE (default float64,
+    # the bitwise-deterministic reference); "float32" opts into the
+    # raw-speed training path (tolerance-comparable only).
+    nn_dtype: Optional[str] = None
+
     # Parallel fan-outs (repro.parallel): 0 defers to the REPRO_WORKERS
     # environment variable (default serial).
     workers: int = 0
@@ -86,6 +91,14 @@ class PipelineConfig:
             raise ValueError("related_word_coverage must lie in [0, 1]")
         if self.min_event_records < 1:
             raise ValueError("min_event_records must be >= 1")
+        if self.nn_dtype is not None and self.nn_dtype not in (
+            "float32",
+            "float64",
+        ):
+            raise ValueError(
+                "nn_dtype must be None, 'float32' or 'float64', "
+                f"got {self.nn_dtype!r}"
+            )
 
 
 def small_config(seed: int = 42) -> PipelineConfig:

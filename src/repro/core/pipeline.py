@@ -326,6 +326,7 @@ class NewsDiffusionPipeline:
             validation_fraction=self.config.validation_fraction,
             early_stopping_patience=self.config.early_stopping_patience,
             seed=self.config.seed,
+            dtype=self.config.nn_dtype,
         )
 
     # -- orchestration ----------------------------------------------------------------

@@ -55,6 +55,7 @@ class AudienceInterestPredictor:
         validation_fraction: float = 0.2,
         early_stopping_patience: int = 3,
         seed: int = 42,
+        dtype: Optional[str] = None,
     ) -> None:
         if max_epochs < 1:
             raise ValueError("max_epochs must be >= 1")
@@ -63,6 +64,7 @@ class AudienceInterestPredictor:
         self.validation_fraction = validation_fraction
         self.early_stopping_patience = early_stopping_patience
         self.seed = seed
+        self.dtype = dtype
 
     def _labels(self, dataset: Dataset, target: str) -> np.ndarray:
         if target == "likes":
@@ -98,7 +100,7 @@ class AudienceInterestPredictor:
 
         model = build_paper_network(
             network_name, input_dim=dataset.n_features, n_classes=N_CLASSES,
-            seed=self.seed,
+            seed=self.seed, dtype=self.dtype,
         )
         stopper = EarlyStopping(
             monitor="loss", patience=self.early_stopping_patience

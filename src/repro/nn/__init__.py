@@ -16,6 +16,7 @@ from .architectures import (
 )
 from .callbacks import EarlyStopping, History
 from .contracts import ContractError, contracts_enabled
+from .dtypes import DEFAULT_DTYPE, fused_enabled, resolve_dtype
 from .layers import Conv1D, Dense, Dropout, Flatten, Layer, MaxPool1D, Reshape
 from .losses import (
     BinaryCrossEntropy,
@@ -40,6 +41,9 @@ from .optimizers import SGD, Adadelta, Adagrad, Adam, get_optimizer
 __all__ = [
     "ContractError",
     "contracts_enabled",
+    "DEFAULT_DTYPE",
+    "resolve_dtype",
+    "fused_enabled",
     "Layer",
     "Dense",
     "Conv1D",

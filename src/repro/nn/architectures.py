@@ -35,17 +35,24 @@ def build_mlp(
     hidden: Tuple[int, int] = (512, 128),
     dropout: float = 0.2,
     seed: int = 0,
+    dtype=None,
 ) -> Sequential:
-    """The Figure-2 MLP for a flat *input_dim* feature vector."""
+    """The Figure-2 MLP for a flat *input_dim* feature vector.
+
+    Dropout streams are derived per layer from the model seed at build
+    time (``Generator.spawn``), so stacked Dropouts draw independent
+    masks.  *dtype* selects the compute dtype (default: the float64
+    reference; see :mod:`repro.nn.dtypes`).
+    """
     if input_dim < 1:
         raise ValueError("input_dim must be >= 1")
-    model = Sequential(seed=seed)
+    model = Sequential(seed=seed, dtype=dtype)
     model.add(Dense(hidden[0], activation="relu"))
     if dropout > 0:
-        model.add(Dropout(dropout, seed=seed))
+        model.add(Dropout(dropout))
     model.add(Dense(hidden[1], activation="relu"))
     if dropout > 0:
-        model.add(Dropout(dropout, seed=seed + 1))
+        model.add(Dropout(dropout))
     model.add(Dense(n_classes, activation="softmax"))
     model.build((input_dim,))
     return model
@@ -59,11 +66,12 @@ def build_cnn(
     pool_size: int = 2,
     dense_units: int = 64,
     seed: int = 0,
+    dtype=None,
 ) -> Sequential:
     """The Figure-3 CNN: convolution + max pooling over the input vector."""
     if input_dim < kernel_size:
         raise ValueError("input_dim must be >= kernel_size")
-    model = Sequential(seed=seed)
+    model = Sequential(seed=seed, dtype=dtype)
     model.add(Reshape((input_dim, 1)))
     model.add(Conv1D(filters, kernel_size, activation="relu"))
     model.add(MaxPool1D(pool_size))
@@ -97,6 +105,7 @@ def build_paper_network(
     input_dim: int,
     n_classes: int = 3,
     seed: int = 0,
+    dtype=None,
 ) -> Sequential:
     """Build and compile one of the four §5.6 configurations by name."""
     if name not in PAPER_CONFIGURATIONS:
@@ -106,9 +115,9 @@ def build_paper_network(
         )
     arch, optimizer_name = PAPER_CONFIGURATIONS[name]
     if arch == "mlp":
-        model = build_mlp(input_dim, n_classes=n_classes, seed=seed)
+        model = build_mlp(input_dim, n_classes=n_classes, seed=seed, dtype=dtype)
     else:
-        model = build_cnn(input_dim, n_classes=n_classes, seed=seed)
+        model = build_cnn(input_dim, n_classes=n_classes, seed=seed, dtype=dtype)
     model.compile(
         optimizer=paper_optimizer(optimizer_name),
         loss="categorical_crossentropy",

@@ -59,9 +59,9 @@ class SelfAttention(Layer):
             )
         _length, channels = input_shape
         init = get_initializer(self.initializer)
-        self.Wq = init((channels, self.key_dim), rng)
-        self.Wk = init((channels, self.key_dim), rng)
-        self.Wv = init((channels, self.key_dim), rng)
+        self.Wq = init((channels, self.key_dim), rng, dtype=self.dtype)
+        self.Wk = init((channels, self.key_dim), rng, dtype=self.dtype)
+        self.Wv = init((channels, self.key_dim), rng, dtype=self.dtype)
         self.dWq = np.zeros_like(self.Wq)
         self.dWk = np.zeros_like(self.Wk)
         self.dWv = np.zeros_like(self.Wv)

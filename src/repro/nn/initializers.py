@@ -1,11 +1,20 @@
-"""Weight initializers for the numpy NN framework."""
+"""Weight initializers for the numpy NN framework.
+
+Every initializer draws in float64 and only then casts to the requested
+compute dtype: the random stream (and, for float64, the exact bit
+pattern) is therefore identical across dtypes, so a float32 model starts
+from the rounded float64 reference weights rather than from a different
+draw.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 
-def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(
+    shape, rng: np.random.Generator, dtype: np.dtype = np.float64
+) -> np.ndarray:
     """Glorot/Xavier uniform — Keras's default for Dense/Conv layers.
 
     The fan-in/fan-out are taken from the first/last axis, which matches
@@ -14,23 +23,27 @@ def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     fan_in = shape[0] if len(shape) < 3 else shape[0] * shape[1]
     fan_out = shape[-1] if len(shape) < 3 else shape[0] * shape[2]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype, copy=False)
 
 
-def he_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+def he_uniform(
+    shape, rng: np.random.Generator, dtype: np.dtype = np.float64
+) -> np.ndarray:
     """He uniform — suited to ReLU stacks."""
     fan_in = shape[0] if len(shape) < 3 else shape[0] * shape[1]
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype, copy=False)
 
 
-def zeros(shape, rng: np.random.Generator) -> np.ndarray:
+def zeros(
+    shape, rng: np.random.Generator, dtype: np.dtype = np.float64
+) -> np.ndarray:
     """All-zero initializer (biases).
 
     ``rng`` is unused but required so every initializer shares the
-    ``(shape, rng)`` signature the determinism rule enforces.
+    ``(shape, rng, dtype)`` signature the determinism rule enforces.
     """
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=dtype)
 
 
 INITIALIZERS = {

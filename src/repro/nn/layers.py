@@ -6,16 +6,30 @@ and dropout.  Each layer implements ``forward(x, training)`` and
 ``backward(grad)`` (returning the gradient w.r.t. its input and stashing
 parameter gradients), and exposes ``parameters()`` as (name, param, grad)
 triples for the optimizer.
+
+Two compute paths share each layer:
+
+* the **legacy dispatch** (``REPRO_NN_FUSED=0``) allocates fresh arrays
+  per batch — simple, and the baseline the training bench measures
+  against;
+* the **fused path** (default) replays the exact same matmul/ufunc
+  sequence into per-layer buffers reused across batches, so it is
+  bitwise identical to the legacy path while eliminating the per-batch
+  allocation churn that dominates small-batch training.
+
+Parameters are allocated in the dtype ``Sequential.build`` threads in
+(``layer.dtype``, float64 by default; see :mod:`repro.nn.dtypes`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from . import contracts
 from .activations import Activation, Softmax, get_activation
+from .dtypes import FAST_DTYPE, fused_enabled
 from .initializers import get_initializer
 
 
@@ -25,10 +39,25 @@ class Layer:
     Every subclass is automatically instrumented with the runtime
     shape/dtype contracts of :mod:`repro.nn.contracts` (active under
     pytest, toggleable via ``REPRO_CONTRACTS``).
+
+    ``handle`` is the stable identity ``Sequential.build`` assigns
+    (``m<uid>.g<generation>.L<index>``); optimizers key per-parameter
+    state by it so state cannot silently attach to the wrong array when
+    ``id()`` values are reused.  ``dtype`` is the compute dtype build
+    threads in.  ``_buffers`` holds the fused path's reusable scratch
+    arrays, keyed by role and reallocated only on shape/dtype change.
+    ``need_input_grad`` (set by ``Sequential.build``) is False when no
+    trainable layer sits below this one, letting the fused backward skip
+    producing an input gradient nothing will consume; it defaults to
+    True so standalone layers keep full behaviour.
     """
 
     def __init__(self) -> None:
         self.built = False
+        self.handle: Optional[str] = None
+        self.dtype: np.dtype = np.dtype(np.float64)
+        self.need_input_grad = True
+        self._buffers: Dict[str, np.ndarray] = {}
 
     def __init_subclass__(cls, **kwargs) -> None:
         """Contract-wrap the ``forward``/``backward`` the subclass defines."""
@@ -58,6 +87,26 @@ class Layer:
     def num_parameters(self) -> int:
         """Total number of trainable scalars in this layer."""
         return sum(p.size for _n, p, _g in self.parameters())
+
+    def _buffer(self, role: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable scratch array for *role*, reallocated on shape change."""
+        buf = self._buffers.get(role)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[role] = buf
+        return buf
+
+    def reset_transient(self) -> None:
+        """Drop cached activations and scratch buffers.
+
+        Used when cloning thread-local replicas for data-parallel fit:
+        a replica must share parameters but never forward/backward
+        caches with its source layer.
+        """
+        self._buffers = {}
+        for attr in ("_x", "_out", "_cols", "_argmax", "_mask", "_cache"):
+            if hasattr(self, attr):
+                setattr(self, attr, None)
 
 
 class Dense(Layer):
@@ -90,8 +139,8 @@ class Dense(Layer):
         if len(input_shape) != 1:
             raise ValueError(f"Dense expects flat input, got shape {input_shape}")
         init = get_initializer(self.initializer)
-        self.W = init((input_shape[0], self.units), rng)
-        self.b = np.zeros(self.units)
+        self.W = init((input_shape[0], self.units), rng, dtype=self.dtype)
+        self.b = np.zeros(self.units, dtype=self.dtype)
         self.dW = np.zeros_like(self.W)
         self.db = np.zeros_like(self.b)
         self.built = True
@@ -101,17 +150,40 @@ class Dense(Layer):
 
     def forward(self, x, training=False):
         self._x = x
-        z = x @ self.W + self.b
-        self._out = self.activation.forward(z)
+        if not fused_enabled():
+            z = x @ self.W + self.b
+            self._out = self.activation.forward(z)
+            return self._out
+        # Fused: matmul into the reusable pre-activation buffer, add the
+        # bias and activate in place — the identical op sequence, minus
+        # the two intermediate temporaries.
+        z = self._buffer("z", (x.shape[0], self.units), self.W.dtype)
+        np.matmul(x, self.W, out=z)
+        z += self.b
+        self._out = self.activation.forward_inplace(z)
         return self._out
 
     def backward(self, grad):
+        if not fused_enabled():
+            if not isinstance(self.activation, Softmax):
+                grad = self.activation.backward(grad, self._out)
+            # else: grad already includes the fused softmax+CE derivative.
+            self.dW[...] = self._x.T @ grad
+            self.db[...] = grad.sum(axis=0)
+            return grad @ self.W.T
         if not isinstance(self.activation, Softmax):
-            grad = self.activation.backward(grad, self._out)
-        # else: grad already includes the fused softmax+CE derivative.
-        self.dW[...] = self._x.T @ grad
-        self.db[...] = grad.sum(axis=0)
-        return grad @ self.W.T
+            grad = self.activation.backward_inplace(
+                grad, self._out, buffer=self._buffer
+            )
+        np.matmul(self._x.T, grad, out=self.dW)
+        grad.sum(axis=0, out=self.db)
+        if not self.need_input_grad:
+            # Bottom of the trainable stack: dx = grad @ W.T would be
+            # discarded, and it is the same-size matmul as dW.
+            return None
+        dx = self._buffer("dx", self._x.shape, self.W.dtype)
+        np.matmul(grad, self.W.T, out=dx)
+        return dx
 
     def parameters(self):
         return [("W", self.W, self.dW), ("b", self.b, self.db)]
@@ -158,8 +230,10 @@ class Conv1D(Layer):
         if length < self.kernel_size:
             raise ValueError("input shorter than kernel")
         init = get_initializer(self.initializer)
-        self.W = init((self.kernel_size, channels, self.filters), rng)
-        self.b = np.zeros(self.filters)
+        self.W = init(
+            (self.kernel_size, channels, self.filters), rng, dtype=self.dtype
+        )
+        self.b = np.zeros(self.filters, dtype=self.dtype)
         self.dW = np.zeros_like(self.W)
         self.db = np.zeros_like(self.b)
         self.built = True
@@ -170,49 +244,109 @@ class Conv1D(Layer):
     def output_shape(self, input_shape):
         return (self._out_length(input_shape[0]), self.filters)
 
-    def _im2col(self, x: np.ndarray) -> np.ndarray:
-        """(batch, length, ch) -> (batch, out_len, kernel*ch) window unroll."""
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """(batch, out_len, kernel, ch) sliding-window view of contiguous *x*."""
         batch, length, channels = x.shape
         out_len = self._out_length(length)
         strides = x.strides
-        windows = np.lib.stride_tricks.as_strided(
+        return np.lib.stride_tricks.as_strided(
             x,
             shape=(batch, out_len, self.kernel_size, channels),
             strides=(strides[0], strides[1] * self.stride, strides[1], strides[2]),
             writeable=False,
         )
-        return windows.reshape(batch, out_len, self.kernel_size * channels)
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(batch, length, ch) -> (batch, out_len, kernel*ch) window unroll."""
+        batch, length, channels = x.shape
+        out_len = self._out_length(length)
+        return self._windows(x).reshape(batch, out_len, self.kernel_size * channels)
 
     def forward(self, x, training=False):
         self._x_shape = x.shape
-        cols = self._im2col(np.ascontiguousarray(x))
+        if not fused_enabled():
+            cols = self._im2col(np.ascontiguousarray(x))
+            self._cols = cols
+            kernel = self.W.reshape(self.kernel_size * x.shape[2], self.filters)
+            z = cols @ kernel + self.b
+            self._out = self.activation.forward(z)
+            return self._out
+        x = np.ascontiguousarray(x)
+        batch, length, channels = x.shape
+        out_len = self._out_length(length)
+        # im2col into the reusable unroll buffer instead of a fresh
+        # reshape-copy every batch.  One big slice copy per kernel offset
+        # beats a single 4D strided copyto, whose innermost loop is only
+        # ``channels`` elements wide.
+        cols = self._buffer(
+            "cols", (batch, out_len, self.kernel_size * channels), self.W.dtype
+        )
+        cols4 = cols.reshape(batch, out_len, self.kernel_size, channels)
+        span = (out_len - 1) * self.stride + 1
+        for k in range(self.kernel_size):
+            cols4[:, :, k] = x[:, k : k + span : self.stride]
         self._cols = cols
-        kernel = self.W.reshape(self.kernel_size * x.shape[2], self.filters)
-        z = cols @ kernel + self.b
-        self._out = self.activation.forward(z)
+        kernel = self.W.reshape(self.kernel_size * channels, self.filters)
+        z = self._buffer("z", (batch, out_len, self.filters), self.W.dtype)
+        # One flat GEMM over (batch*out_len) rows; each output element is
+        # the same kernel_size*channels-term dot product the batched 3D
+        # matmul computes, in the same order.
+        np.matmul(
+            cols.reshape(-1, self.kernel_size * channels),
+            kernel,
+            out=z.reshape(-1, self.filters),
+        )
+        z += self.b
+        self._out = self.activation.forward_inplace(z)
         return self._out
 
     def backward(self, grad):
-        grad = self.activation.backward(grad, self._out)
         batch, length, channels = self._x_shape
         out_len = grad.shape[1]
         kernel = self.W.reshape(self.kernel_size * channels, self.filters)
+        positions = np.arange(out_len) * self.stride
 
-        # Parameter gradients from the unrolled windows.
+        if not fused_enabled():
+            grad = self.activation.backward(grad, self._out)
+            # Parameter gradients from the unrolled windows.
+            cols_flat = self._cols.reshape(-1, self.kernel_size * channels)
+            grad_flat = grad.reshape(-1, self.filters)
+            self.dW[...] = (cols_flat.T @ grad_flat).reshape(self.W.shape)
+            self.db[...] = grad_flat.sum(axis=0)
+            # Input gradient: scatter each window's contribution back.
+            # For a fixed kernel offset k the target positions are
+            # unique, so plain fancy-index addition applies (np.add.at
+            # would be ~50x slower).
+            dcols = grad @ kernel.T  # (batch, out_len, kernel*ch)
+            dcols = dcols.reshape(batch, out_len, self.kernel_size, channels)
+            dx = np.zeros((batch, length, channels))
+            for k in range(self.kernel_size):
+                dx[:, positions + k] += dcols[:, :, k]
+            return dx
+
+        grad = self.activation.backward_inplace(
+            grad, self._out, buffer=self._buffer
+        )
         cols_flat = self._cols.reshape(-1, self.kernel_size * channels)
         grad_flat = grad.reshape(-1, self.filters)
-        self.dW[...] = (cols_flat.T @ grad_flat).reshape(self.W.shape)
-        self.db[...] = grad_flat.sum(axis=0)
-
-        # Input gradient: scatter each window's contribution back.  For a
-        # fixed kernel offset k the target positions are unique, so plain
-        # fancy-index addition applies (np.add.at would be ~50x slower).
-        dcols = grad @ kernel.T  # (batch, out_len, kernel*ch)
-        dcols = dcols.reshape(batch, out_len, self.kernel_size, channels)
-        dx = np.zeros((batch, length, channels))
-        positions = np.arange(out_len) * self.stride
+        np.matmul(
+            cols_flat.T, grad_flat,
+            out=self.dW.reshape(self.kernel_size * channels, self.filters),
+        )
+        grad_flat.sum(axis=0, out=self.db)
+        if not self.need_input_grad:
+            # No trainable layer below: skip the dcols matmul and the
+            # whole window scatter (the most expensive part of backward).
+            return None
+        dcols = self._buffer(
+            "dcols", (batch, out_len, self.kernel_size * channels), self.W.dtype
+        )
+        np.matmul(grad, kernel.T, out=dcols)
+        dcols4 = dcols.reshape(batch, out_len, self.kernel_size, channels)
+        dx = self._buffer("dx", (batch, length, channels), self.W.dtype)
+        dx.fill(0.0)
         for k in range(self.kernel_size):
-            dx[:, positions + k] += dcols[:, :, k]
+            dx[:, positions + k] += dcols4[:, :, k]
         return dx
 
     def parameters(self):
@@ -240,19 +374,67 @@ class MaxPool1D(Layer):
         out_len = length // self.pool_size
         trimmed = x[:, : out_len * self.pool_size]
         windows = trimmed.reshape(batch, out_len, self.pool_size, channels)
-        self._argmax = windows.argmax(axis=2)
-        return windows.max(axis=2)
+        if not fused_enabled():
+            self._argmax = windows.argmax(axis=2)
+            return windows.max(axis=2)
+        out = self._buffer("out", (batch, out_len, channels), x.dtype)
+        if self.pool_size == 2:
+            # argmax over a size-2 strided axis is one of numpy's worst
+            # code paths (an elementwise reduce over a non-contiguous
+            # middle axis dominated the whole CNN epoch); a single
+            # comparison computes the same thing.  ``w1 > w0`` matches
+            # argmax's first-max-on-ties rule exactly: ties pick index 0.
+            w0 = windows[:, :, 0]
+            w1 = windows[:, :, 1]
+            winner = self._buffer("winner", (batch, out_len, channels), np.bool_)
+            np.greater(w1, w0, out=winner)
+            self._argmax = winner
+            np.maximum(w0, w1, out=out)
+            return out
+        argmax = self._buffer("argmax", (batch, out_len, channels), np.intp)
+        windows.argmax(axis=2, out=argmax)
+        self._argmax = argmax
+        windows.max(axis=2, out=out)
+        return out
 
     def backward(self, grad):
         batch, length, channels = self._x_shape
         out_len = length // self.pool_size
-        dx = np.zeros((batch, out_len, self.pool_size, channels))
-        np.put_along_axis(
-            dx, self._argmax[:, :, np.newaxis, :], grad[:, :, np.newaxis, :], axis=2
-        )
+        if not fused_enabled():
+            dx = np.zeros((batch, out_len, self.pool_size, channels))
+        else:
+            dx = self._buffer(
+                "dx", (batch, out_len, self.pool_size, channels), grad.dtype
+            )
+            if self._argmax.dtype != np.bool_:
+                dx.fill(0.0)  # the scatter only writes the winning slots
+        if self._argmax.dtype == np.bool_:
+            # pool_size == 2 fused path: route grad to the winning slot
+            # with three elementwise passes instead of the (much slower)
+            # put_along_axis scatter.  ``grad * winner`` parks ``-0.0``
+            # in losing slots when grad is negative, so ``+ 0.0``
+            # normalises every zero to ``+0.0`` — after which the result
+            # is bitwise identical to the scatter (verified down to the
+            # uint32 view), including the untouched-slot zeros.
+            winner = self._argmax
+            dx0 = dx[:, :, 0]
+            dx1 = dx[:, :, 1]
+            np.multiply(grad, winner, out=dx1)
+            np.subtract(grad, dx1, out=dx0)  # winners: grad-grad = +0.0
+            np.add(dx1, 0.0, out=dx1)
+        else:
+            np.put_along_axis(
+                dx,
+                self._argmax[:, :, np.newaxis, :],
+                grad[:, :, np.newaxis, :],
+                axis=2,
+            )
         dx = dx.reshape(batch, out_len * self.pool_size, channels)
         if out_len * self.pool_size < length:
-            pad = np.zeros((batch, length - out_len * self.pool_size, channels))
+            pad = np.zeros(
+                (batch, length - out_len * self.pool_size, channels),
+                dtype=dx.dtype,
+            )
             dx = np.concatenate([dx, pad], axis=1)
         return dx
 
@@ -309,25 +491,80 @@ class Reshape(Layer):
 
 
 class Dropout(Layer):
-    """Inverted dropout; identity at inference time."""
+    """Inverted dropout; identity at inference time.
 
-    def __init__(self, rate: float, seed: int = 0) -> None:
+    With ``seed=None`` (the default) the layer derives its mask stream
+    from the build-time model rng via ``Generator.spawn`` — every
+    Dropout in a stack gets an *independent* stream tied to the model
+    seed, and spawning does not advance the parent stream, so the
+    weight initialisation of later layers is unaffected.  An explicit
+    integer ``seed`` pins the stream directly (legacy behaviour, used
+    by tests that exercise a lone layer without a surrounding model).
+    """
+
+    def __init__(self, rate: float, seed: Optional[int] = None) -> None:
         super().__init__()
         if not 0.0 <= rate < 1.0:
             raise ValueError("rate must lie in [0, 1)")
         self.rate = rate
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._rng = np.random.default_rng(0 if seed is None else seed)
         self._mask: Optional[np.ndarray] = None
+
+    def build(self, input_shape, rng) -> None:
+        if self.seed is None:
+            self._rng = rng.spawn(1)[0]
+        else:
+            self._rng = np.random.default_rng(self.seed)
+        self.built = True
+
+    def reseed(self, seed_source: Union[int, np.random.SeedSequence]) -> None:
+        """Replace the mask stream (data-parallel fit reseeds per chunk)."""
+        self._rng = np.random.default_rng(seed_source)
 
     def forward(self, x, training=False):
         if not training or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        if fused_enabled() and x.dtype == FAST_DTYPE:
+            # Single-precision fast path (tolerance-only, never pinned):
+            # keep the mask as booleans with a separate 1/keep scale — no
+            # float mask materialisation.  The uniforms are still drawn
+            # in float64 exactly like the reference path, so the mask
+            # stream is *dtype-invariant*: a float32 model drops the same
+            # units as its float64 twin and the parity gap stays pure
+            # arithmetic, not resampling noise.
+            r = self._buffer("rand", x.shape, np.float64)
+            self._rng.random(out=r)
+            mask = self._buffer("mask", x.shape, np.bool_)
+            np.less(r, keep, out=mask)
+            self._mask = mask
+            out = self._buffer("out", x.shape, x.dtype)
+            np.multiply(x, mask, out=out)
+            out *= 1.0 / keep
+            return out
+        # float64 reference: this exact draw/compare/divide sequence is
+        # what the determinism pins and worker-invariance are stated
+        # against — do not reorder.
+        mask = ((self._rng.random(x.shape) < keep) / keep).astype(
+            x.dtype, copy=False
+        )
+        self._mask = mask
+        if not fused_enabled():
+            return x * mask
+        out = self._buffer("out", x.shape, x.dtype)
+        np.multiply(x, mask, out=out)
+        return out
 
     def backward(self, grad):
         if self._mask is None:
             return grad
-        return grad * self._mask
+        if self._mask.dtype == np.bool_:
+            np.multiply(grad, self._mask, out=grad)
+            grad *= 1.0 / (1.0 - self.rate)
+            return grad
+        if not fused_enabled():
+            return grad * self._mask
+        np.multiply(grad, self._mask, out=grad)
+        return grad

@@ -3,6 +3,11 @@
 ``CategoricalCrossEntropy`` fuses with a final softmax layer: its gradient
 is ``probs - targets``, which the Dense layer passes through unchanged when
 its activation is softmax (see :mod:`repro.nn.activations`).
+
+Losses are dtype-preserving: every scalar constant is a Python float
+(weak under NEP 50), so float32 predictions/targets produce float32
+gradients and the opt-in float32 compute path never silently upcasts in
+the backward seed.  ``value`` always returns a Python float.
 """
 
 from __future__ import annotations

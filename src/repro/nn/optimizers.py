@@ -4,35 +4,159 @@ ADADELTA (Eq 16) and Adam.
 The paper's best configurations are SGD(lr=0.5) and ADADELTA(lr=2) —
 Keras's ADADELTA applies the learning rate as a multiplier on the Eq-16
 update, which we replicate so those hyperparameters transfer.
+
+Per-parameter state (momentum, accumulators) is keyed by a stable
+``(owner handle, parameter name)`` pair supplied by the caller
+(``Sequential`` passes each layer's build handle).  Keying by
+``id(param)`` — the original scheme — is unsound: ids are reused after
+garbage collection and ``Sequential.build()`` reallocates parameter
+arrays, so state could silently attach to the wrong parameter and stale
+slots leaked forever.  Callers without a handle (direct ``step`` calls
+in tests) fall back to identity keys whose slot pins a strong reference
+to the array, which both prevents id reuse and lets the slot detect a
+mismatched array.
+
+All updates run **in place** through per-slot scratch buffers: the op
+sequence mirrors the original expression evaluation exactly, so results
+are bitwise identical to the allocating implementation — only the
+per-step temporaries disappear.  ``REPRO_NN_FUSED=0`` switches every
+``_update`` back to the original allocating expressions (the pre-fusion
+implementation, kept verbatim as the training bench's reference and as
+a bitwise differential check).  Slot entries whose name starts with an
+underscore (scratch, the pinned ``__param__`` ref) are transient and
+excluded from checkpoints.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+from .dtypes import fused_enabled
 
 _EPS = 1e-7
 
 
 class Optimizer:
-    """Base optimizer: per-parameter state keyed by object identity."""
+    """Base optimizer: per-parameter state keyed by stable handles."""
 
     def __init__(self) -> None:
-        self._state: Dict[int, Dict[str, np.ndarray]] = {}
+        self._state: Dict[Tuple[Hashable, str], Dict[str, np.ndarray]] = {}
 
-    def _slot(self, param: np.ndarray) -> Dict[str, np.ndarray]:
-        key = id(param)
-        if key not in self._state:
-            self._state[key] = {}
-        return self._state[key]
+    def _slot(
+        self, key: Tuple[Hashable, str], param: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """The state dict for *key*, reset if it no longer matches *param*.
 
-    def step(self, parameters: Iterable[Tuple[str, np.ndarray, np.ndarray]]) -> None:
-        """Update every (name, param, grad) triple in place."""
-        for _name, param, grad in parameters:
-            self._update(param, grad)
+        Every slot pins the array it belongs to under ``__param__``; if
+        the same key comes back with a *different* array (an identity
+        key whose id was reused, or a rebuilt layer reusing a handle),
+        the stale state is discarded rather than silently applied.
+        """
+        slot = self._state.get(key)
+        if slot is None or slot.get("__param__") is not param:
+            slot = {"__param__": param}
+            self._state[key] = slot
+        return slot
 
-    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+    @staticmethod
+    def _slot_state(
+        slot: Dict[str, np.ndarray], name: str, param: np.ndarray
+    ) -> np.ndarray:
+        """Persistent state array *name* in *slot*, zero-initialised."""
+        arr = slot.get(name)
+        if arr is None or arr.shape != param.shape or arr.dtype != param.dtype:
+            arr = np.zeros_like(param)
+            slot[name] = arr
+        return arr
+
+    @staticmethod
+    def _slot_buffer(
+        slot: Dict[str, np.ndarray], name: str, param: np.ndarray
+    ) -> np.ndarray:
+        """Transient scratch array *name* in *slot* (uninitialised)."""
+        buf = slot.get(name)
+        if buf is None or buf.shape != param.shape or buf.dtype != param.dtype:
+            buf = np.empty_like(param)
+            slot[name] = buf
+        return buf
+
+    def step(
+        self,
+        parameters: Iterable[Tuple[str, np.ndarray, np.ndarray]],
+        owner: Optional[str] = None,
+    ) -> None:
+        """Update every (name, param, grad) triple in place.
+
+        *owner* is the stable handle of the layer that owns the
+        parameters; without one, state falls back to identity keys.
+        """
+        for name, param, grad in parameters:
+            if owner is not None:
+                key: Tuple[Hashable, str] = (owner, name)
+            else:
+                key = (id(param), name)
+            self._update(self._slot(key, param), param, grad)
+
+    def forget(self, owner_prefix: str) -> int:
+        """Drop state for owners whose handle starts with *owner_prefix*.
+
+        ``Sequential.build`` calls this on rebuild so slots belonging to
+        the replaced parameter arrays are pruned instead of leaking.
+        Returns the number of slots dropped.
+        """
+        stale = [
+            key
+            for key in self._state
+            if isinstance(key[0], str) and key[0].startswith(owner_prefix)
+        ]
+        for key in stale:
+            del self._state[key]
+        return len(stale)
+
+    def peek(self, owner: str, name: str) -> Dict[str, np.ndarray]:
+        """The persistable state entries for (*owner*, *name*), if any.
+
+        Transient entries (leading underscore, the ``__param__`` pin)
+        are excluded — this is the checkpoint view of the slot.
+        """
+        slot = self._state.get((owner, name), {})
+        return {
+            entry: value
+            for entry, value in slot.items()
+            if not entry.startswith("_")
+        }
+
+    def restore(
+        self,
+        owner: str,
+        name: str,
+        param: np.ndarray,
+        entries: Dict[str, np.ndarray],
+    ) -> None:
+        """Install checkpointed state *entries* for (*owner*, *name*)."""
+        slot = {"__param__": param}
+        for entry, value in entries.items():
+            value = np.asarray(value)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"optimizer state {entry!r} for {owner}.{name} has shape "
+                    f"{value.shape}, parameter has {param.shape}"
+                )
+            slot[entry] = np.array(value, dtype=param.dtype)
+        self._state[(owner, name)] = slot
+
+    def extra_state(self) -> Dict[str, float]:
+        """Scalar optimizer state to checkpoint (e.g. Adam's step count)."""
+        return {}
+
+    def load_extra_state(self, extra: Dict[str, np.ndarray]) -> None:
+        """Restore scalars produced by :meth:`extra_state`."""
+
+    def _update(
+        self, slot: Dict[str, np.ndarray], param: np.ndarray, grad: np.ndarray
+    ) -> None:
         raise NotImplementedError
 
 
@@ -52,15 +176,25 @@ class SGD(Optimizer):
         self.learning_rate = learning_rate
         self.momentum = momentum
 
-    def _update(self, param, grad):
-        slot = self._slot(param)
+    def _update(self, slot, param, grad):
+        if not fused_enabled():  # pre-fusion reference, bitwise identical
+            if self.momentum > 0.0:
+                velocity = slot.setdefault("velocity", np.zeros_like(param))
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+            return
+        scratch = self._slot_buffer(slot, "_scratch", param)
+        np.multiply(grad, self.learning_rate, out=scratch)
         if self.momentum > 0.0:
-            velocity = slot.setdefault("velocity", np.zeros_like(param))
+            velocity = self._slot_state(slot, "velocity", param)
             velocity *= self.momentum
-            velocity -= self.learning_rate * grad
+            velocity -= scratch
             param += velocity
         else:
-            param -= self.learning_rate * grad
+            param -= scratch
 
 
 class Adagrad(Optimizer):
@@ -72,11 +206,22 @@ class Adagrad(Optimizer):
             raise ValueError("learning_rate must be positive")
         self.learning_rate = learning_rate
 
-    def _update(self, param, grad):
-        slot = self._slot(param)
-        accum = slot.setdefault("accumulator", np.zeros_like(param))
-        accum += grad * grad
-        param -= self.learning_rate * grad / (np.sqrt(accum) + _EPS)
+    def _update(self, slot, param, grad):
+        if not fused_enabled():  # pre-fusion reference, bitwise identical
+            accum = slot.setdefault("accumulator", np.zeros_like(param))
+            accum += grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(accum) + _EPS)
+            return
+        accum = self._slot_state(slot, "accumulator", param)
+        s1 = self._slot_buffer(slot, "_scratch", param)
+        s2 = self._slot_buffer(slot, "_scratch2", param)
+        np.multiply(grad, grad, out=s1)
+        accum += s1
+        np.sqrt(accum, out=s1)
+        s1 += _EPS
+        np.multiply(grad, self.learning_rate, out=s2)
+        s2 /= s1
+        param -= s2
 
 
 class Adadelta(Optimizer):
@@ -95,18 +240,41 @@ class Adadelta(Optimizer):
         self.learning_rate = learning_rate
         self.rho = rho
 
-    def _update(self, param, grad):
-        slot = self._slot(param)
-        accum_grad = slot.setdefault("accum_grad", np.zeros_like(param))
-        accum_update = slot.setdefault("accum_update", np.zeros_like(param))
+    def _update(self, slot, param, grad):
+        if not fused_enabled():  # pre-fusion reference, bitwise identical
+            accum_grad = slot.setdefault("accum_grad", np.zeros_like(param))
+            accum_update = slot.setdefault(
+                "accum_update", np.zeros_like(param)
+            )
+            accum_grad *= self.rho
+            accum_grad += (1.0 - self.rho) * grad * grad
+            update = (
+                np.sqrt(accum_update + _EPS) / np.sqrt(accum_grad + _EPS)
+            ) * grad
+            accum_update *= self.rho
+            accum_update += (1.0 - self.rho) * update * update
+            param -= self.learning_rate * update
+            return
+        accum_grad = self._slot_state(slot, "accum_grad", param)
+        accum_update = self._slot_state(slot, "accum_update", param)
+        s1 = self._slot_buffer(slot, "_scratch", param)
+        s2 = self._slot_buffer(slot, "_scratch2", param)
         accum_grad *= self.rho
-        accum_grad += (1.0 - self.rho) * grad * grad
-        update = (
-            np.sqrt(accum_update + _EPS) / np.sqrt(accum_grad + _EPS)
-        ) * grad
+        np.multiply(grad, 1.0 - self.rho, out=s1)
+        s1 *= grad
+        accum_grad += s1
+        np.add(accum_update, _EPS, out=s1)
+        np.sqrt(s1, out=s1)
+        np.add(accum_grad, _EPS, out=s2)
+        np.sqrt(s2, out=s2)
+        s1 /= s2
+        s1 *= grad  # s1 is now the Eq-16 update
         accum_update *= self.rho
-        accum_update += (1.0 - self.rho) * update * update
-        param -= self.learning_rate * update
+        np.multiply(s1, 1.0 - self.rho, out=s2)
+        s2 *= s1
+        accum_update += s2
+        np.multiply(s1, self.learning_rate, out=s2)
+        param -= s2
 
 
 class Adam(Optimizer):
@@ -127,21 +295,47 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self._t = 0
 
-    def step(self, parameters):
+    def step(self, parameters, owner=None):
         self._t += 1
-        super().step(list(parameters))
+        super().step(list(parameters), owner=owner)
 
-    def _update(self, param, grad):
-        slot = self._slot(param)
-        m = slot.setdefault("m", np.zeros_like(param))
-        v = slot.setdefault("v", np.zeros_like(param))
+    def extra_state(self):
+        return {"t": float(self._t)}
+
+    def load_extra_state(self, extra):
+        if "t" in extra:
+            self._t = int(np.asarray(extra["t"]).item())
+
+    def _update(self, slot, param, grad):
+        if not fused_enabled():  # pre-fusion reference, bitwise identical
+            m = slot.setdefault("m", np.zeros_like(param))
+            v = slot.setdefault("v", np.zeros_like(param))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1 ** self._t)
+            v_hat = v / (1.0 - self.beta2 ** self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + _EPS)
+            return
+        m = self._slot_state(slot, "m", param)
+        v = self._slot_state(slot, "v", param)
+        s1 = self._slot_buffer(slot, "_scratch", param)
+        s2 = self._slot_buffer(slot, "_scratch2", param)
         m *= self.beta1
-        m += (1.0 - self.beta1) * grad
+        np.multiply(grad, 1.0 - self.beta1, out=s1)
+        m += s1
         v *= self.beta2
-        v += (1.0 - self.beta2) * grad * grad
-        m_hat = m / (1.0 - self.beta1 ** self._t)
-        v_hat = v / (1.0 - self.beta2 ** self._t)
-        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + _EPS)
+        np.multiply(grad, 1.0 - self.beta2, out=s1)
+        s1 *= grad
+        v += s1
+        np.divide(m, 1.0 - self.beta1 ** self._t, out=s1)  # m_hat
+        np.divide(v, 1.0 - self.beta2 ** self._t, out=s2)  # v_hat
+        np.sqrt(s2, out=s2)
+        s2 += _EPS
+        np.multiply(s1, self.learning_rate, out=s1)
+        s1 /= s2
+        param -= s1
 
 
 OPTIMIZERS = {

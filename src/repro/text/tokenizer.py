@@ -74,6 +74,11 @@ def words(text: str, lowercase: bool = True) -> List[str]:
             continue
         if is_mention(token) or is_hashtag(token):
             token = token[1:]
+            # A sigil can front a punctuation-only name ("@_"): once
+            # stripped it must clear the same punctuation filter as any
+            # other token, or "words" would leak bare underscores.
+            if is_punctuation(token):
+                continue
         if lowercase:
             token = token.lower()
         out.append(token)

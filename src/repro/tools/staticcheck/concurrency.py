@@ -725,10 +725,16 @@ class NondeterminismRule(Rule):
     description = (
         "result-affecting paths (core, nn, embeddings) must not read "
         "datetime.now()/utcnow()/today() or iterate unordered sets "
-        "(hash-order dependent); wrap set iteration in sorted()"
+        "(hash-order dependent); wrap set iteration in sorted(); "
+        "float32 is opt-in-only — no hard-coded float32 dtypes outside "
+        "repro.nn.dtypes"
     )
 
     _SCOPED_DIRS = {"core", "nn", "embeddings"}
+    #: The one module allowed to name float32 directly: every other
+    #: result-affecting file must funnel through its resolve_dtype /
+    #: FAST_DTYPE so single precision stays an explicit caller choice.
+    _DTYPE_EXEMPT_TAIL = ("nn", "dtypes.py")
     _CLOCK_TAILS = {
         ("datetime", "now"),
         ("datetime", "utcnow"),
@@ -746,10 +752,15 @@ class NondeterminismRule(Rule):
         """Scan one in-scope file for clock reads and set iteration."""
         if not self._in_scope(source.path):
             return iter(())
+        dtype_exempt = (
+            tuple(Path(source.path).parts[-2:]) == self._DTYPE_EXEMPT_TAIL
+        )
         violations: List[Violation] = []
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Call):
                 violations.extend(self._check_call(source, node))
+                if not dtype_exempt:
+                    violations.extend(self._check_dtype_call(source, node))
             elif isinstance(node, (ast.For, ast.AsyncFor)):
                 violations.extend(self._check_iter(source, node.iter))
             elif isinstance(
@@ -757,7 +768,66 @@ class NondeterminismRule(Rule):
             ):
                 for generator in node.generators:
                     violations.extend(self._check_iter(source, generator.iter))
+            elif isinstance(node, ast.Attribute) and not dtype_exempt:
+                dotted = _dotted(node) or ""
+                if dotted.split(".")[-1] == "float32":
+                    violations.append(
+                        self.violation(
+                            source,
+                            node,
+                            f"hard-coded single precision ({dotted}) in "
+                            "result-affecting code; float32 is opt-in-only "
+                            "— resolve it through repro.nn.dtypes",
+                        )
+                    )
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and not dtype_exempt
+            ):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_float32_literal(default):
+                        violations.append(
+                            self.violation(
+                                source,
+                                default,
+                                "parameter default hard-codes float32; the "
+                                "single-precision path must stay an explicit "
+                                "caller opt-in (repro.nn.dtypes)",
+                            )
+                        )
         return iter(violations)
+
+    def _check_dtype_call(
+        self, source: SourceFile, call: ast.Call
+    ) -> Iterator[Violation]:
+        """Flag ``dtype="float32"`` keywords and ``np.dtype("float32")``."""
+        for keyword in call.keywords:
+            if keyword.arg == "dtype" and self._is_float32_literal(keyword.value):
+                yield self.violation(
+                    source,
+                    keyword.value,
+                    'dtype="float32" hard-codes single precision in '
+                    "result-affecting code; float32 is opt-in-only — "
+                    "resolve it through repro.nn.dtypes",
+                )
+        dotted = _dotted(call.func) or ""
+        if dotted.split(".")[-1] == "dtype" and call.args:
+            if self._is_float32_literal(call.args[0]):
+                yield self.violation(
+                    source,
+                    call,
+                    'np.dtype("float32") hard-codes single precision in '
+                    "result-affecting code; float32 is opt-in-only — "
+                    "resolve it through repro.nn.dtypes",
+                )
+
+    @staticmethod
+    def _is_float32_literal(node: ast.expr) -> bool:
+        """True for the string literal ``"float32"`` (the dtype spelling)."""
+        return isinstance(node, ast.Constant) and node.value == "float32"
 
     def _check_call(self, source: SourceFile, call: ast.Call) -> Iterator[Violation]:
         """Clock reads, plus ``list(set(...))``-style order materialisation."""

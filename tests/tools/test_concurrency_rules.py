@@ -93,7 +93,7 @@ class TestNondeterminism:
         fixture = FIXTURES / "repro" / "core" / "bad_nondeterminism.py"
         violations = analyze_paths([str(fixture)])
         assert {v.rule for v in violations} == {"nondeterminism"}
-        assert rule_lines(violations, "nondeterminism") == (8, 14, 16)
+        assert rule_lines(violations, "nondeterminism") == (8, 14, 16, 19, 26, 27, 28)
 
     def test_messages_explain_the_hazard(self):
         fixture = FIXTURES / "repro" / "core" / "bad_nondeterminism.py"
@@ -101,6 +101,22 @@ class TestNondeterminism:
         assert "wall-clock read (datetime.now())" in by_line[8]
         assert "hash-order dependent" in by_line[14]
         assert "list() over an unordered set" in by_line[16]
+        assert "parameter default hard-codes float32" in by_line[19]
+        assert 'dtype="float32"' in by_line[26]
+        assert "np.float32" in by_line[27]
+        assert 'np.dtype("float32")' in by_line[28]
+
+    def test_dtypes_module_may_name_float32(self, tmp_path):
+        exempt = tmp_path / "repro" / "nn"
+        exempt.mkdir(parents=True)
+        snippet = exempt / "dtypes.py"
+        snippet.write_text(
+            '"""Doc."""\n'
+            "import numpy as np\n"
+            "\n"
+            'FAST_DTYPE = np.dtype("float32")\n'
+        )
+        assert analyze_paths([str(snippet)]) == []
 
     def test_out_of_scope_paths_are_ignored(self, tmp_path):
         snippet = tmp_path / "clock.py"
