@@ -1,0 +1,261 @@
+"""Streaming pipeline benchmark — incremental cycle latency vs naive recompute.
+
+Simulates a deployment serving C successive cycles over a growing
+corpus and measures, per cycle, the two ways of refreshing the model
+state:
+
+* **naive** — what :class:`repro.core.deployment.DeploymentSimulator`
+  did before ISSUE 9: copy the visible prefix of the world into a fresh
+  database and run the full batch
+  :class:`~repro.core.pipeline.NewsDiffusionPipeline` from scratch;
+* **incremental** — append only the new documents through the streaming
+  ingest API and run one :meth:`IncrementalPipeline.cycle` in fast mode
+  (``topic_mode="warm"``), so preprocessing/slicing/event detection cost
+  O(new data) and the NMF warm start converges in a handful of
+  multiplicative updates instead of a cold factorization.
+
+Cycle latency is measured **at scale**: the first 70% of the corpus is
+folded in as an untimed backlog warmup (a deployment's history), then
+each measured cycle ingests one 1/``n_cycles`` delta of the remaining
+30% — so every timed cycle refreshes a corpus that is already at the
+target scale, which is the regime the ISSUE-9 gate describes.  The
+headline number is mean naive cycle latency over mean incremental
+cycle latency; the gate requires ≥5x at full scale.
+
+Used two ways:
+
+* ``benchmarks/test_streaming_bench.py`` runs it inside the bench suite
+  and commits the rendered table + JSON under ``benchmarks/results/``;
+* CI runs this file as a script at reduced scale with
+  ``--check benchmarks/baselines/streaming_baseline.json`` and fails the
+  build when the speedup regresses more than 2x against the committed
+  baseline (the ratio is machine-relative, so the check is stable
+  across runner hardware).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/streaming_bench.py \
+        --scale 0.1 --check benchmarks/baselines/streaming_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core import PipelineConfig
+from repro.core.pipeline import NewsDiffusionPipeline
+from repro.datagen import World, WorldConfig, build_world
+from repro.store import Database
+from repro.streaming import IncrementalPipeline, StreamingConfig
+
+# CI fails when the measured speedup drops below baseline / MAX_REGRESSION.
+MAX_REGRESSION = 2.0
+
+# ISSUE-9 acceptance: incremental cycles must beat naive recompute by
+# >= 5x at full scale (20k articles / 42k tweets — 10x the tier-1 test
+# corpora).  Reduced-scale runs scale the floor down (small corpora
+# shrink the recompute's disadvantage), with a floor of 1.2x so even
+# smoke runs prove the incremental path is engaged.
+MIN_SPEEDUP_FULL_SCALE = 5.0
+
+
+def _config(seed: int) -> PipelineConfig:
+    return PipelineConfig(
+        n_topics=8,
+        n_news_events=12,
+        n_twitter_events=18,
+        nmf_max_iter=100,
+        embedding_dim=48,
+        min_term_support=5,
+        min_event_records=4,
+        seed=seed,
+    )
+
+
+def _chunks(docs: List[dict], k: int) -> List[List[dict]]:
+    n = len(docs)
+    return [docs[i * n // k : (i + 1) * n // k] for i in range(k)]
+
+
+def _naive_cycle(config: PipelineConfig, world: World, news, tweets) -> float:
+    """One pre-ISSUE-9 refresh: copy the visible prefix, rerun batch."""
+    started = time.perf_counter()
+    database = Database("naive")
+    for name, docs in (("news", news), ("tweets", tweets)):
+        for doc in docs:
+            database[name].insert_one({k: v for k, v in doc.items() if k != "_id"})
+    visible = World(
+        config=world.config, database=database, population=world.population
+    )
+    NewsDiffusionPipeline(config).run(visible)
+    return time.perf_counter() - started
+
+
+BACKLOG_FRACTION = 0.7
+
+
+def run_streaming_bench(
+    scale: float = 1.0, n_cycles: int = 4, seed: int = 7
+) -> Dict[str, object]:
+    """Serve *n_cycles* at-scale refresh cycles both ways; return the record."""
+    world = build_world(
+        WorldConfig(
+            n_articles=max(150, int(20_000 * scale)),
+            n_tweets=max(320, int(42_000 * scale)),
+            n_users=max(40, int(900 * scale)),
+            duration_days=28,
+            seed=seed,
+        )
+    )
+    config = _config(seed)
+    news = sorted(world.news.find(), key=lambda d: d["_id"])
+    tweets = sorted(world.tweets.find(), key=lambda d: d["_id"])
+    split_news = int(len(news) * BACKLOG_FRACTION)
+    split_tweets = int(len(tweets) * BACKLOG_FRACTION)
+
+    incremental = IncrementalPipeline(
+        config,
+        StreamingConfig(topic_mode="warm"),
+        database=Database("stream"),
+    )
+    # Untimed warmup: fold the backlog — the deployment's history — so
+    # every measured cycle refreshes a corpus already at target scale.
+    incremental.append_news(news[:split_news])
+    incremental.append_tweets(tweets[:split_tweets])
+    incremental.cycle()
+
+    naive_seconds: List[float] = []
+    incremental_seconds: List[float] = []
+    fed_news = list(news[:split_news])
+    fed_tweets = list(tweets[:split_tweets])
+    for chunk_news, chunk_tweets in zip(
+        _chunks(news[split_news:], n_cycles), _chunks(tweets[split_tweets:], n_cycles)
+    ):
+        fed_news.extend(chunk_news)
+        fed_tweets.extend(chunk_tweets)
+        naive_seconds.append(_naive_cycle(config, world, fed_news, fed_tweets))
+
+        started = time.perf_counter()
+        if chunk_news:
+            incremental.append_news(chunk_news)
+        if chunk_tweets:
+            incremental.append_tweets(chunk_tweets)
+        incremental.cycle()
+        incremental_seconds.append(time.perf_counter() - started)
+
+    naive_mean = sum(naive_seconds) / len(naive_seconds)
+    incremental_mean = sum(incremental_seconds) / len(incremental_seconds)
+    return {
+        "bench": "streaming_bench",
+        "scale": scale,
+        "seed": seed,
+        "n_cycles": n_cycles,
+        "n_articles": len(news),
+        "n_tweets": len(tweets),
+        "naive_cycle_seconds": naive_seconds,
+        "incremental_cycle_seconds": incremental_seconds,
+        "naive_steady_seconds": naive_mean,
+        "incremental_steady_seconds": incremental_mean,
+        "speedup": naive_mean / max(incremental_mean, 1e-12),
+    }
+
+
+def min_speedup(scale: float) -> float:
+    """The cycle-latency gate at *scale*: 5x at full scale,
+    proportionally less below, with a 1.2x floor."""
+    return max(1.2, MIN_SPEEDUP_FULL_SCALE * min(1.0, scale))
+
+
+def check_against_baseline(
+    result: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = MAX_REGRESSION,
+) -> List[str]:
+    """Regression failures of *result* vs the committed *baseline*.
+
+    Compares the machine-relative speedup ratio, never absolute seconds.
+    Returns human-readable failure strings — empty means pass.
+    """
+    failures: List[str] = []
+    floor = float(baseline["speedup"]) / max_regression
+    # A way-smaller corpus than the baseline's legitimately shrinks the
+    # recompute-vs-incremental ratio; rescale the floor accordingly.
+    scale_ratio = float(result["scale"]) / max(float(baseline["scale"]), 1e-12)
+    floor *= min(1.0, scale_ratio)
+    if float(result["speedup"]) < floor:
+        failures.append(
+            f"speedup {result['speedup']:.1f}x regressed more than "
+            f"{max_regression:.1f}x against the committed baseline "
+            f"({baseline['speedup']:.1f}x at scale {baseline['scale']}; "
+            f"floor {floor:.1f}x at scale {result['scale']})"
+        )
+    gate = min_speedup(float(result["scale"]))
+    if float(result["speedup"]) < gate:
+        failures.append(
+            f"incremental cycles only {result['speedup']:.1f}x faster than "
+            f"naive recompute (need >= {gate:.1f}x at scale {result['scale']})"
+        )
+    return failures
+
+
+def render(result: Dict[str, object]) -> str:
+    """Human-readable table of one streaming bench result."""
+    naive = result["naive_cycle_seconds"]
+    incremental = result["incremental_cycle_seconds"]
+    lines = [
+        "Streaming pipeline benchmark "
+        f"(scale={result['scale']}, {result['n_articles']:,} articles / "
+        f"{result['n_tweets']:,} tweets, {result['n_cycles']} cycles)",
+        "  cycle   naive(s)  incremental(s)",
+    ]
+    for i, (n, s) in enumerate(zip(naive, incremental), start=1):
+        lines.append(f"  {i:5d} {n:9.3f} {s:14.3f}")
+    lines.append(
+        f"  steady state: naive {result['naive_steady_seconds']:.3f}s  "
+        f"incremental {result['incremental_steady_seconds']:.3f}s  "
+        f"({result['speedup']:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--cycles", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", help="write the result JSON here")
+    parser.add_argument(
+        "--check",
+        help="baseline JSON to compare against; non-zero exit on regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_streaming_bench(
+        scale=args.scale, n_cycles=args.cycles, seed=args.seed
+    )
+    print(render(result))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(result, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"baseline check ok (committed speedup {baseline['speedup']:.1f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

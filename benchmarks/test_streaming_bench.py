@@ -1,0 +1,52 @@
+"""Streaming cycle-latency gate (ISSUE 9 acceptance).
+
+Asserts incremental :meth:`IncrementalPipeline.cycle` beats the naive
+copy-and-recompute refresh by ≥5x at full scale (20k articles / 42k
+tweets) and that the speedup ratio has not regressed more than 2x
+against the committed baseline
+(``benchmarks/baselines/streaming_baseline.json``).  The rendered table
+lands in ``benchmarks/results/streaming_bench.txt`` and the raw record
+in ``benchmarks/results/streaming_bench.json``.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, bench_scale, emit  # noqa: E402
+from streaming_bench import (  # noqa: E402
+    check_against_baseline,
+    min_speedup,
+    render,
+    run_streaming_bench,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "streaming_baseline.json"
+)
+
+
+def test_incremental_cycle_latency_gate():
+    scale = bench_scale()
+    result = run_streaming_bench(scale=scale)
+
+    text = render(result)
+    emit("streaming_bench", text)
+    with open(
+        os.path.join(RESULTS_DIR, "streaming_bench.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    gate = min_speedup(scale)
+    assert result["speedup"] >= gate, (
+        f"incremental cycles are only {result['speedup']:.1f}x faster than "
+        f"naive recompute (need >= {gate:.1f}x at scale {scale})\n{text}"
+    )
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check_against_baseline(result, baseline)
+    assert not failures, "\n".join(failures)

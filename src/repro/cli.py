@@ -8,6 +8,7 @@ standalone, the way the paper's deployed modules ran on a 2-hour cycle
     python -m repro topics     --data data/ --n-topics 12
     python -m repro events     --data data/ --medium twitter
     python -m repro run        --data data/            # full pipeline
+    python -m repro ingest     --data data/ --input new.jsonl --cycle
     python -m repro predict    --data data/ --variant A2 --network "MLP 1"
 
 ``generate`` persists a synthetic world as JSONL snapshots through the
@@ -173,6 +174,57 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Handle the ``ingest`` subcommand.
+
+    Appends JSONL records to a world snapshot through the streaming
+    :class:`~repro.streaming.IngestSession` — durable (store WAL),
+    watermarked (late records are dropped, not silently misfiled) — and
+    rewrites the snapshot.  With ``--cycle`` it then runs one
+    :class:`~repro.streaming.IncrementalPipeline` cycle over the
+    updated store and prints the usual run summary.
+    """
+    import json
+    from datetime import datetime, timedelta
+
+    from .streaming import IncrementalPipeline, IngestSession, StreamingConfig
+
+    world = _world_from_snapshot(args.data, store_shards=args.store_shards)
+    records = []
+    with open(args.input, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            created = record.get("created_at")
+            if created is None:
+                raise SystemExit(
+                    f"{args.input}:{number}: record has no 'created_at'"
+                )
+            if isinstance(created, str):
+                record["created_at"] = datetime.fromisoformat(created)
+            records.append(record)
+    lateness = timedelta(minutes=args.allowed_lateness_minutes)
+    session = IngestSession.resume(world.database, allowed_lateness=lateness)
+    ack = session.append(args.collection, records)
+    counts = world.database.snapshot(args.data)
+    watermark = ack.watermark.isoformat() if ack.watermark else "-"
+    print(
+        f"accepted {ack.accepted} record(s) into {args.collection!r}, "
+        f"dropped {ack.dropped_late} late (watermark {watermark})"
+    )
+    print(f"snapshot updated at {args.data}: {counts}")
+    if args.cycle:
+        pipeline = IncrementalPipeline(
+            _pipeline_config(args),
+            StreamingConfig(allowed_lateness=lateness),
+            database=world.database,
+        )
+        print(pipeline.cycle().summary())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Handle the ``serve`` subcommand.
 
@@ -322,6 +374,31 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--epochs", type=int, default=40)
     predict.add_argument("--batch-size", type=int, default=256)
     predict.set_defaults(func=cmd_predict)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append JSONL records to a snapshot via the streaming ingest API",
+    )
+    _add_pipeline_options(ingest)
+    ingest.add_argument(
+        "--input", required=True, help="JSONL file of records to append"
+    )
+    ingest.add_argument(
+        "--collection", choices=("news", "tweets"), default="tweets"
+    )
+    ingest.add_argument(
+        "--allowed-lateness-minutes",
+        type=float,
+        default=0.0,
+        help="watermark slack: records older than max(created_at) minus "
+        "this are dropped as late",
+    )
+    ingest.add_argument(
+        "--cycle",
+        action="store_true",
+        help="run one incremental pipeline cycle after the append",
+    )
+    ingest.set_defaults(func=cmd_ingest)
 
     serve = sub.add_parser(
         "serve", help="serve a trained artifact over HTTP (repro.serving)"

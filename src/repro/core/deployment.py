@@ -184,6 +184,8 @@ class DeploymentSimulator:
         variant: str = "A2",
         network: str = "MLP 1",
         target: str = "likes",
+        incremental: bool = False,
+        streaming=None,
     ) -> None:
         if refresh <= timedelta(0):
             raise ValueError("refresh interval must be positive")
@@ -192,6 +194,15 @@ class DeploymentSimulator:
         self.variant = variant
         self.network = network
         self.target = target
+        # incremental=True replaces the per-cycle visible-world copy +
+        # full pipeline rerun with a repro.streaming.IncrementalPipeline
+        # fed through a watermarked IngestSession: each refresh appends
+        # only the documents that became visible since the last cutoff
+        # and folds them in O(new data).  *streaming* is an optional
+        # repro.streaming.StreamingConfig selecting the exact or fast
+        # incremental variants.
+        self.incremental = incremental
+        self.streaming = streaming
 
     # -- deployment state persistence ---------------------------------------
 
@@ -203,6 +214,7 @@ class DeploymentSimulator:
                 f"deploy:{self.variant}:{self.network}:{self.target}:"
                 f"{self.refresh.total_seconds()}:{len(world.news)}:"
                 f"{len(world.tweets)}"
+                + (":incremental" if self.incremental else "")
             ),
         )
 
@@ -313,6 +325,38 @@ class DeploymentSimulator:
         )
         obs.counter("serving.artifact_exports").inc()
 
+    @staticmethod
+    def _feed_incremental(
+        incremental,
+        world: World,
+        previous_cutoff: Optional[datetime],
+        cutoff: datetime,
+    ) -> int:
+        """Append the documents revealed in ``(previous_cutoff, cutoff]``.
+
+        Source documents are stored in ``created_at`` order, so the fed
+        stream arrives time-sorted — exactly what :func:`_visible_world`
+        hands the batch pipeline, which keeps incremental cycles
+        comparable to batch cycles at every cutoff.
+        """
+        fed = 0
+        for name, append in (
+            ("news", incremental.append_news),
+            ("tweets", incremental.append_tweets),
+        ):
+            fresh = [
+                doc
+                for doc in world.database[name].find()
+                if doc["created_at"] <= cutoff
+                and (
+                    previous_cutoff is None
+                    or doc["created_at"] > previous_cutoff
+                )
+            ]
+            if fresh:
+                fed += append(fresh).accepted
+        return fed
+
     def run(
         self,
         world: World,
@@ -342,6 +386,21 @@ class DeploymentSimulator:
             raise ValueError("start_fraction must lie in (0, 1]")
         serve_dir = self._serve_dir(serve, checkpoint_dir)
         pipeline = NewsDiffusionPipeline(self.config)
+        incremental = None
+        previous_cutoff: Optional[datetime] = None
+        if self.incremental:
+            # Imported lazily: repro.streaming imports repro.core, so a
+            # top-level import here would be circular.
+            from ..streaming import IncrementalPipeline
+
+            incremental = IncrementalPipeline(
+                self.config,
+                self.streaming,
+                database=Database(
+                    "streaming-deploy",
+                    shard_count=world.database.shard_count,
+                ),
+            )
         report = DeploymentReport()
         total = world.config.end - world.config.start
         cutoff = world.config.start + total * start_fraction
@@ -364,8 +423,20 @@ class DeploymentSimulator:
                 cycle_span.annotate(cycle=cycle)
                 faults.inject("deployment.cycle")
                 started = time.perf_counter()
-                visible = _visible_world(world, cutoff)
-                result = pipeline.run(visible)
+                if incremental is not None:
+                    n_fed = self._feed_incremental(
+                        incremental, world, previous_cutoff, cutoff
+                    )
+                    cycle_span.annotate(n_fed=n_fed)
+                    previous_cutoff = cutoff
+                    result = incremental.cycle()
+                    n_articles = len(incremental.news_ed)
+                    n_tweets = len(incremental.twitter_ed)
+                else:
+                    visible = _visible_world(world, cutoff)
+                    result = pipeline.run(visible)
+                    n_articles = len(visible.news)
+                    n_tweets = len(visible.tweets)
 
                 trained = False
                 warm = False
@@ -422,8 +493,8 @@ class DeploymentSimulator:
                     CycleReport(
                         cycle=cycle,
                         cutoff=cutoff,
-                        n_articles=len(visible.news),
-                        n_tweets=len(visible.tweets),
+                        n_articles=n_articles,
+                        n_tweets=n_tweets,
                         n_trending=len(result.trending),
                         n_pairs=result.correlation.n_pairs,
                         n_event_tweets=len(records),

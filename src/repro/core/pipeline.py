@@ -86,6 +86,50 @@ STAGES = (
 )
 
 
+def news_tm_tokens(doc: Dict[str, Any]) -> List[str]:
+    """One news article -> NewsTM tokens (topic-modeling preprocessing).
+
+    Module-level (not a method) so the streaming pipeline's per-document
+    incremental preprocessing is guaranteed to be the same function the
+    batch pipeline maps — parity by construction.
+    """
+    return preprocess_for_topic_modeling(
+        f"{doc.get('title', '')}. {doc.get('text', '')}"
+    )
+
+
+def news_ed_document(doc: Dict[str, Any]) -> TimestampedDocument:
+    """One news article -> NewsED timestamped document for MABED."""
+    return TimestampedDocument(
+        tokens=preprocess_for_event_detection(
+            f"{doc.get('title', '')} {doc.get('text', '')}"
+        ),
+        created_at=doc["created_at"],
+        doc_id=doc["_id"],
+    )
+
+
+def twitter_ed_document(doc: Dict[str, Any]) -> TimestampedDocument:
+    """One tweet -> TwitterED timestamped document for MABED."""
+    return TimestampedDocument(
+        tokens=preprocess_for_event_detection(doc["text"]),
+        created_at=doc["created_at"],
+        doc_id=doc["_id"],
+    )
+
+
+def tweet_record_of(doc: Dict[str, Any]) -> TweetRecord:
+    """One tweet -> :class:`TweetRecord` with feature-module metadata."""
+    return TweetRecord(
+        tokens=preprocess_for_event_detection(doc["text"]),
+        created_at=doc["created_at"],
+        author=doc["author"],
+        followers=int(doc["followers"]),
+        likes=int(doc["likes"]),
+        retweets=int(doc["retweets"]),
+    )
+
+
 def world_key(world: World) -> str:
     """Cheap content key of *world* mixed into checkpoint fingerprints.
 
@@ -197,9 +241,7 @@ class NewsDiffusionPipeline:
     def preprocess_news_tm(self, world: World) -> List[List[str]]:
         """NewsTM corpus: article texts through the topic-modeling pipeline."""
         return self._map_docs(
-            lambda doc: preprocess_for_topic_modeling(
-                f"{doc.get('title', '')}. {doc.get('text', '')}"
-            ),
+            news_tm_tokens,
             list(world.news.find()),
             "pipeline.parallel.news_tm",
         )
@@ -207,13 +249,7 @@ class NewsDiffusionPipeline:
     def preprocess_news_ed(self, world: World) -> List[TimestampedDocument]:
         """NewsED corpus for MABED (minimal preprocessing + timestamps)."""
         return self._map_docs(
-            lambda doc: TimestampedDocument(
-                tokens=preprocess_for_event_detection(
-                    f"{doc.get('title', '')} {doc.get('text', '')}"
-                ),
-                created_at=doc["created_at"],
-                doc_id=doc["_id"],
-            ),
+            news_ed_document,
             list(world.news.find()),
             "pipeline.parallel.news_ed",
         )
@@ -221,11 +257,7 @@ class NewsDiffusionPipeline:
     def preprocess_twitter_ed(self, world: World) -> List[TimestampedDocument]:
         """TwitterED corpus for MABED."""
         return self._map_docs(
-            lambda doc: TimestampedDocument(
-                tokens=preprocess_for_event_detection(doc["text"]),
-                created_at=doc["created_at"],
-                doc_id=doc["_id"],
-            ),
+            twitter_ed_document,
             list(world.tweets.find()),
             "pipeline.parallel.twitter_ed",
         )
@@ -233,14 +265,7 @@ class NewsDiffusionPipeline:
     def tweet_records(self, world: World) -> List[TweetRecord]:
         """TwitterED tweets with the metadata the feature module needs."""
         return self._map_docs(
-            lambda doc: TweetRecord(
-                tokens=preprocess_for_event_detection(doc["text"]),
-                created_at=doc["created_at"],
-                author=doc["author"],
-                followers=int(doc["followers"]),
-                likes=int(doc["likes"]),
-                retweets=int(doc["retweets"]),
-            ),
+            tweet_record_of,
             list(world.tweets.find()),
             "pipeline.parallel.tweet_records",
         )

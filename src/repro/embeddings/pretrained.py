@@ -132,9 +132,6 @@ class PretrainedEmbeddings:
         """
         if not 0.0 < coverage <= 1.0:
             raise ValueError("coverage must lie in (0, 1]")
-        import numpy as _np
-        from scipy.sparse.linalg import svds
-
         from ..text.vocabulary import Vocabulary
         from ..weighting.matrix import DocumentTermMatrix
 
@@ -144,6 +141,31 @@ class PretrainedEmbeddings:
         dtm = DocumentTermMatrix.from_documents_with_vocabulary(
             corpus, vocabulary, weighting="tfidf"
         )
+        return cls.lsa_from_matrix(dtm, dim=dim, coverage=coverage, seed=seed)
+
+    @classmethod
+    def lsa_from_matrix(
+        cls,
+        dtm,
+        dim: int = 300,
+        coverage: float = 1.0,
+        seed: int = 0,
+    ) -> "PretrainedEmbeddings":
+        """LSA embeddings from a prebuilt TFIDF :class:`DocumentTermMatrix`.
+
+        Split out of :meth:`train_background_lsa` so the streaming
+        pipeline, which maintains the document-term matrix
+        incrementally, can run the identical SVD path and stay bitwise
+        compatible with the batch route.
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must lie in (0, 1]")
+        import numpy as _np
+        from scipy.sparse.linalg import svds
+
+        vocabulary = dtm.vocabulary
+        if len(vocabulary) == 0:
+            return cls({}, dim)
         terms_by_docs = dtm.matrix.T.tocsc().astype(float)
         # Request one extra component: the dominant singular direction is
         # a corpus-wide "mean" shared by every word, which would make all

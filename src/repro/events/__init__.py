@@ -9,7 +9,7 @@ from .anomaly import (
 )
 from .event import Event
 from .mabed import MABED, detect_events
-from .timeslice import SlicedCorpus, TimeSlicer, TimestampedDocument
+from .timeslice import SlicedCorpus, TimeSlicer, TimestampedDocument, slice_index
 
 __all__ = [
     "Event",
@@ -18,6 +18,7 @@ __all__ = [
     "TimeSlicer",
     "TimestampedDocument",
     "SlicedCorpus",
+    "slice_index",
     "anomaly_series",
     "expected_counts",
     "max_anomaly_interval",

@@ -106,3 +106,40 @@ def candidate_weight(
 ) -> float:
     """w_{t'} = (rho + 1) / 2 ∈ [0, 1] (Eq 9)."""
     return (erdem_correlation(main_series, candidate_series, interval) + 1.0) / 2.0
+
+
+def candidate_weights(
+    main_series: Sequence[int],
+    candidate_matrix: np.ndarray,
+    interval: Tuple[int, int],
+) -> np.ndarray:
+    """Eq-9 weights of many candidates against one main word, vectorized.
+
+    ``candidate_matrix`` holds one candidate series per row.  Every
+    arithmetic step mirrors :func:`erdem_correlation` element for
+    element (same operation order, same dtype), so each row's weight is
+    bitwise identical to the scalar call — the related-word selection
+    loop is the hot spot of MABED's per-event stage, and replacing its
+    per-candidate Python calls with one matrix pass must not perturb
+    which words clear the theta threshold.
+    """
+    n_candidates = candidate_matrix.shape[0]
+    a, b = interval
+    if n_candidates == 0:
+        return np.zeros(0, dtype=np.float64)
+    if b - a < 2:
+        return np.full(n_candidates, 0.5, dtype=np.float64)
+    main = np.asarray(main_series, dtype=np.float64)
+    cands = np.ascontiguousarray(candidate_matrix, dtype=np.float64)
+    d_main = main[a + 1: b + 1] - main[a: b]
+    d_cands = cands[:, a + 1: b + 1] - cands[:, a: b]
+    n = b - a - 1
+    a_main = np.sqrt(np.sum(d_main * d_main) / n)
+    a_cands = np.sqrt(np.sum(d_cands * d_cands, axis=1) / n)
+    if a_main == 0.0:
+        return np.full(n_candidates, 0.5, dtype=np.float64)
+    flat = a_cands == 0.0
+    denom = n * a_main * np.where(flat, 1.0, a_cands)
+    rho = np.sum(d_cands * d_main[np.newaxis, :], axis=1) / denom
+    rho = np.where(flat, 0.0, np.clip(rho, -1.0, 1.0))
+    return (rho + 1.0) / 2.0

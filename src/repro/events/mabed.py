@@ -24,7 +24,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from ..parallel import parallel_map
-from .anomaly import anomaly_series, candidate_weight, max_anomaly_interval
+import numpy as np
+
+from .anomaly import anomaly_series, candidate_weights, max_anomaly_interval
 from .event import Event
 from .timeslice import SlicedCorpus, TimeSlicer, TimestampedDocument
 
@@ -106,6 +108,8 @@ class MABED:
         sliced: SlicedCorpus,
         documents: Sequence[TimestampedDocument],
         n_events: int,
+        index: Optional["_CorpusIndex"] = None,
+        related_cache=None,
     ) -> List[Event]:
         """Detection over an already-sliced corpus (reusable across runs).
 
@@ -114,12 +118,21 @@ class MABED:
         already-kept events (overlapping interval + shared vocabulary) and
         either merged away or kept, until *n_events* are selected — the
         same greedy scheme as pyMABED.
+
+        The streaming pipeline passes a pre-built (incrementally
+        extended) *index* and a *related_cache* carrying
+        ``lookup(main_word, interval, window)`` /
+        ``store(main_word, interval, window, related, support)`` — the
+        per-candidate related-word selection dominates detection cost
+        and its inputs only change when a slice inside the correlation
+        window changes.
         """
         with obs.span("events.mabed.candidates"):
             candidates = self._candidate_events(sliced)
         obs.counter("events.mabed.candidates").inc(len(candidates))
-        with obs.span("events.mabed.index"):
-            index = _CorpusIndex(documents)
+        if index is None:
+            with obs.span("events.mabed.index"):
+                index = _CorpusIndex(documents)
         events: List[Event] = []
         with obs.span("events.mabed.selection") as selection_span:
             considered = 0
@@ -127,7 +140,25 @@ class MABED:
                 if len(events) >= n_events:
                     break
                 considered += 1
-                related = self._related_words(sliced, index, main_word, interval)
+                window = self._correlation_window(sliced, interval)
+                cached = (
+                    related_cache.lookup(main_word, interval, window)
+                    if related_cache is not None
+                    else None
+                )
+                if cached is not None:
+                    related, support = cached
+                else:
+                    related = self._related_words(sliced, index, main_word, interval)
+                    support = index.support(
+                        main_word,
+                        sliced.slice_start(interval[0]),
+                        sliced.slice_end(interval[1]),
+                    )
+                    if related_cache is not None:
+                        related_cache.store(
+                            main_word, interval, window, related, support
+                        )
                 candidate = Event(
                     main_word=main_word,
                     related_words=related,
@@ -135,11 +166,7 @@ class MABED:
                     end=sliced.slice_end(interval[1]),
                     magnitude=magnitude,
                     slice_interval=interval,
-                    support=index.support(
-                        main_word,
-                        sliced.slice_start(interval[0]),
-                        sliced.slice_end(interval[1]),
-                    ),
+                    support=support,
                 )
                 if any(self._redundant(candidate, kept) for kept in events):
                     continue
@@ -214,6 +241,21 @@ class MABED:
 
     # -- stage 4: related-word selection ---------------------------------------------
 
+    @staticmethod
+    def _correlation_window(
+        sliced: SlicedCorpus, interval: Tuple[int, int]
+    ) -> Tuple[int, int]:
+        """The slice range related-word correlation actually reads.
+
+        The interval widened by one slice per side: the burst's rise and
+        fall are where co-movement is measurable (a perfectly flat
+        plateau has zero variance and carries no signal).  Cache
+        invalidation keys off this window — a cached entry is stale iff
+        a slice inside it changed, or the window itself moved (e.g. the
+        corpus grew past a previously clamped right edge).
+        """
+        return (max(0, interval[0] - 1), min(sliced.n_slices - 1, interval[1] + 1))
+
     def _related_words(
         self,
         sliced: SlicedCorpus,
@@ -230,17 +272,19 @@ class MABED:
         if self.stopword_filter is not None:
             cooccurring = [t for t in cooccurring if not self.stopword_filter(t)]
         main_series = sliced.term_series(main_word)
-        # Correlate over the interval widened by one slice per side: the
-        # burst's rise and fall are where co-movement is measurable (a
-        # perfectly flat plateau has zero variance and carries no signal).
-        window = (max(0, interval[0] - 1), min(sliced.n_slices - 1, interval[1] + 1))
-        weighted: List[Tuple[str, float]] = []
-        for term in cooccurring[:max_candidates]:
-            weight = candidate_weight(
-                main_series, sliced.term_series(term), window
-            )
-            if weight > self.theta:
-                weighted.append((term, weight))
+        window = self._correlation_window(sliced, interval)
+        terms = cooccurring[:max_candidates]
+        if not terms:
+            return []
+        # One vectorized Eq-9 pass over all candidates — this loop runs
+        # for every kept event and dominates detection cost.
+        matrix = np.stack([sliced.term_series(term) for term in terms])
+        weights = candidate_weights(main_series, matrix, window)
+        weighted = [
+            (term, float(weight))
+            for term, weight in zip(terms, weights)
+            if weight > self.theta
+        ]
         weighted.sort(key=lambda item: -item[1])
         return weighted[: self.n_related_words]
 
@@ -254,13 +298,36 @@ class _CorpusIndex:
     """
 
     def __init__(self, documents: Sequence[TimestampedDocument]) -> None:
-        self._docs = list(documents)
-        self._token_sets = [frozenset(d.tokens) for d in self._docs]
+        self._docs: List[TimestampedDocument] = []
+        self._token_sets: List[frozenset] = []
+        self._postings: Dict[str, List[int]] = {}
+        self.extend(documents)
+
+    def extend(self, documents: Sequence[TimestampedDocument]) -> None:
+        """Append *documents*, updating postings incrementally.
+
+        Posting lists stay in append order, so an index grown across
+        streaming cycles is byte-identical to one built over the full
+        document list at once (documents arrive in the same order).
+        """
+        base = len(self._docs)
+        new_docs = list(documents)
+        self._docs.extend(new_docs)
+        new_sets = [frozenset(d.tokens) for d in new_docs]
+        self._token_sets.extend(new_sets)
         postings = defaultdict(list)
-        for i, tokens in enumerate(self._token_sets):
+        for i, tokens in enumerate(new_sets):
             for term in tokens:
-                postings[term].append(i)
-        self._postings: Dict[str, List[int]] = dict(postings)
+                postings[term].append(base + i)
+        for term, ids in postings.items():
+            existing = self._postings.get(term)
+            if existing is None:
+                self._postings[term] = ids
+            else:
+                existing.extend(ids)
+
+    def __len__(self) -> int:
+        return len(self._docs)
 
     def _doc_ids_in(self, term: str, start, end) -> List[int]:
         return [

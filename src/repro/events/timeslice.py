@@ -16,6 +16,22 @@ from typing import Dict, Iterable, List, Sequence
 import numpy as np
 
 
+def slice_index(moment: datetime, start: datetime, slice_width: timedelta) -> int:
+    """Exact index of the slice containing *moment* (half-open slices).
+
+    Slice *i* covers ``[start + i*width, start + (i+1)*width)``: a record
+    landing exactly on a slice edge opens the *next* slice.  Computed
+    with integer floor division on timedeltas (microsecond-exact), never
+    float division — ``int((moment - start) / width)`` is correctly
+    *rounded*, so once the offset outgrows float precision a record one
+    microsecond before an edge could round up into the wrong slice, and
+    negative offsets would truncate toward zero instead of flooring.
+    Both batch slicing and the streaming window must use this helper so
+    they agree bitwise on every assignment.
+    """
+    return (moment - start) // slice_width
+
+
 @dataclass
 class TimestampedDocument:
     """A tokenized record with its creation time (tweet or article)."""
@@ -44,6 +60,7 @@ class SlicedCorpus:
         self._term_counts = term_counts
         self.doc_ids_by_slice = doc_ids_by_slice
         self.total_documents = sum(slice_totals)
+        self._series_memo: Dict[str, np.ndarray] = {}
 
     # -- time mapping ------------------------------------------------------
 
@@ -57,19 +74,31 @@ class SlicedCorpus:
 
     def slice_of(self, moment: datetime) -> int:
         """Index of the slice containing *moment* (clamped to range)."""
-        offset = (moment - self.start) / self.slice_width
-        return max(0, min(self.n_slices - 1, int(offset)))
+        index = slice_index(moment, self.start, self.slice_width)
+        return max(0, min(self.n_slices - 1, index))
 
     # -- counts --------------------------------------------------------------
 
     def term_series(self, term: str) -> np.ndarray:
-        """N_t^i for every slice i — the term's mention time series."""
+        """N_t^i for every slice i — the term's mention time series.
+
+        Memoized per instance (treat the result as read-only): MABED's
+        related-word stage requests the same popular terms' series for
+        event after event, and with thousands of slices the rebuild
+        dominates detection.  A corpus is immutable once sliced — the
+        streaming window hands out a *fresh* ``SlicedCorpus`` per cycle
+        — so the memo can never serve a stale series.
+        """
+        cached = self._series_memo.get(term)
+        if cached is not None:
+            return cached
         counts = self._term_counts.get(term, {})
         series = np.zeros(self.n_slices, dtype=np.float64)
         if counts:
             series[np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))] = (
                 np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
             )
+        self._series_memo[term] = series
         return series
 
     def term_total(self, term: str) -> int:
@@ -108,15 +137,14 @@ class TimeSlicer:
             raise ValueError("cannot slice an empty corpus")
         start = min(d.created_at for d in docs)
         end = max(d.created_at for d in docs)
-        n_slices = int((end - start) / self.slice_width) + 1
+        n_slices = slice_index(end, start, self.slice_width) + 1
 
         slice_totals = [0] * n_slices
         term_counts: Dict[str, Dict[int, int]] = defaultdict(dict)
         doc_ids_by_slice: List[List[object]] = [[] for _ in range(n_slices)]
 
         for doc in docs:
-            index = int((doc.created_at - start) / self.slice_width)
-            index = min(index, n_slices - 1)
+            index = slice_index(doc.created_at, start, self.slice_width)
             slice_totals[index] += 1
             doc_ids_by_slice[index].append(doc.doc_id)
             for term in set(doc.tokens):

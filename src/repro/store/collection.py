@@ -179,6 +179,14 @@ class Collection:
             if "_id" not in doc:
                 doc["_id"] = self._next_id
                 self._next_id += 1
+            elif (
+                isinstance(doc["_id"], int) and doc["_id"] >= self._next_id
+            ):
+                # Mirror the sharded store: explicit integer ids advance
+                # the auto-id counter so a later auto-assigned insert
+                # (e.g. streaming ingest after a snapshot restore) can
+                # never collide with an imported id.
+                self._next_id = doc["_id"] + 1
             if doc["_id"] in self._docs:
                 raise DuplicateKeyError(doc["_id"])
             self._validate(doc)

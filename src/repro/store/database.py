@@ -49,6 +49,15 @@ class Database:
         self.wal_dir = wal_dir
         self._lock = threading.RLock()
         self._collections: Dict[str, ShardedCollection] = {}
+        # Reopening a durable database must surface the collections that
+        # already exist on disk — otherwise lazily-created collections
+        # stay invisible to ``list_collections``/``__contains__`` until
+        # first access, and resume logic built on them silently starts
+        # from nothing.
+        if wal_dir is not None and os.path.isdir(wal_dir):
+            for entry in sorted(os.listdir(wal_dir)):
+                if os.path.isdir(os.path.join(wal_dir, entry)):
+                    self.collection(entry)
 
     def __getitem__(self, name: str) -> ShardedCollection:
         return self.collection(name)
@@ -64,16 +73,25 @@ class Database:
     ) -> ShardedCollection:
         """Get or create the collection called *name*."""
         with self._lock:
-            if name not in self._collections:
-                self._collections[name] = ShardedCollection(
-                    name,
-                    shard_count=self.shard_count,
-                    validator=validator,
-                    wal_dir=(
-                        os.path.join(self.wal_dir, name) if self.wal_dir else None
-                    ),
-                )
-            return self._collections[name]
+            existing = self._collections.get(name)
+        if existing is not None:
+            return existing
+        # Construct outside the facade lock: a WAL-backed collection
+        # replays its shards' logs (taking shard locks) during
+        # construction, and the meta lock must never be held across
+        # shard calls.  A racing creator loses to ``setdefault`` and
+        # closes its redundant instance.
+        created = ShardedCollection(
+            name,
+            shard_count=self.shard_count,
+            validator=validator,
+            wal_dir=(os.path.join(self.wal_dir, name) if self.wal_dir else None),
+        )
+        with self._lock:
+            winner = self._collections.setdefault(name, created)
+        if winner is not created:
+            created.close()
+        return winner
 
     def list_collections(self) -> List[str]:
         """Sorted names of the existing collections."""
@@ -85,8 +103,8 @@ class Database:
         with self._lock:
             if name not in self._collections:
                 raise CollectionNotFound(name)
-            self._collections[name].close()
-            del self._collections[name]
+            coll = self._collections.pop(name)
+        coll.close()
 
     def drop_all(self) -> None:
         """Delete every collection."""

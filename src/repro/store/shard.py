@@ -897,6 +897,13 @@ class ShardedCollection:
                 doc["_id"] = self._next_id
                 self._next_id += 1
                 next_id_hint = self._next_id
+            elif isinstance(doc["_id"], int) and doc["_id"] >= self._next_id:
+                # An explicit integer _id (snapshot restore, bulk import)
+                # must advance the auto-id counter, or the next
+                # auto-assigned insert would collide with it.  The hint
+                # is WAL-logged so crash recovery keeps the advance.
+                self._next_id = doc["_id"] + 1
+                next_id_hint = self._next_id
             seq = self._next_seq
             self._next_seq += 1
             self._version += 1

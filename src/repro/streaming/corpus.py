@@ -1,0 +1,163 @@
+"""Incremental corpus statistics for matrix-based stages.
+
+The batch pipeline's document-term matrices (NMF topic modeling, LSA
+background embeddings) are built by a per-token python loop over the
+whole corpus every run.  Streaming keeps that loop O(new data): each
+document's token counts are aggregated once at append time against a
+shared :class:`TokenInterner`, and each cycle the matrix is *assembled*
+from the cached triplets with vectorized numpy — O(nnz) with no python
+per-token work.
+
+Bitwise parity with the batch path holds because ``scipy`` canonicalizes
+a COO-constructed CSR (column-sorted within rows, duplicates summed —
+and neither path produces duplicate coordinates): the same multiset of
+``(row, column, count)`` triplets yields byte-identical ``data`` /
+``indices`` / ``indptr`` arrays, and the counts themselves are exact
+small integers in float64.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..text.vocabulary import Vocabulary
+
+
+class TokenInterner:
+    """Assigns stable small integer ids to tokens (first-seen order)."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._tokens: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def intern(self, token: str) -> int:
+        """Id of *token*, allocating one on first sight."""
+        tid = self._ids.get(token)
+        if tid is None:
+            tid = self._ids[token] = len(self._tokens)
+            self._tokens.append(token)
+        return tid
+
+    def tokens(self) -> List[str]:
+        """All interned tokens, id order."""
+        return self._tokens
+
+    def column_map(self, vocabulary: Vocabulary) -> np.ndarray:
+        """token-id -> vocabulary column (``-1`` for out-of-vocabulary)."""
+        colmap = np.empty(len(self._tokens), dtype=np.int64)
+        for tid, token in enumerate(self._tokens):
+            colmap[tid] = vocabulary.get_index(token)
+        return colmap
+
+
+class SegmentCounts:
+    """Append-only per-document token counts for one corpus segment.
+
+    Carries both the per-document triplet cache (for matrix assembly)
+    and the cumulative term/document frequency counters (for
+    :meth:`Vocabulary.from_counts`).
+    """
+
+    def __init__(self, interner: TokenInterner) -> None:
+        self.interner = interner
+        self._doc_token_ids: List[np.ndarray] = []
+        self._doc_token_counts: List[np.ndarray] = []
+        self.term_counts: Counter = Counter()
+        self.doc_counts: Counter = Counter()
+
+    @property
+    def num_docs(self) -> int:
+        """Number of documents folded so far."""
+        return len(self._doc_token_ids)
+
+    def append(self, tokens: Sequence[str]) -> None:
+        """Fold one document's tokens."""
+        self.term_counts.update(tokens)
+        self.doc_counts.update(set(tokens))
+        seen: Dict[int, int] = {}
+        for token in tokens:
+            tid = self.interner.intern(token)
+            seen[tid] = seen.get(tid, 0) + 1
+        n = len(seen)
+        self._doc_token_ids.append(
+            np.fromiter(seen.keys(), dtype=np.int64, count=n)
+        )
+        self._doc_token_counts.append(
+            np.fromiter(seen.values(), dtype=np.float64, count=n)
+        )
+
+    def extend(self, documents: Iterable[Sequence[str]]) -> None:
+        for tokens in documents:
+            self.append(tokens)
+
+
+def combined_counts(segments: Sequence[SegmentCounts]):
+    """Summed ``(term_counts, doc_counts, num_docs)`` across *segments*.
+
+    The sums equal what :meth:`Vocabulary.from_documents` would tally
+    over the concatenated corpora; order never matters because
+    vocabulary finalization sorts by the total order ``(-count, term)``.
+    """
+    term_counts: Counter = Counter()
+    doc_counts: Counter = Counter()
+    num_docs = 0
+    for segment in segments:
+        term_counts.update(segment.term_counts)
+        doc_counts.update(segment.doc_counts)
+        num_docs += segment.num_docs
+    return term_counts, doc_counts, num_docs
+
+
+def assemble_counts(
+    segments: Sequence[SegmentCounts], vocabulary: Vocabulary
+) -> sparse.csr_matrix:
+    """Raw-count CSR over *vocabulary*, rows = segment docs concatenated.
+
+    Byte-identical to
+    :meth:`DocumentTermMatrix._count_matrix` over the same documents in
+    the same order (see module docstring for the canonicalization
+    argument).  All segments must share one interner.
+    """
+    if not segments:
+        return sparse.csr_matrix((0, len(vocabulary)), dtype=np.float64)
+    interner = segments[0].interner
+    for segment in segments[1:]:
+        if segment.interner is not interner:
+            raise ValueError("all segments must share one TokenInterner")
+    colmap = interner.column_map(vocabulary)
+    id_chunks: List[np.ndarray] = []
+    count_chunks: List[np.ndarray] = []
+    lengths: List[int] = []
+    for segment in segments:
+        id_chunks.extend(segment._doc_token_ids)
+        count_chunks.extend(segment._doc_token_counts)
+        lengths.extend(len(ids) for ids in segment._doc_token_ids)
+    n_docs = len(lengths)
+    if n_docs == 0:
+        return sparse.csr_matrix((0, len(vocabulary)), dtype=np.float64)
+    all_ids = (
+        np.concatenate(id_chunks) if id_chunks else np.empty(0, dtype=np.int64)
+    )
+    data = (
+        np.concatenate(count_chunks)
+        if count_chunks
+        else np.empty(0, dtype=np.float64)
+    )
+    rows = np.repeat(
+        np.arange(n_docs, dtype=np.int64),
+        np.asarray(lengths, dtype=np.int64),
+    )
+    cols = colmap[all_ids] if len(all_ids) else np.empty(0, dtype=np.int64)
+    in_vocab = cols >= 0
+    return sparse.csr_matrix(
+        (data[in_vocab], (rows[in_vocab], cols[in_vocab])),
+        shape=(n_docs, len(vocabulary)),
+        dtype=np.float64,
+    )

@@ -1,0 +1,139 @@
+"""Incremental MABED: per-cycle event detection in O(new data).
+
+MABED's anomaly measure normalizes every term's series by the global
+document total, so candidate magnitudes shift whenever *any* document
+arrives — the candidate scan must rerun for exactness, but it is the
+cheap, fully vectorized part.  The expensive part is per-candidate
+related-word selection (co-occurrence ranking + Erdem correlation),
+and its inputs are strictly local: the correlation reads only the
+slices of the widened interval window, and the co-occurrence scan only
+the documents inside the interval.  :class:`RelatedWordsCache`
+therefore caches ``(related_words, support)`` per ``(main_word,
+interval)`` together with the window it was computed over, and an entry
+stays valid exactly while (a) no slice inside that window changed and
+(b) the recomputed window equals the stored one (the right edge can
+move when the corpus grows past a previous clamp).  Cached or
+recomputed, the detected events are bitwise identical to a batch
+detection over the same documents.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .. import obs
+from ..events.event import Event
+from ..events.mabed import MABED, _CorpusIndex
+from ..events.timeslice import TimestampedDocument
+from .window import SliceWindow
+
+Interval = Tuple[int, int]
+
+
+class RelatedWordsCache:
+    """``(main_word, interval) -> (window, related_words, support)``."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[
+            Tuple[str, Interval],
+            Tuple[Interval, List[Tuple[str, float]], int],
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, main_word: str, interval: Interval, window: Interval
+    ) -> Optional[Tuple[List[Tuple[str, float]], int]]:
+        """Cached (related, support), or None on miss/stale window."""
+        entry = self._entries.get((main_word, interval))
+        if entry is not None and entry[0] == window:
+            obs.counter("streaming.related_cache.hits").inc()
+            return entry[1], entry[2]
+        obs.counter("streaming.related_cache.misses").inc()
+        return None
+
+    def store(
+        self,
+        main_word: str,
+        interval: Interval,
+        window: Interval,
+        related: List[Tuple[str, float]],
+        support: int,
+    ) -> None:
+        """Cache the related words computed for ``(main_word, interval)``."""
+        self._entries[(main_word, interval)] = (window, related, support)
+
+    def invalidate(self, dirty_slices: Set[int]) -> int:
+        """Drop entries whose window contains a dirty slice; returns count."""
+        if not dirty_slices or not self._entries:
+            return 0
+        dirty = sorted(dirty_slices)
+        stale = []
+        for key, (window, _related, _support) in self._entries.items():
+            pos = bisect_left(dirty, window[0])
+            if pos < len(dirty) and dirty[pos] <= window[1]:
+                stale.append(key)
+        for key in stale:
+            del self._entries[key]
+        obs.counter("streaming.related_cache.invalidated").inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached entry (used on window re-anchor)."""
+        self._entries.clear()
+
+
+class IncrementalMABED:
+    """A MABED detector over an incrementally folded corpus.
+
+    Wraps one :class:`~repro.events.mabed.MABED` configuration with the
+    three pieces of reusable state: the :class:`SliceWindow`, the
+    inverted :class:`_CorpusIndex` (extended, never rebuilt), and the
+    :class:`RelatedWordsCache`.
+    """
+
+    def __init__(self, detector: MABED) -> None:
+        self.detector = detector
+        self.window = SliceWindow(detector.slice_width)
+        self.index = _CorpusIndex([])
+        self.cache = RelatedWordsCache()
+
+    def __len__(self) -> int:
+        return len(self.window)
+
+    def extend(self, documents: Iterable[TimestampedDocument]) -> None:
+        """Fold new documents into the window and index."""
+        docs = list(documents)
+        if not docs:
+            return
+        re_anchored = self.window.extend(docs)
+        self.index.extend(docs)
+        if re_anchored:
+            # Every slice boundary moved: cached intervals/windows no
+            # longer name the same time ranges.  Flush wholesale.
+            self.cache.clear()
+            obs.counter("streaming.related_cache.reanchors").inc()
+
+    def detect(self, n_events: int) -> List[Event]:
+        """Detect over everything folded so far (batch-bitwise)."""
+        if len(self.window) == 0:
+            return []
+        self.cache.invalidate(self.window.consume_dirty())
+        sliced = self.window.as_sliced_corpus()
+        with obs.span("streaming.mabed.detect") as det_span:
+            events = self.detector.detect_on_sliced(
+                sliced,
+                self.window.documents,
+                n_events,
+                index=self.index,
+                related_cache=self.cache,
+            )
+            det_span.annotate(
+                n_documents=len(self.window),
+                n_slices=sliced.n_slices,
+                n_events=len(events),
+                cache_entries=len(self.cache),
+            )
+        return events

@@ -1,0 +1,148 @@
+"""Incremental time-slice window — streaming twin of ``events.timeslice``.
+
+:class:`SliceWindow` maintains exactly the state a batch
+:class:`~repro.events.timeslice.TimeSlicer` would build over the same
+documents — slice totals, per-term slice counts, doc ids per slice —
+but folds documents in as they arrive instead of re-scanning history.
+Slice assignment goes through the shared
+:func:`~repro.events.timeslice.slice_index` helper, so batch and
+streaming agree bitwise on every record, including records exactly on a
+slice edge.
+
+Two cases force a full rebuild:
+
+* the first fold (establishes the window anchor), and
+* a **re-anchor**: a document older than the current window start
+  arrives (possible when the ingest watermark allows lateness).  The
+  window start is the corpus minimum, so every slice boundary moves and
+  all derived counts are replayed from the retained document list — in
+  arrival order, which is the order a batch oracle over the same store
+  would see (store ids are monotonically assigned at append).
+
+Parity note: the fold loop iterates ``set(doc.tokens)`` exactly like
+``TimeSlicer.slice`` does.  Within one process, identical token lists
+produce identical set-iteration order, so the ``term_counts`` dict is
+built with the same key insertion order as the batch slicer — which
+keeps every downstream ``dict``-order-dependent iteration (candidate
+scans, term listings) bitwise comparable in the differential harness.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..events.timeslice import SlicedCorpus, TimestampedDocument, slice_index
+
+
+class SliceWindow:
+    """Grow-only sliced-corpus state with dirty-slice tracking."""
+
+    def __init__(self, slice_width: timedelta) -> None:
+        if slice_width <= timedelta(0):
+            raise ValueError("slice_width must be positive")
+        self.slice_width = slice_width
+        self.start: Optional[datetime] = None
+        self._end: Optional[datetime] = None
+        self.n_slices = 0
+        self.slice_totals: List[int] = []
+        self.term_counts: Dict[str, Dict[int, int]] = {}
+        self.doc_ids_by_slice: List[List[object]] = []
+        self._docs: List[TimestampedDocument] = []
+        self._dirty: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    @property
+    def documents(self) -> List[TimestampedDocument]:
+        """Every folded document, in arrival order (do not mutate)."""
+        return self._docs
+
+    # -- folding -----------------------------------------------------------
+
+    def extend(self, documents: Iterable[TimestampedDocument]) -> bool:
+        """Fold *documents* into the window; True when it re-anchored.
+
+        A re-anchor (a document before the current window start) moves
+        every slice boundary, so callers must treat **all** cached
+        per-slice state as invalid, not just the dirty set.
+        """
+        docs = list(documents)
+        if not docs:
+            return False
+        self._docs.extend(docs)
+        batch_min = min(d.created_at for d in docs)
+        batch_max = max(d.created_at for d in docs)
+        if self.start is None:
+            self.start = batch_min
+            self._end = batch_max
+            self._rebuild()
+            return False
+        if batch_min < self.start:
+            self.start = batch_min
+            self._end = max(self._end, batch_max)
+            self._rebuild()
+            return True
+        self._end = max(self._end, batch_max)
+        self._grow_to(slice_index(self._end, self.start, self.slice_width) + 1)
+        self._fold(docs)
+        return False
+
+    def _grow_to(self, n_slices: int) -> None:
+        # Fresh empty slices are not marked dirty: every term series is
+        # zero there, so no cached correlation value changes — only
+        # window *clamping* can move, and the cache compares windows.
+        while self.n_slices < n_slices:
+            self.slice_totals.append(0)
+            self.doc_ids_by_slice.append([])
+            self.n_slices += 1
+
+    def _fold(self, docs: List[TimestampedDocument]) -> None:
+        # Mirrors TimeSlicer.slice's per-document loop exactly (shared
+        # slice_index, same set(doc.tokens) iteration) — see module
+        # docstring for why that matters.
+        for doc in docs:
+            index = slice_index(doc.created_at, self.start, self.slice_width)
+            self.slice_totals[index] += 1
+            self.doc_ids_by_slice[index].append(doc.doc_id)
+            self._dirty.add(index)
+            for term in set(doc.tokens):
+                bucket = self.term_counts.get(term)
+                if bucket is None:
+                    bucket = self.term_counts[term] = {}
+                bucket[index] = bucket.get(index, 0) + 1
+
+    def _rebuild(self) -> None:
+        self.n_slices = 0
+        self.slice_totals = []
+        self.term_counts = {}
+        self.doc_ids_by_slice = []
+        self._grow_to(slice_index(self._end, self.start, self.slice_width) + 1)
+        self._dirty = set(range(self.n_slices))
+        self._fold(self._docs)
+
+    # -- consumption -------------------------------------------------------
+
+    def consume_dirty(self) -> Set[int]:
+        """Slice indexes changed since the last call; clears the set."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def as_sliced_corpus(self) -> SlicedCorpus:
+        """The current window as a batch-identical :class:`SlicedCorpus`.
+
+        Shares the live internal dicts/lists — valid until the next
+        :meth:`extend`; detection runs between folds, never across one.
+        """
+        if not self._docs:
+            raise ValueError("cannot slice an empty corpus")
+        return SlicedCorpus(
+            start=self.start,
+            slice_width=self.slice_width,
+            n_slices=self.n_slices,
+            slice_totals=self.slice_totals,
+            term_counts=self.term_counts,
+            doc_ids_by_slice=self.doc_ids_by_slice,
+        )

@@ -87,6 +87,40 @@ class Vocabulary:
             max_size=max_size,
         )
 
+    @classmethod
+    def from_counts(
+        cls,
+        term_counts: Counter,
+        doc_counts: Counter,
+        num_docs: int,
+        min_count: int = 1,
+        min_df: int = 1,
+        max_df_ratio: float = 1.0,
+        max_size: Optional[int] = None,
+    ) -> "Vocabulary":
+        """Build and finalize a vocabulary from precomputed statistics.
+
+        The streaming pipeline maintains cumulative term/document
+        frequency counters incrementally (O(new data) per cycle) and
+        finalizes a vocabulary from them each cycle.  Pruning and
+        ordering are identical to :meth:`from_documents` over the same
+        corpus — the eligible set is sorted by the total order
+        ``(-count, term)``, so the result does not depend on counter
+        insertion order.
+        """
+        if num_docs < 0:
+            raise ValueError("num_docs must be >= 0")
+        vocab = cls()
+        vocab._term_counts = Counter(term_counts)
+        vocab._doc_counts = Counter(doc_counts)
+        vocab._num_docs = num_docs
+        return vocab.finalize(
+            min_count=min_count,
+            min_df=min_df,
+            max_df_ratio=max_df_ratio,
+            max_size=max_size,
+        )
+
     # -- lookups ----------------------------------------------------------------
 
     def __len__(self) -> int:

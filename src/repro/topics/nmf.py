@@ -101,11 +101,17 @@ class NMF:
         self,
         matrix: Union[np.ndarray, sparse.spmatrix, DocumentTermMatrix],
         top_terms: int = 10,
+        init: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> NMFResult:
         """Factorize *matrix*; returns W, H, objective trace, and topics.
 
         Accepts a raw array/sparse matrix or a :class:`DocumentTermMatrix`
         (in which case topics carry real term strings).
+
+        *init*, when given, is a ``(W0, H0)`` warm start with shapes
+        ``(n, k)`` / ``(k, m)``; entries are clamped to at least the
+        update epsilon so multiplicative updates can move every cell
+        (a true zero is absorbing under Lee–Seung updates).
         """
         vocabulary: Optional[Vocabulary] = None
         if isinstance(matrix, DocumentTermMatrix):
@@ -124,11 +130,21 @@ class NMF:
 
         n, m = A.shape
         k = min(self.n_topics, n, m)
-        rng = np.random.default_rng(self.seed)
-        # Scaled random init keeps the initial WH on the order of A.
-        scale = np.sqrt(self._mean(A) / max(k, 1)) or 1.0
-        W = rng.random((n, k)) * scale + _EPS
-        H = rng.random((k, m)) * scale + _EPS
+        if init is not None:
+            W0, H0 = init
+            if W0.shape != (n, k) or H0.shape != (k, m):
+                raise ValueError(
+                    f"init shapes {W0.shape}/{H0.shape} do not match "
+                    f"required ({n}, {k})/({k}, {m})"
+                )
+            W = np.maximum(np.asarray(W0, dtype=np.float64), _EPS)
+            H = np.maximum(np.asarray(H0, dtype=np.float64), _EPS)
+        else:
+            rng = np.random.default_rng(self.seed)
+            # Scaled random init keeps the initial WH on the order of A.
+            scale = np.sqrt(self._mean(A) / max(k, 1)) or 1.0
+            W = rng.random((n, k)) * scale + _EPS
+            H = rng.random((k, m)) * scale + _EPS
 
         history: List[float] = []
         previous = np.inf

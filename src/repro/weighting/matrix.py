@@ -65,6 +65,22 @@ class DocumentTermMatrix:
     ) -> "DocumentTermMatrix":
         """Build a count matrix over an existing, frozen vocabulary."""
         counts = cls._count_matrix(documents, vocabulary)
+        return cls.from_counts(counts, vocabulary, weighting)
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: sparse.csr_matrix,
+        vocabulary: Vocabulary,
+        weighting: str = "tfidf_n",
+    ) -> "DocumentTermMatrix":
+        """Weight a prebuilt raw-count CSR matrix over *vocabulary*.
+
+        The streaming pipeline assembles the count matrix incrementally
+        (per-document token counts are cached; only the vocabulary
+        column mapping changes between cycles) and hands it here so the
+        TFIDF/ℓ² weighting is byte-for-byte the batch code path.
+        """
         if weighting == "count":
             return cls(counts, vocabulary)
         if weighting in ("tfidf", "tfidf_n"):

@@ -76,3 +76,71 @@ class TestTimeSlicer:
             [doc(["a"], i * 10) for i in range(7)]
         )
         assert sliced.total_documents == 7
+
+
+class TestSliceBoundaries:
+    """Pin the half-open [edge, edge + width) slice convention.
+
+    Slice assignment must use exact integer floor division on
+    timedeltas: ``int((t - start) / width)`` is correctly *rounded*
+    float division, so once the offset outgrows float53 precision a
+    record one microsecond before a slice edge rounds up into the wrong
+    slice (and, when it is the corpus maximum, fabricates a phantom
+    trailing slice).
+    """
+
+    WIDTH = timedelta(minutes=30)
+
+    def test_record_exactly_on_edge_opens_next_slice(self):
+        sliced = TimeSlicer(self.WIDTH).slice(
+            [doc(["a"], 0), doc(["edge"], 30), doc(["b"], 59)]
+        )
+        assert sliced.n_slices == 2
+        assert list(sliced.term_series("edge")) == [0, 1]
+        assert sliced.slice_of(datetime(2019, 5, 1, 0, 30)) == 1
+
+    def test_record_one_microsecond_before_edge_stays_in_slice(self):
+        edge = datetime(2019, 5, 1) + self.WIDTH
+        before = TimestampedDocument(
+            tokens=["x"], created_at=edge - timedelta(microseconds=1)
+        )
+        sliced = TimeSlicer(self.WIDTH).slice(
+            [TimestampedDocument(tokens=["a"], created_at=datetime(2019, 5, 1)), before]
+        )
+        assert sliced.n_slices == 1
+        assert list(sliced.term_series("x")) == [1]
+
+    def test_boundary_exact_beyond_float_precision(self):
+        # 10^7 slices of 10^10 microseconds: the offset (10^17 - 1) us
+        # exceeds 2^53, so float division rounds a record 1 us *before*
+        # the final edge up to the edge itself.  Exact floor division
+        # must keep it in the previous slice and not add a phantom
+        # trailing slice.
+        width = timedelta(seconds=10_000)
+        start = datetime(1, 1, 1)
+        edge = start + 10_000_000 * width
+        last = TimestampedDocument(
+            tokens=["x"], created_at=edge - timedelta(microseconds=1)
+        )
+        first = TimestampedDocument(tokens=["a"], created_at=start)
+        sliced = TimeSlicer(width).slice([first, last])
+        assert sliced.n_slices == 10_000_000
+        assert sliced.slice_totals[-1] == 1
+        assert sliced.slice_of(last.created_at) == 9_999_999
+
+    def test_slice_index_helper_floors_negative_offsets(self):
+        from repro.events import slice_index
+
+        start = datetime(2019, 5, 1)
+        assert slice_index(start - timedelta(microseconds=1), start, self.WIDTH) == -1
+        assert slice_index(start, start, self.WIDTH) == 0
+        assert slice_index(start + self.WIDTH, start, self.WIDTH) == 1
+
+    def test_slice_of_matches_assignment_for_every_record(self):
+        docs = [doc(["t"], m) for m in (0, 29, 30, 31, 59, 60, 61, 89, 90)]
+        sliced = TimeSlicer(self.WIDTH).slice(docs)
+        for d in docs:
+            index = sliced.slice_of(d.created_at)
+            assert (
+                sliced.slice_start(index) <= d.created_at < sliced.slice_end(index)
+            )

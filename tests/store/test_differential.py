@@ -214,10 +214,12 @@ def test_differential_explicit_mixed_id_types():
         {"_id": "alpha", "v": 1},
         {"_id": 17, "v": 2},
         {"_id": "beta", "v": 3},
-        {"v": 4},  # auto id continues past explicit ints
+        {"v": 4},  # auto id jumps past explicit ints (no collisions)
     ]
     for doc in docs:
         assert legacy.insert_one(dict(doc)) == sharded.insert_one(dict(doc))
+    # Explicit integer ids advance the auto-id counter in both stores.
+    assert [doc["_id"] for doc in legacy.find({"v": 4})] == [18]
     assert list(legacy.find({})) == list(sharded.find({}))
     assert legacy.delete_one({"_id": 17}) == sharded.delete_one({"_id": 17})
     assert list(legacy.find({})) == list(sharded.find({}))

@@ -1,0 +1,157 @@
+"""Property test: the incremental slice window equals batch slicing.
+
+Randomized (seeded) corpora — arbitrary slice widths, timestamps that
+land exactly on slice edges, out-of-order arrivals that force the window
+to re-anchor, arbitrary chunkings — folded chunk-by-chunk through
+:class:`~repro.streaming.SliceWindow` must produce a
+:class:`~repro.events.timeslice.SlicedCorpus` identical to
+:class:`~repro.events.timeslice.TimeSlicer` over the same documents in
+the same arrival order: same anchor, same slice count, same per-slice
+totals and document ids, same terms *in the same dict order*, same
+per-term series.  Plus the structural invariants batch slicing promises:
+no document lost, no overlapping or gapped slices — every document falls
+inside the half-open span of exactly the slice it was assigned.
+"""
+
+import random
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.events.timeslice import TimeSlicer, TimestampedDocument
+from repro.streaming import SliceWindow
+
+SEEDS = range(8)
+
+WIDTHS_MINUTES = [7, 30, 60, 90]
+VOCAB = [
+    "brexit", "tariff", "huawei", "iran", "derby", "vote", "deal",
+    "market", "protest", "summit", "launch", "oil",
+]
+
+
+def _random_corpus(rng):
+    """Seeded documents: edge-aligned timestamps, late arrivals, dupes."""
+    width = timedelta(minutes=rng.choice(WIDTHS_MINUTES))
+    anchor = datetime(2019, 4, 1) + timedelta(minutes=rng.randint(0, 10_000))
+    n_docs = rng.randint(1, 120)
+    docs = []
+    for i in range(n_docs):
+        offset = timedelta(seconds=rng.randint(0, 21 * 24 * 3600))
+        if rng.random() < 0.3:
+            # Snap exactly onto a slice boundary: the half-open interval
+            # rule ([start, end)) is where off-by-one slicing bugs live.
+            offset = width * (offset // width)
+        docs.append(
+            TimestampedDocument(
+                tokens=rng.choices(VOCAB, k=rng.randint(1, 6)),
+                created_at=anchor + offset,
+                doc_id=i + 1,
+            )
+        )
+    # Arrival order is not time order: shuffle so later chunks can carry
+    # documents older than everything already folded (re-anchor path).
+    rng.shuffle(docs)
+    return width, docs
+
+
+def _random_chunks(rng, docs):
+    k = rng.randint(1, 6)
+    cuts = sorted(rng.randint(0, len(docs)) for _ in range(k - 1))
+    bounds = [0, *cuts, len(docs)]
+    return [docs[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+def _assert_same_corpus(batch, streamed):
+    assert streamed.start == batch.start
+    assert streamed.slice_width == batch.slice_width
+    assert streamed.n_slices == batch.n_slices
+    assert streamed.slice_totals == batch.slice_totals
+    assert streamed.doc_ids_by_slice == batch.doc_ids_by_slice
+    assert streamed.total_documents == batch.total_documents
+    # Dict order matters: downstream candidate scans iterate terms() and
+    # must walk them in the same order as a batch run would.
+    assert streamed.terms() == batch.terms()
+    for term in batch.terms():
+        assert np.array_equal(streamed.term_series(term), batch.term_series(term))
+        assert streamed.term_total(term) == batch.term_total(term)
+
+
+def _assert_invariants(corpus, docs):
+    assert sum(corpus.slice_totals) == len(docs)
+    assert sum(len(ids) for ids in corpus.doc_ids_by_slice) == len(docs)
+    by_id = {doc.doc_id: doc for doc in docs}
+    for index, ids in enumerate(corpus.doc_ids_by_slice):
+        lo, hi = corpus.slice_start(index), corpus.slice_end(index)
+        assert lo == corpus.start + index * corpus.slice_width  # no gaps
+        for doc_id in ids:
+            created = by_id[doc_id].created_at
+            assert lo <= created < hi, (
+                f"doc {doc_id} at {created} outside its slice [{lo}, {hi})"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chunked_window_matches_batch_slicer(seed):
+    """Any chunking of any corpus: window == one-shot batch slicing."""
+    rng = random.Random(seed)
+    for _ in range(25):
+        width, docs = _random_corpus(rng)
+        chunks = _random_chunks(rng, docs)
+        window = SliceWindow(width)
+        re_anchored = False
+        for chunk in chunks:
+            re_anchored |= window.extend(chunk)
+        batch = TimeSlicer(width).slice(docs)
+        streamed = window.as_sliced_corpus()
+        _assert_same_corpus(batch, streamed)
+        _assert_invariants(streamed, docs)
+        # extend() must report a re-anchor exactly when a later chunk
+        # carried a document older than the initial anchor.
+        first = next(chunk for chunk in chunks if chunk)
+        anchor = min(d.created_at for d in first)
+        assert re_anchored == (min(d.created_at for d in docs) < anchor)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dirty_slices_cover_every_touched_slice(seed):
+    """consume_dirty() names every slice whose counts changed."""
+    rng = random.Random(seed)
+    width, docs = _random_corpus(rng)
+    window = SliceWindow(width)
+    previous_totals = []
+    for chunk in _random_chunks(rng, docs):
+        re_anchored = window.extend(chunk)
+        dirty = window.consume_dirty()
+        if re_anchored:
+            # All cached state was invalidated; dirty must say so.
+            assert dirty == set(range(window.n_slices))
+        else:
+            changed = {
+                i
+                for i in range(window.n_slices)
+                if i >= len(previous_totals)
+                and window.slice_totals[i]
+                or i < len(previous_totals)
+                and window.slice_totals[i] != previous_totals[i]
+            }
+            assert changed <= dirty
+        previous_totals = list(window.slice_totals)
+    assert window.consume_dirty() == set()
+
+
+def test_single_document_window():
+    """Degenerate corpus: one document, one slice, exact anchor."""
+    width = timedelta(minutes=30)
+    doc = TimestampedDocument(
+        tokens=["brexit"], created_at=datetime(2019, 4, 2, 12, 0), doc_id=1
+    )
+    window = SliceWindow(width)
+    window.extend([doc])
+    corpus = window.as_sliced_corpus()
+    assert corpus.start == doc.created_at
+    assert corpus.n_slices == 1
+    assert corpus.slice_totals == [1]
+    assert corpus.doc_ids_by_slice == [[1]]
+    _assert_same_corpus(TimeSlicer(width).slice([doc]), corpus)
