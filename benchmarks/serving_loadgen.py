@@ -82,6 +82,80 @@ BATCH_SIZE = 32
 N_THREADS = 32
 
 
+# ---------------------------------------------------------------------------
+# Traffic shapes (shared with benchmarks/fleet_bench.py's autoscaling sim)
+# ---------------------------------------------------------------------------
+
+def _constant_shape(phase: float) -> float:
+    return 1.0
+
+
+def _diurnal_shape(phase: float) -> float:
+    # One full "day" compressed into the run: a sinusoid around the
+    # nominal rate, peaking mid-run.  Amplitude 0.6 → rate swings
+    # between 0.4x and 1.6x of nominal.
+    import math
+
+    return 1.0 + 0.6 * math.sin(2.0 * math.pi * phase)
+
+
+def _flashcrowd_shape(phase: float) -> float:
+    # Quiet baseline with a 6x spike over 15% of the run — the breaking
+    # news burst the autoscaler must absorb.
+    return 6.0 if 0.40 <= phase < 0.55 else 0.5
+
+
+#: shape name -> rate multiplier as a function of run phase in [0, 1).
+SHAPES = {
+    "constant": _constant_shape,
+    "diurnal": _diurnal_shape,
+    "flashcrowd": _flashcrowd_shape,
+}
+
+
+def shape_multiplier(shape: str, phase: float) -> float:
+    """Rate multiplier of *shape* at run *phase* (fraction in [0, 1))."""
+    try:
+        fn = SHAPES[shape]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic shape {shape!r}; expected one of {sorted(SHAPES)}"
+        ) from None
+    return fn(min(max(phase, 0.0), 1.0))
+
+
+def peak_multiplier(shape: str, steps: int = 1000) -> float:
+    """The shape's maximum multiplier (sampled; exact for these shapes)."""
+    return max(shape_multiplier(shape, i / steps) for i in range(steps))
+
+
+def arrival_times(
+    shape: str, duration_s: float, mean_rps: float, seed: int
+) -> List[float]:
+    """Seeded Poisson arrival offsets (seconds) following *shape*.
+
+    Non-homogeneous Poisson process by thinning: candidate arrivals are
+    drawn at the shape's peak rate and accepted with probability
+    ``rate(t) / peak``.  Everything is a pure function of
+    ``(shape, duration_s, mean_rps, seed)``, so the fleet bench and the
+    smoke job replay bitwise-identical traffic on every machine.
+    """
+    if duration_s <= 0 or mean_rps <= 0:
+        return []
+    rng = np.random.default_rng(seed)
+    peak = mean_rps * peak_multiplier(shape)
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= duration_s:
+            break
+        accept = shape_multiplier(shape, t / duration_s) * mean_rps / peak
+        if float(rng.random()) < accept:
+            times.append(t)
+    return times
+
+
 def build_request_pool(n_requests: int, seed: int) -> List[EventTweet]:
     """A seeded pool of distinct tweet records.
 
@@ -207,6 +281,134 @@ def _drive(
         "throughput_rps": completed / max(elapsed, 1e-9),
         "latency_ms": {"p50": p50, "p95": p95, "p99": p99},
     }
+
+
+def _drive_open_loop(
+    client,
+    pool: List[EventTweet],
+    times: List[float],
+    max_workers: int = 32,
+) -> Dict[str, object]:
+    """Open-loop load: issue requests at pre-computed arrival offsets.
+
+    Unlike :func:`_drive` the request rate does not adapt to service
+    speed — arrivals come when the trace says, which is what makes
+    admission control (sheds) observable.  ``AdmissionRejected`` counts
+    as a shed, not an error.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serving import AdmissionRejected
+
+    latencies: List[float] = []
+    shed = [0]
+    errors: List[str] = []
+    state_lock = threading.Lock()
+
+    def issue(record: EventTweet) -> None:
+        started = time.perf_counter()
+        try:
+            client.predict(
+                record.tokens,
+                followers=record.followers,
+                created_at=record.created_at,
+                vocabulary=record.event_vocabulary,
+                timeout_s=30.0,
+            )
+        except AdmissionRejected:
+            with state_lock:
+                shed[0] += 1
+            return
+        except Exception as exc:  # staticcheck: disable=broad-except
+            with state_lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+            return
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with state_lock:
+            latencies.append(elapsed_ms)
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=max_workers, thread_name_prefix="loadgen-open"
+    ) as pool_executor:
+        for i, offset in enumerate(times):
+            delay = started + offset - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            pool_executor.submit(issue, pool[i % len(pool)])
+    elapsed = time.perf_counter() - started
+
+    values = np.array(latencies)
+    served = int(values.size)
+    p50, p95, p99 = (
+        (float(np.percentile(values, q)) for q in (50, 95, 99))
+        if served
+        else (0.0, 0.0, 0.0)
+    )
+    offered = len(times)
+    return {
+        "offered": offered,
+        "served": served,
+        "shed": shed[0],
+        "shed_rate": shed[0] / max(offered, 1),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "seconds": elapsed,
+        "throughput_rps": served / max(elapsed, 1e-9),
+        "latency_ms": {"p50": p50, "p95": p95, "p99": p99},
+    }
+
+
+def run_shaped(
+    shape: str,
+    duration_s: float = 3.0,
+    mean_rps: float = 150.0,
+    pool_size: int = 64,
+    seed: int = 7,
+    replicas: int = 2,
+    artifact_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Drive a :class:`~repro.serving.fleet.FleetService` with shaped load.
+
+    Open-loop arrivals from :func:`arrival_times` against an in-process
+    fleet — the CI fleet-smoke job runs this with ``--shape flashcrowd``
+    to prove shedding engages under burst and recovers after.
+    """
+    from repro.serving import FleetConfig, FleetService
+
+    times = arrival_times(shape, duration_s, mean_rps, seed)
+    with tempfile.TemporaryDirectory(prefix="serving-loadgen-") as scratch:
+        if artifact_dir is None:
+            artifact_dir = build_artifact(f"{scratch}/artifact", seed=seed)
+        pool = build_request_pool(pool_size, seed=seed)
+        registry = ModelRegistry()
+        registry.load(artifact_dir)
+        service = FleetService(
+            registry,
+            ServingConfig(max_batch_size=BATCH_SIZE, max_wait_ms=2.0, timeout_s=30.0),
+            FleetConfig(replicas=replicas),
+        )
+        try:
+            result = _drive_open_loop(ServingClient(service), pool, times)
+            metrics = service.metrics()
+            result["admission"] = metrics["admission"]
+            result["router"] = {
+                "policy": metrics["router"]["policy"],
+                "routed_per_replica": metrics["router"]["routed_per_replica"],
+            }
+        finally:
+            service.close()
+    result.update(
+        {
+            "bench": "serving_loadgen_shaped",
+            "shape": shape,
+            "duration_s": duration_s,
+            "mean_rps": mean_rps,
+            "replicas": replicas,
+            "seed": seed,
+        }
+    )
+    return result
 
 
 def run_one_config(
@@ -394,6 +596,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--transport", choices=("inproc", "http"), default="inproc"
     )
     parser.add_argument(
+        "--shape",
+        choices=sorted(SHAPES),
+        help="open-loop shaped traffic against a replica fleet instead of "
+        "the closed-loop batched/single comparison",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=150.0,
+        help="nominal open-loop arrival rate in req/s (--shape mode)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="fleet replica count (--shape mode)",
+    )
+    parser.add_argument(
         "--artifact", help="serve this artifact dir instead of training one"
     )
     parser.add_argument(
@@ -414,6 +630,50 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.obs_out:
         obs.set_enabled(True)
+
+    if args.shape:
+        result = run_shaped(
+            args.shape,
+            duration_s=min(args.duration_s, 2.0) if args.smoke else args.duration_s,
+            mean_rps=args.rate,
+            pool_size=args.pool_size,
+            seed=args.seed,
+            replicas=args.replicas,
+            artifact_dir=args.artifact,
+        )
+        print(
+            f"Shaped load ({args.shape}, {result['replicas']} replicas, "
+            f"nominal {result['mean_rps']:.0f} rps): offered {result['offered']}, "
+            f"served {result['served']}, shed {result['shed']} "
+            f"({result['shed_rate']:.1%}), errors {result['errors']}, "
+            f"p95 {result['latency_ms']['p95']:.2f}ms"
+        )
+        if args.obs_out:
+            path = obs.get_registry().save(args.obs_out)
+            print(f"obs snapshot: {path}")
+        failures = []
+        if args.smoke:
+            if result["served"] <= 0:
+                failures.append("shaped run served zero requests")
+            if result["errors"]:
+                failures.append(
+                    f"{result['errors']} request errors "
+                    f"(samples: {result['error_samples']})"
+                )
+            if result["served"] + result["shed"] != result["offered"]:
+                failures.append("served + shed does not account for offered load")
+        if args.write:
+            with open(args.write, "w", encoding="utf-8") as handle:
+                json.dump(result, handle, indent=2)
+                handle.write("\n")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        if args.smoke:
+            print("fleet shaped-load smoke ok")
+        return 0
+
     duration_s = min(args.duration_s, 1.0) if args.smoke else args.duration_s
     reps = min(args.reps, 2) if args.smoke else args.reps
     result = run_loadgen(

@@ -1,0 +1,55 @@
+"""Fleet scaling regression bench (ISSUE 10 acceptance).
+
+Gates the deterministic autoscaling simulation in ``fleet_bench.py``:
+
+* 4-replica / 1-replica throughput ratio ≥ 2.5x at the scaling load;
+* shed rate < 1% at rated load (diurnal trace, 4 replicas);
+* the flash-crowd autoscaler steps up under the burst and back down;
+* the whole record reproduces the committed baseline **exactly**
+  (``benchmarks/baselines/fleet_baseline.json``) — the sim is a pure
+  function of its seeds, so any diff is a real behaviour change in the
+  admission/routing logic and needs a deliberate ``--write``.
+
+The rendered summary lands in ``benchmarks/results/fleet_bench.txt``
+and the raw record in ``benchmarks/results/fleet_bench.json``.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, emit  # noqa: E402
+from fleet_bench import (  # noqa: E402
+    MIN_SCALING,
+    check_against_baseline,
+    gate_failures,
+    render,
+    run_fleet_bench,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "fleet_baseline.json"
+)
+
+
+def test_fleet_scaling_and_shed_gates():
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    result = run_fleet_bench(
+        duration_s=baseline["duration_s"], seed=baseline["seed"]
+    )
+
+    emit("fleet_bench", render(result))
+    with open(
+        os.path.join(RESULTS_DIR, "fleet_bench.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    assert gate_failures(result) == []
+    assert result["scaling"] >= MIN_SCALING
+    failures = check_against_baseline(result, baseline)
+    assert failures == [], failures

@@ -19,6 +19,7 @@ stage.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -236,6 +237,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from .serving import (
         ArtifactError,
+        FleetConfig,
+        FleetService,
         ModelRegistry,
         ServingConfig,
         ServingServer,
@@ -251,6 +254,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             max_queue=args.queue_size,
             timeout_s=args.timeout_s,
+        )
+        fleet_config = FleetConfig.from_env(
+            replicas=args.replicas,
+            router=args.router,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid serving configuration: {exc}")
@@ -268,10 +275,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.check_only:
         print("artifact OK (--check-only; not binding a server)")
         return 0
-    service = ServingService(registry, config)
+    # Fleet mode is opt-in: --fleet, an explicit --replicas, or the
+    # REPRO_SERVE_REPLICAS env var.  A bare `repro serve` keeps the
+    # single-worker service it always ran.
+    fleet_requested = (
+        args.fleet
+        or args.replicas is not None
+        or bool(os.environ.get("REPRO_SERVE_REPLICAS"))
+    )
+    if fleet_requested:
+        service = FleetService(registry, config, fleet_config)
+        print(
+            f"fleet of {fleet_config.replicas} replicas "
+            f"(router {fleet_config.router!r}; canary endpoints enabled)"
+        )
+    else:
+        service = ServingService(registry, config)
     server = ServingServer(service, host=config.host, port=config.port)
     host, port = server.address
-    print(f"serving on http://{host}:{port}  (POST /predict, /swap; GET /healthz, /metrics)")
+    print(
+        f"serving on http://{host}:{port}  "
+        f"(POST /predict, /swap, /canary; GET /healthz, /metrics, /canary)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -417,6 +442,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--expect-fingerprint",
         default=None,
         help="refuse artifacts whose PipelineConfig fingerprint differs",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="replica count; >1 serves through the fleet "
+        "(default: REPRO_SERVE_REPLICAS or 2, fleet mode only)",
+    )
+    serve.add_argument(
+        "--router",
+        choices=("round_robin", "least_loaded"),
+        default=None,
+        help="fleet routing policy (default: REPRO_SERVE_ROUTER or least_loaded)",
+    )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="force fleet mode (admission control + canary endpoints) "
+        "even with --replicas 1",
     )
     serve.add_argument(
         "--check-only",

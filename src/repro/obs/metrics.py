@@ -135,6 +135,28 @@ class Histogram:
         with self._lock:
             return self.count > len(self.series)
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The *q*-th percentile of the retained series (None when empty).
+
+        Linear interpolation between order statistics, computed over the
+        bounded raw series — past ``max_samples`` observations this is a
+        prefix percentile, which ``truncated`` flags.  Used by the
+        serving fleet's canary evaluator to compare latency tails.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must lie in [0, 100]")
+        with self._lock:
+            values = sorted(self.series)
+        if not values:
+            return None
+        if len(values) == 1:
+            return values[0]
+        position = (q / 100.0) * (len(values) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(values) - 1)
+        weight = position - lower
+        return values[lower] * (1.0 - weight) + values[upper] * weight
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (summary + bounded raw series)."""
         with self._lock:
@@ -189,6 +211,10 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         """Discard the observation."""
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Always None (no observations are retained)."""
+        return None
 
     def to_dict(self) -> Dict[str, Any]:
         """Always empty."""

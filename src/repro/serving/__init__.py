@@ -14,7 +14,12 @@ pipeline artifact into that online service (see ``docs/serving.md``):
 * :class:`ServingService` + :class:`ServingClient` (in-process) and
   :class:`ServingServer` + :class:`HTTPServingClient` (stdlib
   ``http.server`` JSON endpoints ``/predict`` ``/healthz`` ``/metrics``
-  ``/swap``), driven by ``python -m repro serve``.
+  ``/swap`` ``/canary``), driven by ``python -m repro serve``;
+* :class:`FleetService` — a replica pool behind a pluggable
+  :class:`Router` with :class:`AdmissionController` load shedding and
+  :class:`CanaryController` canary/shadow deployments (see
+  ``docs/fleet.md``), sharing the exact encode/score path with the
+  single-worker service.
 
 Responses are **bitwise-identical** to offline
 ``Sequential.predict(X, batch_size=B, pad_to=B)`` outputs for the same
@@ -22,48 +27,73 @@ tweets: features go through the exact dataset-builder code path and
 every forward pass runs at a fixed padded row count.
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+    estimate_wait_s,
+)
 from .artifacts import ServingArtifact, load_artifact, save_artifact
 from .cache import FeatureCache, LRUCache
 from .client import HTTPServingClient, ServingClient
-from .config import ServingConfig
+from .config import FleetConfig, ServingConfig
 from .errors import (
+    AdmissionRejected,
     ArtifactError,
     BadRequest,
     DeadlineExceeded,
     ModelUnavailable,
     QueueFull,
+    ReplicaFailure,
     ServingError,
+    ServingUnavailable,
     SwapError,
 )
+from .fleet import CanaryController, FleetService, Replica, traffic_split
 from .httpd import ServingServer
 from .registry import ModelRegistry, ModelVersion
 from .requests import DEFAULT_CREATED_AT, PredictRequest, PredictResponse
+from .router import POLICIES, Router
 from .scheduler import BatchScheduler, PendingRequest
 from .service import ServingService
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejected",
     "ArtifactError",
     "BadRequest",
     "BatchScheduler",
+    "CanaryController",
     "DEFAULT_CREATED_AT",
     "DeadlineExceeded",
     "FeatureCache",
+    "FleetConfig",
+    "FleetService",
     "HTTPServingClient",
     "LRUCache",
     "ModelRegistry",
     "ModelUnavailable",
     "ModelVersion",
+    "POLICIES",
     "PendingRequest",
     "PredictRequest",
     "PredictResponse",
     "QueueFull",
+    "Replica",
+    "ReplicaFailure",
+    "Router",
     "ServingArtifact",
     "ServingClient",
     "ServingConfig",
     "ServingError",
     "ServingServer",
     "ServingService",
+    "ServingUnavailable",
     "SwapError",
+    "TokenBucket",
+    "estimate_wait_s",
     "load_artifact",
     "save_artifact",
+    "traffic_split",
 ]

@@ -82,8 +82,24 @@ class LRUCache:
             self.put(key, value)
         return value
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/eviction counts and current size."""
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction so far; 0.0 on a cold (or disabled) cache.
+
+        The explicit zero-total guard is load-bearing: ``/metrics`` is
+        often scraped before the first request lands, and a cold cache
+        must render as ``0.0`` rather than raise ``ZeroDivisionError``.
+        """
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
+        # Caller holds self._lock.
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counts, current size, and hit rate."""
         with self._lock:
             return {
                 "size": len(self._data),
@@ -91,6 +107,7 @@ class LRUCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "hit_rate": self._hit_rate_locked(),
             }
 
 
@@ -149,7 +166,7 @@ class FeatureCache:
             key, lambda: _frozen(metadata_vector(followers, created_at))
         )
 
-    def stats(self) -> Dict[str, Dict[str, int]]:
+    def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-tier cache statistics for ``/metrics``."""
         return {
             "documents": self.documents.stats(),
@@ -159,6 +176,4 @@ class FeatureCache:
     @property
     def hit_rate(self) -> float:
         """Document-cache hit fraction (0.0 when untouched)."""
-        stats = self.documents.stats()
-        total = stats["hits"] + stats["misses"]
-        return stats["hits"] / total if total else 0.0
+        return self.documents.hit_rate

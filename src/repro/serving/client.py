@@ -1,10 +1,19 @@
 """Clients for the serving service: in-process and HTTP.
 
 :class:`ServingClient` drives a :class:`~repro.serving.service.ServingService`
-directly (no sockets) — the concurrency tests and the in-process load
-generator use it.  :class:`HTTPServingClient` speaks the JSON contract
-of :mod:`repro.serving.httpd` over ``urllib`` and is what the CI smoke
-job exercises end to end.
+(or a :class:`~repro.serving.fleet.FleetService`) directly (no sockets) —
+the concurrency tests and the in-process load generator use it.
+:class:`HTTPServingClient` speaks the JSON contract of
+:mod:`repro.serving.httpd` over ``urllib`` and is what the CI smoke job
+exercises end to end.
+
+Transport failures surface as the typed
+:class:`~repro.serving.errors.ServingUnavailable` (never a raw
+``URLError``), and **idempotent** calls — the GET endpoints — are
+retried under a seeded :class:`~repro.resilience.RetryPolicy` so a
+health poll rides out a connection reset during server restart.  POSTs
+are never retried: a ``/predict`` or ``/swap`` whose reply was lost may
+have executed.
 """
 
 from __future__ import annotations
@@ -15,13 +24,17 @@ import urllib.request
 from datetime import datetime
 from typing import Dict, Optional
 
+from ..resilience import RetryError, RetryPolicy
 from .errors import (
+    AdmissionRejected,
     ArtifactError,
     BadRequest,
     DeadlineExceeded,
     ModelUnavailable,
     QueueFull,
+    ReplicaFailure,
     ServingError,
+    ServingUnavailable,
     SwapError,
 )
 from .requests import PredictRequest, PredictResponse
@@ -35,11 +48,24 @@ _ERROR_KINDS = {
         BadRequest,
         QueueFull,
         ModelUnavailable,
+        ServingUnavailable,
+        AdmissionRejected,
+        ReplicaFailure,
         DeadlineExceeded,
         SwapError,
         ArtifactError,
     )
 }
+
+#: Default retry for idempotent HTTP calls: three attempts, seeded
+#: jitter, only transport-level unavailability is ever retried.
+DEFAULT_HTTP_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay_s=0.05,
+    max_delay_s=0.5,
+    seed=0,
+    retryable=(ServingUnavailable,),
+)
 
 
 class ServingClient:
@@ -56,6 +82,7 @@ class ServingClient:
         vocabulary=None,
         magnitudes: Optional[Dict[str, float]] = None,
         timeout_s: Optional[float] = None,
+        priority: str = "normal",
     ) -> PredictResponse:
         """Score one tweet; blocks until its micro-batch completes."""
         request = PredictRequest.build(
@@ -65,7 +92,7 @@ class ServingClient:
             vocabulary=vocabulary,
             magnitudes=magnitudes,
         )
-        return self.service.predict(request, timeout_s=timeout_s)
+        return self.service.predict(request, timeout_s=timeout_s, priority=priority)
 
     def healthz(self) -> dict:
         """Service liveness + active model summary."""
@@ -94,11 +121,17 @@ def _raise_from_body(status: int, body: bytes) -> None:
 class HTTPServingClient:
     """Minimal JSON/HTTP client for a :class:`ServingServer`."""
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry_policy = retry_policy or DEFAULT_HTTP_RETRY
 
-    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _call_once(self, method: str, path: str, payload: Optional[dict]) -> dict:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
@@ -113,7 +146,30 @@ class HTTPServingClient:
             _raise_from_body(exc.code, exc.read())
             raise  # unreachable; keeps type-checkers happy
         except urllib.error.URLError as exc:
-            raise ModelUnavailable(f"server unreachable: {exc.reason}") from exc
+            raise ServingUnavailable(f"server unreachable: {exc.reason}") from exc
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        idempotent: bool = False,
+    ) -> dict:
+        """One HTTP exchange; *idempotent* calls retry on unavailability.
+
+        Only transport-level failures (:class:`ServingUnavailable`) are
+        ever retried — an HTTP error body is a server answer and
+        re-raises as its typed kind immediately.
+        """
+        if not idempotent:
+            return self._call_once(method, path, payload)
+        try:
+            return self.retry_policy.call(
+                lambda: self._call_once(method, path, payload),
+                site=f"serving.client.{method}{path.replace('/', '.')}",
+            )
+        except RetryError as exc:
+            raise exc.last
 
     def predict(
         self,
@@ -122,6 +178,7 @@ class HTTPServingClient:
         created_at: Optional[str] = None,
         vocabulary=None,
         magnitudes: Optional[Dict[str, float]] = None,
+        priority: Optional[str] = None,
     ) -> dict:
         """POST /predict; returns the JSON response body."""
         payload: dict = {"tokens": list(tokens), "followers": followers}
@@ -131,15 +188,17 @@ class HTTPServingClient:
             payload["vocabulary"] = list(vocabulary)
         if magnitudes is not None:
             payload["magnitudes"] = dict(magnitudes)
+        if priority is not None:
+            payload["priority"] = priority
         return self._call("POST", "/predict", payload)
 
     def healthz(self) -> dict:
-        """GET /healthz."""
-        return self._call("GET", "/healthz")
+        """GET /healthz (idempotent: retried on connection failures)."""
+        return self._call("GET", "/healthz", idempotent=True)
 
     def metrics(self) -> dict:
-        """GET /metrics."""
-        return self._call("GET", "/metrics")
+        """GET /metrics (idempotent: retried on connection failures)."""
+        return self._call("GET", "/metrics", idempotent=True)
 
     def swap(self, artifact: str, expect_fingerprint: Optional[str] = None) -> dict:
         """POST /swap with the artifact directory path."""
@@ -147,3 +206,29 @@ class HTTPServingClient:
         if expect_fingerprint is not None:
             payload["expect_fingerprint"] = expect_fingerprint
         return self._call("POST", "/swap", payload)
+
+    def canary_start(
+        self,
+        artifact: str,
+        mode: str = "canary",
+        fraction: Optional[float] = None,
+        window: Optional[int] = None,
+        expect_fingerprint: Optional[str] = None,
+    ) -> dict:
+        """POST /canary — stage a candidate on a fleet server."""
+        payload: dict = {"artifact": artifact, "mode": mode}
+        if fraction is not None:
+            payload["fraction"] = fraction
+        if window is not None:
+            payload["window"] = window
+        if expect_fingerprint is not None:
+            payload["expect_fingerprint"] = expect_fingerprint
+        return self._call("POST", "/canary", payload)
+
+    def canary_status(self) -> dict:
+        """GET /canary (idempotent: retried on connection failures)."""
+        return self._call("GET", "/canary", idempotent=True)
+
+    def canary_abort(self) -> dict:
+        """POST /canary/abort — roll back the active deployment."""
+        return self._call("POST", "/canary/abort", {})

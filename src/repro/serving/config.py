@@ -92,3 +92,110 @@ class ServingConfig:
             timeout_s=timeout_s,
             seed=self.seed,
         )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables of a replica fleet (:class:`repro.serving.fleet.FleetService`).
+
+    Layered on top of :class:`ServingConfig` (which still governs each
+    replica's scheduler, cache, and timeouts); the fleet knobs cover
+    routing, health, admission control, and canary/shadow deployments.
+    """
+
+    replicas: int = 2
+    router: str = "least_loaded"
+    eject_after: int = 3
+    probe_after: int = 8
+    rate_limit_rps: float = 0.0
+    rate_burst: float = 64.0
+    shed_normal_fraction: float = 0.85
+    shed_low_fraction: float = 0.5
+    deadline_margin_ms: float = 5.0
+    canary_seed: int = 0
+    canary_fraction: float = 0.1
+    canary_window: int = 50
+    canary_max_error_rate: float = 0.02
+    canary_max_latency_ratio: float = 2.0
+    canary_max_prediction_delta: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.eject_after < 1:
+            raise ValueError("eject_after must be >= 1")
+        if self.probe_after < 1:
+            raise ValueError("probe_after must be >= 1")
+        if self.rate_limit_rps < 0:
+            raise ValueError("rate_limit_rps must be >= 0")
+        if self.rate_burst <= 0:
+            raise ValueError("rate_burst must be positive")
+        for name in ("shed_normal_fraction", "shed_low_fraction"):
+            fraction = getattr(self, name)
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(f"{name} must lie in (0, 1], got {fraction!r}")
+        if self.deadline_margin_ms < 0:
+            raise ValueError("deadline_margin_ms must be >= 0")
+        if not 0.0 < self.canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must lie in (0, 1]")
+        if self.canary_window < 1:
+            raise ValueError("canary_window must be >= 1")
+        if self.canary_max_error_rate < 0:
+            raise ValueError("canary_max_error_rate must be >= 0")
+        if self.canary_max_latency_ratio <= 0:
+            raise ValueError("canary_max_latency_ratio must be positive")
+        if self.canary_max_prediction_delta < 0:
+            raise ValueError("canary_max_prediction_delta must be >= 0")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "FleetConfig":
+        """Config from ``REPRO_SERVE_*`` env vars, then *overrides*.
+
+        Same precedence rules as :meth:`ServingConfig.from_env`:
+        explicit non-None overrides beat the environment, which beats
+        the dataclass defaults.
+        """
+        config = cls(
+            replicas=_env_value("REPLICAS", int, cls.replicas),
+            router=_env_value("ROUTER", str, cls.router),
+            eject_after=_env_value("EJECT_AFTER", int, cls.eject_after),
+            probe_after=_env_value("PROBE_AFTER", int, cls.probe_after),
+            rate_limit_rps=_env_value("RATE_RPS", float, cls.rate_limit_rps),
+            rate_burst=_env_value("RATE_BURST", float, cls.rate_burst),
+            shed_normal_fraction=_env_value(
+                "SHED_NORMAL", float, cls.shed_normal_fraction
+            ),
+            shed_low_fraction=_env_value("SHED_LOW", float, cls.shed_low_fraction),
+            deadline_margin_ms=_env_value(
+                "DEADLINE_MARGIN_MS", float, cls.deadline_margin_ms
+            ),
+            canary_seed=_env_value("CANARY_SEED", int, cls.canary_seed),
+            canary_fraction=_env_value("CANARY_FRACTION", float, cls.canary_fraction),
+            canary_window=_env_value("CANARY_WINDOW", int, cls.canary_window),
+            canary_max_error_rate=_env_value(
+                "CANARY_MAX_ERROR_RATE", float, cls.canary_max_error_rate
+            ),
+            canary_max_latency_ratio=_env_value(
+                "CANARY_MAX_LATENCY_RATIO", float, cls.canary_max_latency_ratio
+            ),
+            canary_max_prediction_delta=_env_value(
+                "CANARY_MAX_PREDICTION_DELTA", float, cls.canary_max_prediction_delta
+            ),
+        )
+        supplied = {k: v for k, v in overrides.items() if v is not None}
+        return replace(config, **supplied) if supplied else config
+
+    def admission_config(self):
+        """The :class:`~repro.serving.admission.AdmissionConfig` this implies."""
+        from .admission import AdmissionConfig
+
+        return AdmissionConfig(
+            rate_limit_rps=self.rate_limit_rps,
+            rate_burst=self.rate_burst,
+            queue_thresholds={
+                "high": 1.0,
+                "normal": self.shed_normal_fraction,
+                "low": self.shed_low_fraction,
+            },
+            deadline_margin_s=self.deadline_margin_ms / 1000.0,
+        )

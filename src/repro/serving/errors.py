@@ -42,10 +42,44 @@ class ModelUnavailable(ServingError):
     status = 503
 
 
+class ServingUnavailable(ModelUnavailable):
+    """The server itself cannot be reached (connection refused/reset).
+
+    A subclass of :class:`ModelUnavailable` so existing callers that
+    catch the broader condition keep working; clients raise it to
+    distinguish "no route to the server" from "a reachable server with
+    no model published".
+    """
+
+    status = 503
+
+
 class DeadlineExceeded(ServingError):
     """The request's deadline elapsed before a batch could answer it."""
 
     status = 504
+
+
+class AdmissionRejected(ServingError):
+    """The fleet's admission controller shed the request at enqueue time.
+
+    ``reason`` is one of ``"rate"`` (token bucket empty), ``"queue"``
+    (priority-class queue threshold crossed), or ``"deadline"`` (the
+    deadline cannot be met given current queue depth and observed batch
+    latency) — cheaper for everyone than timing out at the queue tail.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, reason: str = "queue") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class ReplicaFailure(ServingError):
+    """A replica's batch runner failed; the router may retry elsewhere."""
+
+    status = 503
 
 
 class SwapError(ServingError):

@@ -2,10 +2,17 @@
 
 Endpoints (see ``docs/serving.md`` for the full contract):
 
-    POST /predict   {"tokens": [...], "followers": 0, ...} -> scores
-    GET  /healthz   liveness + active model summary
-    GET  /metrics   counters, cache stats, latency percentiles
-    POST /swap      {"artifact": "<dir>"} -> hot-swap the model
+    POST /predict       {"tokens": [...], "followers": 0, "priority": ...}
+    GET  /healthz       liveness + active model summary
+    GET  /metrics       counters, cache stats, latency percentiles
+    POST /swap          {"artifact": "<dir>"} -> hot-swap the model
+    POST /canary        {"artifact": "<dir>", "mode": "canary"|"shadow", ...}
+    GET  /canary        canary/shadow deployment status
+    POST /canary/abort  roll back the active deployment
+
+The ``/canary`` endpoints need a fleet service
+(:class:`~repro.serving.fleet.FleetService`, ``--replicas > 1`` or
+``--fleet`` on the CLI); on a single-worker service they answer 400.
 
 Failures map to the :class:`~repro.serving.errors.ServingError`
 hierarchy's HTTP statuses with ``{"error": kind, "message": ...}``
@@ -73,14 +80,26 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(status, payload)
 
+    def _fleet_service(self):
+        """The service, if it supports canary deployments (else 400)."""
+        service = self.service
+        if not hasattr(service, "canary_start"):
+            raise BadRequest(
+                "canary deployments need a fleet service; restart with "
+                "--replicas > 1 (or --fleet)"
+            )
+        return service
+
     def do_GET(self) -> None:
-        """GET /healthz and /metrics."""
+        """GET /healthz, /metrics, and /canary."""
 
         def handler() -> Tuple[int, dict]:
             if self.path == "/healthz":
                 return 200, self.service.healthz()
             if self.path == "/metrics":
                 return 200, self.service.metrics()
+            if self.path == "/canary":
+                return 200, self._fleet_service().canary_status()
             raise BadRequest(f"unknown path {self.path!r}")
 
         self._dispatch(handler)
@@ -100,7 +119,10 @@ class _Handler(BaseHTTPRequestHandler):
                     vocabulary=payload.get("vocabulary"),
                     magnitudes=payload.get("magnitudes"),
                 )
-                return 200, self.service.predict(request).to_json()
+                priority = payload.get("priority", "normal")
+                if not isinstance(priority, str):
+                    raise BadRequest("priority must be a string")
+                return 200, self.service.predict(request, priority=priority).to_json()
             if self.path == "/swap":
                 payload = self._read_json()
                 artifact = payload.get("artifact")
@@ -110,6 +132,25 @@ class _Handler(BaseHTTPRequestHandler):
                     artifact,
                     expect_fingerprint=payload.get("expect_fingerprint"),
                 )
+            if self.path == "/canary":
+                payload = self._read_json()
+                artifact = payload.get("artifact")
+                if not isinstance(artifact, str) or not artifact:
+                    raise BadRequest("canary payload must carry an 'artifact' path")
+                return 200, self._fleet_service().canary_start(
+                    artifact,
+                    mode=payload.get("mode", "canary"),
+                    fraction=payload.get("fraction"),
+                    window=payload.get("window"),
+                    expect_fingerprint=payload.get("expect_fingerprint"),
+                )
+            if self.path == "/canary/abort":
+                # Drain any (optional) body so the keep-alive stream
+                # stays aligned for the next request.
+                length = int(self.headers.get("Content-Length") or 0)
+                if 0 < length <= _MAX_BODY_BYTES:
+                    self.rfile.read(length)
+                return 200, self._fleet_service().canary_abort()
             raise BadRequest(f"unknown path {self.path!r}")
 
         self._dispatch(handler)

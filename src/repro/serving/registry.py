@@ -47,6 +47,40 @@ class ModelVersion:
         """
         return self.model.predict(X, batch_size=pad_to or 1024, pad_to=pad_to)
 
+    def replica_model(self):
+        """A per-replica forward-pass clone sharing this version's weights.
+
+        The fused inference kernels reuse per-layer scratch buffers, so
+        one ``Sequential`` instance must never run forward passes from
+        two threads at once.  Each fleet replica therefore gets its own
+        layer stack (own buffers) whose parameter arrays are **aliased**
+        to this version's arrays — zero-copy, and marked read-only so a
+        stray in-place write on any replica fails loudly instead of
+        corrupting every replica at once.  Outputs are bitwise-identical
+        to :meth:`predict` because the maths reads the same bits.
+        """
+        from ..nn import build_paper_network
+
+        clone = build_paper_network(
+            self.network, input_dim=self.input_dim, n_classes=self.n_classes
+        )
+        clone.build((self.input_dim,))
+        shared = [
+            param
+            for layer in self.model.layers
+            for _name, param, _grad in layer.parameters()
+        ]
+        slots = [
+            (layer, name)
+            for layer in clone.layers
+            for name, _param, _grad in layer.parameters()
+        ]
+        assert len(shared) == len(slots), "replica architecture drifted from source"
+        for (layer, name), param in zip(slots, shared):
+            param.setflags(write=False)
+            setattr(layer, name, param)
+        return clone
+
     def describe(self) -> dict:
         """JSON-able summary for ``/healthz`` and swap results."""
         return {
@@ -124,22 +158,16 @@ class ModelRegistry:
         obs.counter("serving.versions_published").inc()
         return version
 
-    def swap(
+    def _validated_candidate(
         self,
         source: ArtifactSource,
-        expect_fingerprint: Optional[str] = None,
-    ) -> ModelVersion:
-        """Hot-swap to a new version without dropping in-flight work.
-
-        The candidate is loaded, built, and compatibility-checked
-        entirely off to the side; only then does the active pointer
-        flip (a single reference assignment under the lock).  Batches
-        that already resolved the old version keep serving from it —
-        the old :class:`ModelVersion` object stays alive in history.
-        """
+        expect_fingerprint: Optional[str],
+        site: str,
+    ) -> ServingArtifact:
+        """Load + validate a candidate artifact against the active setup."""
         active = self.active()
         try:
-            artifact = self._load(source, site="serving.swap")
+            artifact = self._load(source, site=site)
             self._check_fingerprint(artifact, expect_fingerprint)
         except ArtifactError as exc:
             obs.counter("serving.swap_failures").inc()
@@ -153,12 +181,65 @@ class ModelRegistry:
                     f"swap rejected: candidate {attr} {actual!r} does not "
                     f"match the serving setup {expected!r}"
                 )
+        return artifact
+
+    def swap(
+        self,
+        source: ArtifactSource,
+        expect_fingerprint: Optional[str] = None,
+    ) -> ModelVersion:
+        """Hot-swap to a new version without dropping in-flight work.
+
+        The candidate is loaded, built, and compatibility-checked
+        entirely off to the side; only then does the active pointer
+        flip (a single reference assignment under the lock).  Batches
+        that already resolved the old version keep serving from it —
+        the old :class:`ModelVersion` object stays alive in history.
+        """
+        artifact = self._validated_candidate(
+            source, expect_fingerprint, site="serving.swap"
+        )
         with self._lock:
             version = ModelVersion(self._next_id, artifact)
             self._next_id += 1
             self._active = version
             self._history.append(version)
         obs.counter("serving.swaps").inc()
+        obs.counter("serving.versions_published").inc()
+        return version
+
+    def stage(
+        self,
+        source: ArtifactSource,
+        expect_fingerprint: Optional[str] = None,
+    ) -> ModelVersion:
+        """Load + validate a candidate **without** publishing it.
+
+        The returned :class:`ModelVersion` is fully built and swap
+        compatible with the active setup, but the active pointer is
+        untouched: canary/shadow deployments serve it to a slice of
+        traffic first and only :meth:`promote` it if the metrics hold.
+        """
+        artifact = self._validated_candidate(
+            source, expect_fingerprint, site="serving.stage"
+        )
+        with self._lock:
+            version = ModelVersion(self._next_id, artifact)
+            self._next_id += 1
+        obs.counter("serving.versions_staged").inc()
+        return version
+
+    def promote(self, version: ModelVersion) -> ModelVersion:
+        """Atomically publish a previously :meth:`stage`-d version.
+
+        A single pointer flip under the lock, exactly like the tail of
+        :meth:`swap`: in-flight batches finish on the version they
+        resolved, new flushes resolve the promoted one.
+        """
+        with self._lock:
+            self._active = version
+            self._history.append(version)
+        obs.counter("serving.promotions").inc()
         obs.counter("serving.versions_published").inc()
         return version
 

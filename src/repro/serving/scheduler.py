@@ -28,28 +28,47 @@ from .requests import PredictRequest, PredictResponse
 BatchRunner = Callable[[Sequence[PredictRequest]], List[PredictResponse]]
 
 
+#: Optional completion observer: ``on_done(response, error)`` — exactly
+#: one of the two is non-None.  Used by shadow deployments to record a
+#: mirrored request's outcome without anyone blocking on the handle.
+DoneCallback = Callable[[Optional[PredictResponse], Optional[BaseException]], None]
+
+
 class PendingRequest:
     """A submitted request awaiting its batch's completion."""
 
-    __slots__ = ("request", "deadline", "enqueued_at", "_done", "response", "error")
+    __slots__ = (
+        "request", "deadline", "enqueued_at", "_done", "response", "error", "on_done",
+    )
 
-    def __init__(self, request: PredictRequest, deadline: Optional[float]) -> None:
+    def __init__(
+        self,
+        request: PredictRequest,
+        deadline: Optional[float],
+        on_done: Optional[DoneCallback] = None,
+    ) -> None:
         self.request = request
         self.deadline = deadline
         self.enqueued_at = time.perf_counter()
         self._done = threading.Event()
         self.response: Optional[PredictResponse] = None
         self.error: Optional[BaseException] = None
+        self.on_done = on_done
 
     def resolve(self, response: PredictResponse) -> None:
         """Deliver the response and wake the waiting caller."""
+        response.latency_ms = (time.perf_counter() - self.enqueued_at) * 1000.0
         self.response = response
         self._done.set()
+        if self.on_done is not None:
+            self.on_done(response, None)
 
     def fail(self, error: BaseException) -> None:
         """Deliver a failure and wake the waiting caller."""
         self.error = error
         self._done.set()
+        if self.on_done is not None:
+            self.on_done(None, error)
 
     def wait(self, timeout_s: Optional[float]) -> PredictResponse:
         """Block until resolved; raises the typed error on failure."""
@@ -61,9 +80,7 @@ class PendingRequest:
         if self.error is not None:
             raise self.error
         assert self.response is not None
-        response = self.response
-        response.latency_ms = (time.perf_counter() - self.enqueued_at) * 1000.0
-        return response
+        return self.response
 
     def expired(self, now: float) -> bool:
         """True when the request's deadline has already passed."""
@@ -121,16 +138,28 @@ class BatchScheduler:
     # -- submission ----------------------------------------------------------
 
     def submit(
-        self, request: PredictRequest, timeout_s: Optional[float] = None
+        self,
+        request: PredictRequest,
+        timeout_s: Optional[float] = None,
+        on_done: Optional[DoneCallback] = None,
     ) -> PendingRequest:
         """Enqueue *request*; returns a handle to wait on.
 
         Raises :class:`QueueFull` when the bounded queue is at capacity
-        (backpressure — the caller should shed or retry with backoff)
-        and :class:`ModelUnavailable` after :meth:`close`.
+        (backpressure — the caller should shed or retry with backoff),
+        :class:`DeadlineExceeded` for an already-dead deadline, and
+        :class:`ModelUnavailable` after :meth:`close`.  *on_done* fires
+        exactly once when the request resolves or fails, on whichever
+        thread resolves it — shadow mirroring records outcomes through
+        it without blocking anybody.
         """
+        if timeout_s is not None and timeout_s <= 0:
+            obs.counter("serving.timeouts").inc()
+            raise DeadlineExceeded(
+                f"deadline of {timeout_s:.3f}s is already unmeetable at submit"
+            )
         deadline = time.perf_counter() + timeout_s if timeout_s is not None else None
-        pending = PendingRequest(request, deadline)
+        pending = PendingRequest(request, deadline, on_done=on_done)
         with self._cond:
             if self._closed:
                 raise ModelUnavailable("scheduler is shut down")
@@ -155,30 +184,56 @@ class BatchScheduler:
 
     # -- worker --------------------------------------------------------------
 
-    def _collect(self) -> List[PendingRequest]:
+    def _collect(self) -> Optional[List[PendingRequest]]:
         """Wait for work, then gather one micro-batch.
 
-        Returns an empty list only when closed and fully drained.
+        Requests whose deadline already passed are dropped *here* —
+        before they are dispatched into a batch — so an expired request
+        never occupies a batch slot and fails with
+        :class:`DeadlineExceeded` without ever reaching the runner.
+        Returns ``None`` only when closed and fully drained; an empty
+        list means every queued request had expired.
         """
+        overdue: List[PendingRequest] = []
         with self._cond:
             while not self._queue and not self._closed:
                 self._cond.wait()
             if not self._queue:
-                return []
+                return None
             if self.max_wait_s > 0 and not self._closed:
                 flush_at = time.perf_counter() + self.max_wait_s
                 while len(self._queue) < self.max_batch_size and not self._closed:
                     remaining = flush_at - time.perf_counter()
                     if remaining <= 0 or not self._cond.wait(remaining):
                         break
-            take = min(len(self._queue), self.max_batch_size)
-            return [self._queue.popleft() for _ in range(take)]
+            now = time.perf_counter()
+            batch: List[PendingRequest] = []
+            while self._queue and len(batch) < self.max_batch_size:
+                pending = self._queue.popleft()
+                if pending.expired(now):
+                    overdue.append(pending)
+                else:
+                    batch.append(pending)
+            self.expired += len(overdue)
+        # Failing the overdue requests happens outside the lock: fail()
+        # wakes waiters and may run an on_done callback, neither of
+        # which should ever execute under the scheduler's condition.
+        for pending in overdue:
+            obs.counter("serving.timeouts").inc()
+            pending.fail(
+                DeadlineExceeded(
+                    "deadline expired while queued (dropped before batch dispatch)"
+                )
+            )
+        return batch
 
     def _run(self) -> None:
         while True:
             batch = self._collect()
-            if not batch:
+            if batch is None:
                 return
+            if not batch:
+                continue
             self._flush(batch)
 
     def _flush(self, batch: List[PendingRequest]) -> None:

@@ -39,6 +39,80 @@ def _percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
+def encode_request(
+    cache: FeatureCache, request: PredictRequest, version: ModelVersion
+) -> np.ndarray:
+    """One feature row, bitwise-equal to the offline dataset row.
+
+    Document vectors go through the per-version LRU cache; the
+    metadata/followers tail is tiny and recomputed [cached by
+    ``(followers, weekday)``] exactly like
+    :func:`repro.datasets.encode_record` builds it.  Shared by the
+    single-worker :class:`ServingService` and every fleet replica, so
+    both paths stay feature-identical by construction.
+    """
+    record = request.to_record()
+    key = cache.document_key(
+        version.version_id,
+        version.family,
+        request.tokens,
+        request.vocabulary,
+        request.magnitudes,
+    )
+    parts = [
+        cache.document_vector(
+            key,
+            lambda: document_vector(record, version.embeddings, version.family),
+        )
+    ]
+    if version.with_metadata:
+        parts.append(cache.metadata_vector(record.followers, record.created_at))
+    if version.with_followers:
+        parts.append(np.array([float(encode_count(record.followers))]))
+    row = np.concatenate(parts)
+    if row.shape[0] != version.input_dim:
+        raise BadRequest(
+            f"request encodes to {row.shape[0]} features but the model "
+            f"expects {version.input_dim} (wrong embedding dimension?)"
+        )
+    return row
+
+
+def score_requests(
+    cache: FeatureCache,
+    version: ModelVersion,
+    requests: Sequence[PredictRequest],
+    pad_to: int,
+    model=None,
+) -> List[PredictResponse]:
+    """Encode + score one micro-batch with a single padded forward pass.
+
+    *model* overrides the network to run (a replica's zero-copy view of
+    *version*'s weights); the default is the version's own model.  The
+    fixed ``pad_to`` row count keeps outputs bitwise-independent of how
+    requests were grouped into batches.
+    """
+    rows = [encode_request(cache, request, version) for request in requests]
+    X = np.vstack(rows) if rows else np.zeros((0, version.input_dim))
+    network = model if model is not None else version.model
+    probabilities = network.predict(X, batch_size=pad_to, pad_to=pad_to)
+    labels = (
+        np.argmax(probabilities, axis=1)
+        if len(probabilities)
+        else np.zeros(0, dtype=int)
+    )
+    return [
+        PredictResponse(
+            probabilities=probabilities[i].tolist(),
+            label=int(labels[i]),
+            model_version=version.version_id,
+            fingerprint=version.fingerprint,
+            batch_rows=len(requests),
+        )
+        for i in range(len(requests))
+    ]
+
+
 @guarded_by("_stats_lock", "_responses", "_errors", "_swaps", "_latencies")
 class ServingService:
     """Online audience-interest prediction over a model registry."""
@@ -65,80 +139,34 @@ class ServingService:
 
     # -- the batched hot path ------------------------------------------------
 
-    def _encode(self, request: PredictRequest, version: ModelVersion) -> np.ndarray:
-        """One feature row, bitwise-equal to the offline dataset row.
-
-        Document vectors go through the per-version LRU cache; the
-        metadata/followers tail is tiny and recomputed [cached by
-        ``(followers, weekday)``] exactly like
-        :func:`repro.datasets.encode_record` builds it.
-        """
-        record = request.to_record()
-        key = self.cache.document_key(
-            version.version_id,
-            version.family,
-            request.tokens,
-            request.vocabulary,
-            request.magnitudes,
-        )
-        parts = [
-            self.cache.document_vector(
-                key,
-                lambda: document_vector(record, version.embeddings, version.family),
-            )
-        ]
-        if version.with_metadata:
-            parts.append(
-                self.cache.metadata_vector(record.followers, record.created_at)
-            )
-        if version.with_followers:
-            parts.append(np.array([float(encode_count(record.followers))]))
-        row = np.concatenate(parts)
-        if row.shape[0] != version.input_dim:
-            raise BadRequest(
-                f"request encodes to {row.shape[0]} features but the model "
-                f"expects {version.input_dim} (wrong embedding dimension?)"
-            )
-        return row
-
     def _run_batch(
         self, requests: Sequence[PredictRequest]
     ) -> List[PredictResponse]:
         """Encode + score one micro-batch with a single forward pass."""
         version = self.registry.active()  # resolved once per flush
         with obs.span("serving.flush") as flush_span:
-            rows = [self._encode(request, version) for request in requests]
-            X = (
-                np.vstack(rows)
-                if rows
-                else np.zeros((0, version.input_dim))
+            responses = score_requests(
+                self.cache, version, requests, pad_to=self.config.max_batch_size
             )
-            probabilities = version.predict(X, pad_to=self.config.max_batch_size)
             flush_span.annotate(
                 rows=len(requests), model_version=version.version_id
             )
-        labels = (
-            np.argmax(probabilities, axis=1)
-            if len(probabilities)
-            else np.zeros(0, dtype=int)
-        )
-        return [
-            PredictResponse(
-                probabilities=probabilities[i].tolist(),
-                label=int(labels[i]),
-                model_version=version.version_id,
-                fingerprint=version.fingerprint,
-                batch_rows=len(requests),
-            )
-            for i in range(len(requests))
-        ]
+        return responses
 
     # -- public API ----------------------------------------------------------
 
     def predict(
-        self, request: PredictRequest, timeout_s: Optional[float] = None
+        self,
+        request: PredictRequest,
+        timeout_s: Optional[float] = None,
+        priority: str = "normal",
     ) -> PredictResponse:
-        """Score one request, blocking until its batch completes."""
+        """Score one request, blocking until its batch completes.
+
+        *priority* is accepted for interface parity with
+        :class:`~repro.serving.fleet.FleetService`; the single-worker
+        service has no admission classes, so it is ignored.
+        """
         timeout = timeout_s if timeout_s is not None else self.config.timeout_s
         try:
             response = self.scheduler.predict(request, timeout_s=timeout)

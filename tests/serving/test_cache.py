@@ -104,3 +104,41 @@ class TestFeatureCacheVectors:
         cache.document_vector(key, lambda: np.zeros(2))
         cache.document_vector(key, lambda: np.zeros(2))
         assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestColdCacheHitRate:
+    """Regression: a cold cache must report 0.0, never divide by zero."""
+
+    def test_lru_cold(self):
+        cache = LRUCache(4)
+        assert cache.hit_rate == 0.0
+        assert cache.stats()["hit_rate"] == 0.0
+
+    def test_lru_all_misses(self):
+        cache = LRUCache(4)
+        cache.get("nope")
+        assert cache.hit_rate == 0.0
+
+    def test_disabled_cache_stays_at_zero(self):
+        # capacity=0 never records a hit; the rate must stay defined.
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.hit_rate == 0.0
+        feature_cache = FeatureCache(0)
+        assert feature_cache.hit_rate == 0.0
+
+    def test_metrics_render_on_a_cold_service(self, artifact_dirs):
+        # End to end: /metrics must serialise before any request warms
+        # the cache (this is the path that would have divided by zero).
+        from repro.serving import ModelRegistry, ServingConfig, ServingService
+
+        registry = ModelRegistry()
+        registry.load(artifact_dirs[0])
+        service = ServingService(registry, ServingConfig(max_batch_size=4))
+        try:
+            metrics = service.metrics()
+            assert metrics["cache_hit_rate"] == 0.0
+            assert metrics["responses"] == 0
+        finally:
+            service.close()

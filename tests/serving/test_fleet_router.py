@@ -1,0 +1,157 @@
+"""Router policies, ejection, and counted probe/re-admission.
+
+The router is deterministic by construction — policies are pure
+functions of the healthy set, queue depths, and rotation counter, and
+probe budgets are counted in routed requests, not wall-clock — so every
+assignment sequence here is pinned exactly.
+"""
+
+import pytest
+
+from repro.serving import ModelUnavailable, POLICIES, Router
+from repro.serving.router import least_loaded, round_robin
+
+
+class _FakeReplica:
+    """Minimal stand-in exposing the surface the router consumes."""
+
+    def __init__(self, index, depth=0):
+        self.index = index
+        self.depth = depth
+        self.ejected = False
+        self.probe_results = []
+        self.probes = 0
+
+    def available(self):
+        return not self.ejected
+
+    @property
+    def queue_depth(self):
+        return self.depth
+
+    def probe(self):
+        self.probes += 1
+        healthy = self.probe_results.pop(0) if self.probe_results else True
+        if healthy:
+            self.ejected = False  # mirrors Replica.probe -> readmit
+        return healthy
+
+    def describe(self):
+        return {"index": self.index, "ejected": self.ejected}
+
+
+def _pool(n, depths=None):
+    depths = depths or [0] * n
+    return [_FakeReplica(i, depth) for i, depth in zip(range(n), depths)]
+
+
+class TestPolicies:
+    def test_registry_contents(self):
+        assert set(POLICIES) == {"round_robin", "least_loaded"}
+
+    def test_round_robin_rotates(self):
+        healthy, depths = [0, 1, 2], [9, 9, 9]
+        picks = [round_robin(healthy, depths, r) for r in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_over_partial_pool(self):
+        picks = [round_robin([0, 2], [0, 0], r) for r in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_least_loaded_picks_min_depth(self):
+        assert least_loaded([0, 1, 2], [5, 0, 3], 0) == 1
+
+    def test_least_loaded_ties_break_to_lowest_index(self):
+        assert least_loaded([0, 1, 2], [2, 2, 2], 7) == 0
+        assert least_loaded([1, 2], [4, 4], 0) == 1
+
+
+class TestRouting:
+    def test_round_robin_assignment_sequence(self):
+        router = Router(_pool(3), policy="round_robin")
+        picks = [router.route().index for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        assert router.stats()["routed_per_replica"] == [2, 2, 2]
+
+    def test_least_loaded_follows_queue_depths(self):
+        replicas = _pool(3, depths=[5, 0, 3])
+        router = Router(replicas, policy="least_loaded")
+        assert router.route().index == 1
+        replicas[1].depth = 9
+        assert router.route().index == 2
+
+    def test_ejected_replica_is_skipped(self):
+        replicas = _pool(3)
+        replicas[1].ejected = True
+        router = Router(replicas, policy="round_robin", probe_after=100)
+        picks = [router.route().index for _ in range(6)]
+        assert 1 not in picks
+        assert sorted(set(picks)) == [0, 2]
+        assert router.healthy_indices() == [0, 2]
+
+    def test_dead_pool_raises_model_unavailable(self):
+        replicas = _pool(2)
+        for replica in replicas:
+            replica.ejected = True
+        router = Router(replicas)
+        with pytest.raises(ModelUnavailable, match="all replicas are ejected"):
+            router.route()
+        assert router.min_queue_depth() is None
+
+    def test_min_queue_depth_ignores_ejected(self):
+        replicas = _pool(3, depths=[7, 1, 4])
+        replicas[1].ejected = True
+        router = Router(replicas)
+        assert router.min_queue_depth() == 4
+
+
+class TestProbes:
+    def test_probe_budget_is_counted_then_readmits(self):
+        replicas = _pool(2)
+        replicas[0].ejected = True
+        replicas[0].probe_results = [False, True]
+        router = Router(replicas, policy="round_robin", probe_after=3)
+        # route 1 first sights the ejection and starts the budget.
+        for _ in range(3):
+            router.route()
+        assert replicas[0].probes == 0
+        router.route()  # budget spent -> probe #1 fails, budget restarts
+        assert replicas[0].probes == 1
+        assert not replicas[0].available()
+        for _ in range(2):
+            router.route()
+        assert replicas[0].probes == 1
+        router.route()  # probe #2 passes -> re-admitted
+        assert replicas[0].probes == 2
+        assert replicas[0].available()
+        assert router.healthy_indices() == [0, 1]
+
+    def test_healthy_pool_is_never_probed(self):
+        replicas = _pool(2)
+        router = Router(replicas, probe_after=1)
+        for _ in range(10):
+            router.route()
+        assert all(replica.probes == 0 for replica in replicas)
+
+
+class TestValidation:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            Router([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown router policy"):
+            Router(_pool(1), policy="random")
+
+    def test_probe_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Router(_pool(1), probe_after=0)
+
+    def test_stats_shape(self):
+        router = Router(_pool(2), policy="least_loaded")
+        router.route()
+        stats = router.stats()
+        assert stats["policy"] == "least_loaded"
+        assert stats["routed"] == 1
+        assert stats["healthy"] == [0, 1]
+        assert [r["index"] for r in stats["replicas"]] == [0, 1]
